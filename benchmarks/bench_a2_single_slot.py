@@ -1,0 +1,72 @@
+"""Ablation A2 — the bare-dictionary optimisation (§4).
+
+    "Since this class has only one method a tuple is not needed" —
+    the paper's d-Eq-List discussion: a class with a single slot can
+    use the method itself as its dictionary, skipping both the tuple
+    allocation and the selection.
+
+Workload: a single-method class driven through a type variable, with
+the optimisation on and off.  Series: dictionary constructions (tuple
+allocations) and selections.
+"""
+
+import pytest
+
+from benchmarks.conftest import compiled, record
+
+SRC = """
+class Measure a where
+  size :: a -> Int
+
+data Leaf = Leaf
+instance Measure Leaf where
+  size x = 1
+
+instance Measure a => Measure [a] where
+  size []     = 0
+  size (x:xs) = size x + size xs
+
+total :: Measure a => [a] -> Int
+total xs = size xs
+
+main = total (replicate 120 [Leaf, Leaf])
+"""
+
+
+def run(single_slot: bool):
+    program = compiled(SRC, single_slot_opt=single_slot,
+                       hoist_dictionaries=False, inner_entry_points=False)
+    assert program.run("main") == 240
+    return program
+
+
+def test_a2_bare_dictionaries(benchmark):
+    program = run(True)
+    benchmark(lambda: program.run("main"))
+    s = program.last_stats
+    record("A2 single-slot dictionaries", "bare (tuple elided)",
+           dicts=s.dict_constructions, selections=s.dict_selections)
+
+
+def test_a2_tuple_dictionaries(benchmark):
+    program = run(False)
+    benchmark(lambda: program.run("main"))
+    s = program.last_stats
+    record("A2 single-slot dictionaries", "1-tuple dictionaries",
+           dicts=s.dict_constructions, selections=s.dict_selections)
+
+
+def test_a2_shape():
+    bare = run(True)
+    bare.run("main")
+    tup = run(False)
+    tup.run("main")
+    # With bare dictionaries the method IS the dictionary: no tuple
+    # construction, no selection.
+    assert bare.last_stats.dict_selections == 0
+    assert tup.last_stats.dict_selections > 0
+    assert bare.last_stats.dict_constructions \
+        <= tup.last_stats.dict_constructions
+    record("A2 single-slot dictionaries", "selection counts",
+           bare=bare.last_stats.dict_selections,
+           tuple=tup.last_stats.dict_selections)

@@ -1,0 +1,102 @@
+"""E1 — "type classes increase compilation time only slightly" (§9).
+
+Workload: programs of N definitions, generated in two flavours:
+
+* **ML subset** — monomorphic signatures, primitive operators, no
+  overloading anywhere (what an ML type checker would see);
+* **with classes** — the same N definitions written against the
+  overloaded operators, plus a class/instance pair, so unification
+  carries contexts, context reduction runs, and dictionary conversion
+  inserts and resolves placeholders.
+
+Both compile *without* the prelude so nothing but the N definitions is
+measured.  The claim holds if the with-classes compile is within a
+small constant factor (the paper: "a minor increase in the cost of
+unification and the placement and resolution of placeholders").
+"""
+
+import pytest
+
+from benchmarks.conftest import compiled, record
+from repro import CompilerOptions, compile_source
+
+
+def ml_program(n: int) -> str:
+    lines = [
+        "f0 :: Int -> Int",
+        "f0 x = primAddInt x 1",
+    ]
+    for i in range(1, n):
+        lines.append(f"f{i} :: Int -> Int")
+        lines.append(f"f{i} x = f{i - 1} (primMulInt x 2)")
+    lines.append("data Bool2 = T2 | F2")
+    return "\n".join(lines)
+
+
+def class_program(n: int) -> str:
+    lines = [
+        "data Bool2 = T2 | F2",
+        "class MyNum a where",
+        "  add :: a -> a -> a",
+        "  mul :: a -> a -> a",
+        "instance MyNum Int where",
+        "  add = primAddInt",
+        "  mul = primMulInt",
+        "f0 :: MyNum a => a -> a",
+        "f0 x = add x x",
+    ]
+    for i in range(1, n):
+        lines.append(f"f{i} :: MyNum a => a -> a")
+        lines.append(f"f{i} x = f{i - 1} (mul x x)")
+    # A use at Int, so context reduction actually runs.
+    lines.append("check :: Int")
+    lines.append(f"check = f{n - 1} 3")
+    return "\n".join(lines)
+
+
+def compile_bare(source: str):
+    return compile_source(
+        source, CompilerOptions(overload_literals=False),
+        include_prelude=False)
+
+
+SIZES = [20, 60]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_ml_subset(benchmark, n):
+    src = ml_program(n)
+    program = benchmark(lambda: compile_bare(src))
+    record("E1 typecheck overhead", f"ML subset, n={n}",
+           unifications=program.compile_stats.unify_count,
+           context_reductions=program.compile_stats.context_reductions)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_with_classes(benchmark, n):
+    src = class_program(n)
+    program = benchmark(lambda: compile_bare(src))
+    record("E1 typecheck overhead", f"with classes, n={n}",
+           unifications=program.compile_stats.unify_count,
+           context_reductions=program.compile_stats.context_reductions)
+
+
+def test_e1_shape():
+    """The with-classes front end does more work, but only slightly:
+    unification count within 3x, and the extra work is exactly the
+    context machinery (reductions > 0 only with classes)."""
+    import time
+    n = 60
+    t0 = time.perf_counter()
+    ml = compile_bare(ml_program(n))
+    t1 = time.perf_counter()
+    cls = compile_bare(class_program(n))
+    t2 = time.perf_counter()
+    ml_time, cls_time = t1 - t0, t2 - t1
+    assert ml.compile_stats.context_reductions == 0
+    assert cls.compile_stats.context_reductions > 0
+    assert cls.compile_stats.unify_count < 3 * ml.compile_stats.unify_count
+    # wall clock within a generous constant factor (CI noise tolerant)
+    assert cls_time < 6 * ml_time + 0.05
+    record("E1 typecheck overhead", f"wall-clock ratio, n={n}",
+           ratio=round(cls_time / max(ml_time, 1e-9), 2))

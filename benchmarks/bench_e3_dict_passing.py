@@ -1,0 +1,98 @@
+"""E3 — "passing and storing extra arguments to overloaded functions
+will incur slightly more function call overhead.  ...  for code which
+does not use overloaded functions (but still may use method functions)
+the class system adds no overhead at all since the specific instance
+functions are called directly" (§9).
+
+Workloads:
+
+* the same pipeline compiled once with an overloaded signature (a
+  dictionary flows through every call) and once monomorphic at Int
+  (zero dictionaries);
+* a *method-using but monomorphic* program — ``==`` at Int — which
+  must compile to a direct call of the instance function with no
+  dictionary traffic at all (the second half of the claim).
+"""
+
+import pytest
+
+from benchmarks.conftest import compiled, record
+
+N = 300
+
+OVERLOADED = f"""
+step :: Num a => a -> a
+step x = x + x
+
+apply :: Num a => Int -> a -> a
+apply n x = if n == 0 then x else apply (n - 1) (step x)
+
+main = apply {N} 1
+"""
+
+MONO = f"""
+step :: Int -> Int
+step x = x + x
+
+apply :: Int -> Int -> Int
+apply n x = if n == 0 then x else apply (n - 1) (step x)
+
+main = apply {N} 1
+"""
+
+METHODS_AT_KNOWN_TYPE = f"""
+count :: Int -> Int -> Int
+count acc n = if n == 0 then acc
+              else count (if n == acc then acc else acc + 1) (n - 1)
+main = count 0 {N}
+"""
+
+
+def test_e3_overloaded_pipeline(benchmark):
+    program = compiled(OVERLOADED)
+    assert program.run("main") == 2 ** N
+    benchmark(lambda: program.run("main"))
+    s = program.last_stats
+    record("E3 dictionary passing", "overloaded (dict flows through)",
+           calls=s.fun_calls, steps=s.steps,
+           dicts=s.dict_constructions, selections=s.dict_selections)
+
+
+def test_e3_monomorphic_pipeline(benchmark):
+    program = compiled(MONO)
+    assert program.run("main") == 2 ** N
+    benchmark(lambda: program.run("main"))
+    s = program.last_stats
+    record("E3 dictionary passing", "monomorphic at Int",
+           calls=s.fun_calls, steps=s.steps,
+           dicts=s.dict_constructions, selections=s.dict_selections)
+
+
+def test_e3_methods_at_known_type(benchmark):
+    program = compiled(METHODS_AT_KNOWN_TYPE)
+    program.run("main")
+    benchmark(lambda: program.run("main"))
+    s = program.last_stats
+    record("E3 dictionary passing", "methods at known type (direct)",
+           calls=s.fun_calls, steps=s.steps,
+           dicts=s.dict_constructions, selections=s.dict_selections)
+
+
+def test_e3_shape():
+    over = compiled(OVERLOADED)
+    over.run("main")
+    mono = compiled(MONO)
+    mono.run("main")
+    known = compiled(METHODS_AT_KNOWN_TYPE)
+    known.run("main")
+    # "no overhead at all" for non-overloaded code, even when it uses
+    # method functions:
+    assert mono.last_stats.dict_constructions == 0
+    assert mono.last_stats.dict_selections == 0
+    assert known.last_stats.dict_constructions == 0
+    assert known.last_stats.dict_selections == 0
+    # "slightly more function call overhead" for the overloaded one:
+    assert over.last_stats.steps >= mono.last_stats.steps
+    assert over.last_stats.steps < 2 * mono.last_stats.steps
+    record("E3 dictionary passing", "steps ratio overloaded/mono",
+           ratio=round(over.last_stats.steps / mono.last_stats.steps, 3))

@@ -1,0 +1,90 @@
+"""E4 — repeated dictionary construction (§8.8).
+
+    "many implementations of this definition will repeat the
+    construction of the dictionary eqDList d at each step of the
+    recursion"
+
+Workload: the doList shape — an overloaded traversal whose body needs
+``Eq [a]`` given ``Eq a``, so the naive translation builds
+``d-Eq-List d`` once per element.  Swept over the list length n, the
+series to reproduce is:
+
+* naive translation: dictionary constructions grow **linearly** in n;
+* improved translation (hoisting + inner entry, the paper's rewrite):
+  constructions stay **constant**;
+* call-by-name (an implementation with no sharing at all): linear even
+  in the improved form — which is why the paper points at full
+  laziness as the systematic cure.
+"""
+
+import pytest
+
+from benchmarks.conftest import compiled, record
+
+
+def workload(n: int) -> str:
+    return f"""
+process :: Eq a => [a] -> Int
+process [] = 0
+process (x:xs) = (if member [x] [[x], []] then 1 else 0) + process xs
+
+main = process (enumFromTo 1 {n})
+"""
+
+
+SIZES = [50, 100, 200]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e4_naive(benchmark, n):
+    program = compiled(workload(n), hoist_dictionaries=False,
+                       inner_entry_points=False)
+    assert program.run("main") == n
+    benchmark(lambda: program.run("main"))
+    record("E4 repeated construction", f"naive, n={n}",
+           dict_constructions=program.last_stats.dict_constructions)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e4_improved(benchmark, n):
+    program = compiled(workload(n), hoist_dictionaries=True,
+                       inner_entry_points=True)
+    assert program.run("main") == n
+    benchmark(lambda: program.run("main"))
+    record("E4 repeated construction", f"improved (8.8), n={n}",
+           dict_constructions=program.last_stats.dict_constructions)
+
+
+@pytest.mark.parametrize("n", [50, 100])
+def test_e4_call_by_name(benchmark, n):
+    program = compiled(workload(n), hoist_dictionaries=True,
+                       inner_entry_points=True, call_by_need=False)
+    assert program.run("main") == n
+    benchmark(lambda: program.run("main"))
+    record("E4 repeated construction", f"call-by-name, n={n}",
+           dict_constructions=program.last_stats.dict_constructions)
+
+
+def test_e4_shape():
+    counts_naive = []
+    counts_improved = []
+    for n in SIZES:
+        p = compiled(workload(n), hoist_dictionaries=False,
+                     inner_entry_points=False)
+        p.run("main")
+        counts_naive.append(p.last_stats.dict_constructions)
+        q = compiled(workload(n), hoist_dictionaries=True,
+                     inner_entry_points=True)
+        q.run("main")
+        counts_improved.append(q.last_stats.dict_constructions)
+    # naive: linear — grows with n, at least one construction/element
+    assert counts_naive[0] >= SIZES[0]
+    assert counts_naive[-1] >= SIZES[-1]
+    assert counts_naive[-1] > 3 * counts_naive[0] // 2
+    # improved: constant across the sweep
+    assert counts_improved[0] == counts_improved[-1]
+    assert counts_improved[0] <= 4
+    record("E4 repeated construction", "series naive",
+           **{f"n{n}": c for n, c in zip(SIZES, counts_naive)})
+    record("E4 repeated construction", "series improved",
+           **{f"n{n}": c for n, c in zip(SIZES, counts_improved)})

@@ -1,0 +1,66 @@
+"""E5 — inner entry points (§6.3, §7).
+
+    "since any dictionaries passed to a recursive call remain
+    unchanged from the original entry to the function, the need to
+    pass dictionaries to inner recursive calls can be eliminated by
+    using an inner entry point where the dictionaries have already
+    been bound."
+
+Workload: the paper's member on a list of length n (element absent, so
+the full list is traversed).  The series: total function calls with
+and without the optimisation — without it, every recursive step pays
+an extra call to re-enter the dictionary lambda.
+"""
+
+import pytest
+
+from benchmarks.conftest import compiled, record
+
+
+def workload(n: int) -> str:
+    return f"""
+mem :: Eq a => a -> [a] -> Bool
+mem x [] = False
+mem x (y:ys) = x == y || mem x ys
+
+main = mem 0 (enumFromTo 1 {n})
+"""
+
+
+SIZES = [100, 400]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e5_without_entry_points(benchmark, n):
+    program = compiled(workload(n), inner_entry_points=False,
+                       hoist_dictionaries=False)
+    assert program.run("main") is False
+    benchmark(lambda: program.run("main"))
+    record("E5 inner entry points", f"dictionary re-passed, n={n}",
+           calls=program.last_stats.fun_calls,
+           steps=program.last_stats.steps)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e5_with_entry_points(benchmark, n):
+    program = compiled(workload(n), inner_entry_points=True,
+                       hoist_dictionaries=False)
+    assert program.run("main") is False
+    benchmark(lambda: program.run("main"))
+    record("E5 inner entry points", f"inner entry point, n={n}",
+           calls=program.last_stats.fun_calls,
+           steps=program.last_stats.steps)
+
+
+def test_e5_shape():
+    n = 400
+    without = compiled(workload(n), inner_entry_points=False,
+                       hoist_dictionaries=False)
+    without.run("main")
+    with_ep = compiled(workload(n), inner_entry_points=True,
+                       hoist_dictionaries=False)
+    with_ep.run("main")
+    # Strictly fewer calls, by roughly one per recursion step.
+    saved = without.last_stats.fun_calls - with_ep.last_stats.fun_calls
+    assert saved >= n // 2
+    record("E5 inner entry points", f"calls saved at n={n}", saved=saved)

@@ -1,0 +1,105 @@
+"""E7 — nested vs flattened dictionaries (§8.1).
+
+    "Deeply nested dictionaries can be avoided by flattening
+    dictionaries to include all methods in both the associated class
+    and in all superclasses at the top level of the structure.  This
+    slows down dictionary construction but speeds up selection
+    operations.  The effect of this tradeoff in real programs is not
+    yet known."
+
+Workload: a superclass *chain* C1 <= C2 <= ... <= Cd; a function
+constrained only by Cd calls a method of C1, so the nested layout
+chases d-1 embedded dictionaries per (unhoisted) access while the
+flattened layout selects once.  Swept over the depth d.  We report
+both selection counts (flat wins) and construction cost measured as
+dictionary-tuple slots built (nested wins) — resolving the tradeoff
+the paper left open, for this interpreter's cost model.
+"""
+
+import pytest
+
+from benchmarks.conftest import compiled, record
+from repro import CompilerOptions, compile_source
+
+
+def chain_program(depth: int, n: int) -> str:
+    lines = ["class C1 a where", "  m1 :: a -> Int"]
+    for i in range(2, depth + 1):
+        lines.append(f"class C{i - 1} a => C{i} a where")
+        lines.append(f"  m{i} :: a -> Int")
+    lines.append("instance C1 Int where")
+    lines.append("  m1 x = x")
+    for i in range(2, depth + 1):
+        lines.append(f"instance C{i} Int where")
+        lines.append(f"  m{i} x = x")
+    lines.append(f"deep :: C{depth} a => [a] -> Int")
+    lines.append("deep [] = 0")
+    lines.append("deep (x:xs) = m1 x + deep xs")
+    lines.append(f"main = deep (enumFromTo 1 {n})")
+    return "\n".join(lines)
+
+
+DEPTHS = [2, 4, 6]
+N = 150
+
+
+def run(depth: int, layout: str, hoist: bool = False):
+    program = compile_source(
+        chain_program(depth, N),
+        CompilerOptions(dict_layout=layout, hoist_dictionaries=hoist,
+                        inner_entry_points=False, single_slot_opt=False))
+    result = program.run("main")
+    assert result == N * (N + 1) // 2
+    return program
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_e7_nested(benchmark, depth):
+    program = run(depth, "nested")
+    benchmark(lambda: program.run("main"))
+    s = program.last_stats
+    record("E7 dictionary layout", f"nested, depth={depth}",
+           selections=s.dict_selections, dicts=s.dict_constructions)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_e7_flattened(benchmark, depth):
+    program = run(depth, "flat")
+    benchmark(lambda: program.run("main"))
+    s = program.last_stats
+    record("E7 dictionary layout", f"flattened, depth={depth}",
+           selections=s.dict_selections, dicts=s.dict_constructions)
+
+
+def test_e7_shape():
+    selections = {}
+    for layout in ("nested", "flat"):
+        per_depth = []
+        for depth in DEPTHS:
+            program = run(depth, layout)
+            per_depth.append(program.last_stats.dict_selections)
+        selections[layout] = per_depth
+    # Nested: the per-access cost grows with the chain depth.
+    assert selections["nested"][-1] > selections["nested"][0]
+    # Flattened: selection cost independent of depth.
+    assert selections["flat"][0] == selections["flat"][-1]
+    # At depth 6, flat selects strictly less.
+    assert selections["flat"][-1] < selections["nested"][-1]
+    record("E7 dictionary layout", "selection series nested",
+           **{f"d{d}": c for d, c in zip(DEPTHS, selections["nested"])})
+    record("E7 dictionary layout", "selection series flattened",
+           **{f"d{d}": c for d, c in zip(DEPTHS, selections["flat"])})
+
+
+def test_e7_construction_cost():
+    """The other side of the tradeoff: the flattened dictionary for the
+    deepest class is wider (more slots built per construction)."""
+    from repro.core.classes import ClassEnv
+    depth = 6
+    nested_prog = run(depth, "nested")
+    flat_prog = run(depth, "flat")
+    nested_width = nested_prog.class_env.dict_size(f"C{depth}")
+    flat_width = flat_prog.class_env.dict_size(f"C{depth}")
+    assert flat_width > nested_width
+    record("E7 dictionary layout", f"dict width at depth={depth}",
+           nested=nested_width, flattened=flat_width)

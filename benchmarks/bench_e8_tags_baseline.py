@@ -1,0 +1,95 @@
+"""E8 — dictionaries vs run-time tags (§3).
+
+    "the use of tags ... can complicate data representation ...
+    [passing type information] is only necessary when overloaded
+    functions are actually involved.  This is potentially more
+    efficient than uniformly tagging every data object regardless how
+    it will be used."
+
+Workload: structural equality over a list of n integers, which is the
+paper's (and SML/NJ's) canonical tagged operation.  Series:
+
+* tags: one dispatch per element, plus a tag allocation for every
+  object ever built;
+* dictionaries: constant dictionary traffic for the whole traversal.
+
+Plus the impossibility result: ``read`` under tags raises (also
+covered by the unit tests; asserted here so the experiment is
+self-contained).
+"""
+
+import pytest
+
+from benchmarks.conftest import compiled, record
+from repro import TagDispatchError
+from repro.baselines.tags import TagRuntime
+
+N = 300
+
+
+def tag_workload():
+    rt = TagRuntime()
+    xs = rt.inject(list(range(N)))
+    ys = rt.inject(list(range(N)))
+    rt.stats.reset()
+
+    def go():
+        assert rt.call("Eq", "==", xs, ys).payload is True
+
+    return rt, go
+
+
+DICT_SRC = f"""
+eqAt :: Eq a => a -> a -> Bool
+eqAt x y = x == y
+main = eqAt (enumFromTo 1 {N}) (enumFromTo 1 {N})
+"""
+
+
+def test_e8_tag_dispatch(benchmark):
+    rt, go = tag_workload()
+    benchmark(go)
+    record("E8 tags vs dictionaries", "tag dispatch",
+           dispatches_per_run=rt.stats.dispatches // max(1, rt.stats.calls // (N + 1)))
+
+
+def test_e8_dictionaries(benchmark):
+    program = compiled(DICT_SRC)
+    assert program.run("main") is True
+    benchmark(lambda: program.run("main"))
+    s = program.last_stats
+    record("E8 tags vs dictionaries", "dictionary passing",
+           dict_selections=s.dict_selections,
+           dict_constructions=s.dict_constructions)
+
+
+def test_e8_shape():
+    rt, go = tag_workload()
+    go()
+    tag_dispatches = rt.stats.dispatches
+    program = compiled(DICT_SRC)
+    program.run("main")
+    s = program.last_stats
+    # Tags: a dispatch per element.  Dictionaries: constant overhead.
+    assert tag_dispatches >= N
+    assert s.dict_selections <= 6
+    assert s.dict_constructions <= 3
+    record("E8 tags vs dictionaries", f"per-equality cost at n={N}",
+           tag_dispatches=tag_dispatches,
+           dict_selections=s.dict_selections)
+
+    # Uniform tagging allocates a tag per constructed object:
+    rt2 = TagRuntime()
+    rt2.stats.reset()
+    rt2.inject(list(range(N)))
+    assert rt2.stats.tag_allocations == N + 1
+    record("E8 tags vs dictionaries", f"tag allocations for one list",
+           allocations=rt2.stats.tag_allocations)
+
+
+def test_e8_read_impossible_under_tags():
+    rt = TagRuntime()
+    with pytest.raises(TagDispatchError):
+        rt.read(rt.inject("42"))
+    # and trivially possible with dictionaries:
+    assert compiled('main = (read "42" :: Int)').run("main") == 42

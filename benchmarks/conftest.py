@@ -1,0 +1,54 @@
+"""Shared infrastructure for the experiment benchmarks (E1-E9).
+
+Each ``bench_eN_*`` module regenerates one experiment from
+EXPERIMENTS.md: it builds the workload, runs it under the
+configurations the paper contrasts, asserts the *shape* of the result
+(who wins, what scales how) and feeds wall-clock numbers to
+pytest-benchmark.
+
+Operation counts (dictionary constructions, method selections,
+function calls) are printed at the end of the session so the tables in
+EXPERIMENTS.md can be regenerated with
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import CompilerOptions, compile_source
+
+#: collected (experiment, row-label, metrics) tuples, printed at exit
+RESULTS: List[Tuple[str, str, Dict[str, float]]] = []
+
+
+def record(experiment: str, label: str, **metrics: float) -> None:
+    RESULTS.append((experiment, label, metrics))
+
+
+def compiled(source: str, **options):
+    opts = CompilerOptions(**options) if options else None
+    return compile_source(source, opts)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def report_series(request):
+    yield
+    if not RESULTS:
+        return
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    with capmanager.global_and_fixture_disabled():
+        print("\n")
+        print("=" * 72)
+        print("experiment series (paste-ready for EXPERIMENTS.md)")
+        print("=" * 72)
+        current = None
+        for experiment, label, metrics in RESULTS:
+            if experiment != current:
+                print(f"\n[{experiment}]")
+                current = experiment
+            rendered = "  ".join(f"{k}={v}" for k, v in metrics.items())
+            print(f"  {label:<42} {rendered}")
+        print()

@@ -1,0 +1,73 @@
+"""A tour of the paper's optimisations, with measured effects.
+
+Compiles one dictionary-heavy workload under the configurations of
+sections 8.8 (hoisting), 6.3/7 (inner entry points), 8.1 (dictionary
+layouts) and 9 (specialisation), and prints the operation counts the
+evaluator collects — the same counters the benchmark suite feeds into
+EXPERIMENTS.md.
+
+Run:  python examples/optimization_tour.py
+"""
+
+from repro import CompilerOptions, compile_source
+
+# A workload whose naive translation rebuilds a dictionary at every
+# recursive step: 'process' needs Eq [a] given Eq a (section 8.8's
+# doList shape).
+SOURCE = """
+process :: Eq a => [a] -> Int
+process [] = 0
+process (x:xs) = (if member [x] [[x], []] then 1 else 0) + process xs
+
+main = process (enumFromTo 1 200)
+"""
+
+CONFIGS = [
+    ("naive translation (section 6)",
+     CompilerOptions(hoist_dictionaries=False, inner_entry_points=False)),
+    ("+ hoisted dictionaries (8.8)",
+     CompilerOptions(hoist_dictionaries=True, inner_entry_points=False)),
+    ("+ inner entry points (7)",
+     CompilerOptions(hoist_dictionaries=True, inner_entry_points=True)),
+    ("+ specialisation (9)",
+     CompilerOptions(hoist_dictionaries=True, inner_entry_points=True,
+                     specialize=True)),
+    ("flattened dictionaries (8.1)",
+     CompilerOptions(dict_layout="flat")),
+    ("call-by-name (no sharing)",
+     CompilerOptions(hoist_dictionaries=False, inner_entry_points=False,
+                     call_by_need=False)),
+]
+
+
+def main() -> None:
+    print(f"{'configuration':<34} {'dicts':>7} {'selects':>8} "
+          f"{'calls':>8} {'steps':>9}")
+    print("-" * 70)
+    reference = None
+    for label, options in CONFIGS:
+        program = compile_source(SOURCE, options)
+        result = program.run("main")
+        if reference is None:
+            reference = result
+        assert result == reference, "optimisations changed the answer!"
+        s = program.last_stats
+        print(f"{label:<34} {s.dict_constructions:>7} "
+              f"{s.dict_selections:>8} {s.fun_calls:>8} {s.steps:>9}")
+    print("-" * 70)
+    print(f"every configuration computed main = {reference}")
+    print()
+    print("Reading the table against the paper:")
+    print(" * naive: one dictionary construction per list element")
+    print("   (section 8.8's repeated construction problem);")
+    print(" * hoisting alone moves the construction out of the value")
+    print("   lambda but recursion still re-enters the dictionary")
+    print("   lambda — the inner entry point (7) is what caps it;")
+    print(" * specialisation (9) eliminates dictionaries and method")
+    print("   selections for this call site entirely;")
+    print(" * call-by-name shows the cost the paper attributes to")
+    print("   implementations that are not fully lazy.")
+
+
+if __name__ == "__main__":
+    main()

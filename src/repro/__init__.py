@@ -1,0 +1,67 @@
+"""repro — a reproduction of *Implementing Type Classes*
+(John Peterson & Mark Jones, PLDI 1993).
+
+A complete Mini-Haskell compiler in Python whose type checker performs
+the paper's combined type inference and dictionary conversion:
+contexts on mutable type variables, context reduction against the
+instance environment, placeholders resolved at generalization into
+dictionary parameters, selectors and instance dictionaries — plus the
+optimisations of sections 8 and 9 (superclass layouts, default
+methods, dictionary hoisting, inner entry points, specialisation, the
+monomorphism restriction) and the run-time tagging baseline of
+section 3.
+
+Quick start::
+
+    from repro import compile_source
+
+    program = compile_source('''
+    double :: Num a => a -> a
+    double x = x + x
+
+    main = (double 21, member 2 [1,2,3])
+    ''')
+    assert program.run("main") == (42, True)
+    assert program.eval("show (double 1.5)") == "3.0"
+"""
+
+from repro.driver import CompiledProgram, compile_and_run, compile_source
+from repro.options import NAIVE, OPTIMIZED, CompilerOptions
+from repro.errors import (
+    AmbiguityError,
+    EvalError,
+    KindError,
+    LexError,
+    NoInstanceError,
+    ParseError,
+    ReproError,
+    SignatureError,
+    StaticError,
+    TagDispatchError,
+    TypeCheckError,
+    UnificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "compile_and_run",
+    "CompiledProgram",
+    "CompilerOptions",
+    "NAIVE",
+    "OPTIMIZED",
+    "ReproError",
+    "LexError",
+    "ParseError",
+    "StaticError",
+    "KindError",
+    "TypeCheckError",
+    "UnificationError",
+    "NoInstanceError",
+    "AmbiguityError",
+    "SignatureError",
+    "EvalError",
+    "TagDispatchError",
+    "__version__",
+]

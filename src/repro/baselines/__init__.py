@@ -1,0 +1,17 @@
+"""Baselines the paper compares dictionary passing against.
+
+:mod:`repro.baselines.tags` implements the run-time tagging scheme of
+section 3 ("attach some kind of tag to the concrete representation of
+each object ... dispatching the appropriate function based on the tag
+value" — the Standard ML of New Jersey approach to polymorphic
+equality), including its two documented shortcomings: per-use dispatch
+cost and the impossibility of result-type overloading (``read``).
+"""
+
+from repro.baselines.tags import (
+    TagDispatchError,
+    TagRuntime,
+    TaggedValue,
+)
+
+__all__ = ["TagRuntime", "TaggedValue", "TagDispatchError"]

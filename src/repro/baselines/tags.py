@@ -1,0 +1,232 @@
+"""The run-time tagging baseline (section 3 of the paper).
+
+    "One standard technique used in the implementation of run-time
+    overloading is to attach some kind of tag to the concrete
+    representation of each object.  Overloaded functions such as the
+    equality operator ... can be implemented by inspecting the tags of
+    their arguments and dispatching the appropriate function based on
+    the tag value.  ...  This is essentially the method used to deal
+    with the equality function in Standard ML of New Jersey."
+
+And its two drawbacks, which this module makes measurable:
+
+1. "It can complicate data representation" — every structured value
+   carries a tag word (counted as an allocation), and every overloaded
+   operation performs a *tag dispatch* at every use — for structural
+   equality on a list, one dispatch per element, where dictionary
+   passing selects a method once and reuses it.
+2. "it is not possible to implement functions where the overloading is
+   defined by the returned type.  A simple example of this is the read
+   function" — :meth:`TagRuntime.call_result_overloaded` raises
+   :class:`TagDispatchError`, because there is no argument whose tag
+   could drive the dispatch.
+
+The runtime is deliberately shaped like the paper's description rather
+than like our dictionary compiler: a flat method table indexed by
+``(class, method, tag)``, consulted at run time on the tag of the first
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TagDispatchError
+
+
+@dataclass
+class TagStats:
+    dispatches: int = 0
+    tag_allocations: int = 0
+    calls: int = 0
+
+    def reset(self) -> None:
+        self.dispatches = 0
+        self.tag_allocations = 0
+        self.calls = 0
+
+
+class TaggedValue:
+    """A value carrying its run-time type tag.
+
+    The tag is the name of the value's outermost type constructor —
+    exactly enough for the dispatch the paper describes, and exactly
+    what dictionary passing avoids materialising.
+    """
+
+    __slots__ = ("tag", "payload")
+
+    def __init__(self, tag: str, payload: Any) -> None:
+        self.tag = tag
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"<{self.tag}: {self.payload!r}>"
+
+
+class TagRuntime:
+    """A tag-dispatch overloading runtime."""
+
+    def __init__(self) -> None:
+        self.methods: Dict[Tuple[str, str, str], Callable] = {}
+        self.stats = TagStats()
+        self._install_standard_methods()
+
+    # ------------------------------------------------------------- tagging
+
+    def tag_int(self, n: int) -> TaggedValue:
+        self.stats.tag_allocations += 1
+        return TaggedValue("Int", n)
+
+    def tag_float(self, x: float) -> TaggedValue:
+        self.stats.tag_allocations += 1
+        return TaggedValue("Float", x)
+
+    def tag_char(self, c: str) -> TaggedValue:
+        self.stats.tag_allocations += 1
+        return TaggedValue("Char", c)
+
+    def tag_list(self, items: List[TaggedValue]) -> TaggedValue:
+        self.stats.tag_allocations += 1
+        return TaggedValue("[]", list(items))
+
+    def tag_tuple(self, items: Tuple[TaggedValue, ...]) -> TaggedValue:
+        self.stats.tag_allocations += 1
+        return TaggedValue("(,)", tuple(items))
+
+    def tag_bool(self, b: bool) -> TaggedValue:
+        self.stats.tag_allocations += 1
+        return TaggedValue("Bool", b)
+
+    def inject(self, value: Any) -> TaggedValue:
+        """Tag a Python value structurally (ints, floats, chars, bools,
+        lists, tuples) — "uniformly tagging every data object"."""
+        if isinstance(value, bool):
+            return self.tag_bool(value)
+        if isinstance(value, int):
+            return self.tag_int(value)
+        if isinstance(value, float):
+            return self.tag_float(value)
+        if isinstance(value, str) and len(value) == 1:
+            return self.tag_char(value)
+        if isinstance(value, str):
+            return self.tag_list([self.tag_char(c) for c in value])
+        if isinstance(value, list):
+            return self.tag_list([self.inject(v) for v in value])
+        if isinstance(value, tuple):
+            return self.tag_tuple(tuple(self.inject(v) for v in value))
+        raise TagDispatchError(f"cannot tag value {value!r}")
+
+    def project(self, value: TaggedValue) -> Any:
+        if value.tag == "[]":
+            return [self.project(v) for v in value.payload]
+        if value.tag == "(,)":
+            return tuple(self.project(v) for v in value.payload)
+        return value.payload
+
+    # ------------------------------------------------------------ dispatch
+
+    def define(self, class_name: str, method: str, tag: str,
+               fn: Callable) -> None:
+        key = (class_name, method, tag)
+        if key in self.methods:
+            raise TagDispatchError(
+                f"duplicate method {method} for tag {tag}")
+        self.methods[key] = fn
+
+    def call(self, class_name: str, method: str,
+             *args: TaggedValue) -> TaggedValue:
+        """Dispatch *method* on the tag of the first argument — one
+        table lookup at every call."""
+        self.stats.calls += 1
+        self.stats.dispatches += 1
+        if not args:
+            return self.call_result_overloaded(class_name, method)
+        tag = args[0].tag
+        fn = self.methods.get((class_name, method, tag))
+        if fn is None:
+            raise TagDispatchError(
+                f"no implementation of {method} for values tagged {tag}")
+        return fn(self, *args)
+
+    def call_result_overloaded(self, class_name: str,
+                               method: str) -> TaggedValue:
+        """Section 3: overloading "defined by the returned type" has no
+        argument tag to dispatch on — the scheme simply cannot express
+        it."""
+        raise TagDispatchError(
+            f"cannot resolve {class_name}.{method}: the overloading is "
+            f"determined by the result type, and run-time tags are only "
+            f"attached to argument values (this is why Haskell's 'read' "
+            f"needs dictionary passing)")
+
+    # ------------------------------------------- standard method table
+
+    def _install_standard_methods(self) -> None:
+        def eq_int(rt: TagRuntime, a: TaggedValue, b: TaggedValue) -> TaggedValue:
+            return rt.tag_bool(a.payload == b.payload)
+
+        def eq_scalar(rt: TagRuntime, a: TaggedValue, b: TaggedValue) -> TaggedValue:
+            return rt.tag_bool(a.payload == b.payload)
+
+        def eq_list(rt: TagRuntime, a: TaggedValue, b: TaggedValue) -> TaggedValue:
+            xs, ys = a.payload, b.payload
+            if len(xs) != len(ys):
+                return rt.tag_bool(False)
+            for x, y in zip(xs, ys):
+                # The recursive call re-dispatches on every element.
+                inner = rt.call("Eq", "==", x, y)
+                if not inner.payload:
+                    return rt.tag_bool(False)
+            return rt.tag_bool(True)
+
+        def eq_tuple(rt: TagRuntime, a: TaggedValue, b: TaggedValue) -> TaggedValue:
+            for x, y in zip(a.payload, b.payload):
+                inner = rt.call("Eq", "==", x, y)
+                if not inner.payload:
+                    return rt.tag_bool(False)
+            return rt.tag_bool(True)
+
+        for tag in ("Int", "Float", "Char", "Bool"):
+            self.define("Eq", "==", tag, eq_scalar)
+        self.define("Eq", "==", "[]", eq_list)
+        self.define("Eq", "==", "(,)", eq_tuple)
+
+        def add_int(rt: TagRuntime, a: TaggedValue, b: TaggedValue) -> TaggedValue:
+            return rt.tag_int(a.payload + b.payload)
+
+        def add_float(rt: TagRuntime, a: TaggedValue, b: TaggedValue) -> TaggedValue:
+            return rt.tag_float(a.payload + b.payload)
+
+        self.define("Num", "+", "Int", add_int)
+        self.define("Num", "+", "Float", add_float)
+        self.define("Num", "*", "Int",
+                    lambda rt, a, b: rt.tag_int(a.payload * b.payload))
+        self.define("Num", "*", "Float",
+                    lambda rt, a, b: rt.tag_float(a.payload * b.payload))
+
+        def show_int(rt: TagRuntime, a: TaggedValue) -> TaggedValue:
+            return rt.inject(str(a.payload))
+
+        self.define("Text", "show", "Int", show_int)
+
+    # --------------------------------------------------- paper's examples
+
+    def member(self, x: TaggedValue, xs: TaggedValue) -> TaggedValue:
+        """The paper's member function under tag dispatch: equality
+        re-dispatches on tags for every list element visited."""
+        self.stats.calls += 1
+        for y in xs.payload:
+            if self.call("Eq", "==", x, y).payload:
+                return self.tag_bool(True)
+        return self.tag_bool(False)
+
+    def double(self, x: TaggedValue) -> TaggedValue:
+        """``double = \\x -> x + x`` — works under tags because the
+        argument carries one (the case tags *can* handle)."""
+        return self.call("Num", "+", x, x)
+
+    def read(self, _s: TaggedValue) -> TaggedValue:
+        """``read`` — the case tags cannot handle (section 3)."""
+        return self.call_result_overloaded("Text", "read")

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+    python -m repro run program.mhs            # run main
+    python -m repro run program.mhs -e 'f 3'   # evaluate an expression
+    python -m repro check program.mhs          # types + warnings only
+    python -m repro core program.mhs           # dump translated core
+    python -m repro repl                       # interactive session
+
+Every option of :class:`repro.options.CompilerOptions` is reachable via
+``--set name=value`` so the paper's ablations can be driven from the
+shell, e.g. ``--set hoist_dictionaries=false --set dict_layout=flat``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.driver import CompiledProgram, compile_source
+from repro.errors import ReproError
+from repro.options import CompilerOptions
+
+
+def build_options(settings: List[str]) -> CompilerOptions:
+    options = CompilerOptions()
+    for setting in settings:
+        if "=" not in setting:
+            raise SystemExit(f"--set expects name=value, got {setting!r}")
+        name, _, raw = setting.partition("=")
+        name = name.strip()
+        if not hasattr(options, name):
+            valid = ", ".join(sorted(vars(options)))
+            raise SystemExit(f"unknown option {name!r}; valid: {valid}")
+        current = getattr(options, name)
+        value: object
+        if isinstance(current, bool):
+            if raw.lower() in ("1", "true", "yes", "on"):
+                value = True
+            elif raw.lower() in ("0", "false", "no", "off"):
+                value = False
+            else:
+                raise SystemExit(f"option {name} expects a boolean, "
+                                 f"got {raw!r}")
+        elif isinstance(current, int):
+            value = int(raw)
+        else:
+            value = raw
+        setattr(options, name, value)
+    return options
+
+
+def load(path: str, options: CompilerOptions) -> CompiledProgram:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        return compile_source(source, options, filename=path)
+    except ReproError as exc:
+        print(exc.pretty(source), file=sys.stderr)
+        raise SystemExit(1)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    options = build_options(args.set or [])
+    program = load(args.file, options)
+    for warning in program.warnings:
+        print(str(warning), file=sys.stderr)
+    try:
+        if args.expr:
+            result = program.eval(args.expr)
+        else:
+            result = program.run(args.entry)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(render(result))
+    if args.stats and program.last_stats is not None:
+        s = program.last_stats
+        print(f"-- steps={s.steps} calls={s.fun_calls} "
+              f"dicts={s.dict_constructions} selections={s.dict_selections}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    options = build_options(args.set or [])
+    program = load(args.file, options)
+    for name, scheme in sorted(program.schemes.items()):
+        if "$" in name or "@" in name:
+            continue  # generated
+        print(f"{name} :: {scheme}")
+    for warning in program.warnings:
+        print(str(warning), file=sys.stderr)
+    return 0
+
+
+def cmd_core(args: argparse.Namespace) -> int:
+    options = build_options(args.set or [])
+    program = load(args.file, options)
+    names = args.names or None
+    print(program.dump_core(names))
+    return 0
+
+
+def cmd_repl(args: argparse.Namespace) -> int:
+    options = build_options(args.set or [])
+    preamble = ""
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            preamble = handle.read()
+    try:
+        program = compile_source(preamble, options,
+                                 filename=args.file or "<repl>")
+    except ReproError as exc:
+        print(exc.pretty(preamble), file=sys.stderr)
+        return 1
+    print("repro — Implementing Type Classes (PLDI 1993)")
+    print("expression to evaluate; :t <expr> for its type; "
+          ":i <name> for info; :q to quit")
+    while True:
+        try:
+            line = input("tc> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        line = line.strip()
+        if not line:
+            continue
+        if line in (":q", ":quit"):
+            return 0
+        try:
+            if line.startswith(":t "):
+                print(program.type_of(line[3:]))
+            elif line.startswith(":i "):
+                print(program.info(line[3:].strip()))
+            else:
+                print(render(program.eval(line)))
+        except ReproError as exc:
+            print(str(exc))
+
+
+def render(value: object) -> str:
+    """Show a result the way a Haskell REPL would: strings without the
+    Python quote style, tuples/lists via repr."""
+    if isinstance(value, str):
+        return value
+    return repr(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mini-Haskell with type classes "
+                    "(Peterson & Jones, PLDI 1993)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--set", action="append", metavar="NAME=VALUE",
+                       help="override a CompilerOptions field")
+
+    p_run = sub.add_parser("run", help="compile and run a program")
+    p_run.add_argument("file")
+    p_run.add_argument("-e", "--expr", help="evaluate this expression "
+                                            "instead of 'main'")
+    p_run.add_argument("--entry", default="main",
+                       help="top-level binding to evaluate (default main)")
+    p_run.add_argument("--stats", action="store_true",
+                       help="print evaluator operation counts")
+    add_common(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_check = sub.add_parser("check", help="type check; print schemes")
+    p_check.add_argument("file")
+    add_common(p_check)
+    p_check.set_defaults(fn=cmd_check)
+
+    p_core = sub.add_parser("core", help="dump dictionary-passing core")
+    p_core.add_argument("file")
+    p_core.add_argument("names", nargs="*",
+                        help="only these bindings (default: all)")
+    add_common(p_core)
+    p_core.set_defaults(fn=cmd_core)
+
+    p_repl = sub.add_parser("repl", help="interactive session")
+    p_repl.add_argument("file", nargs="?",
+                        help="program to load into scope first")
+    add_common(p_repl)
+    p_repl.set_defaults(fn=cmd_repl)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

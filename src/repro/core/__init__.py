@@ -1,0 +1,20 @@
+"""The paper's contribution: type inference with class contexts and
+single-pass dictionary conversion via placeholders.
+
+Modules:
+
+* :mod:`repro.core.types` — semantic types; mutable type variables with
+  ``value`` and ``context`` fields (section 5), type schemes.
+* :mod:`repro.core.kinds` — kind inference for declarations.
+* :mod:`repro.core.classes` — the class environment: classes,
+  superclasses, instances as ``(tycon, class, dictionary, context)``
+  tuples, dictionary layouts and selectors (section 4, 8.1, 8.2).
+* :mod:`repro.core.static` — static analysis of data declarations and
+  derived instances (section 4).
+* :mod:`repro.core.unify` — unification with context propagation and
+  context reduction (section 5).
+* :mod:`repro.core.placeholders` — the ``<object, type>`` records of
+  section 6.1.
+* :mod:`repro.core.infer` — the combined type checker and dictionary
+  converter (sections 5-6, 8.3, 8.6, 8.7).
+"""

@@ -1,0 +1,342 @@
+"""The class environment: static analysis results for classes and
+instances (section 4 of the paper).
+
+Every instance declaration is represented, as the paper prescribes, by
+a 4-tuple::
+
+    (data type, class, dictionary, context)
+
+Here :class:`InstanceInfo` carries exactly those fields — the
+``context`` being "a list of class constraints, one class constraint
+for each argument to the data type defined by the instance".
+
+The environment also owns the *dictionary layout* (section 8.1):
+
+* **nested** layout (default): a dictionary for class C is a tuple
+  ``(super-dict_1, ..., super-dict_k, method_1, ..., method_m)``; a
+  method of a superclass is reached by chasing embedded dictionaries;
+* **flattened** layout: the tuple holds every method of C *and* of all
+  its transitive superclasses at top level — "this slows down
+  dictionary construction but speeds up selection operations";
+* the **single-slot** optimisation: a class whose dictionary would have
+  exactly one slot dispenses with the tuple entirely (the paper's
+  ``d-Eq-List = eqList``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    DuplicateInstanceError,
+    NoInstanceError,
+    SourcePos,
+    StaticError,
+)
+from repro.core.kinds import STAR, Kind
+from repro.core.types import Scheme
+from repro.util.orderedset import OrderedSet
+
+
+@dataclass
+class MethodInfo:
+    """One method of a class.
+
+    ``scheme`` is the method's full type scheme; by construction its
+    quantified variable 0 is the class variable and ``preds[0]`` is the
+    class constraint on it.  Any further predicates are *extra*
+    overloading of the method beyond the class variable (section 8.5).
+    """
+
+    name: str
+    scheme: Scheme
+    index: int  # position among the class's own methods, declaration order
+    has_default: bool = False
+
+    @property
+    def extra_preds_count(self) -> int:
+        return len(self.scheme.preds) - 1
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    superclasses: List[str]
+    tyvar_kind: Kind = STAR
+    methods: List[MethodInfo] = field(default_factory=list)
+    pos: Optional[SourcePos] = None
+
+    def method(self, name: str) -> Optional[MethodInfo]:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        return None
+
+
+@dataclass
+class InstanceInfo:
+    """The paper's ``(data type, class, dictionary, context)`` 4-tuple."""
+
+    tycon_name: str
+    class_name: str
+    dict_name: str
+    context: List[List[str]]  # one class list per type-constructor argument
+    pos: Optional[SourcePos] = None
+    #: methods the instance declaration itself binds (others fall back
+    #: to the class default, section 8.2)
+    defined_methods: frozenset = frozenset()
+
+    @property
+    def n_dict_params(self) -> int:
+        return sum(len(cs) for cs in self.context)
+
+    def dict_param_preds(self) -> List[Tuple[int, str]]:
+        """Ordered ``(arg_index, class)`` pairs, one per dictionary
+        parameter of the instance's dictionary constructor."""
+        out: List[Tuple[int, str]] = []
+        for i, classes in enumerate(self.context):
+            for cls in classes:
+                out.append((i, cls))
+        return out
+
+
+#: Dictionary layout selector for :class:`ClassEnv`.
+NESTED = "nested"
+FLAT = "flat"
+
+
+class ClassEnv:
+    """All classes and instances of a program, plus layout decisions."""
+
+    def __init__(self, layout: str = NESTED, single_slot_opt: bool = True) -> None:
+        if layout not in (NESTED, FLAT):
+            raise ValueError(f"unknown dictionary layout {layout!r}")
+        self.layout = layout
+        self.single_slot_opt = single_slot_opt
+        self.classes: Dict[str, ClassInfo] = {}
+        self.instances: Dict[Tuple[str, str], InstanceInfo] = {}
+        self.method_owner: Dict[str, str] = {}
+        #: default types for ambiguity resolution (section 6.3 case 4)
+        self.default_types: List[str] = ["Int", "Float"]
+
+    # ------------------------------------------------------------- classes
+
+    def add_class(self, info: ClassInfo) -> None:
+        if info.name in self.classes:
+            raise StaticError(f"class {info.name} declared twice", info.pos)
+        for sup in info.superclasses:
+            if sup not in self.classes:
+                raise StaticError(
+                    f"superclass {sup} of {info.name} is not declared "
+                    f"(classes must be declared before use)", info.pos)
+        self.classes[info.name] = info
+        for method in info.methods:
+            if method.name in self.method_owner:
+                raise StaticError(
+                    f"method {method.name} declared in two classes "
+                    f"({self.method_owner[method.name]} and {info.name})",
+                    info.pos)
+            self.method_owner[method.name] = info.name
+
+    def class_info(self, name: str) -> ClassInfo:
+        info = self.classes.get(name)
+        if info is None:
+            raise StaticError(f"unknown class {name}")
+        return info
+
+    def is_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def owner_of_method(self, method: str) -> Optional[str]:
+        return self.method_owner.get(method)
+
+    def supers_transitive(self, name: str) -> List[str]:
+        """Every (transitive) superclass of *name*, excluding *name*,
+        in deterministic BFS order."""
+        out: List[str] = []
+        seen = {name}
+        frontier = list(self.class_info(name).superclasses)
+        while frontier:
+            sup = frontier.pop(0)
+            if sup in seen:
+                continue
+            seen.add(sup)
+            out.append(sup)
+            frontier.extend(self.class_info(sup).superclasses)
+        return out
+
+    def implies(self, cls: str, target: str) -> bool:
+        """True when a ``cls`` constraint makes a ``target`` constraint
+        redundant (equal, or ``target`` is a superclass of ``cls``)."""
+        return cls == target or target in self.supers_transitive(cls)
+
+    def superclass_path(self, have: str, need: str) -> Optional[List[Tuple[str, str]]]:
+        """A chain of direct-superclass hops from *have* to *need*.
+
+        Each element ``(c, s)`` means: from a dictionary for ``c``,
+        extract the embedded dictionary for its direct superclass ``s``.
+        Returns ``None`` if *need* is not reachable.
+        """
+        if have == need:
+            return []
+        # BFS over direct superclass edges.
+        frontier: List[Tuple[str, List[Tuple[str, str]]]] = [(have, [])]
+        seen = {have}
+        while frontier:
+            current, path = frontier.pop(0)
+            for sup in self.class_info(current).superclasses:
+                if sup in seen:
+                    continue
+                new_path = path + [(current, sup)]
+                if sup == need:
+                    return new_path
+                seen.add(sup)
+                frontier.append((sup, new_path))
+        return None
+
+    # ------------------------------------------------------------ contexts
+
+    def add_constraint(self, context: OrderedSet, cls: str) -> bool:
+        """Add *cls* to a type variable's context with superclass
+        compaction (section 8.1: "contexts implied by the superclass
+        relation can be removed").
+
+        Returns True if the context changed.
+        """
+        for existing in context:
+            if self.implies(existing, cls):
+                return False
+        removed = [c for c in list(context) if self.implies(cls, c)]
+        for c in removed:
+            context.discard(c)
+        context.add(cls)
+        return True
+
+    def context_implied_by(self, context: OrderedSet, cls: str) -> Optional[str]:
+        """The member of *context* that implies *cls*, if any."""
+        for existing in context:
+            if self.implies(existing, cls):
+                return existing
+        return None
+
+    # ----------------------------------------------------------- instances
+
+    def add_instance(self, info: InstanceInfo) -> None:
+        key = (info.tycon_name, info.class_name)
+        if key in self.instances:
+            raise DuplicateInstanceError(
+                f"duplicate instance {info.class_name} for type "
+                f"{info.tycon_name}: only one instance declaration per "
+                f"(class, data type) pair is allowed", info.pos)
+        if info.class_name not in self.classes:
+            raise StaticError(
+                f"instance declaration for unknown class {info.class_name}",
+                info.pos)
+        self.instances[key] = info
+
+    def get_instance(self, tycon_name: str, class_name: str) -> Optional[InstanceInfo]:
+        return self.instances.get((tycon_name, class_name))
+
+    def find_instance_context(self, tycon_name: str, class_name: str,
+                              type_str: str = "",
+                              pos: Optional[SourcePos] = None) -> List[List[str]]:
+        """The paper's ``findInstanceContext``: the per-argument context
+        of the instance linking *tycon_name* and *class_name*; raises
+        :class:`NoInstanceError` when no such instance exists."""
+        info = self.get_instance(tycon_name, class_name)
+        if info is None:
+            raise NoInstanceError(class_name, type_str or tycon_name, pos)
+        return info.context
+
+    def instances_of_class(self, class_name: str) -> List[InstanceInfo]:
+        return [info for (_, cls), info in self.instances.items()
+                if cls == class_name]
+
+    # -------------------------------------------------------------- layout
+
+    def dict_slots(self, class_name: str) -> List[Tuple[str, str, str]]:
+        """The slot descriptors of a dictionary for *class_name*.
+
+        Each descriptor is ``(kind, owner_class, name)`` where kind is
+        ``"super"`` (an embedded superclass dictionary; nested layout
+        only) or ``"method"``.  For the flattened layout, inherited
+        methods appear directly with their *owner* class recorded so the
+        construction code knows where each implementation comes from.
+        """
+        info = self.class_info(class_name)
+        slots: List[Tuple[str, str, str]] = []
+        if self.layout == NESTED:
+            for sup in info.superclasses:
+                slots.append(("super", class_name, sup))
+            for method in info.methods:
+                slots.append(("method", class_name, method.name))
+        else:
+            # Flattened: every transitive superclass's methods, deepest
+            # classes first so a class's own methods come last (a
+            # deterministic, documented order).
+            for sup in reversed(self.supers_transitive(class_name)):
+                for method in self.class_info(sup).methods:
+                    slots.append(("method", sup, method.name))
+            for method in info.methods:
+                slots.append(("method", class_name, method.name))
+        return slots
+
+    def dict_size(self, class_name: str) -> int:
+        return len(self.dict_slots(class_name))
+
+    def uses_bare_dict(self, class_name: str) -> bool:
+        """True when the class's dictionary is a bare value rather than
+        a tuple (single-slot optimisation)."""
+        return self.single_slot_opt and self.dict_size(class_name) == 1
+
+    def method_slot(self, class_name: str, method: str) -> Optional[int]:
+        """The tuple index of *method* in a *class_name* dictionary, or
+        ``None`` if the method lives in an embedded superclass dict
+        (nested layout)."""
+        for i, (kind, _owner, name) in enumerate(self.dict_slots(class_name)):
+            if kind == "method" and name == method:
+                return i
+        return None
+
+    def super_slot(self, class_name: str, super_name: str) -> Optional[int]:
+        """The tuple index of the embedded *super_name* dictionary
+        (nested layout only)."""
+        for i, (kind, _owner, name) in enumerate(self.dict_slots(class_name)):
+            if kind == "super" and name == super_name:
+                return i
+        return None
+
+    def method_access_path(self, class_name: str,
+                           method: str) -> Tuple[List[Tuple[str, str]], str]:
+        """How to reach *method* starting from a *class_name* dictionary.
+
+        Returns ``(super_hops, owner)``: follow each ``(c, s)`` hop by
+        extracting the superclass dictionary, then select the method
+        from the final *owner* class's dictionary.  In the flattened
+        layout there are never any hops.
+        """
+        owner = self.method_owner.get(method)
+        if owner is None:
+            raise StaticError(f"unknown method {method}")
+        if self.layout == FLAT:
+            return [], class_name
+        if self.class_info(class_name).method(method) is not None:
+            return [], class_name
+        path = self.superclass_path(class_name, owner)
+        if path is None:
+            raise StaticError(
+                f"method {method} of class {owner} is not reachable from "
+                f"class {class_name}")
+        return path, owner
+
+    def flat_method_slot(self, class_name: str, method: str) -> int:
+        """Slot of *method* in the flattened *class_name* dictionary,
+        regardless of which class declared the method."""
+        assert self.layout == FLAT
+        for i, (kind, _owner, name) in enumerate(self.dict_slots(class_name)):
+            if kind == "method" and name == method:
+                return i
+        raise StaticError(
+            f"method {method} not present in flattened dictionary for "
+            f"{class_name}")

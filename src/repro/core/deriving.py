@@ -1,0 +1,319 @@
+"""Derived instances (section 2 of the paper).
+
+    "As a convenience, Haskell allows the programmer to use derived
+    instances for some of the standard classes like Eq, automatically
+    generating appropriate instance definitions.  Note that this
+    feature is not itself part of the underlying type system."
+
+Accordingly, this module is a pure source-to-source expander: a
+``deriving`` clause becomes ordinary instance declarations (in kernel
+form) which then flow through static analysis, type checking and
+dictionary conversion like hand-written code.
+
+Supported classes:
+
+* ``Eq``   — structural equality over constructors;
+* ``Ord``  — ordering by constructor tag, then lexicographic by fields
+  (generates ``compare``; the comparison operators come from the class
+  defaults);
+* ``Text`` — ``show`` producing ``K`` or ``(K f1 ... fn)``, and
+  ``reads`` parsing exactly that format back (via the prelude's
+  ``readToken``/``bindReads`` combinators), so ``read . show`` is the
+  identity on derived types;
+* ``Bounded`` — first/last constructor (enumerations only);
+* ``Enum`` — constructor tag as the enumeration index (enumerations
+  only; ``toEnum`` is return-type overloaded, so this, too, needs
+  dictionaries).
+
+The derived instance context constrains every type parameter by the
+derived class, e.g. ``instance (Ord a, Ord b) => Ord (T a b)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.errors import StaticError
+from repro.lang import ast
+from repro.util.names import NameSupply
+
+if TYPE_CHECKING:
+    from repro.core.static import DataConInfo, StaticEnv
+
+DERIVABLE = ("Eq", "Ord", "Text", "Bounded", "Enum")
+
+#: classes only derivable for enumerations (all constructors nullary)
+_ENUM_ONLY = ("Bounded", "Enum")
+
+
+def derive_instances(env: "StaticEnv",
+                     decl: ast.DataDecl) -> List[ast.InstanceDecl]:
+    """Instance declarations for *decl*'s ``deriving`` clause."""
+    out: List[ast.InstanceDecl] = []
+    for class_name in decl.deriving:
+        if class_name not in DERIVABLE:
+            raise StaticError(
+                f"cannot derive {class_name} for {decl.name}: only "
+                f"{', '.join(DERIVABLE)} are derivable", decl.pos)
+        cons = env.data_types[decl.name].constructors
+        if class_name in _ENUM_ONLY:
+            if decl.tyvars or any(c.arity for c in cons):
+                raise StaticError(
+                    f"cannot derive {class_name} for {decl.name}: only "
+                    f"enumerations (all constructors nullary, no type "
+                    f"parameters) support it", decl.pos)
+        context = [ast.SPred(class_name, ast.STyVar(v)) for v in decl.tyvars]
+        head: ast.SType = ast.STyCon(decl.name)
+        for v in decl.tyvars:
+            head = ast.STyApp(head, ast.STyVar(v))
+        if class_name == "Eq":
+            bindings = [_derive_eq(cons)]
+        elif class_name == "Ord":
+            bindings = [_derive_compare(cons)]
+        elif class_name == "Bounded":
+            bindings = _derive_bounded(cons)
+        elif class_name == "Enum":
+            bindings = _derive_enum(decl.name, cons)
+        else:
+            bindings = [_derive_show(cons), _derive_reads(cons)]
+        out.append(ast.InstanceDecl(context, class_name, head, bindings,
+                                    pos=decl.pos))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Small kernel-AST building blocks
+# --------------------------------------------------------------------------
+
+def _var(name: str) -> ast.Var:
+    return ast.Var(name)
+
+
+def _app(fn: ast.Expr, *args: ast.Expr) -> ast.Expr:
+    return ast.apply_expr(fn, *args)
+
+
+def _con_pat(con: "DataConInfo", names: List[str]) -> ast.Pat:
+    return ast.PCon(con.name, [ast.PVar(n) for n in names])
+
+
+def _alt(pat: ast.Pat, body: ast.Expr) -> ast.CaseAlt:
+    return ast.CaseAlt(pat, [ast.GuardedRhs(None, body)])
+
+
+def _string_lit(text: str) -> ast.Expr:
+    return ast.Lit(text, "string")
+
+
+def _raw_int(value: int) -> ast.Expr:
+    # Deriving runs after desugaring, so literals must be built in their
+    # final form: a raw Int, not a fromInteger application.
+    return ast.Lit(value, "int")
+
+
+def _list_expr(items: List[ast.Expr]) -> ast.Expr:
+    out: ast.Expr = ast.Con("[]")
+    for item in reversed(items):
+        out = _app(ast.Con(":"), item, out)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Eq
+# --------------------------------------------------------------------------
+
+def _derive_eq(cons: List["DataConInfo"]) -> ast.FunBind:
+    """``(==) = \\x y -> case (x, y) of ...``"""
+    names = NameSupply()
+    alts: List[ast.CaseAlt] = []
+    for con in cons:
+        lhs = [names.fresh("a") for _ in range(con.arity)]
+        rhs = [names.fresh("b") for _ in range(con.arity)]
+        comparisons: ast.Expr = ast.Con("True")
+        for a, b in zip(reversed(lhs), reversed(rhs)):
+            test = _app(_var("=="), _var(a), _var(b))
+            if isinstance(comparisons, ast.Con) and comparisons.name == "True":
+                comparisons = test
+            else:
+                comparisons = _app(_var("&&"), test, comparisons)
+        alts.append(_alt(
+            ast.PTuple([_con_pat(con, lhs), _con_pat(con, rhs)]),
+            comparisons))
+    if len(cons) > 1:
+        alts.append(_alt(ast.PTuple([ast.PWild(), ast.PWild()]),
+                         ast.Con("False")))
+    body = ast.Lam(
+        [ast.PVar("x$d"), ast.PVar("y$d")],
+        ast.Case(ast.TupleExpr([_var("x$d"), _var("y$d")]), alts))
+    return ast.simple_bind("==", body)
+
+
+# --------------------------------------------------------------------------
+# Ord
+# --------------------------------------------------------------------------
+
+def _derive_compare(cons: List["DataConInfo"]) -> ast.FunBind:
+    """``compare`` ordering by declaration tag, lexicographic in fields."""
+    names = NameSupply()
+    alts: List[ast.CaseAlt] = []
+    for con in cons:
+        lhs = [names.fresh("a") for _ in range(con.arity)]
+        rhs = [names.fresh("b") for _ in range(con.arity)]
+        alts.append(_alt(
+            ast.PTuple([_con_pat(con, lhs), _con_pat(con, rhs)]),
+            _lex_compare(lhs, rhs)))
+    if len(cons) > 1:
+        # Different constructors: compare the tags.
+        tag_alts = [
+            _alt(ast.PCon(con.name, [ast.PWild()] * con.arity),
+                 _raw_int(con.tag))
+            for con in cons
+        ]
+        tag_fn = ast.Lam([ast.PVar("v$t")],
+                         ast.Case(_var("v$t"), tag_alts))
+        fallback = ast.If(
+            _app(_var("primLtInt"),
+                 _app(_var("tag$d"), _var("x$d")),
+                 _app(_var("tag$d"), _var("y$d"))),
+            ast.Con("LT"), ast.Con("GT"))
+        alts.append(_alt(ast.PTuple([ast.PWild(), ast.PWild()]), fallback))
+        case = ast.Case(ast.TupleExpr([_var("x$d"), _var("y$d")]), alts)
+        body_expr: ast.Expr = ast.Let([ast.simple_bind("tag$d", tag_fn)], case)
+    else:
+        body_expr = ast.Case(ast.TupleExpr([_var("x$d"), _var("y$d")]), alts)
+    body = ast.Lam([ast.PVar("x$d"), ast.PVar("y$d")], body_expr)
+    return ast.simple_bind("compare", body)
+
+
+def _lex_compare(lhs: List[str], rhs: List[str]) -> ast.Expr:
+    if not lhs:
+        return ast.Con("EQ")
+    head = _app(_var("compare"), _var(lhs[0]), _var(rhs[0]))
+    rest = _lex_compare(lhs[1:], rhs[1:])
+    return ast.Case(head, [
+        _alt(ast.PCon("EQ", []), rest),
+        _alt(ast.PVar("r$d"), _var("r$d")),
+    ])
+
+
+# --------------------------------------------------------------------------
+# Bounded and Enum (enumerations only)
+# --------------------------------------------------------------------------
+
+def _derive_bounded(cons: List["DataConInfo"]) -> List[ast.FunBind]:
+    return [
+        ast.simple_bind("minBound", ast.Con(cons[0].name)),
+        ast.simple_bind("maxBound", ast.Con(cons[-1].name)),
+    ]
+
+
+def _derive_enum(type_name: str,
+                 cons: List["DataConInfo"]) -> List[ast.FunBind]:
+    # fromEnum: tag by constructor.
+    from_alts = [_alt(ast.PCon(c.name, []), _raw_int(c.tag)) for c in cons]
+    from_enum = ast.Lam([ast.PVar("v$e")],
+                        ast.Case(_var("v$e"), from_alts))
+    # toEnum: chain of primitive comparisons ending in a range error.
+    to_body: ast.Expr = _app(
+        _var("error"),
+        ast.Lit(f"toEnum: index out of range for {type_name}", "string"))
+    for c in reversed(cons):
+        to_body = ast.If(
+            _app(_var("primEqInt"), _var("n$e"), _raw_int(c.tag)),
+            ast.Con(c.name), to_body)
+    to_enum = ast.Lam([ast.PVar("n$e")], to_body)
+    return [
+        ast.simple_bind("fromEnum", from_enum),
+        ast.simple_bind("toEnum", to_enum),
+    ]
+
+
+# --------------------------------------------------------------------------
+# Text: show and reads
+# --------------------------------------------------------------------------
+
+def _derive_show(cons: List["DataConInfo"]) -> ast.FunBind:
+    names = NameSupply()
+    alts: List[ast.CaseAlt] = []
+    for con in cons:
+        fields = [names.fresh("a") for _ in range(con.arity)]
+        if not fields:
+            body: ast.Expr = _string_lit(con.name)
+        else:
+            parts: List[ast.Expr] = [_string_lit(f"({con.name}")]
+            for f in fields:
+                parts.append(_string_lit(" "))
+                parts.append(_app(_var("show"), _var(f)))
+            parts.append(_string_lit(")"))
+            body = parts[0]
+            for p in parts[1:]:
+                body = _app(_var("++"), body, p)
+        alts.append(_alt(_con_pat(con, fields), body))
+    lam = ast.Lam([ast.PVar("x$d")], ast.Case(_var("x$d"), alts))
+    return ast.simple_bind("show", lam)
+
+
+def _derive_reads(cons: List["DataConInfo"]) -> ast.FunBind:
+    """``reads`` parsing the derived ``show`` format.
+
+    For each constructor a parser expression is generated with the
+    prelude combinators; the results are concatenated, so the grammar
+    is unambiguous by construction (constructor names differ).
+    """
+    names = NameSupply()
+    parsers = [_reads_con(con, names) for con in cons]
+    body: ast.Expr = parsers[0]
+    for p in parsers[1:]:
+        body = _app(_var("++"), body, p)
+    lam = ast.Lam([ast.PVar("s$d")], body)
+    return ast.simple_bind("reads", lam)
+
+
+def _reads_con(con: "DataConInfo", names: NameSupply) -> ast.Expr:
+    """Parser for one constructor, as an expression over ``s$d``."""
+    fields = [names.fresh("p") for _ in range(con.arity)]
+
+    def success(rest_var: str) -> ast.Expr:
+        value = ast.Con(con.name)
+        built: ast.Expr = value
+        for f in fields:
+            built = ast.App(built, _var(f))
+        return _list_expr([ast.TupleExpr([built, _var(rest_var)])])
+
+    if con.arity == 0:
+        # bindReads (readToken "K" s) (\_ r -> [(K, r)])
+        u = names.fresh("u")
+        r = names.fresh("r")
+        return _app(_var("bindReads"),
+                    _app(_var("readToken"), _string_lit(con.name), _var("s$d")),
+                    ast.Lam([ast.PVar(u), ast.PVar(r)], success(r)))
+
+    # bindReads (readToken "(" s)  (\_ r0 ->
+    # bindReads (readToken "K" r0) (\_ r1 ->
+    # bindReads (reads r1)         (\p1 r2 -> ... [( K p1 .. pn, rLast )] )))
+    steps: List = []  # (kind, payload)
+    steps.append(("token", "("))
+    steps.append(("token", con.name))
+    for f in fields:
+        steps.append(("field", f))
+    steps.append(("token", ")"))
+
+    def build(i: int, rest_var: str) -> ast.Expr:
+        if i == len(steps):
+            return success(rest_var)
+        kind, payload = steps[i]
+        next_rest = names.fresh("r")
+        if kind == "token":
+            u = names.fresh("u")
+            return _app(
+                _var("bindReads"),
+                _app(_var("readToken"), _string_lit(payload), _var(rest_var)),
+                ast.Lam([ast.PVar(u), ast.PVar(next_rest)],
+                        build(i + 1, next_rest)))
+        return _app(
+            _var("bindReads"),
+            _app(_var("reads"), _var(rest_var)),
+            ast.Lam([ast.PVar(payload), ast.PVar(next_rest)],
+                    build(i + 1, next_rest)))
+
+    return build(0, "s$d")

@@ -1,0 +1,83 @@
+"""Selector generation (section 4).
+
+    "Selector functions which retrieve a method from a dictionary are
+    also defined as the static type environment is processed ...  These
+    simply extract a component of a dictionary tuple, a constant time
+    operation since each member function is located at a specific place
+    in the dictionary."
+
+Selectors are emitted directly in core IR (they are pure tuple
+projections, no type checking needed):
+
+* nested layout: one selector per own method (``sel$C$m``) and one per
+  direct superclass slot (``sup$C$S``);
+* flattened layout (section 8.1): one selector per method *including
+  inherited ones* (selection is always one step), plus converter
+  functions ``sup$C$S`` that materialise a superclass dictionary by
+  re-tupling — the construction cost the paper says flattening trades
+  for faster selection;
+* single-slot classes with the bare-dictionary optimisation need no
+  selectors at all (resolution inlines the identity).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.classes import FLAT, ClassEnv
+from repro.coreir.syntax import CDict, CLam, CSel, CVar, CoreBinding, CoreExpr
+from repro.util.names import selector_name, superclass_selector_name
+
+
+def generate_selectors(class_env: ClassEnv) -> List[CoreBinding]:
+    out: List[CoreBinding] = []
+    for class_name in class_env.classes:
+        if class_env.uses_bare_dict(class_name):
+            continue
+        slots = class_env.dict_slots(class_name)
+        size = len(slots)
+        for i, (kind, _owner, name) in enumerate(slots):
+            if kind == "method":
+                bind_name = selector_name(class_name, name)
+            else:
+                bind_name = superclass_selector_name(class_name, name)
+            out.append(CoreBinding(
+                bind_name,
+                CLam(["d"], CSel(i, size, CVar("d"), from_dict=True)),
+                "selector"))
+        if class_env.layout == FLAT:
+            for sup in class_env.supers_transitive(class_name):
+                out.append(_flat_converter(class_env, class_name, sup))
+    # Converters *from* bare flat dictionaries (rare but possible when a
+    # single-method class has superclasses in the flattened layout).
+    if class_env.layout == FLAT:
+        for class_name in class_env.classes:
+            if not class_env.uses_bare_dict(class_name):
+                continue
+            for sup in class_env.supers_transitive(class_name):
+                out.append(_flat_converter(class_env, class_name, sup))
+    return out
+
+
+def _flat_converter(class_env: ClassEnv, have: str, need: str) -> CoreBinding:
+    """``sup$have$need`` for the flattened layout: build a *need*
+    dictionary from a *have* dictionary (have's flat tuple is a
+    superset of need's)."""
+    have_bare = class_env.uses_bare_dict(have)
+    have_size = class_env.dict_size(have)
+
+    def pick(method: str) -> CoreExpr:
+        if have_bare:
+            return CVar("d")
+        return CSel(class_env.flat_method_slot(have, method), have_size,
+                    CVar("d"), from_dict=True)
+
+    need_slots = class_env.dict_slots(need)
+    if class_env.uses_bare_dict(need):
+        (_kind, _owner, method) = need_slots[0]
+        body: CoreExpr = pick(method)
+    else:
+        body = CDict([pick(name) for (_k, _o, name) in need_slots],
+                     tag=f"{need}<={have}")
+    return CoreBinding(superclass_selector_name(have, need),
+                       CLam(["d"], body), "selector")

@@ -1,0 +1,167 @@
+"""Kinds, and kind inference for declarations.
+
+Type classes force the compiler to know the kind of every type
+constructor (the class variable of ``class Eq a`` has kind ``*``; the
+argument of a hypothetical ``class Functor f`` would have kind
+``* -> *``).  We restrict classes to kind ``*`` exactly as Haskell 1.2
+did, but data declarations still need kind inference so that types like
+``data Pair f a = MkPair (f a) (f a)`` check correctly.
+
+Kind inference is first-order unification over the kind language
+
+    kind ::= * | kind -> kind
+
+with kind variables defaulted to ``*`` when unconstrained (the Haskell
+report's rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import KindError, SourcePos
+
+
+class Kind:
+    """Base class for kinds."""
+
+    def __repr__(self) -> str:
+        return kind_str(self)
+
+
+class KStar(Kind):
+    """The kind of value types."""
+
+    _instance: Optional["KStar"] = None
+
+    def __new__(cls) -> "KStar":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+
+class KFun(Kind):
+    """The kind of type constructors: ``arg -> res``."""
+
+    __slots__ = ("arg", "res")
+
+    def __init__(self, arg: Kind, res: Kind) -> None:
+        self.arg = arg
+        self.res = res
+
+
+class KVar(Kind):
+    """A kind variable, used only during kind inference."""
+
+    __slots__ = ("id", "value")
+    _counter = 0
+
+    def __init__(self) -> None:
+        KVar._counter += 1
+        self.id = KVar._counter
+        self.value: Optional[Kind] = None
+
+
+STAR = KStar()
+
+
+def kfun(*kinds: Kind) -> Kind:
+    """Right-associated kind arrow: ``kfun(a, b, c)`` = ``a -> b -> c``."""
+    out = kinds[-1]
+    for k in reversed(kinds[:-1]):
+        out = KFun(k, out)
+    return out
+
+
+def prune_kind(kind: Kind) -> Kind:
+    """Chase instantiated kind variables."""
+    while isinstance(kind, KVar) and kind.value is not None:
+        kind = kind.value
+    return kind
+
+
+def unify_kinds(a: Kind, b: Kind, pos: Optional[SourcePos] = None) -> None:
+    a = prune_kind(a)
+    b = prune_kind(b)
+    if a is b:
+        return
+    if isinstance(a, KVar):
+        if _kind_occurs(a, b):
+            raise KindError("infinite kind", pos)
+        a.value = b
+        return
+    if isinstance(b, KVar):
+        unify_kinds(b, a, pos)
+        return
+    if isinstance(a, KStar) and isinstance(b, KStar):
+        return
+    if isinstance(a, KFun) and isinstance(b, KFun):
+        unify_kinds(a.arg, b.arg, pos)
+        unify_kinds(a.res, b.res, pos)
+        return
+    raise KindError(f"kind mismatch: {kind_str(a)} vs {kind_str(b)}", pos)
+
+
+def _kind_occurs(var: KVar, kind: Kind) -> bool:
+    kind = prune_kind(kind)
+    if kind is var:
+        return True
+    if isinstance(kind, KFun):
+        return _kind_occurs(var, kind.arg) or _kind_occurs(var, kind.res)
+    return False
+
+
+def default_kind(kind: Kind) -> Kind:
+    """Zonk a kind, defaulting unconstrained variables to ``*``."""
+    kind = prune_kind(kind)
+    if isinstance(kind, KVar):
+        return STAR
+    if isinstance(kind, KFun):
+        return KFun(default_kind(kind.arg), default_kind(kind.res))
+    return kind
+
+
+def kind_arity(kind: Kind) -> int:
+    """The number of arguments a constructor of this kind accepts."""
+    n = 0
+    kind = prune_kind(kind)
+    while isinstance(kind, KFun):
+        n += 1
+        kind = prune_kind(kind.res)
+    return n
+
+
+def kind_str(kind: Kind) -> str:
+    kind = prune_kind(kind)
+    if isinstance(kind, KStar):
+        return "*"
+    if isinstance(kind, KVar):
+        return f"k{kind.id}"
+    assert isinstance(kind, KFun)
+    arg = kind_str(kind.arg)
+    if isinstance(prune_kind(kind.arg), KFun):
+        arg = f"({arg})"
+    return f"{arg} -> {kind_str(kind.res)}"
+
+
+class KindEnv:
+    """Kinds of known type constructors and, during inference of one
+    declaration, its type variables."""
+
+    def __init__(self, parent: Optional["KindEnv"] = None) -> None:
+        self.parent = parent
+        self.kinds: Dict[str, Kind] = {}
+
+    def lookup(self, name: str) -> Optional[Kind]:
+        env: Optional[KindEnv] = self
+        while env is not None:
+            if name in env.kinds:
+                return env.kinds[name]
+            env = env.parent
+        return None
+
+    def bind(self, name: str, kind: Kind) -> None:
+        self.kinds[name] = kind
+
+    def child(self) -> "KindEnv":
+        return KindEnv(self)

@@ -1,0 +1,119 @@
+"""Placeholders — section 6.1 of the paper.
+
+    "A placeholder captures a type and an object to be resolved based
+    on that type."
+
+Three kinds exist, exactly as in the paper:
+
+* :class:`ClassPlaceholder` — stands for a *dictionary* for a class at
+  a type.  Created when an overloaded variable is referenced (one per
+  element of its context) and when dictionary construction needs
+  subdictionaries.
+* :class:`MethodPlaceholder` — stands for a *method implementation* at
+  a type.  Created when a method such as ``==`` is referenced; resolves
+  either to a selector applied to a dictionary or, when the type is
+  known at compile time, to a direct call of the instance function.
+* :class:`RecursivePlaceholder` — a reference to a letrec binder whose
+  context is not yet known; resolved after generalization by applying
+  the binder to its group's dictionary parameters.
+
+The type checker keeps "a list of all placeholders, updated as each new
+placeholder is created ... to avoid walking through the code in search
+of placeholders" (section 6.3) — that list is :class:`PlaceholderScope`,
+one per binding group, nested so that deferred placeholders (resolution
+case 3) can be handed to the enclosing group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SourcePos
+from repro.core.types import TyVar, Type, prune, type_str
+from repro.lang.ast import PlaceholderExpr
+
+
+@dataclass
+class Placeholder:
+    """Base: an obligation attached to an expression node."""
+
+    type: Type
+    pos: Optional[SourcePos] = None
+
+    @property
+    def pruned_type(self) -> Type:
+        return prune(self.type)
+
+
+@dataclass
+class ClassPlaceholder(Placeholder):
+    class_name: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.class_name}, {type_str(self.pruned_type)}"
+
+
+@dataclass
+class MethodPlaceholder(Placeholder):
+    method_name: str = ""
+    class_name: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.method_name}, {type_str(self.pruned_type)}"
+
+
+@dataclass
+class RecursivePlaceholder(Placeholder):
+    name: str = ""
+    #: the binding group the referenced binder belongs to; the
+    #: placeholder resolves only at *that* group's generalization and is
+    #: deferred by any nested group that drains it first.
+    group: object = None
+
+    def __str__(self) -> str:
+        return f"{self.name}, {type_str(self.pruned_type)}"
+
+
+@dataclass
+class PendingPlaceholder:
+    """A placeholder together with the expression node carrying it."""
+
+    placeholder: Placeholder
+    node: PlaceholderExpr
+
+
+class PlaceholderScope:
+    """The per-binding-group list of unresolved placeholders."""
+
+    def __init__(self, parent: Optional["PlaceholderScope"] = None) -> None:
+        self.parent = parent
+        self.pending: List[PendingPlaceholder] = []
+
+    def add(self, placeholder: Placeholder,
+            node: PlaceholderExpr) -> PendingPlaceholder:
+        entry = PendingPlaceholder(placeholder, node)
+        self.pending.append(entry)
+        return entry
+
+    def defer(self, entry: PendingPlaceholder) -> None:
+        """Resolution case 3: hand the placeholder to the enclosing
+        binding's scope."""
+        assert self.parent is not None, \
+            "cannot defer a placeholder past the top level"
+        self.parent.pending.append(entry)
+
+    def drain(self) -> List[PendingPlaceholder]:
+        """Remove and return the current batch of pending placeholders.
+
+        Resolution may create new placeholders (recursive dictionary
+        construction); the caller loops until a drain returns nothing.
+        """
+        batch = self.pending
+        self.pending = []
+        return batch
+
+
+def make_placeholder_expr(placeholder: Placeholder) -> PlaceholderExpr:
+    """The AST node for a freshly created placeholder."""
+    return PlaceholderExpr(payload=placeholder, pos=placeholder.pos)

@@ -1,0 +1,562 @@
+"""Static analysis (section 4 of the paper).
+
+    "Before type checking, the compiler must assemble the components of
+    the static type environment.  The data type, class, and instance
+    declarations ... must be collected and processed."
+
+This module builds:
+
+* the kind environment (kind inference over data declarations);
+* the data constructor environment (constructor schemes);
+* the class environment (:mod:`repro.core.classes`): method schemes,
+  superclasses, defaults, and the instance 4-tuples with their
+  per-argument contexts;
+* names for the generated artefacts: the dictionary variable of every
+  instance and the implementation function of every instance method.
+
+It also expands ``deriving`` clauses into ordinary instance
+declarations (via :mod:`repro.core.deriving`) — the paper notes that
+derived instances are a convenience "not itself part of the underlying
+type system", and indeed after this pass they are indistinguishable
+from user-written instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import KindError, SourcePos, StaticError
+from repro.core.classes import ClassEnv, ClassInfo, InstanceInfo, MethodInfo
+from repro.core.kinds import (
+    STAR,
+    KFun,
+    Kind,
+    KindEnv,
+    KVar,
+    default_kind,
+    kind_arity,
+    kfun,
+    prune_kind,
+    unify_kinds,
+)
+from repro.core.types import (
+    ARROW,
+    LIST_CON,
+    Pred,
+    Scheme,
+    TyApp,
+    TyCon,
+    TyGen,
+    Type,
+    fn_types,
+)
+from repro.lang import ast
+from repro.util.names import dict_var_name, method_impl_name
+
+
+@dataclass
+class DataConInfo:
+    """A data constructor: its scheme, arity and owning type."""
+
+    name: str
+    scheme: Scheme
+    arity: int
+    tycon_name: str
+    tag: int  # position within the data declaration (drives derived Ord)
+
+
+@dataclass
+class DataTypeInfo:
+    name: str
+    kind: Kind
+    n_params: int
+    constructors: List[DataConInfo] = field(default_factory=list)
+    pos: Optional[SourcePos] = None
+
+
+class StaticEnv:
+    """The assembled static type environment."""
+
+    def __init__(self, class_env: Optional[ClassEnv] = None) -> None:
+        self.kind_env = KindEnv()
+        self.class_env = class_env if class_env is not None else ClassEnv()
+        self.data_types: Dict[str, DataTypeInfo] = {}
+        self.data_cons: Dict[str, DataConInfo] = {}
+        self._tycons: Dict[str, TyCon] = {}
+        #: instance bodies awaiting compilation: (InstanceInfo, decl AST)
+        self.instance_bodies: List[Tuple[InstanceInfo, ast.InstanceDecl]] = []
+        #: class declaration ASTs (for default method compilation)
+        self.class_bodies: Dict[str, ast.ClassDecl] = {}
+        #: type synonyms: name -> (parameters, right-hand side syntax)
+        self.synonyms: Dict[str, Tuple[List[str], ast.SType]] = {}
+        self._install_builtins()
+
+    # ------------------------------------------------------------ builtins
+
+    def _install_builtins(self) -> None:
+        for name, kind in (
+            ("Int", STAR),
+            ("Float", STAR),
+            ("Char", STAR),
+            ("()", STAR),
+            ("[]", KFun(STAR, STAR)),
+            ("->", kfun(STAR, STAR, STAR)),
+        ):
+            self.kind_env.bind(name, kind)
+            self._tycons[name] = TyCon(name, kind)
+        for name in ("Int", "Float", "Char", "()"):
+            self.data_types[name] = DataTypeInfo(name, STAR, 0)
+        # The list type and its constructors are built in because their
+        # syntax ([] and :) cannot be written in a data declaration.
+        list_info = DataTypeInfo("[]", KFun(STAR, STAR), 1)
+        elem = TyGen(0)
+        list_ty = TyApp(LIST_CON, elem)
+        nil = DataConInfo("[]", Scheme([STAR], [], list_ty), 0, "[]", 0)
+        cons = DataConInfo(
+            ":", Scheme([STAR], [], fn_types([elem, list_ty], list_ty)),
+            2, "[]", 1)
+        list_info.constructors = [nil, cons]
+        self.data_types["[]"] = list_info
+        self.data_cons["[]"] = nil
+        self.data_cons[":"] = cons
+        # Unit.
+        unit = DataConInfo("()", Scheme([], [], self.tycon("()")), 0, "()", 0)
+        self.data_types["()"].constructors = [unit]
+        self.data_cons["()"] = unit
+
+    # ------------------------------------------------------------- lookups
+
+    def tycon(self, name: str) -> TyCon:
+        """The canonical TyCon for *name* (creates tuple constructors on
+        demand)."""
+        existing = self._tycons.get(name)
+        if existing is not None:
+            return existing
+        if name.startswith("(,"):
+            arity = name.count(",") + 1
+            con = TyCon(name, kfun(*([STAR] * (arity + 1))))
+            self._tycons[name] = con
+            self.kind_env.bind(name, con.kind)
+            if name not in self.data_types:
+                self._install_tuple(name, arity)
+            return con
+        raise StaticError(f"unknown type constructor {name}")
+
+    def _install_tuple(self, name: str, arity: int) -> None:
+        info = DataTypeInfo(name, kfun(*([STAR] * (arity + 1))), arity)
+        gens: List[Type] = [TyGen(i) for i in range(arity)]
+        result: Type = self._tycons[name]
+        for g in gens:
+            result = TyApp(result, g)
+        con = DataConInfo(name, Scheme([STAR] * arity, [], fn_types(gens, result)),
+                          arity, name, 0)
+        info.constructors = [con]
+        self.data_types[name] = info
+        self.data_cons[name] = con
+
+    def data_con(self, name: str) -> DataConInfo:
+        if name.startswith("(,") and name not in self.data_cons:
+            self.tycon(name)
+        info = self.data_cons.get(name)
+        if info is None:
+            raise StaticError(f"unknown data constructor {name}")
+        return info
+
+    def data_type(self, name: str) -> DataTypeInfo:
+        info = self.data_types.get(name)
+        if info is None:
+            raise StaticError(f"unknown data type {name}")
+        return info
+
+
+# --------------------------------------------------------------------------
+# Syntax -> semantic type conversion (with kind checking)
+# --------------------------------------------------------------------------
+
+def expand_synonyms(env: StaticEnv, sty: ast.SType, depth: int = 0) -> ast.SType:
+    """Expand type synonym applications everywhere in *sty*.
+
+    Synonyms must be fully applied; cyclic synonyms are caught with a
+    depth bound."""
+    if depth > 100:
+        raise StaticError("type synonym expansion does not terminate "
+                          "(cyclic synonym?)", sty.pos)
+    # Flatten the application spine.
+    args: List[ast.SType] = []
+    head = sty
+    while isinstance(head, ast.STyApp):
+        args.append(head.arg)
+        head = head.fn
+    args.reverse()
+    if isinstance(head, ast.STyCon) and head.name in env.synonyms:
+        params, rhs = env.synonyms[head.name]
+        if len(args) < len(params):
+            raise StaticError(
+                f"type synonym {head.name} must be applied to "
+                f"{len(params)} argument(s)", sty.pos)
+        subst = {p: expand_synonyms(env, a, depth + 1)
+                 for p, a in zip(params, args[:len(params)])}
+        expanded = _subst_syntax(rhs, subst)
+        for extra in args[len(params):]:
+            expanded = ast.STyApp(expanded, expand_synonyms(env, extra, depth + 1))
+        return expand_synonyms(env, expanded, depth + 1)
+    out = head
+    for a in args:
+        out = ast.STyApp(out, expand_synonyms(env, a, depth))
+    return out
+
+
+def _subst_syntax(sty: ast.SType, subst: Dict[str, ast.SType]) -> ast.SType:
+    if isinstance(sty, ast.STyVar):
+        return subst.get(sty.name, sty)
+    if isinstance(sty, ast.STyApp):
+        return ast.STyApp(_subst_syntax(sty.fn, subst),
+                          _subst_syntax(sty.arg, subst))
+    return sty
+
+
+def convert_type(env: StaticEnv, sty: ast.SType, var_map: Dict[str, Type],
+                 var_kinds: Dict[str, Kind],
+                 implicit_vars: bool = False,
+                 expanded: bool = False) -> Tuple[Type, Kind]:
+    """Convert type syntax to a semantic type, checking kinds.
+
+    ``var_map`` maps type-variable names to their semantic
+    representation (usually ``TyGen`` nodes); when *implicit_vars* is
+    set, unknown variables are added automatically (signature
+    quantification), otherwise they are an error (data declarations,
+    where the variables come from the declaration head).
+    """
+    if not expanded:
+        sty = expand_synonyms(env, sty)
+    if isinstance(sty, ast.STyVar):
+        if sty.name not in var_map:
+            if not implicit_vars:
+                raise StaticError(
+                    f"type variable {sty.name} is not in scope", sty.pos)
+            var_map[sty.name] = TyGen(len(var_map))
+            var_kinds[sty.name] = KVar()
+        return var_map[sty.name], var_kinds[sty.name]
+    if isinstance(sty, ast.STyCon):
+        kind = env.kind_env.lookup(sty.name)
+        if kind is None:
+            if sty.name.startswith("(,"):
+                con = env.tycon(sty.name)
+                return con, con.kind
+            raise StaticError(f"unknown type constructor {sty.name}", sty.pos)
+        return env.tycon(sty.name), kind
+    assert isinstance(sty, ast.STyApp)
+    fn_ty, fn_kind = convert_type(env, sty.fn, var_map, var_kinds,
+                                  implicit_vars, expanded=True)
+    arg_ty, arg_kind = convert_type(env, sty.arg, var_map, var_kinds,
+                                    implicit_vars, expanded=True)
+    result_kind: Kind = KVar()
+    unify_kinds(fn_kind, KFun(arg_kind, result_kind), sty.pos)
+    return TyApp(fn_ty, arg_ty), result_kind
+
+
+def convert_signature(env: StaticEnv, sig: ast.SQualType) -> Scheme:
+    """Convert a user signature to a :class:`Scheme`.
+
+    All free type variables are implicitly quantified; the predicate
+    order is the declared context order — this is what fixes the
+    dictionary parameter ordering for explicitly-typed definitions
+    (section 8.6).
+    """
+    var_map: Dict[str, Type] = {}
+    var_kinds: Dict[str, Kind] = {}
+    body, body_kind = convert_type(env, sig.type, var_map, var_kinds,
+                                   implicit_vars=True)
+    unify_kinds(body_kind, STAR, sig.pos)
+    preds: List[Pred] = []
+    for pred in sig.context:
+        if not isinstance(pred.type, ast.STyVar):
+            raise StaticError(
+                f"context {pred.class_name} must constrain a type variable "
+                f"in this system", pred.pos)
+        if not env.class_env.is_class(pred.class_name):
+            raise StaticError(f"unknown class {pred.class_name}", pred.pos)
+        name = pred.type.name
+        if name not in var_map:
+            # A context variable not mentioned in the body: ambiguous,
+            # but permitted in Haskell; quantify it anyway and let use
+            # sites trip the ambiguity rule.
+            var_map[name] = TyGen(len(var_map))
+            var_kinds[name] = KVar()
+        target = var_map[name]
+        assert isinstance(target, TyGen)
+        unify_kinds(var_kinds[name], STAR, pred.pos)
+        preds.append(Pred(pred.class_name, target))
+    kinds = [default_kind(var_kinds[name])
+             for name in sorted(var_map, key=lambda n: var_map[n].index)]  # type: ignore[union-attr]
+    return Scheme(kinds, preds, body)
+
+
+# --------------------------------------------------------------------------
+# Declaration processing
+# --------------------------------------------------------------------------
+
+def analyze_program(program: ast.Program,
+                    env: Optional[StaticEnv] = None,
+                    class_env: Optional[ClassEnv] = None) -> StaticEnv:
+    """Process the static declarations of *program* into *env*.
+
+    Expands ``deriving`` clauses in place (the generated instance
+    declarations are appended to ``program.decls``).
+    """
+    if env is None:
+        env = StaticEnv(class_env)
+    for decl in program.decls:
+        if isinstance(decl, ast.TypeSynDecl):
+            if decl.name in env.synonyms or decl.name in env.data_types:
+                raise StaticError(f"type {decl.name} declared twice", decl.pos)
+            env.synonyms[decl.name] = (list(decl.tyvars), decl.rhs)
+    _process_data_decls(env, program.data_decls())
+    # Deriving expansion needs constructor information, so it happens
+    # after data declarations but before instance processing.
+    from repro.core.deriving import derive_instances  # cycle avoidance
+    derived: List[ast.InstanceDecl] = []
+    for decl in program.data_decls():
+        derived.extend(derive_instances(env, decl))
+    program.decls.extend(derived)
+    for decl in program.class_decls():
+        _process_class_decl(env, decl)
+    for decl in program.instance_decls():
+        _process_instance_decl(env, decl)
+    for decl in program.decls:
+        if isinstance(decl, ast.DefaultDecl):
+            _process_default_decl(env, decl)
+    return env
+
+
+def _process_data_decls(env: StaticEnv, decls: List[ast.DataDecl]) -> None:
+    """Kind inference and constructor schemes for a set of (possibly
+    mutually recursive) data declarations."""
+    # Pass 1: provisional kinds with fresh variables.
+    pending: List[Tuple[ast.DataDecl, List[Kind], Kind]] = []
+    seen_names: set = set()
+    for decl in decls:
+        if decl.name in env.data_types or decl.name in env.synonyms \
+                or decl.name in seen_names:
+            raise StaticError(f"data type {decl.name} declared twice", decl.pos)
+        seen_names.add(decl.name)
+        if len(set(decl.tyvars)) != len(decl.tyvars):
+            raise StaticError(
+                f"repeated type variable in data declaration {decl.name}",
+                decl.pos)
+        param_kinds: List[Kind] = [KVar() for _ in decl.tyvars]
+        decl_kind: Kind = STAR
+        for k in reversed(param_kinds):
+            decl_kind = KFun(k, decl_kind)
+        env.kind_env.bind(decl.name, decl_kind)
+        env._tycons[decl.name] = TyCon(decl.name, decl_kind)
+        pending.append((decl, param_kinds, decl_kind))
+    # Pass 2: walk constructor argument types, unifying kinds.
+    for decl, param_kinds, _decl_kind in pending:
+        var_map: Dict[str, Type] = {
+            name: TyGen(i) for i, name in enumerate(decl.tyvars)}
+        var_kinds: Dict[str, Kind] = dict(zip(decl.tyvars, param_kinds))
+        result: Type = env.tycon(decl.name)
+        for name in decl.tyvars:
+            result = TyApp(result, var_map[name])
+        info = DataTypeInfo(decl.name, env.kind_env.lookup(decl.name) or STAR,
+                            len(decl.tyvars), pos=decl.pos)
+        for tag, condef in enumerate(decl.constructors):
+            if condef.name in env.data_cons:
+                raise StaticError(
+                    f"data constructor {condef.name} declared twice",
+                    condef.pos)
+            arg_types: List[Type] = []
+            for sty in condef.arg_types:
+                ty, kind = convert_type(env, sty, var_map, var_kinds)
+                unify_kinds(kind, STAR, condef.pos)
+                arg_types.append(ty)
+            scheme = Scheme([STAR] * len(decl.tyvars), [],
+                            fn_types(arg_types, result))
+            con = DataConInfo(condef.name, scheme, len(arg_types),
+                              decl.name, tag)
+            info.constructors.append(con)
+            env.data_cons[condef.name] = con
+        env.data_types[decl.name] = info
+    # Pass 3: default unconstrained kind variables to * and fix kinds.
+    for decl, param_kinds, decl_kind in pending:
+        final = default_kind(decl_kind)
+        env.kind_env.bind(decl.name, final)
+        env._tycons[decl.name].kind = final
+        env.data_types[decl.name].kind = final
+        # Constructor schemes keep kind * slots for quantified vars; a
+        # higher-kinded parameter would make them wrong, so re-derive.
+        fixed_kinds: List[Kind] = [default_kind(k) for k in param_kinds]
+        for con in env.data_types[decl.name].constructors:
+            con.scheme.kinds[:] = fixed_kinds
+
+
+def _process_class_decl(env: StaticEnv, decl: ast.ClassDecl) -> None:
+    # The class variable has kind *; classes over higher kinds are not
+    # part of this system (matching Haskell 1.2).
+    methods: List[MethodInfo] = []
+    default_names = {d.name for d in decl.defaults}
+    index = 0
+    for sig in decl.signatures:
+        scheme_template = _method_scheme(env, decl, sig)
+        for name in sig.names:
+            methods.append(MethodInfo(
+                name=name,
+                scheme=scheme_template,
+                index=index,
+                has_default=name in default_names,
+            ))
+            index += 1
+    for d in decl.defaults:
+        if d.name not in {m.name for m in methods}:
+            raise StaticError(
+                f"default binding for {d.name} which is not a method of "
+                f"class {decl.name}", d.pos)
+    info = ClassInfo(decl.name, list(decl.superclasses),
+                     tyvar_kind=STAR, methods=methods, pos=decl.pos)
+    env.class_env.add_class(info)
+    env.class_bodies[decl.name] = decl
+
+
+def _method_scheme(env: StaticEnv, decl: ast.ClassDecl,
+                   sig: ast.TypeSig) -> Scheme:
+    """The full scheme of a method: quantified variable 0 is the class
+    variable, predicate 0 is the class constraint, and any extra
+    context declared on the method (section 8.5) follows."""
+    var_map: Dict[str, Type] = {decl.tyvar: TyGen(0)}
+    var_kinds: Dict[str, Kind] = {decl.tyvar: STAR}
+    body, body_kind = convert_type(env, sig.signature.type, var_map,
+                                   var_kinds, implicit_vars=True)
+    unify_kinds(body_kind, STAR, sig.pos)
+    preds: List[Pred] = [Pred(decl.name, TyGen(0))]
+    for pred in sig.signature.context:
+        if not isinstance(pred.type, ast.STyVar):
+            raise StaticError(
+                "method contexts must constrain type variables", pred.pos)
+        if pred.type.name == decl.tyvar:
+            raise StaticError(
+                f"method signature must not re-constrain the class "
+                f"variable {decl.tyvar}", pred.pos)
+        if pred.type.name not in var_map:
+            var_map[pred.type.name] = TyGen(len(var_map))
+            var_kinds[pred.type.name] = KVar()
+        target = var_map[pred.type.name]
+        assert isinstance(target, TyGen)
+        unify_kinds(var_kinds[pred.type.name], STAR, pred.pos)
+        preds.append(Pred(pred.class_name, target))
+    if decl.tyvar not in _stype_vars(sig.signature.type):
+        raise StaticError(
+            f"method type must mention the class variable {decl.tyvar}",
+            sig.pos)
+    kinds = [default_kind(var_kinds[name])
+             for name in sorted(var_map, key=lambda n: var_map[n].index)]  # type: ignore[union-attr]
+    return Scheme(kinds, preds, body)
+
+
+def _stype_vars(sty: ast.SType) -> List[str]:
+    out: List[str] = []
+
+    def go(t: ast.SType) -> None:
+        if isinstance(t, ast.STyVar):
+            if t.name not in out:
+                out.append(t.name)
+        elif isinstance(t, ast.STyApp):
+            go(t.fn)
+            go(t.arg)
+
+    go(sty)
+    return out
+
+
+def decompose_instance_head(head: ast.SType) -> Tuple[str, List[str]]:
+    """``C (T a1 ... an)``: return the head constructor name and its
+    argument variables, enforcing the Haskell 1.2 instance form (all
+    arguments distinct type variables)."""
+    args: List[ast.SType] = []
+    sty = head
+    while isinstance(sty, ast.STyApp):
+        args.append(sty.arg)
+        sty = sty.fn
+    args.reverse()
+    if not isinstance(sty, ast.STyCon):
+        raise StaticError(
+            "instance head must be a type constructor applied to type "
+            "variables", head.pos)
+    var_names: List[str] = []
+    for arg in args:
+        if not isinstance(arg, ast.STyVar):
+            raise StaticError(
+                "instance head arguments must be plain type variables "
+                "(e.g. 'instance Eq a => Eq [a]')", head.pos)
+        if arg.name in var_names:
+            raise StaticError(
+                "instance head arguments must be distinct type variables",
+                head.pos)
+        var_names.append(arg.name)
+    return sty.name, var_names
+
+
+def _process_instance_decl(env: StaticEnv, decl: ast.InstanceDecl) -> None:
+    tycon_name, var_names = decompose_instance_head(decl.head)
+    kind = env.kind_env.lookup(tycon_name)
+    if kind is None and tycon_name.startswith("(,"):
+        kind = env.tycon(tycon_name).kind  # tuple constructors on demand
+    if kind is None:
+        raise StaticError(f"unknown type constructor {tycon_name}", decl.pos)
+    if kind_arity(kind) != len(var_names):
+        raise KindError(
+            f"instance head {tycon_name} expects {kind_arity(kind)} type "
+            f"argument(s), got {len(var_names)}", decl.pos)
+    # Per-argument context: the paper's representation.
+    per_arg: List[List[str]] = [[] for _ in var_names]
+    for pred in decl.context:
+        if not isinstance(pred.type, ast.STyVar) or pred.type.name not in var_names:
+            raise StaticError(
+                "instance context must constrain the head's type variables",
+                pred.pos)
+        if not env.class_env.is_class(pred.class_name):
+            raise StaticError(f"unknown class {pred.class_name}", pred.pos)
+        slot = per_arg[var_names.index(pred.type.name)]
+        if pred.class_name in slot:
+            raise StaticError(
+                f"duplicate constraint {pred.class_name} {pred.type.name} "
+                f"in instance context", pred.pos)
+        slot.append(pred.class_name)
+    class_info = env.class_env.class_info(decl.class_name)
+    method_names = {m.name for m in class_info.methods}
+    for binding in decl.bindings:
+        if binding.name not in method_names:
+            raise StaticError(
+                f"'{binding.name}' is not a method of class "
+                f"{decl.class_name}", binding.pos)
+    seen_bindings = set()
+    for binding in decl.bindings:
+        if binding.name in seen_bindings:
+            raise StaticError(
+                f"method {binding.name} bound twice in instance", binding.pos)
+        seen_bindings.add(binding.name)
+    info = InstanceInfo(
+        tycon_name=tycon_name,
+        class_name=decl.class_name,
+        dict_name=dict_var_name(decl.class_name, tycon_name),
+        context=per_arg,
+        pos=decl.pos,
+        defined_methods=frozenset(b.name for b in decl.bindings),
+    )
+    env.class_env.add_instance(info)
+    env.instance_bodies.append((info, decl))
+
+
+def _process_default_decl(env: StaticEnv, decl: ast.DefaultDecl) -> None:
+    names: List[str] = []
+    for sty in decl.types:
+        if not isinstance(sty, ast.STyCon):
+            raise StaticError(
+                "default declaration must list type constructors", decl.pos)
+        names.append(sty.name)
+    env.class_env.default_types = names
+
+
+def impl_name_for(info: InstanceInfo, method: str) -> str:
+    return method_impl_name(info.class_name, info.tycon_name, method)

@@ -1,0 +1,455 @@
+"""Semantic types: the representation the paper's algorithm works on.
+
+Following section 5 of the paper, type variables are *mutable* cells:
+
+    "Each type variable has a value field which is either null
+    (uninstantiated) or contains an instantiated type.  The context
+    field is a list of classes attached to uninstantiated type
+    variables."
+
+We add two fields the paper introduces later:
+
+* ``read_only`` (section 8.6) — set for variables created from a user
+  signature; such a variable "cannot be instantiated or have its
+  context augmented", which is how signatures are enforced;
+* ``level`` — the let-nesting depth at which the variable was created.
+  Generalization quantifies exactly the variables whose level is deeper
+  than the binding's, and placeholder resolution case 3 ("the type
+  variable may still be bound in an outer type environment") is the
+  test ``level <= outer_level``.
+
+Type *schemes* use ``TyGen`` indices for quantified variables, paired
+with an ordered predicate list; the order of that list is the order of
+dictionary parameters (section 6.2: "dictionaries can be passed in any
+order so long as the same ordering is used consistently").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.kinds import STAR, Kind, KFun, kfun
+from repro.util.orderedset import OrderedSet
+
+
+class Type:
+    """Base class for semantic types."""
+
+    def __repr__(self) -> str:
+        return type_str(self)
+
+
+class TyVar(Type):
+    """A mutable type variable (see module docstring)."""
+
+    __slots__ = ("id", "hint", "kind", "value", "context", "level", "read_only")
+    _counter = 0
+
+    def __init__(self, kind: Kind = STAR, level: int = 0,
+                 hint: str = "t", read_only: bool = False) -> None:
+        TyVar._counter += 1
+        self.id = TyVar._counter
+        self.hint = hint
+        self.kind = kind
+        self.value: Optional[Type] = None
+        self.context: OrderedSet[str] = OrderedSet()
+        self.level = level
+        self.read_only = read_only
+
+    @property
+    def name(self) -> str:
+        return f"{self.hint}{self.id}"
+
+
+class TyCon(Type):
+    """A type constructor: ``Int``, ``[]``, ``(->)``, ``(,)`` ..."""
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: Kind = STAR) -> None:
+        self.name = name
+        self.kind = kind
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TyCon) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("TyCon", self.name))
+
+
+class TyApp(Type):
+    """Type application ``fn arg``."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Type, arg: Type) -> None:
+        self.fn = fn
+        self.arg = arg
+
+
+class TyGen(Type):
+    """A quantified variable inside a :class:`Scheme` (de Bruijn index)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+# --------------------------------------------------------------------------
+# Built-in constructors
+# --------------------------------------------------------------------------
+
+ARROW = TyCon("->", kfun(STAR, STAR, STAR))
+LIST_CON = TyCon("[]", KFun(STAR, STAR))
+UNIT_CON = TyCon("()", STAR)
+
+T_INT = TyCon("Int", STAR)
+T_FLOAT = TyCon("Float", STAR)
+T_CHAR = TyCon("Char", STAR)
+T_BOOL = TyCon("Bool", STAR)
+
+
+def tuple_con(arity: int) -> TyCon:
+    """The *arity*-tuple constructor ``(,)``, ``(,,)``, ..."""
+    name = "(" + "," * (arity - 1) + ")"
+    return TyCon(name, kfun(*([STAR] * (arity + 1))))
+
+
+def fn_type(arg: Type, res: Type) -> Type:
+    return TyApp(TyApp(ARROW, arg), res)
+
+
+def fn_types(args: Sequence[Type], res: Type) -> Type:
+    out = res
+    for a in reversed(args):
+        out = fn_type(a, out)
+    return out
+
+
+def list_type(elem: Type) -> Type:
+    return TyApp(LIST_CON, elem)
+
+
+def tuple_type(items: Sequence[Type]) -> Type:
+    out: Type = tuple_con(len(items))
+    for item in items:
+        out = TyApp(out, item)
+    return out
+
+
+T_STRING = list_type(T_CHAR)
+
+
+# --------------------------------------------------------------------------
+# Traversal helpers
+# --------------------------------------------------------------------------
+
+def prune(ty: Type) -> Type:
+    """Chase instantiated variables to the representative type.
+
+    Performs path compression along chains of instantiated variables so
+    that repeated unification stays near-linear.
+    """
+    if isinstance(ty, TyVar) and ty.value is not None:
+        result = prune(ty.value)
+        ty.value = result
+        return result
+    return ty
+
+
+def spine(ty: Type) -> Tuple[Type, List[Type]]:
+    """Decompose nested applications: ``T a b`` -> ``(T, [a, b])``."""
+    args: List[Type] = []
+    ty = prune(ty)
+    while isinstance(ty, TyApp):
+        args.append(ty.arg)
+        ty = prune(ty.fn)
+    args.reverse()
+    return ty, args
+
+
+def fn_parts(ty: Type) -> Optional[Tuple[Type, Type]]:
+    """If *ty* is ``a -> b``, return ``(a, b)``."""
+    head, args = spine(ty)
+    if isinstance(head, TyCon) and head.name == "->" and len(args) == 2:
+        return args[0], args[1]
+    return None
+
+
+def type_variables(ty: Type) -> List[TyVar]:
+    """The uninstantiated variables of *ty* in first-occurrence order."""
+    out: List[TyVar] = []
+    seen = set()
+
+    def go(t: Type) -> None:
+        t = prune(t)
+        if isinstance(t, TyVar):
+            if t.id not in seen:
+                seen.add(t.id)
+                out.append(t)
+        elif isinstance(t, TyApp):
+            go(t.fn)
+            go(t.arg)
+
+    go(ty)
+    return out
+
+
+def occurs_in(var: TyVar, ty: Type) -> bool:
+    ty = prune(ty)
+    if ty is var:
+        return True
+    if isinstance(ty, TyApp):
+        return occurs_in(var, ty.fn) or occurs_in(var, ty.arg)
+    return False
+
+
+def adjust_levels(var_level: int, ty: Type) -> None:
+    """Lower the level of every variable in *ty* to at most *var_level*.
+
+    Called when a variable at *var_level* is instantiated to *ty*: any
+    deeper variable inside *ty* now escapes to the shallower level, so
+    that generalization never quantifies a variable that is reachable
+    from an outer binding.
+    """
+    ty = prune(ty)
+    if isinstance(ty, TyVar):
+        if ty.level > var_level:
+            ty.level = var_level
+    elif isinstance(ty, TyApp):
+        adjust_levels(var_level, ty.fn)
+        adjust_levels(var_level, ty.arg)
+
+
+def kind_of(ty: Type) -> Kind:
+    """The kind of a (well-kinded) semantic type."""
+    ty = prune(ty)
+    if isinstance(ty, TyVar):
+        return ty.kind
+    if isinstance(ty, TyCon):
+        return ty.kind
+    if isinstance(ty, TyGen):
+        return STAR  # schemes restrict quantification to kinded slots
+    assert isinstance(ty, TyApp)
+    fn_kind = kind_of(ty.fn)
+    if isinstance(fn_kind, KFun):
+        return fn_kind.res
+    return STAR
+
+
+# --------------------------------------------------------------------------
+# Predicates and schemes
+# --------------------------------------------------------------------------
+
+class Pred:
+    """A class constraint ``C t`` (in schemes, ``t`` is a ``TyGen``)."""
+
+    __slots__ = ("class_name", "type")
+
+    def __init__(self, class_name: str, ty: Type) -> None:
+        self.class_name = class_name
+        self.type = ty
+
+    def __repr__(self) -> str:
+        return f"{self.class_name} {type_str(self.type, 2)}"
+
+
+class Scheme:
+    """A type scheme ``forall a1..an. (preds) => type``.
+
+    * ``kinds[i]`` is the kind of the i-th quantified variable;
+    * ``preds`` is the *ordered* list of constraints — its order is the
+      dictionary parameter order of the translated definition;
+    * ``type`` contains ``TyGen`` nodes for the quantified variables.
+    """
+
+    __slots__ = ("kinds", "preds", "type")
+
+    def __init__(self, kinds: List[Kind], preds: List[Pred], ty: Type) -> None:
+        self.kinds = kinds
+        self.preds = preds
+        self.type = ty
+
+    @property
+    def is_overloaded(self) -> bool:
+        return bool(self.preds)
+
+    def instantiate(self, level: int,
+                    fresh: Optional[Callable[[Kind, int], TyVar]] = None
+                    ) -> Tuple[Type, List[Tuple[str, TyVar]], List[TyVar]]:
+        """Create a fresh instance.
+
+        Returns ``(type, pred_instances, fresh_vars)`` where
+        ``pred_instances`` pairs each scheme predicate, in order, with
+        the fresh variable it now constrains — exactly the list of
+        placeholders an overloaded variable reference must receive
+        (section 6.1).  Contexts are attached to the fresh variables.
+        """
+        if fresh is None:
+            fresh = lambda kind, lvl: TyVar(kind, lvl)  # noqa: E731
+        new_vars = [fresh(k, level) for k in self.kinds]
+        preds_out: List[Tuple[str, TyVar]] = []
+        for pred in self.preds:
+            target = prune(_subst_gens(pred.type, new_vars))
+            assert isinstance(target, TyVar), \
+                "scheme predicates must constrain quantified variables"
+            target.context.add(pred.class_name)
+            preds_out.append((pred.class_name, target))
+        return _subst_gens(self.type, new_vars), preds_out, new_vars
+
+    def __repr__(self) -> str:
+        return scheme_str(self)
+
+
+def _subst_gens(ty: Type, new_vars: List[TyVar]) -> Type:
+    ty = prune(ty)
+    if isinstance(ty, TyGen):
+        return new_vars[ty.index]
+    if isinstance(ty, TyApp):
+        return TyApp(_subst_gens(ty.fn, new_vars), _subst_gens(ty.arg, new_vars))
+    return ty
+
+
+def monotype_scheme(ty: Type) -> Scheme:
+    """A scheme with no quantified variables."""
+    return Scheme([], [], ty)
+
+
+def generalize_over(gen_vars: List[TyVar], preds: List[Tuple[str, TyVar]],
+                    ty: Type) -> Scheme:
+    """Build a scheme quantifying *gen_vars* (which must be unbound).
+
+    *preds* pairs class names with the variables they constrain; any
+    pred on a variable outside *gen_vars* is an internal error.
+    """
+    index: Dict[int, int] = {v.id: i for i, v in enumerate(gen_vars)}
+
+    def go(t: Type) -> Type:
+        t = prune(t)
+        if isinstance(t, TyVar):
+            if t.id in index:
+                return TyGen(index[t.id])
+            return t
+        if isinstance(t, TyApp):
+            return TyApp(go(t.fn), go(t.arg))
+        return t
+
+    scheme_preds = []
+    for cls, var in preds:
+        assert var.id in index, f"predicate on unquantified variable {var}"
+        scheme_preds.append(Pred(cls, TyGen(index[var.id])))
+    return Scheme([v.kind for v in gen_vars], scheme_preds, go(ty))
+
+
+# --------------------------------------------------------------------------
+# Pretty printing
+# --------------------------------------------------------------------------
+
+_VAR_NAMES = "abcdefghijklmnopqrstuvwxyz"
+
+
+def type_str(ty: Type, prec: int = 0,
+             names: Optional[Dict[int, str]] = None) -> str:
+    """Render a type.  Variables get stable single-letter names within
+    one call; contexts are shown by :func:`qual_type_str`."""
+    if names is None:
+        names = {}
+        for i, var in enumerate(type_variables(ty)):
+            names[var.id] = _var_name(i)
+    return _type_str(ty, prec, names)
+
+
+def _var_name(i: int) -> str:
+    if i < len(_VAR_NAMES):
+        return _VAR_NAMES[i]
+    return f"t{i}"
+
+
+def _type_str(ty: Type, prec: int, names: Dict[int, str]) -> str:
+    ty = prune(ty)
+    if isinstance(ty, TyVar):
+        return names.setdefault(ty.id, f"t{ty.id}")
+    if isinstance(ty, TyGen):
+        return f"g{ty.index}"
+    if isinstance(ty, TyCon):
+        return ty.name
+    head, args = spine(ty)
+    if isinstance(head, TyCon):
+        if head.name == "->" and len(args) == 2:
+            inner = (f"{_type_str(args[0], 1, names)} -> "
+                     f"{_type_str(args[1], 0, names)}")
+            return f"({inner})" if prec > 0 else inner
+        if head.name == "[]" and len(args) == 1:
+            return f"[{_type_str(args[0], 0, names)}]"
+        if head.name.startswith("(,") and len(args) == head.name.count(",") + 1:
+            return "(" + ", ".join(_type_str(a, 0, names) for a in args) + ")"
+    parts = [_type_str(head, 2, names)] + [_type_str(a, 2, names) for a in args]
+    inner = " ".join(parts)
+    return f"({inner})" if prec > 1 else inner
+
+
+def qual_type_str(ty: Type) -> str:
+    """Render a type together with the contexts on its variables, e.g.
+    ``(Eq a, Num b) => a -> b -> Bool``."""
+    names: Dict[int, str] = {}
+    tvs = type_variables(ty)
+    for i, var in enumerate(tvs):
+        names[var.id] = _var_name(i)
+    preds = []
+    for var in tvs:
+        for cls in var.context:
+            preds.append(f"{cls} {names[var.id]}")
+    body = _type_str(ty, 0, names)
+    if not preds:
+        return body
+    if len(preds) == 1:
+        return f"{preds[0]} => {body}"
+    return "(" + ", ".join(preds) + f") => {body}"
+
+
+def scheme_str(scheme: Scheme) -> str:
+    names: Dict[int, str] = {}
+    gen_names = [_var_name(i) for i in range(len(scheme.kinds))]
+
+    def go(t: Type, prec: int) -> str:
+        t = prune(t)
+        if isinstance(t, TyGen):
+            return gen_names[t.index]
+        return _type_str(t, prec, names)
+
+    preds = []
+    for pred in scheme.preds:
+        preds.append(f"{pred.class_name} {go(pred.type, 2)}")
+    body = _scheme_body_str(scheme.type, 0, names, gen_names)
+    if not preds:
+        return body
+    if len(preds) == 1:
+        return f"{preds[0]} => {body}"
+    return "(" + ", ".join(preds) + f") => {body}"
+
+
+def _scheme_body_str(ty: Type, prec: int, names: Dict[int, str],
+                     gen_names: List[str]) -> str:
+    ty = prune(ty)
+    if isinstance(ty, TyGen):
+        return gen_names[ty.index]
+    if isinstance(ty, TyVar):
+        return names.setdefault(ty.id, f"t{ty.id}")
+    if isinstance(ty, TyCon):
+        return ty.name
+    head, args = spine(ty)
+    if isinstance(head, TyCon):
+        if head.name == "->" and len(args) == 2:
+            inner = (f"{_scheme_body_str(args[0], 1, names, gen_names)} -> "
+                     f"{_scheme_body_str(args[1], 0, names, gen_names)}")
+            return f"({inner})" if prec > 0 else inner
+        if head.name == "[]" and len(args) == 1:
+            return f"[{_scheme_body_str(args[0], 0, names, gen_names)}]"
+        if head.name.startswith("(,") and len(args) == head.name.count(",") + 1:
+            return "(" + ", ".join(
+                _scheme_body_str(a, 0, names, gen_names) for a in args) + ")"
+    parts = [_scheme_body_str(head, 2, names, gen_names)]
+    parts += [_scheme_body_str(a, 2, names, gen_names) for a in args]
+    inner = " ".join(parts)
+    return f"({inner})" if prec > 1 else inner

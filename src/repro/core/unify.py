@@ -1,0 +1,173 @@
+"""Unification with context propagation and context reduction.
+
+This is the paper's section 5, implemented to mirror its pseudocode::
+
+    instantiateTyvar (tyvar, type)
+        tyvar.value := type
+        propagateClasses (tyvar.context, type)
+
+    propagateClasses (classes, type)
+        if tyvar(type) then type.context := union(classes, type.context)
+        else for each c in classes
+            propagateClassTycon (c, type)
+
+    propagateClassTycon (class, type)
+        s = findInstanceContext (type.tycon, class)
+        for each classSet in s, typeArg in tycon.args
+            propagateClasses (classSet, typeArg)
+
+plus the refinements of sections 8.1 (superclass compaction when adding
+constraints to a context) and 8.6 (read-only type variables, which may
+be neither instantiated nor given a larger context — violating either
+raises :class:`SignatureError` because the program demands more than the
+user's signature allows).
+
+The :class:`Unifier` counts unifications and context-reduction steps so
+that experiment E9 ("a minor increase in the cost of unification",
+section 9) can be measured directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import (
+    OccursCheckError,
+    SignatureError,
+    SourcePos,
+    UnificationError,
+)
+from repro.core.classes import ClassEnv
+from repro.core.types import (
+    TyApp,
+    TyCon,
+    TyVar,
+    Type,
+    adjust_levels,
+    kind_of,
+    occurs_in,
+    prune,
+    spine,
+    type_str,
+)
+
+
+class Unifier:
+    """Unification engine bound to one class environment."""
+
+    def __init__(self, class_env: ClassEnv) -> None:
+        self.class_env = class_env
+        self.unify_count = 0
+        self.context_reduction_count = 0
+        self.constraint_propagations = 0
+
+    # ------------------------------------------------------------- unify
+
+    def unify(self, t1: Type, t2: Type, pos: Optional[SourcePos] = None) -> None:
+        """Make *t1* and *t2* equal, or raise."""
+        self.unify_count += 1
+        t1 = prune(t1)
+        t2 = prune(t2)
+        if t1 is t2:
+            return
+        if isinstance(t1, TyVar):
+            if isinstance(t2, TyVar):
+                self._link_vars(t1, t2, pos)
+                return
+            self.instantiate_tyvar(t1, t2, pos)
+            return
+        if isinstance(t2, TyVar):
+            self.instantiate_tyvar(t2, t1, pos)
+            return
+        if isinstance(t1, TyCon) and isinstance(t2, TyCon):
+            if t1.name == t2.name:
+                return
+            raise UnificationError(
+                f"cannot unify {type_str(t1)} with {type_str(t2)}", pos)
+        if isinstance(t1, TyApp) and isinstance(t2, TyApp):
+            self.unify(t1.fn, t2.fn, pos)
+            self.unify(t1.arg, t2.arg, pos)
+            return
+        raise UnificationError(
+            f"cannot unify {type_str(t1)} with {type_str(t2)}", pos)
+
+    def _link_vars(self, a: TyVar, b: TyVar, pos: Optional[SourcePos]) -> None:
+        """Unify two distinct unbound variables."""
+        # Prefer to keep a read-only variable as the representative, so
+        # that instantiating the other side is what gets checked.
+        if a.read_only and b.read_only:
+            raise SignatureError(
+                "type signature is too general: it requires two signature "
+                "variables to be identical", pos)
+        if a.read_only:
+            a, b = b, a  # instantiate the flexible one (now 'a')
+        # a := b ; push a's context onto b, keep the shallower level.
+        if b.level > a.level:
+            b.level = a.level
+        a.value = b
+        if a.context:
+            self.propagate_classes(list(a.context), b, pos)
+
+    def instantiate_tyvar(self, tyvar: TyVar, ty: Type,
+                          pos: Optional[SourcePos] = None) -> None:
+        """The paper's ``instantiateTyvar`` with occurs/level/read-only
+        checks added."""
+        if tyvar.read_only:
+            raise SignatureError(
+                f"type signature is too general: signature variable "
+                f"'{tyvar.name}' would have to be {type_str(ty)}", pos)
+        if occurs_in(tyvar, ty):
+            raise OccursCheckError(
+                f"cannot construct the infinite type "
+                f"{tyvar.name} = {type_str(ty)}", pos)
+        adjust_levels(tyvar.level, ty)
+        tyvar.value = ty
+        if tyvar.context:
+            self.propagate_classes(list(tyvar.context), ty, pos)
+
+    # ------------------------------------------------ context propagation
+
+    def propagate_classes(self, classes: Iterable[str], ty: Type,
+                          pos: Optional[SourcePos] = None) -> None:
+        """The paper's ``propagateClasses``."""
+        ty = prune(ty)
+        if isinstance(ty, TyVar):
+            if ty.read_only:
+                for cls in classes:
+                    self.constraint_propagations += 1
+                    if self.class_env.context_implied_by(ty.context, cls) is None:
+                        raise SignatureError(
+                            f"the inferred context requires {cls} "
+                            f"{ty.name}, which the type signature does "
+                            f"not provide", pos)
+                return
+            for cls in classes:
+                self.constraint_propagations += 1
+                self.class_env.add_constraint(ty.context, cls)
+            return
+        for cls in classes:
+            self.propagate_class_tycon(cls, ty, pos)
+
+    def propagate_class_tycon(self, cls: str, ty: Type,
+                              pos: Optional[SourcePos] = None) -> None:
+        """The paper's ``propagateClassTycon`` — one step of context
+        reduction."""
+        self.context_reduction_count += 1
+        head, args = spine(ty)
+        if not isinstance(head, TyCon):
+            # A constraint on an application headed by a type variable
+            # cannot be reduced in this system (no instances over
+            # partially known constructors, as in Haskell 1.2).
+            raise UnificationError(
+                f"cannot reduce context {cls} {type_str(ty)}: the type's "
+                f"head is not a known constructor", pos)
+        contexts = self.class_env.find_instance_context(
+            head.name, cls, type_str(ty), pos)
+        if len(contexts) != len(args):
+            raise UnificationError(
+                f"instance {cls} {head.name} expects {len(contexts)} type "
+                f"argument(s) but the constrained type {type_str(ty)} has "
+                f"{len(args)}", pos)
+        for class_set, type_arg in zip(contexts, args):
+            if class_set:
+                self.propagate_classes(class_set, type_arg, pos)

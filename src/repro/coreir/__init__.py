@@ -1,0 +1,37 @@
+"""The dictionary-passing core language and its evaluator.
+
+After type checking and dictionary conversion, programs are translated
+into a small untyped lambda calculus with explicit data constructors,
+tuples, *dictionaries* (tuples tagged for instrumentation) and flat
+case expressions.  The lazy evaluator counts dictionary constructions,
+selector applications and function calls so the paper's performance
+claims (section 9) can be measured as operation counts as well as
+wall-clock time.
+"""
+
+from repro.coreir.syntax import (
+    CApp,
+    CCase,
+    CAlt,
+    CLitAlt,
+    CCon,
+    CDict,
+    CLam,
+    CLet,
+    CLit,
+    CSel,
+    CTuple,
+    CVar,
+    CoreBinding,
+    CoreExpr,
+    CoreProgram,
+)
+from repro.coreir.eval import Evaluator, EvalStats, value_to_python
+from repro.coreir.translate import translate_bindings, translate_expr
+
+__all__ = [
+    "CApp", "CCase", "CAlt", "CLitAlt", "CCon", "CDict", "CLam", "CLet",
+    "CLit", "CSel", "CTuple", "CVar", "CoreBinding", "CoreExpr",
+    "CoreProgram", "Evaluator", "EvalStats", "value_to_python",
+    "translate_bindings", "translate_expr",
+]

@@ -1,0 +1,557 @@
+"""A lazy (call-by-need) graph-reduction evaluator for the core IR.
+
+Why an interpreter with counters: the paper's evaluation (section 9) is
+about the *relative* run-time costs of dictionary passing — "the extra
+level of indirection when dispatching a method function and the time
+and space required to propagate dictionaries".  We cannot re-run the
+Yale Haskell backend, so the evaluator charges a uniform cost model and
+counts exactly the operations the paper talks about:
+
+* ``dict_constructions`` — evaluations of :class:`CDict` nodes (one
+  per dictionary tuple built at run time);
+* ``dict_selections``   — evaluations of dictionary :class:`CSel`
+  nodes (the "reference to a tuple element" in method dispatch);
+* ``fun_calls``         — closure bodies entered;
+* ``prim_calls``        — primitive applications;
+* ``steps``             — total evaluation steps (a machine-independent
+  time proxy);
+* ``allocations``       — thunks + structures allocated.
+
+Laziness is the default; ``call_by_need=False`` gives call-by-name
+(no thunk memoisation), the "implementation that is not fully lazy"
+whose repeated dictionary construction section 8.8 warns about.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import EvalError
+from repro.coreir.syntax import (
+    CApp,
+    CCase,
+    CCon,
+    CDict,
+    CLam,
+    CLet,
+    CLit,
+    CoreBinding,
+    CoreExpr,
+    CoreProgram,
+    CSel,
+    CTuple,
+    CVar,
+)
+
+
+# --------------------------------------------------------------------------
+# Values
+# --------------------------------------------------------------------------
+
+class Value:
+    __slots__ = ()
+
+
+class VInt(Value):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"VInt({self.value})"
+
+
+class VFloat(Value):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"VFloat({self.value})"
+
+
+class VChar(Value):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"VChar({self.value!r})"
+
+
+class VCon(Value):
+    """A saturated data constructor; ``args`` are thunks or values."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Any]) -> None:
+        self.name = name
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"VCon({self.name}, {len(self.args)} args)"
+
+
+class VTuple(Value):
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[Any]) -> None:
+        self.items = items
+
+    def __repr__(self) -> str:
+        return f"VTuple({len(self.items)})"
+
+
+class VDict(VTuple):
+    """A dictionary: operationally a tuple, distinguished for dumps."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, items: List[Any], tag: str) -> None:
+        super().__init__(items)
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"VDict({self.tag}, {len(self.items)})"
+
+
+class VClosure(Value):
+    __slots__ = ("params", "body", "env", "applied")
+
+    def __init__(self, params: List[str], body: CoreExpr, env: "Frame",
+                 applied: Tuple[Any, ...] = ()) -> None:
+        self.params = params
+        self.body = body
+        self.env = env
+        self.applied = applied
+
+    def __repr__(self) -> str:
+        return f"VClosure({self.params})"
+
+
+class VPrim(Value):
+    __slots__ = ("name", "arity", "fn", "applied")
+
+    def __init__(self, name: str, arity: int, fn: Callable,
+                 applied: Tuple[Any, ...] = ()) -> None:
+        self.name = name
+        self.arity = arity
+        self.fn = fn
+        self.applied = applied
+
+    def __repr__(self) -> str:
+        return f"VPrim({self.name})"
+
+
+class VPartialCon(Value):
+    """A data constructor applied to fewer arguments than its arity."""
+
+    __slots__ = ("name", "arity", "applied")
+
+    def __init__(self, name: str, arity: int,
+                 applied: Tuple[Any, ...] = ()) -> None:
+        self.name = name
+        self.arity = arity
+        self.applied = applied
+
+
+class Thunk:
+    """A suspended computation, memoised under call-by-need."""
+
+    __slots__ = ("expr", "env", "value", "forcing")
+
+    def __init__(self, expr: CoreExpr, env: "Frame") -> None:
+        self.expr = expr
+        self.env = env
+        self.value: Optional[Value] = None
+        self.forcing = False
+
+
+class Frame:
+    """An environment frame: a dict of bindings plus a parent link."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["Frame"] = None) -> None:
+        self.vars: Dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        frame: Optional[Frame] = self
+        while frame is not None:
+            hit = frame.vars.get(name)
+            if hit is not None:
+                return hit
+            if name in frame.vars:  # bound to None explicitly? not used
+                return hit
+            frame = frame.parent
+        raise EvalError(f"unbound variable {name!r} at run time")
+
+
+# --------------------------------------------------------------------------
+# Statistics
+# --------------------------------------------------------------------------
+
+@dataclass
+class EvalStats:
+    steps: int = 0
+    fun_calls: int = 0
+    prim_calls: int = 0
+    dict_constructions: int = 0
+    dict_selections: int = 0
+    tuple_selections: int = 0
+    allocations: int = 0
+    max_stack: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "steps": self.steps,
+            "fun_calls": self.fun_calls,
+            "prim_calls": self.prim_calls,
+            "dict_constructions": self.dict_constructions,
+            "dict_selections": self.dict_selections,
+            "tuple_selections": self.tuple_selections,
+            "allocations": self.allocations,
+        }
+
+    def reset(self) -> None:
+        self.steps = 0
+        self.fun_calls = 0
+        self.prim_calls = 0
+        self.dict_constructions = 0
+        self.dict_selections = 0
+        self.tuple_selections = 0
+        self.allocations = 0
+        self.max_stack = 0
+
+
+# --------------------------------------------------------------------------
+# The evaluator
+# --------------------------------------------------------------------------
+
+class Evaluator:
+    def __init__(self, program: CoreProgram,
+                 primitives: Optional[Dict[str, VPrim]] = None,
+                 call_by_need: bool = True,
+                 step_limit: int = 0) -> None:
+        self.stats = EvalStats()
+        self.call_by_need = call_by_need
+        self.step_limit = step_limit
+        # Interpreted recursion nests Python frames (eval -> force ->
+        # eval ...).  CPython 3.11+ keeps Python-to-Python calls off the
+        # C stack, so a high recursion limit is safe and necessary.
+        if sys.getrecursionlimit() < 400_000:
+            sys.setrecursionlimit(400_000)
+        self.globals = Frame()
+        if primitives:
+            for name, prim in primitives.items():
+                self.globals.vars[name] = prim
+        for binding in program.bindings:
+            self.globals.vars[binding.name] = Thunk(binding.expr, self.globals)
+
+    # ------------------------------------------------------------ driving
+
+    def run(self, name: str) -> Value:
+        """Force the top-level binding *name* to weak head normal form."""
+        return self.force(self.globals.lookup(name))
+
+    def run_expr(self, expr: CoreExpr) -> Value:
+        return self.force(self.eval(expr, self.globals))
+
+    def deep(self, value: Any) -> Value:
+        """Force *value* and, recursively, every component — used to
+        extract complete results."""
+        value = self.force(value)
+        if isinstance(value, VCon):
+            value.args = [self.deep(a) for a in value.args]
+        elif isinstance(value, VTuple):
+            value.items = [self.deep(i) for i in value.items]
+        return value
+
+    # --------------------------------------------------------------- eval
+
+    def force(self, value: Any) -> Value:
+        while isinstance(value, Thunk):
+            if value.value is not None:
+                value = value.value
+                continue
+            if value.forcing:
+                raise EvalError("<<loop>>: value depends on itself")
+            value.forcing = True
+            try:
+                result = self.eval(value.expr, value.env)
+                result = self.force(result)
+            finally:
+                value.forcing = False
+            if self.call_by_need:
+                value.value = result
+                # Free the closure for the GC once memoised.
+                value.expr = None  # type: ignore[assignment]
+                value.env = None   # type: ignore[assignment]
+            value = result
+        return value
+
+    def eval(self, expr: CoreExpr, env: Frame) -> Any:
+        stats = self.stats
+        while True:
+            stats.steps += 1
+            if self.step_limit and stats.steps > self.step_limit:
+                raise EvalError(
+                    f"evaluation exceeded the step limit "
+                    f"({self.step_limit})")
+            t = type(expr)
+            if t is CVar:
+                return env.lookup(expr.name)
+            if t is CLit:
+                return self.literal(expr)
+            if t is CCon:
+                if expr.arity == 0:
+                    return VCon(expr.name, [])
+                return VPartialCon(expr.name, expr.arity)
+            if t is CLam:
+                return VClosure(expr.params, expr.body, env)
+            if t is CApp:
+                # Evaluate the spine iteratively.
+                args: List[Any] = []
+                node = expr
+                while type(node) is CApp:
+                    args.append(node.arg)
+                    node = node.fn
+                args.reverse()
+                fn = self.force(self.eval(node, env))
+                arg_thunks = [self.mk_thunk(a, env) for a in args]
+                result = self.apply_many(fn, arg_thunks)
+                if isinstance(result, _TailCall):
+                    expr, env = result.body, result.env
+                    continue
+                return result
+            if t is CLet:
+                frame = Frame(env)
+                if expr.recursive:
+                    for name, rhs in expr.binds:
+                        frame.vars[name] = Thunk(rhs, frame)
+                        stats.allocations += 1
+                else:
+                    for name, rhs in expr.binds:
+                        frame.vars[name] = Thunk(rhs, env)
+                        stats.allocations += 1
+                expr, env = expr.body, frame
+                continue
+            if t is CCase:
+                scrut = self.force(self.eval(expr.scrutinee, env))
+                selected = self.select_alt(expr, scrut, env)
+                if selected is None:
+                    raise EvalError(
+                        f"no matching case alternative for {scrut!r}")
+                expr, env = selected
+                continue
+            if t is CTuple:
+                stats.allocations += 1
+                return VTuple([self.mk_thunk(i, env) for i in expr.items])
+            if t is CDict:
+                stats.allocations += 1
+                stats.dict_constructions += 1
+                return VDict([self.mk_thunk(i, env) for i in expr.items],
+                             expr.tag)
+            if t is CSel:
+                value = self.force(self.eval(expr.expr, env))
+                if not isinstance(value, VTuple):
+                    raise EvalError(
+                        f"selection from non-tuple value {value!r}")
+                if expr.from_dict:
+                    stats.dict_selections += 1
+                else:
+                    stats.tuple_selections += 1
+                return value.items[expr.index]
+            raise EvalError(f"cannot evaluate core node {expr!r}")
+
+    def mk_thunk(self, expr: CoreExpr, env: Frame) -> Any:
+        # Trivial expressions do not need a suspension.
+        t = type(expr)
+        if t is CVar:
+            return env.lookup(expr.name)
+        if t is CLit and expr.kind != "string":
+            return self.literal(expr)
+        if t is CCon and expr.arity == 0:
+            return VCon(expr.name, [])
+        self.stats.allocations += 1
+        return Thunk(expr, env)
+
+    def literal(self, expr: CLit) -> Value:
+        kind = expr.kind
+        if kind == "int":
+            return VInt(expr.value)
+        if kind == "float":
+            return VFloat(expr.value)
+        if kind == "char":
+            return VChar(expr.value)
+        assert kind == "string"
+        # Strings are [Char]: build the cons chain (lazily enough —
+        # the chain itself is small and shared).
+        out: Value = VCon("[]", [])
+        for ch in reversed(expr.value):
+            out = VCon(":", [VChar(ch), out])
+        return out
+
+    # ---------------------------------------------------------- applying
+
+    def apply_many(self, fn: Value, args: List[Any]) -> Any:
+        """Apply *fn* to *args*; returns a value or a _TailCall."""
+        stats = self.stats
+        while args:
+            if isinstance(fn, VClosure):
+                have = list(fn.applied)
+                need = len(fn.params)
+                take = min(need - len(have), len(args))
+                have.extend(args[:take])
+                args = args[take:]
+                if len(have) < need:
+                    return VClosure(fn.params, fn.body, fn.env, tuple(have))
+                stats.fun_calls += 1
+                frame = Frame(fn.env)
+                for name, value in zip(fn.params, have):
+                    frame.vars[name] = value
+                if not args:
+                    return _TailCall(fn.body, frame)
+                fn = self.force(self.eval(fn.body, frame))
+            elif isinstance(fn, VPrim):
+                have = list(fn.applied)
+                take = min(fn.arity - len(have), len(args))
+                have.extend(args[:take])
+                args = args[take:]
+                if len(have) < fn.arity:
+                    return VPrim(fn.name, fn.arity, fn.fn, tuple(have))
+                stats.prim_calls += 1
+                fn = fn.fn(self, *have)
+                fn = self.force(fn)
+            elif isinstance(fn, VPartialCon):
+                have = list(fn.applied)
+                take = min(fn.arity - len(have), len(args))
+                have.extend(args[:take])
+                args = args[take:]
+                if len(have) < fn.arity:
+                    return VPartialCon(fn.name, fn.arity, tuple(have))
+                fn = VCon(fn.name, have)
+                self.stats.allocations += 1
+            else:
+                raise EvalError(f"cannot apply non-function value {fn!r}")
+        return fn
+
+    # ------------------------------------------------------------ matching
+
+    def select_alt(self, case: CCase, scrut: Value,
+                   env: Frame) -> Optional[Tuple[CoreExpr, Frame]]:
+        if isinstance(scrut, VCon):
+            for alt in case.alts:
+                if alt.con_name == scrut.name:
+                    frame = Frame(env)
+                    for name, value in zip(alt.binders, scrut.args):
+                        frame.vars[name] = value
+                    return alt.body, frame
+        elif isinstance(scrut, VTuple):
+            for alt in case.alts:
+                if alt.con_name.startswith("(") and \
+                        len(alt.binders) == len(scrut.items):
+                    frame = Frame(env)
+                    for name, value in zip(alt.binders, scrut.items):
+                        frame.vars[name] = value
+                    return alt.body, frame
+        elif isinstance(scrut, (VInt, VFloat, VChar)):
+            raw = scrut.value
+            for lalt in case.lit_alts:
+                if lalt.value == raw:
+                    return lalt.body, env
+        if case.default is not None:
+            return case.default, env
+        return None
+
+
+class _TailCall:
+    """Internal: a saturated closure call turned into a loop iteration."""
+
+    __slots__ = ("body", "env")
+
+    def __init__(self, body: CoreExpr, env: Frame) -> None:
+        self.body = body
+        self.env = env
+
+
+# --------------------------------------------------------------------------
+# Result extraction
+# --------------------------------------------------------------------------
+
+def value_to_python(evaluator: Evaluator, value: Any) -> Any:
+    """Convert a core value to a Python object: Int/Float/Char to their
+    Python counterparts, Bool to bool, [Char] to str, other lists to
+    list, tuples to tuple, other constructors to ``(name, args...)``."""
+    value = evaluator.force(value)
+    if isinstance(value, VInt):
+        return value.value
+    if isinstance(value, VFloat):
+        return value.value
+    if isinstance(value, VChar):
+        return value.value
+    if isinstance(value, VDict):
+        return ("<dict>", value.tag)
+    if isinstance(value, VTuple):
+        return tuple(value_to_python(evaluator, i) for i in value.items)
+    if isinstance(value, VCon):
+        if value.name == "True":
+            return True
+        if value.name == "False":
+            return False
+        if value.name == "()":
+            return ()
+        if value.name in ("[]", ":"):
+            items = []
+            node: Value = value
+            while True:
+                node = evaluator.force(node)
+                if isinstance(node, VCon) and node.name == "[]":
+                    break
+                assert isinstance(node, VCon) and node.name == ":"
+                items.append(value_to_python(evaluator, node.args[0]))
+                node = node.args[1]
+            if items and all(isinstance(i, str) and len(i) == 1
+                             for i in items):
+                return "".join(items)
+            return items
+        return (value.name,
+                *[value_to_python(evaluator, a) for a in value.args])
+    if isinstance(value, (VClosure, VPrim, VPartialCon)):
+        return f"<function {getattr(value, 'name', '')}>"
+    raise EvalError(f"cannot convert value {value!r}")
+
+
+def with_big_stack(fn: Callable[[], Any], stack_mb: int = 512) -> Any:
+    """Run *fn* in a thread with a large stack — deep recursion in
+    interpreted programs nests Python frames."""
+    import threading
+
+    result: List[Any] = []
+    error: List[BaseException] = []
+
+    def runner() -> None:
+        try:
+            result.append(fn())
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            error.append(exc)
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(1_000_000)
+    try:
+        threading.stack_size(stack_mb * 1024 * 1024)
+        thread = threading.Thread(target=runner)
+        thread.start()
+        thread.join()
+    finally:
+        threading.stack_size(0)
+        sys.setrecursionlimit(old_limit)
+    if error:
+        raise error[0]
+    return result[0]

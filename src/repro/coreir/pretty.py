@@ -1,0 +1,77 @@
+"""Pretty printer for core IR — used by ``dump_core``, tests and the
+paper-example goldens."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.coreir.syntax import (
+    CApp,
+    CCase,
+    CCon,
+    CDict,
+    CLam,
+    CLet,
+    CLit,
+    CoreBinding,
+    CoreProgram,
+    CSel,
+    CTuple,
+    CVar,
+)
+
+
+def pp_core(expr, prec: int = 0) -> str:
+    if isinstance(expr, CVar):
+        return expr.name
+    if isinstance(expr, CCon):
+        return expr.name if expr.name != ":" else "(:)"
+    if isinstance(expr, CLit):
+        if expr.kind == "string":
+            return '"' + str(expr.value) + '"'
+        if expr.kind == "char":
+            return f"'{expr.value}'"
+        return str(expr.value)
+    if isinstance(expr, CApp):
+        inner = f"{pp_core(expr.fn, 10)} {pp_core(expr.arg, 11)}"
+        return f"({inner})" if prec > 10 else inner
+    if isinstance(expr, CLam):
+        inner = f"\\{' '.join(expr.params)} -> {pp_core(expr.body)}"
+        return f"({inner})" if prec > 0 else inner
+    if isinstance(expr, CLet):
+        word = "letrec" if expr.recursive else "let"
+        binds = "; ".join(f"{n} = {pp_core(e)}" for n, e in expr.binds)
+        inner = f"{word} {{ {binds} }} in {pp_core(expr.body)}"
+        return f"({inner})" if prec > 0 else inner
+    if isinstance(expr, CCase):
+        parts = []
+        for alt in expr.alts:
+            lhs = " ".join([alt.con_name] + alt.binders)
+            parts.append(f"{lhs} -> {pp_core(alt.body)}")
+        for lalt in expr.lit_alts:
+            parts.append(f"{lalt.value!r} -> {pp_core(lalt.body)}")
+        if expr.default is not None:
+            parts.append(f"_ -> {pp_core(expr.default)}")
+        inner = f"case {pp_core(expr.scrutinee)} of {{ {'; '.join(parts)} }}"
+        return f"({inner})" if prec > 0 else inner
+    if isinstance(expr, CTuple):
+        return "(" + ", ".join(pp_core(i) for i in expr.items) + ")"
+    if isinstance(expr, CDict):
+        return "dict[" + ", ".join(pp_core(i) for i in expr.items) + "]"
+    if isinstance(expr, CSel):
+        mark = "!" if expr.from_dict else "."
+        return f"{pp_core(expr.expr, 11)}{mark}{expr.index}"
+    return repr(expr)
+
+
+def pp_binding(binding: CoreBinding) -> str:
+    return f"{binding.name} = {pp_core(binding.expr)}"
+
+
+def pp_program(program: CoreProgram,
+               names: Optional[List[str]] = None) -> str:
+    lines = []
+    for b in program.bindings:
+        if names is None or b.name in names:
+            lines.append(pp_binding(b))
+    return "\n".join(lines)

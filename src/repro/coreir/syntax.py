@@ -1,0 +1,276 @@
+"""The core intermediate representation.
+
+A deliberately small untyped language::
+
+    e ::= x | lit | K | e e | \\x1 .. xn -> e
+        | let[rec] { x = e; ... } in e
+        | case e of { K x1..xk -> e ; ... ; lit -> e ; ... ; _ -> e }
+        | (e1, ..., en)            -- tuple
+        | dict(e1, ..., en)        -- dictionary tuple (instrumented)
+        | sel_i/n e                -- tuple/dictionary selection
+
+Dictionaries are ordinary tuples operationally; the distinct node kinds
+(:class:`CDict`, :class:`CSel` with ``from_dict``) exist so the
+evaluator can count dictionary constructions and method selections —
+the two run-time costs the paper attributes to type classes
+(section 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class CoreExpr:
+    """Base class for core expressions."""
+
+    __slots__ = ()
+
+
+@dataclass
+class CVar(CoreExpr):
+    __slots__ = ("name",)
+    name: str
+
+
+@dataclass
+class CLit(CoreExpr):
+    """Literal.  ``kind`` in {int, float, char, string}; string literals
+    expand to character lists lazily at evaluation time."""
+
+    __slots__ = ("value", "kind")
+    value: Any
+    kind: str
+
+
+@dataclass
+class CCon(CoreExpr):
+    """A data constructor used as a (curried) value."""
+
+    __slots__ = ("name", "arity")
+    name: str
+    arity: int
+
+
+@dataclass
+class CApp(CoreExpr):
+    __slots__ = ("fn", "arg")
+    fn: CoreExpr
+    arg: CoreExpr
+
+
+@dataclass
+class CLam(CoreExpr):
+    __slots__ = ("params", "body")
+    params: List[str]
+    body: CoreExpr
+
+
+@dataclass
+class CLet(CoreExpr):
+    __slots__ = ("binds", "body", "recursive")
+    binds: List[Tuple[str, CoreExpr]]
+    body: CoreExpr
+    recursive: bool
+
+
+@dataclass
+class CAlt:
+    """``K x1 .. xk -> body``"""
+
+    __slots__ = ("con_name", "binders", "body")
+    con_name: str
+    binders: List[str]
+    body: CoreExpr
+
+
+@dataclass
+class CLitAlt:
+    """``lit -> body`` (chars and unboxed ints from derived code)."""
+
+    __slots__ = ("value", "kind", "body")
+    value: Any
+    kind: str
+    body: CoreExpr
+
+
+@dataclass
+class CCase(CoreExpr):
+    __slots__ = ("scrutinee", "alts", "lit_alts", "default")
+    scrutinee: CoreExpr
+    alts: List[CAlt]
+    lit_alts: List[CLitAlt]
+    default: Optional[CoreExpr]
+
+
+@dataclass
+class CTuple(CoreExpr):
+    __slots__ = ("items",)
+    items: List[CoreExpr]
+
+
+@dataclass
+class CDict(CoreExpr):
+    """A dictionary tuple; evaluation counts as one dictionary
+    construction."""
+
+    __slots__ = ("items", "tag")
+    items: List[CoreExpr]
+    tag: str  # e.g. "Eq@[]" — which instance built it (for dumps)
+
+
+@dataclass
+class CSel(CoreExpr):
+    """Select component *index* of an *arity*-tuple.
+
+    ``from_dict`` marks dictionary selections — "a reference to a tuple
+    element followed by a function call" is the paper's cost model for
+    method dispatch, and this is the tuple-element reference."""
+
+    __slots__ = ("index", "arity", "expr", "from_dict")
+    index: int
+    arity: int
+    expr: CoreExpr
+    from_dict: bool
+
+
+@dataclass
+class CoreBinding:
+    """One top-level core definition."""
+
+    name: str
+    expr: CoreExpr
+    kind: str = "user"  # user | default | impl | dict | selector | prim
+    #: how many leading lambda parameters are dictionary parameters —
+    #: the transforms (inner entry points, specialisation) key off this
+    dict_arity: int = 0
+
+
+@dataclass
+class CoreProgram:
+    """A complete translated program: an ordered list of top-level
+    bindings (all mutually visible, i.e. one big letrec)."""
+
+    bindings: List[CoreBinding] = field(default_factory=list)
+
+    def names(self) -> List[str]:
+        return [b.name for b in self.bindings]
+
+    def binding(self, name: str) -> CoreBinding:
+        for b in self.bindings:
+            if b.name == name:
+                return b
+        raise KeyError(name)
+
+    def extend(self, more: List[CoreBinding]) -> "CoreProgram":
+        return CoreProgram(self.bindings + more)
+
+
+# --------------------------------------------------------------------------
+# Construction and traversal helpers
+# --------------------------------------------------------------------------
+
+def capp(fn: CoreExpr, *args: CoreExpr) -> CoreExpr:
+    out = fn
+    for a in args:
+        out = CApp(out, a)
+    return out
+
+
+def app_spine(expr: CoreExpr) -> Tuple[CoreExpr, List[CoreExpr]]:
+    args: List[CoreExpr] = []
+    while isinstance(expr, CApp):
+        args.append(expr.arg)
+        expr = expr.fn
+    args.reverse()
+    return expr, args
+
+
+def free_vars(expr: CoreExpr) -> List[str]:
+    """Free variables in first-occurrence order."""
+    out: List[str] = []
+    seen = set()
+
+    def go(e: CoreExpr, bound: frozenset) -> None:
+        if isinstance(e, CVar):
+            if e.name not in bound and e.name not in seen:
+                seen.add(e.name)
+                out.append(e.name)
+        elif isinstance(e, CApp):
+            go(e.fn, bound)
+            go(e.arg, bound)
+        elif isinstance(e, CLam):
+            go(e.body, bound | frozenset(e.params))
+        elif isinstance(e, CLet):
+            names = frozenset(n for n, _ in e.binds)
+            inner = bound | names if e.recursive else bound
+            for _, rhs in e.binds:
+                go(rhs, inner)
+            go(e.body, bound | names)
+        elif isinstance(e, CCase):
+            go(e.scrutinee, bound)
+            for alt in e.alts:
+                go(alt.body, bound | frozenset(alt.binders))
+            for lalt in e.lit_alts:
+                go(lalt.body, bound)
+            if e.default is not None:
+                go(e.default, bound)
+        elif isinstance(e, (CTuple, CDict)):
+            for item in e.items:
+                go(item, bound)
+        elif isinstance(e, CSel):
+            go(e.expr, bound)
+        # CLit, CCon: nothing
+
+    go(expr, frozenset())
+    return out
+
+
+def map_subexprs(expr: CoreExpr, fn) -> CoreExpr:
+    """Rebuild *expr* with *fn* applied to each immediate child."""
+    if isinstance(expr, CApp):
+        return CApp(fn(expr.fn), fn(expr.arg))
+    if isinstance(expr, CLam):
+        return CLam(list(expr.params), fn(expr.body))
+    if isinstance(expr, CLet):
+        return CLet([(n, fn(e)) for n, e in expr.binds], fn(expr.body),
+                    expr.recursive)
+    if isinstance(expr, CCase):
+        return CCase(
+            fn(expr.scrutinee),
+            [CAlt(a.con_name, list(a.binders), fn(a.body)) for a in expr.alts],
+            [CLitAlt(a.value, a.kind, fn(a.body)) for a in expr.lit_alts],
+            fn(expr.default) if expr.default is not None else None)
+    if isinstance(expr, CTuple):
+        return CTuple([fn(i) for i in expr.items])
+    if isinstance(expr, CDict):
+        return CDict([fn(i) for i in expr.items], expr.tag)
+    if isinstance(expr, CSel):
+        return CSel(expr.index, expr.arity, fn(expr.expr), expr.from_dict)
+    return expr
+
+
+def count_nodes(expr: CoreExpr) -> int:
+    n = 1
+    if isinstance(expr, CApp):
+        return 1 + count_nodes(expr.fn) + count_nodes(expr.arg)
+    if isinstance(expr, CLam):
+        return 1 + count_nodes(expr.body)
+    if isinstance(expr, CLet):
+        return (1 + sum(count_nodes(e) for _, e in expr.binds)
+                + count_nodes(expr.body))
+    if isinstance(expr, CCase):
+        n += count_nodes(expr.scrutinee)
+        for alt in expr.alts:
+            n += count_nodes(alt.body)
+        for lalt in expr.lit_alts:
+            n += count_nodes(lalt.body)
+        if expr.default is not None:
+            n += count_nodes(expr.default)
+        return n
+    if isinstance(expr, (CTuple, CDict)):
+        return 1 + sum(count_nodes(i) for i in expr.items)
+    if isinstance(expr, CSel):
+        return 1 + count_nodes(expr.expr)
+    return n

@@ -1,0 +1,253 @@
+"""Translation from (dictionary-converted) kernel AST to core IR.
+
+The type checker leaves a kernel program whose overloading has been
+made explicit; this pass finishes the job of reaching a runnable form:
+
+* **pattern-match compilation**: kernel ``case`` still has nested
+  patterns, guards (with fall-through semantics) and ``where`` clauses;
+  core ``case`` is flat.  Alternatives compile sequentially: each
+  alternative's failure continuation is let-bound (so code is linear,
+  not exponential) and guard failure falls through to it.
+* placeholder links (:class:`repro.lang.ast.PlaceholderExpr`) are read
+  through;
+* tuples in dictionary-constructor bindings become :class:`CDict`
+  nodes so the evaluator can count dictionary constructions;
+* string literals stay literal (the evaluator expands them to character
+  lists lazily); character-list *patterns* from desugared string
+  patterns compile to nested cases as usual.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import StaticError
+from repro.lang import ast
+from repro.util.names import NameSupply
+from repro.coreir.syntax import (
+    CAlt,
+    CApp,
+    CCase,
+    CCon,
+    CDict,
+    CLam,
+    CLet,
+    CLit,
+    CLitAlt,
+    CoreBinding,
+    CoreExpr,
+    CoreProgram,
+    CSel,
+    CTuple,
+    CVar,
+    capp,
+)
+
+
+class Translator:
+    def __init__(self, con_arity: Dict[str, int]) -> None:
+        """*con_arity* maps data constructor names to their arities
+        (needed to emit saturation-aware ``CCon`` nodes)."""
+        self.con_arity = con_arity
+        self.names = NameSupply()
+
+    # ------------------------------------------------------------ programs
+
+    def binding(self, name: str, expr: ast.Expr, kind: str,
+                dict_arity: int = 0) -> CoreBinding:
+        if kind == "dict":
+            return CoreBinding(name, self.dict_body(expr, name), kind,
+                               dict_arity)
+        if dict_arity > 0:
+            # Keep the dictionary lambda separate from the value lambda:
+            # the boundary is where hoisted dictionary constructions
+            # land (section 8.8) and where the inner entry point is
+            # introduced (section 7).
+            expr2 = ast.unwrap_placeholders(expr)
+            assert isinstance(expr2, ast.Lam) \
+                and len(expr2.params) == dict_arity
+            params = [p.name for p in expr2.params]  # type: ignore[union-attr]
+            return CoreBinding(name, CLam(params, self.expr(expr2.body)),
+                               kind, dict_arity)
+        return CoreBinding(name, self.expr(expr), kind, dict_arity)
+
+    def dict_body(self, expr: ast.Expr, tag: str) -> CoreExpr:
+        """Translate a dictionary-constructor binding, marking its
+        dictionary tuple for instrumentation."""
+        expr = ast.unwrap_placeholders(expr)
+        if isinstance(expr, ast.Lam):
+            params = [p.name for p in expr.params]  # type: ignore[union-attr]
+            return CLam(params, self.dict_body(expr.body, tag))
+        if isinstance(expr, ast.Let):
+            binds = []
+            for d in expr.decls:
+                assert isinstance(d, ast.FunBind) and d.is_simple
+                binds.append((d.name, self.dict_body(d.simple_rhs, tag)))
+            return CLet(binds, self.dict_body(expr.body, tag), recursive=True)
+        if isinstance(expr, ast.TupleExpr):
+            return CDict([self.expr(item) for item in expr.items], tag)
+        # Bare (single-slot) dictionary: the construction is the slot
+        # expression itself.
+        return self.expr(expr)
+
+    # --------------------------------------------------------- expressions
+
+    def expr(self, expr: ast.Expr) -> CoreExpr:
+        expr = ast.unwrap_placeholders(expr)
+        if isinstance(expr, ast.Var):
+            return CVar(expr.name)
+        if isinstance(expr, ast.Con):
+            arity = self.con_arity.get(expr.name)
+            if arity is None:
+                raise StaticError(f"unknown constructor {expr.name}", expr.pos)
+            return CCon(expr.name, arity)
+        if isinstance(expr, ast.Lit):
+            return CLit(expr.value, expr.kind)
+        if isinstance(expr, ast.App):
+            return CApp(self.expr(expr.fn), self.expr(expr.arg))
+        if isinstance(expr, ast.Lam):
+            params = []
+            for p in expr.params:
+                assert isinstance(p, ast.PVar)
+                params.append(p.name)
+            body = self.expr(expr.body)
+            # Merge directly nested lambdas for cheaper application.
+            if isinstance(body, CLam):
+                return CLam(params + body.params, body.body)
+            return CLam(params, body)
+        if isinstance(expr, ast.Let):
+            binds = []
+            names = []
+            for d in expr.decls:
+                if isinstance(d, ast.TypeSig):
+                    continue
+                assert isinstance(d, ast.FunBind) and d.is_simple
+                names.append(d.name)
+                binds.append((d.name, self.expr(d.simple_rhs)))
+            body = self.expr(expr.body)
+            if not binds:
+                return body
+            recursive = self._is_recursive(binds, names)
+            return CLet(binds, body, recursive)
+        if isinstance(expr, ast.If):
+            return CCase(
+                self.expr(expr.cond),
+                [CAlt("True", [], self.expr(expr.then_branch)),
+                 CAlt("False", [], self.expr(expr.else_branch))],
+                [], None)
+        if isinstance(expr, ast.Case):
+            return self.case_expr(expr)
+        if isinstance(expr, ast.TupleExpr):
+            return CTuple([self.expr(i) for i in expr.items])
+        if isinstance(expr, ast.PlaceholderExpr):
+            raise StaticError(
+                f"unresolved placeholder <{expr.payload}> reached the "
+                f"translator — the type checker must resolve all "
+                f"placeholders", expr.pos)
+        if isinstance(expr, ast.Annot):
+            return self.expr(expr.expr)
+        raise StaticError(f"cannot translate expression {expr!r}",
+                          getattr(expr, "pos", None))
+
+    @staticmethod
+    def _is_recursive(binds: List, names: List[str]) -> bool:
+        from repro.coreir.syntax import free_vars
+        bound = set(names)
+        for _, rhs in binds:
+            if bound & set(free_vars(rhs)):
+                return True
+        return False
+
+    # ------------------------------------------------ match compilation
+
+    def case_expr(self, expr: ast.Case) -> CoreExpr:
+        scrut = self.expr(expr.scrutinee)
+        scrut_var = self.names.fresh("m")
+        fail: CoreExpr = capp(
+            CVar("error"),
+            CLit("pattern match failure", "string"))
+        body = self.compile_alts(scrut_var, expr.alts, fail)
+        return CLet([(scrut_var, scrut)], body, recursive=False)
+
+    def compile_alts(self, scrut_var: str, alts: Sequence[ast.CaseAlt],
+                     fail: CoreExpr) -> CoreExpr:
+        """Compile alternatives sequentially, last-to-first, threading
+        the failure continuation through let-bound join points."""
+        result = fail
+        for alt in reversed(alts):
+            fail_var = self.names.fresh("fail")
+            success = self.alt_body(alt, CVar(fail_var))
+            matched = self.match_pattern(CVar(scrut_var), alt.pat,
+                                         success, CVar(fail_var))
+            result = CLet([(fail_var, result)], matched, recursive=False)
+        return result
+
+    def alt_body(self, alt: ast.CaseAlt, fail: CoreExpr) -> CoreExpr:
+        """The right-hand side of one alternative: guards become a
+        conditional chain falling through to *fail*; ``where`` wraps the
+        whole thing."""
+        out = fail
+        for rhs in reversed(alt.rhss):
+            body = self.expr(rhs.body)
+            if rhs.guard is None:
+                out = body
+            else:
+                out = CCase(self.expr(rhs.guard),
+                            [CAlt("True", [], body),
+                             CAlt("False", [], out)],
+                            [], None)
+        if alt.where_decls:
+            binds = []
+            names = []
+            for d in alt.where_decls:
+                if isinstance(d, ast.TypeSig):
+                    continue
+                assert isinstance(d, ast.FunBind) and d.is_simple
+                names.append(d.name)
+                binds.append((d.name, self.expr(d.simple_rhs)))
+            if binds:
+                out = CLet(binds, out, self._is_recursive(binds, names))
+        return out
+
+    def match_pattern(self, scrut: CoreExpr, pat: ast.Pat,
+                      success: CoreExpr, fail: CoreExpr) -> CoreExpr:
+        if isinstance(pat, ast.PWild):
+            return success
+        if isinstance(pat, ast.PVar):
+            return CLet([(pat.name, scrut)], success, recursive=False)
+        if isinstance(pat, ast.PAs):
+            return CLet([(pat.name, scrut)],
+                        self.match_pattern(CVar(pat.name), pat.pat,
+                                           success, fail),
+                        recursive=False)
+        if isinstance(pat, ast.PLit):
+            return CCase(scrut, [], [CLitAlt(pat.value, pat.kind, success)],
+                         fail)
+        if isinstance(pat, ast.PTuple):
+            binders = [self.names.fresh("p") for _ in pat.items]
+            body = success
+            for name, sub in reversed(list(zip(binders, pat.items))):
+                body = self.match_pattern(CVar(name), sub, body, fail)
+            con_name = "(" + "," * (len(pat.items) - 1) + ")"
+            return CCase(scrut, [CAlt(con_name, binders, body)], [], fail)
+        assert isinstance(pat, ast.PCon)
+        binders = [self.names.fresh("p") for _ in pat.args]
+        body = success
+        for name, sub in reversed(list(zip(binders, pat.args))):
+            body = self.match_pattern(CVar(name), sub, body, fail)
+        return CCase(scrut, [CAlt(pat.name, binders, body)], [], fail)
+
+
+def translate_bindings(compiled, con_arity: Dict[str, int]) -> CoreProgram:
+    """Translate a list of :class:`CompiledBinding` into a core program."""
+    tr = Translator(con_arity)
+    out = CoreProgram()
+    for b in compiled:
+        out.bindings.append(tr.binding(b.name, b.expr, b.kind,
+                                       len(b.dict_params)))
+    return out
+
+
+def translate_expr(expr: ast.Expr, con_arity: Dict[str, int]) -> CoreExpr:
+    """Translate a single (resolved) kernel expression."""
+    return Translator(con_arity).expr(expr)

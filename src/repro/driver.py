@@ -1,0 +1,286 @@
+"""The compilation pipeline and public entry points.
+
+    source text
+      -> lex/parse            (repro.lang.parser)
+      -> desugar              (repro.lang.desugar)
+      -> static analysis      (repro.core.static)
+      -> inference + dictionary conversion   (repro.core.infer)
+      -> selector generation  (repro.core.dictionary)
+      -> core translation     (repro.coreir.translate)
+      -> core optimisations   (repro.transform.*)
+      -> evaluation           (repro.coreir.eval)
+
+Use :func:`compile_source` for a one-shot compile (the prelude is
+compiled in front of the user program) and
+:meth:`CompiledProgram.run` / :meth:`CompiledProgram.eval` to execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import MonomorphismWarning
+from repro.core.infer import CompiledBinding, Inferencer, InferResult, TypeEnv, SchemeEntry
+from repro.core.dictionary import generate_selectors
+from repro.core.static import StaticEnv, analyze_program
+from repro.core.classes import ClassEnv
+from repro.core.types import Scheme, Type, qual_type_str
+from repro.coreir.eval import Evaluator, EvalStats, value_to_python, with_big_stack
+from repro.coreir.syntax import CoreProgram
+from repro.coreir.translate import Translator, translate_bindings
+from repro.lang.desugar import desugar_expr, desugar_program
+from repro.lang.parser import parse_expr, parse_program
+from repro.options import CompilerOptions
+from repro.prelude import PRELUDE_SOURCE, PRIMITIVES, primitive_schemes
+
+
+@dataclass
+class CompileStats:
+    """Front-end statistics (experiment E1 reads these)."""
+
+    unify_count: int = 0
+    context_reductions: int = 0
+    constraint_propagations: int = 0
+    bindings: int = 0
+
+
+class CompiledProgram:
+    """A fully compiled program, ready to run."""
+
+    def __init__(self, core: CoreProgram, result: InferResult,
+                 static_env: StaticEnv, options: CompilerOptions,
+                 inferencer: Inferencer) -> None:
+        self.core = core
+        self.static_env = static_env
+        self.class_env = static_env.class_env
+        self.options = options
+        self.schemes: Dict[str, Scheme] = result.schemes
+        self.warnings: List[MonomorphismWarning] = result.warnings
+        self._inferencer = inferencer
+        self.last_stats: Optional[EvalStats] = None
+        self.compile_stats = CompileStats(
+            unify_count=result.unifier.unify_count,
+            context_reductions=result.unifier.context_reduction_count,
+            constraint_propagations=result.unifier.constraint_propagations,
+            bindings=len(core.bindings),
+        )
+
+    # ------------------------------------------------------------- running
+
+    def evaluator(self, **overrides: Any) -> Evaluator:
+        call_by_need = overrides.get("call_by_need",
+                                     self.options.call_by_need)
+        step_limit = overrides.get("step_limit",
+                                   self.options.eval_step_limit)
+        return Evaluator(self.core, PRIMITIVES(), call_by_need=call_by_need,
+                         step_limit=step_limit)
+
+    def run(self, name: str = "main", deep: bool = True,
+            big_stack: bool = False, **overrides: Any) -> Any:
+        """Evaluate the top-level binding *name* to a Python value."""
+        evaluator = self.evaluator(**overrides)
+
+        def go() -> Any:
+            value = evaluator.run(name)
+            if deep:
+                return value_to_python(evaluator, value)
+            return value
+
+        result = with_big_stack(go) if big_stack else go()
+        self.last_stats = evaluator.stats
+        return result
+
+    def eval(self, source: str, deep: bool = True, big_stack: bool = False,
+             **overrides: Any) -> Any:
+        """Type check and evaluate an expression in this program's
+        scope (e.g. ``program.eval("member 2 [1,2,3]")``)."""
+        expr = desugar_expr(parse_expr(source),
+                            self.options.overload_literals)
+        n_before = len(self._inferencer.output)
+        _ty, resolved = self._inferencer.infer_expression(expr)
+        extra = self._inferencer.output[n_before:]
+        translator = Translator(self._arity_map())
+        core_extra = [translator.binding(b.name, b.expr, b.kind)
+                      for b in extra]
+        core_expr = translator.expr(resolved)
+        evaluator = Evaluator(self.core.extend(core_extra), PRIMITIVES(),
+                              call_by_need=overrides.get(
+                                  "call_by_need", self.options.call_by_need),
+                              step_limit=overrides.get(
+                                  "step_limit", self.options.eval_step_limit))
+
+        def go() -> Any:
+            value = evaluator.run_expr(core_expr)
+            if deep:
+                return value_to_python(evaluator, value)
+            return value
+
+        result = with_big_stack(go) if big_stack else go()
+        self.last_stats = evaluator.stats
+        return result
+
+    def type_of(self, source: str) -> str:
+        """The inferred (qualified) type of an expression, as a string —
+        handy for tests and the examples."""
+        expr = desugar_expr(parse_expr(source),
+                            self.options.overload_literals)
+        # Use a scratch inferencer so defaulting does not pollute state.
+        scratch = Inferencer(self.static_env, self.options,
+                             global_env=self._inferencer.env)
+        scratch.level += 1
+        ty, _ = scratch.infer_expr(expr, scratch.env)
+        scratch.level -= 1
+        return qual_type_str(ty)
+
+    def scheme_of(self, name: str) -> Optional[Scheme]:
+        return self.schemes.get(name)
+
+    def to_python(self, roots: Optional[List[str]] = None):
+        """Compile the core program to Python source and return a
+        runnable :class:`repro.coreir.pygen.PyProgram` — the compiled
+        backend, with the same §9 operation counters.
+
+        When *roots* is given, the program is tree-shaken to the
+        bindings reachable from them first.
+        """
+        from repro.coreir.pygen import PyProgram
+        core = self.core
+        if roots is not None:
+            from repro.transform.dce import shake
+            core = shake(core, roots)
+        return PyProgram(core)
+
+    def shake(self, roots: List[str]) -> "CompiledProgram":
+        """A copy of this program keeping only the bindings reachable
+        from *roots* (dead-code elimination; sound under laziness)."""
+        from repro.transform.dce import shake
+        import copy
+        clone = copy.copy(self)
+        clone.core = shake(self.core, roots)
+        return clone
+
+    def _arity_map(self) -> Dict[str, int]:
+        return {name: info.arity
+                for name, info in self.static_env.data_cons.items()}
+
+    def dump_core(self, names: Optional[List[str]] = None) -> str:
+        from repro.coreir.pretty import pp_program
+        return pp_program(self.core, names)
+
+    def info(self, name: str) -> str:
+        """Information about a name: for a class, its methods,
+        superclasses and instances; for a binding, its scheme; for a
+        data type, its constructors."""
+        lines: List[str] = []
+        if self.class_env.is_class(name):
+            cls = self.class_env.class_info(name)
+            header = f"class {name}"
+            if cls.superclasses:
+                ctx = ", ".join(f"{s} a" for s in cls.superclasses)
+                header = (f"class {ctx} => {name} a"
+                          if len(cls.superclasses) > 1
+                          else f"class {cls.superclasses[0]} a => {name} a")
+            else:
+                header = f"class {name} a"
+            lines.append(header + " where")
+            for method in cls.methods:
+                lines.append(f"  {method.name} :: {method.scheme}")
+            for inst in self.class_env.instances_of_class(name):
+                ctx = ""
+                preds = [f"{c} a{i}" for i, cs in enumerate(inst.context)
+                         for c in cs]
+                if preds:
+                    ctx = (f"({', '.join(preds)}) => " if len(preds) > 1
+                           else f"{preds[0]} => ")
+                lines.append(f"instance {ctx}{name} {inst.tycon_name}")
+            return "\n".join(lines)
+        if name in self.static_env.data_types:
+            info = self.static_env.data_types[name]
+            lines.append(f"data {name}  -- {info.n_params} parameter(s)")
+            for con in info.constructors:
+                lines.append(f"  {con.name} :: {con.scheme}")
+            return "\n".join(lines)
+        scheme = self.schemes.get(name)
+        if scheme is not None:
+            return f"{name} :: {scheme}"
+        return f"{name} is not defined"
+
+    def interface(self) -> str:
+        """An interface-file style listing (section 8.6: "interfaces
+        provide the signature of each definition in a module ... these
+        interface signatures define a specific ordering on the
+        dictionaries").  One line per user-visible binding; the printed
+        context order *is* the dictionary parameter order."""
+        lines = []
+        for name in sorted(self.schemes):
+            if "$" in name or "@" in name:
+                continue
+            lines.append(f"{name} :: {self.schemes[name]}")
+        return "\n".join(lines)
+
+
+def compile_source(source: str,
+                   options: Optional[CompilerOptions] = None,
+                   include_prelude: bool = True,
+                   filename: str = "<input>") -> CompiledProgram:
+    """Compile *source* (with the prelude) into a runnable program."""
+    options = options if options is not None else CompilerOptions()
+    class_env = ClassEnv(layout=options.dict_layout,
+                         single_slot_opt=options.single_slot_opt)
+    static_env = StaticEnv(class_env)
+
+    global_env = TypeEnv()
+    for name, scheme in primitive_schemes().items():
+        global_env.bind(name, SchemeEntry(scheme))
+
+    inferencer = Inferencer(static_env, options, global_env)
+    compiled: List[CompiledBinding] = []
+
+    sources = []
+    if include_prelude:
+        sources.append((PRELUDE_SOURCE, "<prelude>"))
+    sources.append((source, filename))
+
+    for text, fname in sources:
+        program = parse_program(text, fname)
+        program = desugar_program(program, options.overload_literals)
+        analyze_program(program, env=static_env)
+        # Methods may have been added by new classes: refresh entries.
+        inferencer._install_methods()
+        result = inferencer.infer_program(program)
+        compiled = result.bindings  # inferencer accumulates across calls
+
+    con_arity = {name: info.arity
+                 for name, info in static_env.data_cons.items()}
+    core = translate_bindings(compiled, con_arity)
+    core.bindings.extend(generate_selectors(class_env))
+    core = _optimize(core, options, class_env)
+
+    final = InferResult(compiled, inferencer.schemes, inferencer.warnings,
+                        inferencer.env, inferencer.unifier)
+    return CompiledProgram(core, final, static_env, options, inferencer)
+
+
+def _optimize(core: CoreProgram, options: CompilerOptions,
+              class_env: ClassEnv) -> CoreProgram:
+    if options.hoist_dictionaries:
+        from repro.transform.float_dicts import hoist_dictionaries
+        core = hoist_dictionaries(core)
+    if options.inner_entry_points:
+        from repro.transform.entrypoints import add_inner_entry_points
+        core = add_inner_entry_points(core)
+    if options.constant_dict_reduction:
+        from repro.transform.constdict import reduce_constant_dictionaries
+        core = reduce_constant_dictionaries(core)
+    if options.specialize:
+        from repro.transform.specialize import specialize_program
+        core = specialize_program(core)
+    return core
+
+
+def compile_and_run(source: str, name: str = "main",
+                    options: Optional[CompilerOptions] = None,
+                    **kwargs: Any) -> Any:
+    """Convenience: compile and immediately run one binding."""
+    return compile_source(source, options).run(name, **kwargs)

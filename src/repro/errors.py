@@ -1,0 +1,155 @@
+"""Diagnostics for every stage of the compiler.
+
+All compiler-raised conditions derive from :class:`ReproError` so that a
+driver (or a test) can catch the whole family at once.  Errors carry an
+optional source location; :meth:`ReproError.pretty` renders a message
+with the offending source line and a caret, in the style users expect
+from a production compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """A position in a source file: 1-based line and column."""
+
+    line: int
+    column: int
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the compiler."""
+
+    def __init__(self, message: str, pos: Optional[SourcePos] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.pos = pos
+
+    def __str__(self) -> str:
+        if self.pos is not None:
+            return f"{self.pos}: {self.message}"
+        return self.message
+
+    def pretty(self, source: Optional[str] = None) -> str:
+        """Render the error, quoting the offending line when available."""
+        header = str(self)
+        if source is None or self.pos is None:
+            return header
+        lines = source.splitlines()
+        if not 1 <= self.pos.line <= len(lines):
+            return header
+        src_line = lines[self.pos.line - 1]
+        caret = " " * (self.pos.column - 1) + "^"
+        return f"{header}\n  {src_line}\n  {caret}"
+
+
+class LexError(ReproError):
+    """Raised by the lexer: bad character, unterminated literal, bad layout."""
+
+
+class ParseError(ReproError):
+    """Raised by the parser on malformed syntax."""
+
+
+class StaticError(ReproError):
+    """Raised during static analysis (section 4): malformed or duplicate
+    data/class/instance declarations, unknown names, arity errors."""
+
+
+class DuplicateInstanceError(StaticError):
+    """Two instance declarations for the same (class, type constructor)
+    pair — section 4 requires instances to be unique."""
+
+
+class KindError(ReproError):
+    """Raised by kind inference when a type expression is ill-kinded."""
+
+
+class TypeCheckError(ReproError):
+    """Base class for errors raised during type inference proper."""
+
+
+class UnificationError(TypeCheckError):
+    """Two types cannot be made equal."""
+
+
+class OccursCheckError(UnificationError):
+    """A type variable would have to contain itself (infinite type)."""
+
+
+class NoInstanceError(TypeCheckError):
+    """Context reduction failed: an overloaded operator is used at a type
+    that is not an instance of the corresponding class (section 5)."""
+
+    def __init__(self, class_name: str, type_str: str,
+                 pos: Optional[SourcePos] = None) -> None:
+        super().__init__(
+            f"no instance for {class_name} {type_str}: the overloaded "
+            f"operation is used at a type that is not an instance of "
+            f"class {class_name}",
+            pos,
+        )
+        self.class_name = class_name
+        self.type_str = type_str
+
+
+class AmbiguityError(TypeCheckError):
+    """Placeholder resolution case 4 (section 6.3): a class constraint
+    mentions a type variable that appears neither in the parameter
+    environment nor in an enclosing binding, and defaulting failed."""
+
+    def __init__(self, class_names: List[str], type_str: str,
+                 pos: Optional[SourcePos] = None) -> None:
+        classes = ", ".join(class_names)
+        super().__init__(
+            f"ambiguous overloading: constraint(s) ({classes}) on type "
+            f"{type_str} cannot be resolved from the context of use and "
+            f"no default applies",
+            pos,
+        )
+        self.class_names = list(class_names)
+        self.type_str = type_str
+
+
+class SignatureError(TypeCheckError):
+    """A user-supplied signature (section 8.6) is violated: the inferred
+    type is more constrained or less general than the declared one."""
+
+
+class MonomorphismWarning:
+    """Not an error: a letrec binder whose own type does not mention the
+    full context of its group (section 8.3) — callable inside the group
+    but ambiguous from outside.  Collected, not raised."""
+
+    def __init__(self, name: str, missing: List[str]) -> None:
+        self.name = name
+        self.missing = list(missing)
+
+    def __str__(self) -> str:
+        return (
+            f"warning: {self.name} shares a recursive group whose context "
+            f"mentions {', '.join(self.missing)} not reflected in its own "
+            f"type; it can be called within the group but not from outside"
+        )
+
+    def __repr__(self) -> str:
+        return f"MonomorphismWarning({self.name!r}, {self.missing!r})"
+
+
+class EvalError(ReproError):
+    """Raised by the core evaluator: pattern match failure, bad primitive
+    application, user `error` calls."""
+
+
+class TagDispatchError(ReproError):
+    """Raised by the tag-dispatch baseline (section 3), notably when asked
+    to resolve overloading that is determined only by the *result* type
+    (e.g. `read`), which tags cannot express."""

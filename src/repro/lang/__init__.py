@@ -1,0 +1,15 @@
+"""The Mini-Haskell front end: lexer (with layout), AST, parser,
+pretty printer and desugarer.
+
+This package is pure substrate: the paper assumes a Haskell front end
+exists; we build the subset needed to express every program in the paper
+(classes, instances, data declarations, signatures, equations with
+guards, let/where, case, lambdas, lists, tuples, sections, operators
+with user-declared fixities, and the offside rule).
+"""
+
+from repro.lang.lexer import lex
+from repro.lang.parser import parse_program, parse_expr, parse_type
+from repro.lang.desugar import desugar_program
+
+__all__ = ["lex", "parse_program", "parse_expr", "parse_type", "desugar_program"]

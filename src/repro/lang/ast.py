@@ -1,0 +1,563 @@
+"""Abstract syntax for Mini-Haskell.
+
+Two layers share these node classes:
+
+* the **surface** syntax produced by the parser — multi-equation function
+  bindings, guards, ``where`` clauses, ``if``, list literals, operator
+  sections;
+* the **kernel** syntax consumed by the type checker, produced by
+  :mod:`repro.lang.desugar` — every binding is ``name = expr``, guards
+  and ``if`` have become ``case`` on ``Bool``, list literals have become
+  cons chains, and sections have become lambdas.
+
+The type checker also *rewrites* kernel expressions in place during
+dictionary conversion (section 6), so expression nodes are mutable
+dataclasses rather than frozen values; :class:`PlaceholderExpr` is the
+node the checker inserts and later resolves.
+
+Type expressions here are *syntax only* (``SType`` family); the semantic
+types live in :mod:`repro.core.types`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SourcePos
+
+
+# --------------------------------------------------------------------------
+# Type syntax
+# --------------------------------------------------------------------------
+
+class SType:
+    """Base class for type syntax trees."""
+
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class STyVar(SType):
+    name: str
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class STyCon(SType):
+    """A named type constructor: ``Int``, ``Bool``, ``[]``, ``(,)``, ``->``."""
+
+    name: str
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class STyApp(SType):
+    fn: SType
+    arg: SType
+    pos: Optional[SourcePos] = None
+
+
+def sty_fun(arg: SType, res: SType) -> SType:
+    """Build the syntax for ``arg -> res``."""
+    return STyApp(STyApp(STyCon("->"), arg), res)
+
+
+def sty_list(elem: SType) -> SType:
+    return STyApp(STyCon("[]"), elem)
+
+
+def sty_tuple(elems: List[SType]) -> SType:
+    t: SType = STyCon(tuple_con_name(len(elems)))
+    for e in elems:
+        t = STyApp(t, e)
+    return t
+
+
+def tuple_con_name(arity: int) -> str:
+    """The constructor name for an *arity*-tuple: ``(,)``, ``(,,)``, ..."""
+    return "(" + "," * (arity - 1) + ")"
+
+
+@dataclass
+class SPred:
+    """A class constraint ``C t`` in source syntax."""
+
+    class_name: str
+    type: SType
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class SQualType:
+    """A qualified type ``context => type``; the context may be empty."""
+
+    context: List[SPred]
+    type: SType
+    pos: Optional[SourcePos] = None
+
+
+# --------------------------------------------------------------------------
+# Patterns
+# --------------------------------------------------------------------------
+
+class Pat:
+    """Base class for patterns."""
+
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class PVar(Pat):
+    name: str
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class PWild(Pat):
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class PLit(Pat):
+    """Literal pattern.  ``kind`` is one of ``int float char string``."""
+
+    value: Any
+    kind: str
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class PCon(Pat):
+    """Constructor pattern, e.g. ``(x:xs)`` is ``PCon(":", [x, xs])``."""
+
+    name: str
+    args: List[Pat]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class PTuple(Pat):
+    items: List[Pat]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class PAs(Pat):
+    """As-pattern ``v@p``."""
+
+    name: str
+    pat: Pat
+    pos: Optional[SourcePos] = None
+
+
+def pat_vars(pat: Pat) -> List[str]:
+    """The variables bound by *pat*, in left-to-right order."""
+    out: List[str] = []
+
+    def go(p: Pat) -> None:
+        if isinstance(p, PVar):
+            out.append(p.name)
+        elif isinstance(p, PCon):
+            for a in p.args:
+                go(a)
+        elif isinstance(p, PTuple):
+            for a in p.items:
+                go(a)
+        elif isinstance(p, PAs):
+            out.append(p.name)
+            go(p.pat)
+
+    go(pat)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class for expressions (surface and kernel)."""
+
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Var(Expr):
+    name: str
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Con(Expr):
+    """A data constructor used as an expression."""
+
+    name: str
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Lit(Expr):
+    """Literal.  ``kind`` is one of ``int float char string``.
+
+    Integer literals are *overloaded*: the desugarer wraps them in
+    ``fromInteger`` so that ``double = \\x -> x + x`` works at every
+    ``Num`` type, which exercises placeholder ambiguity and defaulting
+    (section 6.3, case 4).
+    """
+
+    value: Any
+    kind: str
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class App(Expr):
+    fn: Expr
+    arg: Expr
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Lam(Expr):
+    """Lambda with pattern parameters.  The desugarer reduces parameter
+    patterns to variables (introducing a case) so the kernel only ever
+    sees ``PVar`` parameters."""
+
+    params: List[Pat]
+    body: Expr
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Let(Expr):
+    """``let decls in body``.  In the kernel the decls are Binding/TypeSig
+    only; dependency analysis inside the checker splits them into
+    minimal recursive groups (section 8.3)."""
+
+    decls: List["Decl"]
+    body: Expr
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class GuardedRhs:
+    """One ``| guard = body`` alternative of an equation or case alt."""
+
+    guard: Optional[Expr]  # None = unconditional
+    body: Expr
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class CaseAlt:
+    pat: Pat
+    rhss: List[GuardedRhs]
+    where_decls: List["Decl"] = field(default_factory=list)
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Case(Expr):
+    scrutinee: Expr
+    alts: List[CaseAlt]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class If(Expr):
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class TupleExpr(Expr):
+    items: List[Expr]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class ListExpr(Expr):
+    items: List[Expr]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Annot(Expr):
+    """Expression type annotation ``e :: qualtype`` (section 8.6)."""
+
+    expr: Expr
+    signature: SQualType
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class PlaceholderExpr(Expr):
+    """The ``<object, type>`` node of section 6.1.
+
+    Inserted by the type checker in place of overloaded variables,
+    methods and recursive references; replaced during placeholder
+    resolution at generalization.  ``payload`` is the live
+    :class:`repro.core.placeholders.Placeholder` record; after
+    resolution, ``resolved`` holds the replacement expression and the
+    translator reads through it.
+    """
+
+    payload: Any
+    resolved: Optional[Expr] = None
+    pos: Optional[SourcePos] = None
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+class Decl:
+    """Base class for declarations (top level and local)."""
+
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Equation:
+    """One defining equation ``f p1 ... pn | g = e where ...``."""
+
+    pats: List[Pat]
+    rhss: List[GuardedRhs]
+    where_decls: List[Decl] = field(default_factory=list)
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class FunBind(Decl):
+    """A function (or pattern-free variable) binding: one or more
+    equations for a single name.  After desugaring there is exactly one
+    equation with zero patterns and a single unconditional RHS."""
+
+    name: str
+    equations: List[Equation]
+    pos: Optional[SourcePos] = None
+    #: arity of the original surface equations; 0 means the user wrote a
+    #: pattern binding ``v = e``, which is what the monomorphism
+    #: restriction (section 8.7) keys off.
+    original_arity: int = 0
+
+    @property
+    def is_simple(self) -> bool:
+        """True for a kernel binding ``name = expr``."""
+        return (
+            len(self.equations) == 1
+            and not self.equations[0].pats
+            and len(self.equations[0].rhss) == 1
+            and self.equations[0].rhss[0].guard is None
+            and not self.equations[0].where_decls
+        )
+
+    @property
+    def simple_rhs(self) -> Expr:
+        assert self.is_simple, f"binding for {self.name} is not in kernel form"
+        return self.equations[0].rhss[0].body
+
+    def set_simple_rhs(self, expr: Expr) -> None:
+        assert self.is_simple
+        self.equations[0].rhss[0].body = expr
+
+
+@dataclass
+class TypeSig(Decl):
+    """``names :: context => type``."""
+
+    names: List[str]
+    signature: SQualType
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class ConDef:
+    """One constructor of a data declaration."""
+
+    name: str
+    arg_types: List[SType]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class DataDecl(Decl):
+    name: str
+    tyvars: List[str]
+    constructors: List[ConDef]
+    deriving: List[str] = field(default_factory=list)
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class TypeSynDecl(Decl):
+    """``type Name a1 ... an = rhs`` — expanded during static analysis;
+    type synonyms never reach the semantic type language."""
+
+    name: str
+    tyvars: List[str]
+    rhs: SType
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class ClassDecl(Decl):
+    """``class supers => C a where { sigs ; default bindings }``."""
+
+    superclasses: List[str]
+    name: str
+    tyvar: str
+    signatures: List[TypeSig]
+    defaults: List[FunBind]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class InstanceDecl(Decl):
+    """``instance context => C (T a1 ... an) where { bindings }``."""
+
+    context: List[SPred]
+    class_name: str
+    head: SType
+    bindings: List[FunBind]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class FixityDecl(Decl):
+    """``infixl/infixr/infix prec op, ...``."""
+
+    assoc: str  # 'l', 'r', or 'n'
+    precedence: int
+    operators: List[str]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class DefaultDecl(Decl):
+    """``default (T1, ..., Tn)`` — the types tried when resolving an
+    ambiguous numeric context (section 6.3 case 4)."""
+
+    types: List[SType]
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
+class Program:
+    """A parsed module: the flat list of top-level declarations."""
+
+    decls: List[Decl]
+
+    def bindings(self) -> List[FunBind]:
+        return [d for d in self.decls if isinstance(d, FunBind)]
+
+    def signatures(self) -> List[TypeSig]:
+        return [d for d in self.decls if isinstance(d, TypeSig)]
+
+    def data_decls(self) -> List[DataDecl]:
+        return [d for d in self.decls if isinstance(d, DataDecl)]
+
+    def class_decls(self) -> List[ClassDecl]:
+        return [d for d in self.decls if isinstance(d, ClassDecl)]
+
+    def instance_decls(self) -> List[InstanceDecl]:
+        return [d for d in self.decls if isinstance(d, InstanceDecl)]
+
+
+# --------------------------------------------------------------------------
+# Construction helpers (used by desugarer and tests)
+# --------------------------------------------------------------------------
+
+def apply_expr(fn: Expr, *args: Expr) -> Expr:
+    """Curried application ``fn a1 a2 ...``."""
+    out = fn
+    for a in args:
+        out = App(out, a, pos=getattr(a, "pos", None))
+    return out
+
+
+def lam(names: List[str], body: Expr) -> Lam:
+    """A lambda over simple variable parameters."""
+    return Lam([PVar(n) for n in names], body)
+
+
+def simple_bind(name: str, expr: Expr, pos: Optional[SourcePos] = None) -> FunBind:
+    """A kernel binding ``name = expr``."""
+    return FunBind(name, [Equation([], [GuardedRhs(None, expr)])], pos=pos)
+
+
+def unwrap_placeholders(expr: Expr) -> Expr:
+    """Follow resolved placeholder links to the final expression."""
+    while isinstance(expr, PlaceholderExpr) and expr.resolved is not None:
+        expr = expr.resolved
+    return expr
+
+
+def expr_free_vars(expr: Expr) -> List[str]:
+    """Free variables of a kernel expression, in first-occurrence order.
+
+    Used by dependency analysis to build binding groups.  Placeholders
+    contribute nothing (their resolution happens after grouping).
+    """
+    out: List[str] = []
+    seen = set()
+
+    def add(name: str, bound: frozenset) -> None:
+        if name not in bound and name not in seen:
+            seen.add(name)
+            out.append(name)
+
+    def go(e: Expr, bound: frozenset) -> None:
+        e = unwrap_placeholders(e)
+        if isinstance(e, Var):
+            add(e.name, bound)
+        elif isinstance(e, App):
+            go(e.fn, bound)
+            go(e.arg, bound)
+        elif isinstance(e, Lam):
+            inner = bound
+            for p in e.params:
+                inner = inner | frozenset(pat_vars(p))
+            go(e.body, inner)
+        elif isinstance(e, Let):
+            names = frozenset(
+                d.name for d in e.decls if isinstance(d, FunBind))
+            inner = bound | names
+            for d in e.decls:
+                if isinstance(d, FunBind):
+                    for eq in d.equations:
+                        eq_bound = inner
+                        for p in eq.pats:
+                            eq_bound = eq_bound | frozenset(pat_vars(p))
+                        for rhs in eq.rhss:
+                            if rhs.guard is not None:
+                                go(rhs.guard, eq_bound)
+                            go(rhs.body, eq_bound)
+            go(e.body, inner)
+        elif isinstance(e, Case):
+            go(e.scrutinee, bound)
+            for alt in e.alts:
+                inner = bound | frozenset(pat_vars(alt.pat))
+                for rhs in alt.rhss:
+                    if rhs.guard is not None:
+                        go(rhs.guard, inner)
+                    go(rhs.body, inner)
+        elif isinstance(e, If):
+            go(e.cond, bound)
+            go(e.then_branch, bound)
+            go(e.else_branch, bound)
+        elif isinstance(e, TupleExpr):
+            for item in e.items:
+                go(item, bound)
+        elif isinstance(e, ListExpr):
+            for item in e.items:
+                go(item, bound)
+        elif isinstance(e, Annot):
+            go(e.expr, bound)
+        # Var/Con/Lit/PlaceholderExpr(unresolved): nothing more to do
+
+    go(expr, frozenset())
+    return out

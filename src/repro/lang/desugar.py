@@ -1,0 +1,269 @@
+"""Desugaring: surface syntax to kernel syntax.
+
+The type checker (and after it, dictionary conversion) works on a small
+kernel.  This pass establishes its invariants:
+
+* every ``FunBind`` is *simple*: one equation, zero patterns, one
+  unconditional right-hand side, no ``where`` — multi-equation
+  definitions become a lambda over fresh variables and a single ``case``
+  with one alternative per equation (guards survive on the
+  alternatives; the pattern-match compiler gives them fall-through
+  semantics after type checking);
+* ``where`` clauses on equations become ``let``; ``where`` clauses on
+  case alternatives are kept (the checker scopes them like ``let``);
+* list literals become cons chains; string *patterns* become cons
+  chains of character patterns;
+* numeric literal patterns become fresh variables plus an ``==`` guard,
+  which is what gives them their Haskell meaning (they require ``Eq``
+  and ``Num`` — an overloaded comparison, not a structural match);
+* integer literals in expressions are wrapped in ``fromInteger`` so
+  that numerals are overloaded over ``Num`` (this is what makes the
+  paper's ``double = \\x -> x + x`` work at every numeric type, and
+  what exercises ambiguity/defaulting in section 6.3 case 4);
+* lambda parameters are plain variables (pattern parameters go through
+  a ``case``).
+
+Class default methods and instance method bindings are desugared with
+the same rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.util.names import NameSupply
+
+
+class Desugarer:
+    def __init__(self, overload_literals: bool = True) -> None:
+        self.names = NameSupply()
+        self.overload_literals = overload_literals
+
+    # ------------------------------------------------------------- programs
+
+    def program(self, program: ast.Program) -> ast.Program:
+        out: List[ast.Decl] = []
+        for decl in program.decls:
+            out.append(self.top_decl(decl))
+        return ast.Program(out)
+
+    def top_decl(self, decl: ast.Decl) -> ast.Decl:
+        if isinstance(decl, ast.FunBind):
+            return self.fun_bind(decl)
+        if isinstance(decl, ast.ClassDecl):
+            return ast.ClassDecl(
+                decl.superclasses, decl.name, decl.tyvar, decl.signatures,
+                [self.fun_bind(d) for d in decl.defaults], pos=decl.pos)
+        if isinstance(decl, ast.InstanceDecl):
+            return ast.InstanceDecl(
+                decl.context, decl.class_name, decl.head,
+                [self.fun_bind(b) for b in decl.bindings], pos=decl.pos)
+        return decl
+
+    # ------------------------------------------------------------- bindings
+
+    def fun_bind(self, bind: ast.FunBind) -> ast.FunBind:
+        arity = len(bind.equations[0].pats)
+        for eq in bind.equations:
+            if len(eq.pats) != arity:
+                raise ParseError(
+                    f"equations for '{bind.name}' differ in arity", eq.pos)
+        if arity == 0:
+            if len(bind.equations) != 1:
+                raise ParseError(
+                    f"multiple equations for pattern-free binding "
+                    f"'{bind.name}'", bind.pos)
+            body = self.rhs_expr(bind.equations[0])
+            out = ast.simple_bind(bind.name, body, pos=bind.pos)
+            out.original_arity = 0
+            return out
+        # f p11 .. p1n = e1 ; ...   ==>
+        # f = \v1 .. vn -> case (v1, ..., vn) of (p11, ..., p1n) -> e1 ; ...
+        params = [self.names.fresh("v") for _ in range(arity)]
+        alts: List[ast.CaseAlt] = []
+        for eq in bind.equations:
+            pats = [self.pattern(p) for p in eq.pats]
+            pats, extra_guards = self.lift_literal_pats(pats)
+            rhss = [self.guarded(r, extra_guards) for r in eq.rhss]
+            pat: ast.Pat = pats[0] if arity == 1 else ast.PTuple(pats)
+            alts.append(ast.CaseAlt(
+                pat, rhss,
+                [self.local_decl(d) for d in eq.where_decls], pos=eq.pos))
+        scrutinee: ast.Expr
+        if arity == 1:
+            scrutinee = ast.Var(params[0], pos=bind.pos)
+        else:
+            scrutinee = ast.TupleExpr(
+                [ast.Var(p, pos=bind.pos) for p in params], pos=bind.pos)
+        body = ast.Lam([ast.PVar(p) for p in params],
+                       ast.Case(scrutinee, alts, pos=bind.pos), pos=bind.pos)
+        out = ast.simple_bind(bind.name, body, pos=bind.pos)
+        out.original_arity = arity
+        return out
+
+    def rhs_expr(self, eq: ast.Equation) -> ast.Expr:
+        """The kernel body of a zero-pattern equation."""
+        if len(eq.rhss) == 1 and eq.rhss[0].guard is None:
+            body = self.expr(eq.rhss[0].body)
+        else:
+            # Guarded pattern-free binding: chain of conditionals ending
+            # in a run-time error.
+            body = self.guards_to_if(
+                [self.guarded(r, []) for r in eq.rhss],
+                ast.apply_expr(ast.Var("error"),
+                               ast.Lit("no matching guard", "string")))
+        if eq.where_decls:
+            body = ast.Let([self.local_decl(d) for d in eq.where_decls],
+                           body, pos=eq.pos)
+        return body
+
+    def guards_to_if(self, rhss: List[ast.GuardedRhs],
+                     otherwise: ast.Expr) -> ast.Expr:
+        out = otherwise
+        for rhs in reversed(rhss):
+            if rhs.guard is None:
+                out = rhs.body
+            else:
+                out = ast.If(rhs.guard, rhs.body, out, pos=rhs.pos)
+        return out
+
+    def guarded(self, rhs: ast.GuardedRhs,
+                extra_guards: List[ast.Expr]) -> ast.GuardedRhs:
+        guard = self.expr(rhs.guard) if rhs.guard is not None else None
+        for extra in reversed(extra_guards):
+            guard = extra if guard is None else _and(extra, guard)
+        return ast.GuardedRhs(guard, self.expr(rhs.body), pos=rhs.pos)
+
+    def local_decl(self, decl: ast.Decl) -> ast.Decl:
+        if isinstance(decl, ast.FunBind):
+            return self.fun_bind(decl)
+        return decl  # type signatures pass through
+
+    # ------------------------------------------------------------- patterns
+
+    def pattern(self, pat: ast.Pat) -> ast.Pat:
+        """Normalise a pattern: strings become char-cons chains."""
+        if isinstance(pat, ast.PLit) and pat.kind == "string":
+            out: ast.Pat = ast.PCon("[]", [], pos=pat.pos)
+            for ch in reversed(str(pat.value)):
+                out = ast.PCon(":", [ast.PLit(ch, "char", pos=pat.pos), out],
+                               pos=pat.pos)
+            return out
+        if isinstance(pat, ast.PCon):
+            return ast.PCon(pat.name, [self.pattern(a) for a in pat.args],
+                            pos=pat.pos)
+        if isinstance(pat, ast.PTuple):
+            return ast.PTuple([self.pattern(a) for a in pat.items], pos=pat.pos)
+        if isinstance(pat, ast.PAs):
+            return ast.PAs(pat.name, self.pattern(pat.pat), pos=pat.pos)
+        return pat
+
+    def lift_literal_pats(
+            self, pats: List[ast.Pat]) -> Tuple[List[ast.Pat], List[ast.Expr]]:
+        """Replace numeric literal patterns with fresh variables guarded
+        by overloaded equality tests (``v == 3``)."""
+        guards: List[ast.Expr] = []
+
+        def go(p: ast.Pat) -> ast.Pat:
+            if isinstance(p, ast.PLit) and p.kind in ("int", "float"):
+                fresh = self.names.fresh("lit")
+                guards.append(ast.apply_expr(
+                    ast.Var("=="),
+                    ast.Var(fresh, pos=p.pos),
+                    self.literal(p.value, p.kind, p.pos)))
+                return ast.PVar(fresh, pos=p.pos)
+            if isinstance(p, ast.PCon):
+                return ast.PCon(p.name, [go(a) for a in p.args], pos=p.pos)
+            if isinstance(p, ast.PTuple):
+                return ast.PTuple([go(a) for a in p.items], pos=p.pos)
+            if isinstance(p, ast.PAs):
+                return ast.PAs(p.name, go(p.pat), pos=p.pos)
+            return p
+
+        return [go(p) for p in pats], guards
+
+    # ---------------------------------------------------------- expressions
+
+    def literal(self, value: object, kind: str,
+                pos: Optional[object] = None) -> ast.Expr:
+        lit = ast.Lit(value, kind, pos=pos)
+        if kind == "int" and self.overload_literals:
+            return ast.App(ast.Var("fromInteger", pos=pos), lit, pos=pos)
+        return lit
+
+    def expr(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Lit):
+            return self.literal(expr.value, expr.kind, expr.pos)
+        if isinstance(expr, (ast.Var, ast.Con)):
+            return expr
+        if isinstance(expr, ast.App):
+            return ast.App(self.expr(expr.fn), self.expr(expr.arg), pos=expr.pos)
+        if isinstance(expr, ast.Lam):
+            return self.lam(expr)
+        if isinstance(expr, ast.Let):
+            decls = [self.local_decl(d) for d in expr.decls]
+            return ast.Let(decls, self.expr(expr.body), pos=expr.pos)
+        if isinstance(expr, ast.If):
+            return ast.If(self.expr(expr.cond), self.expr(expr.then_branch),
+                          self.expr(expr.else_branch), pos=expr.pos)
+        if isinstance(expr, ast.Case):
+            alts = []
+            for alt in expr.alts:
+                pat = self.pattern(alt.pat)
+                [pat], extra = self.lift_literal_pats([pat])
+                rhss = [self.guarded(r, extra) for r in alt.rhss]
+                alts.append(ast.CaseAlt(
+                    pat, rhss, [self.local_decl(d) for d in alt.where_decls],
+                    pos=alt.pos))
+            return ast.Case(self.expr(expr.scrutinee), alts, pos=expr.pos)
+        if isinstance(expr, ast.TupleExpr):
+            return ast.TupleExpr([self.expr(e) for e in expr.items], pos=expr.pos)
+        if isinstance(expr, ast.ListExpr):
+            out: ast.Expr = ast.Con("[]", pos=expr.pos)
+            for item in reversed(expr.items):
+                out = ast.apply_expr(ast.Con(":", pos=expr.pos),
+                                     self.expr(item), out)
+            return out
+        if isinstance(expr, ast.Annot):
+            return ast.Annot(self.expr(expr.expr), expr.signature, pos=expr.pos)
+        raise ParseError(f"cannot desugar expression {expr!r}",
+                         getattr(expr, "pos", None))
+
+    def lam(self, expr: ast.Lam) -> ast.Expr:
+        body = self.expr(expr.body)
+        if all(isinstance(p, ast.PVar) for p in expr.params):
+            return ast.Lam(expr.params, body, pos=expr.pos)
+        # \p1 p2 -> e   ==>   \v1 v2 -> case (v1, v2) of (p1, p2) -> e
+        params: List[ast.Pat] = []
+        pats = [self.pattern(p) for p in expr.params]
+        pats, extra = self.lift_literal_pats(pats)
+        fresh = [self.names.fresh("v") for _ in pats]
+        params = [ast.PVar(v) for v in fresh]
+        if len(pats) == 1:
+            scrutinee: ast.Expr = ast.Var(fresh[0], pos=expr.pos)
+            pat: ast.Pat = pats[0]
+        else:
+            scrutinee = ast.TupleExpr([ast.Var(v) for v in fresh], pos=expr.pos)
+            pat = ast.PTuple(pats)
+        rhss = [ast.GuardedRhs(None, body, pos=expr.pos)]
+        if extra:
+            rhss = [self.guarded(rhss[0], extra)]
+        return ast.Lam(params, ast.Case(scrutinee, [ast.CaseAlt(pat, rhss)],
+                                        pos=expr.pos), pos=expr.pos)
+
+
+def _and(a: ast.Expr, b: ast.Expr) -> ast.Expr:
+    return ast.apply_expr(ast.Var("&&"), a, b)
+
+
+def desugar_program(program: ast.Program,
+                    overload_literals: bool = True) -> ast.Program:
+    """Desugar a parsed module into kernel form."""
+    return Desugarer(overload_literals).program(program)
+
+
+def desugar_expr(expr: ast.Expr, overload_literals: bool = True) -> ast.Expr:
+    """Desugar a single expression into kernel form."""
+    return Desugarer(overload_literals).expr(expr)

@@ -1,0 +1,212 @@
+"""Pretty printing for surface/kernel syntax and type syntax.
+
+Used in error messages, compiler dumps (``dump_kernel``) and golden
+tests.  The output is valid Mini-Haskell for the surface fragment,
+except for placeholder nodes which print as ``<obj, t>`` in the paper's
+notation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+
+
+def pp_type(ty: ast.SType) -> str:
+    return _pp_type(ty, 0)
+
+
+def _pp_type(ty: ast.SType, prec: int) -> str:
+    if isinstance(ty, ast.STyVar):
+        return ty.name
+    if isinstance(ty, ast.STyCon):
+        return ty.name
+    if isinstance(ty, ast.STyApp):
+        parts = _spine(ty)
+        head = parts[0]
+        args = parts[1:]
+        if isinstance(head, ast.STyCon) and head.name == "->" and len(args) == 2:
+            inner = f"{_pp_type(args[0], 1)} -> {_pp_type(args[1], 0)}"
+            return f"({inner})" if prec > 0 else inner
+        if isinstance(head, ast.STyCon) and head.name == "[]" and len(args) == 1:
+            return f"[{_pp_type(args[0], 0)}]"
+        if isinstance(head, ast.STyCon) and head.name.startswith("(,") \
+                and len(args) == head.name.count(",") + 1:
+            return "(" + ", ".join(_pp_type(a, 0) for a in args) + ")"
+        inner = " ".join([_pp_type(head, 2)] + [_pp_type(a, 2) for a in args])
+        return f"({inner})" if prec > 1 else inner
+    return repr(ty)
+
+
+def _spine(ty: ast.SType) -> List[ast.SType]:
+    args: List[ast.SType] = []
+    while isinstance(ty, ast.STyApp):
+        args.append(ty.arg)
+        ty = ty.fn
+    args.append(ty)
+    args.reverse()
+    return args
+
+
+def pp_qual_type(q: ast.SQualType) -> str:
+    body = pp_type(q.type)
+    if not q.context:
+        return body
+    preds = ", ".join(f"{p.class_name} {_pp_type(p.type, 2)}" for p in q.context)
+    if len(q.context) == 1:
+        return f"{preds} => {body}"
+    return f"({preds}) => {body}"
+
+
+def pp_pat(pat: ast.Pat) -> str:
+    return _pp_pat(pat, 0)
+
+
+def _pp_pat(pat: ast.Pat, prec: int) -> str:
+    if isinstance(pat, ast.PVar):
+        return pat.name
+    if isinstance(pat, ast.PWild):
+        return "_"
+    if isinstance(pat, ast.PLit):
+        return _pp_literal(pat.value, pat.kind)
+    if isinstance(pat, ast.PAs):
+        return f"{pat.name}@{_pp_pat(pat.pat, 2)}"
+    if isinstance(pat, ast.PTuple):
+        return "(" + ", ".join(_pp_pat(p, 0) for p in pat.items) + ")"
+    if isinstance(pat, ast.PCon):
+        if pat.name == ":" and len(pat.args) == 2:
+            inner = f"{_pp_pat(pat.args[0], 1)} : {_pp_pat(pat.args[1], 0)}"
+            return f"({inner})" if prec > 0 else inner
+        if not pat.args:
+            return pat.name
+        inner = " ".join([pat.name] + [_pp_pat(a, 2) for a in pat.args])
+        return f"({inner})" if prec > 1 else inner
+    return repr(pat)
+
+
+def _pp_literal(value: object, kind: str) -> str:
+    if kind == "char":
+        return repr(str(value)).replace('"', "'")
+    if kind == "string":
+        return '"' + str(value).replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return str(value)
+
+
+def pp_expr(expr: ast.Expr) -> str:
+    return _pp_expr(expr, 0)
+
+
+def _pp_expr(expr: ast.Expr, prec: int) -> str:
+    expr = ast.unwrap_placeholders(expr)
+    if isinstance(expr, ast.Var):
+        if expr.name and not (expr.name[0].isalpha() or expr.name[0] == "_"):
+            return f"({expr.name})"
+        return expr.name
+    if isinstance(expr, ast.Con):
+        if expr.name == ":":
+            return "(:)"
+        return expr.name
+    if isinstance(expr, ast.Lit):
+        return _pp_literal(expr.value, expr.kind)
+    if isinstance(expr, ast.PlaceholderExpr):
+        return f"<{expr.payload}>"
+    if isinstance(expr, ast.App):
+        fn = _pp_expr(expr.fn, 10)
+        arg = _pp_expr(expr.arg, 11)
+        inner = f"{fn} {arg}"
+        return f"({inner})" if prec > 10 else inner
+    if isinstance(expr, ast.Lam):
+        pats = " ".join(_pp_pat(p, 2) for p in expr.params)
+        inner = f"\\{pats} -> {_pp_expr(expr.body, 0)}"
+        return f"({inner})" if prec > 0 else inner
+    if isinstance(expr, ast.Let):
+        decls = "; ".join(pp_decl(d) for d in expr.decls)
+        inner = f"let {{ {decls} }} in {_pp_expr(expr.body, 0)}"
+        return f"({inner})" if prec > 0 else inner
+    if isinstance(expr, ast.If):
+        inner = (f"if {_pp_expr(expr.cond, 0)} "
+                 f"then {_pp_expr(expr.then_branch, 0)} "
+                 f"else {_pp_expr(expr.else_branch, 0)}")
+        return f"({inner})" if prec > 0 else inner
+    if isinstance(expr, ast.Case):
+        alts = "; ".join(_pp_alt(a) for a in expr.alts)
+        inner = f"case {_pp_expr(expr.scrutinee, 0)} of {{ {alts} }}"
+        return f"({inner})" if prec > 0 else inner
+    if isinstance(expr, ast.TupleExpr):
+        return "(" + ", ".join(_pp_expr(e, 0) for e in expr.items) + ")"
+    if isinstance(expr, ast.ListExpr):
+        return "[" + ", ".join(_pp_expr(e, 0) for e in expr.items) + "]"
+    if isinstance(expr, ast.Annot):
+        inner = f"{_pp_expr(expr.expr, 1)} :: {pp_qual_type(expr.signature)}"
+        return f"({inner})" if prec > 0 else inner
+    return repr(expr)
+
+
+def _pp_alt(alt: ast.CaseAlt) -> str:
+    parts = []
+    for rhs in alt.rhss:
+        if rhs.guard is None:
+            parts.append(f"-> {_pp_expr(rhs.body, 0)}")
+        else:
+            parts.append(f"| {_pp_expr(rhs.guard, 0)} -> {_pp_expr(rhs.body, 0)}")
+    body = " ".join(parts)
+    if alt.where_decls:
+        decls = "; ".join(pp_decl(d) for d in alt.where_decls)
+        body += f" where {{ {decls} }}"
+    return f"{pp_pat(alt.pat)} {body}"
+
+
+def pp_decl(decl: ast.Decl) -> str:
+    if isinstance(decl, ast.TypeSig):
+        return f"{', '.join(decl.names)} :: {pp_qual_type(decl.signature)}"
+    if isinstance(decl, ast.FunBind):
+        lines = []
+        for eq in decl.equations:
+            lhs = " ".join([decl.name] + [_pp_pat(p, 2) for p in eq.pats])
+            for rhs in eq.rhss:
+                if rhs.guard is None:
+                    lines.append(f"{lhs} = {_pp_expr(rhs.body, 0)}")
+                else:
+                    lines.append(
+                        f"{lhs} | {_pp_expr(rhs.guard, 0)} = {_pp_expr(rhs.body, 0)}")
+            if eq.where_decls:
+                decls = "; ".join(pp_decl(d) for d in eq.where_decls)
+                lines[-1] += f" where {{ {decls} }}"
+        return "; ".join(lines)
+    if isinstance(decl, ast.DataDecl):
+        cons = " | ".join(
+            " ".join([c.name] + [_pp_type(t, 2) for t in c.arg_types])
+            for c in decl.constructors)
+        base = f"data {' '.join([decl.name] + decl.tyvars)} = {cons}"
+        if decl.deriving:
+            base += f" deriving ({', '.join(decl.deriving)})"
+        return base
+    if isinstance(decl, ast.ClassDecl):
+        ctx = ""
+        if decl.superclasses:
+            preds = ", ".join(f"{s} {decl.tyvar}" for s in decl.superclasses)
+            ctx = f"({preds}) => " if len(decl.superclasses) > 1 else f"{preds} => "
+        sigs = "; ".join(pp_decl(s) for s in decl.signatures)
+        dflts = "; ".join(pp_decl(d) for d in decl.defaults)
+        body = "; ".join(x for x in (sigs, dflts) if x)
+        return f"class {ctx}{decl.name} {decl.tyvar} where {{ {body} }}"
+    if isinstance(decl, ast.InstanceDecl):
+        ctx = ""
+        if decl.context:
+            preds = ", ".join(
+                f"{p.class_name} {_pp_type(p.type, 2)}" for p in decl.context)
+            ctx = f"({preds}) => " if len(decl.context) > 1 else f"{preds} => "
+        body = "; ".join(pp_decl(b) for b in decl.bindings)
+        return (f"instance {ctx}{decl.class_name} "
+                f"{_pp_type(decl.head, 2)} where {{ {body} }}")
+    if isinstance(decl, ast.FixityDecl):
+        word = {"l": "infixl", "r": "infixr", "n": "infix"}[decl.assoc]
+        return f"{word} {decl.precedence} {', '.join(decl.operators)}"
+    if isinstance(decl, ast.DefaultDecl):
+        return "default (" + ", ".join(pp_type(t) for t in decl.types) + ")"
+    return repr(decl)
+
+
+def pp_program(program: ast.Program) -> str:
+    return "\n".join(pp_decl(d) for d in program.decls)

@@ -1,0 +1,64 @@
+"""Compiler configuration.
+
+Every optimisation and language rule the paper discusses as a choice is
+a flag here, so that the benchmarks can run controlled ablations:
+
+* ``dict_layout`` / ``single_slot_opt`` — section 8.1 (nested vs
+  flattened dictionaries; bare dictionaries for single-slot classes);
+* ``monomorphism_restriction`` — section 8.7;
+* ``defaulting`` — section 6.3 case 4;
+* ``overload_literals`` — whether integer literals go through
+  ``fromInteger`` (Haskell behaviour) or are monomorphic ``Int``;
+* ``hoist_dictionaries`` — section 8.8 (float dictionary construction
+  out of lambdas; the full-laziness cure for repeated construction);
+* ``inner_entry_points`` — sections 6.3/7 (avoid passing dictionaries
+  to recursive calls by entering past the dictionary lambda);
+* ``specialize`` — section 9 (type-specific clones of overloaded
+  functions at constant dictionaries);
+* ``constant_dict_reduction`` — section 8.4 (overloaded local functions
+  used at a single overloading collapse to that overloading);
+* ``call_by_need`` — the evaluator's sharing mode; switching it off
+  (call-by-name) reproduces the "implementation that is not fully lazy"
+  whose repeated dictionary construction motivates section 8.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+
+@dataclass
+class CompilerOptions:
+    # ---- language rules
+    monomorphism_restriction: bool = True
+    defaulting: bool = True
+    overload_literals: bool = True
+
+    # ---- dictionary representation (section 8.1)
+    dict_layout: str = "nested"  # "nested" | "flat"
+    single_slot_opt: bool = True
+
+    # ---- optimisations
+    hoist_dictionaries: bool = True       # section 8.8
+    inner_entry_points: bool = True       # sections 6.3 / 7
+    specialize: bool = False              # section 9
+    constant_dict_reduction: bool = False  # section 8.4
+
+    # ---- evaluator
+    call_by_need: bool = True
+    eval_step_limit: int = 0  # 0 = unlimited
+
+    def with_(self, **kwargs) -> "CompilerOptions":
+        """A copy with some fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+#: The configuration closest to the paper's "naive translation": no
+#: hoisting, no inner entry points, no specialisation.
+NAIVE = CompilerOptions(hoist_dictionaries=False, inner_entry_points=False,
+                        specialize=False, constant_dict_reduction=False)
+
+#: Everything on.
+OPTIMIZED = CompilerOptions(hoist_dictionaries=True, inner_entry_points=True,
+                            specialize=True, constant_dict_reduction=True)

@@ -1,0 +1,15 @@
+"""The standard prelude: primitive operations (Python-implemented) and
+the Mini-Haskell prelude source (classes Eq, Ord, Text, Num,
+Fractional; instances for the built-in types; list and character
+utilities).
+
+The paper's running examples — ``==`` with instances for ``Int`` and
+lists, ``member``, numeric overloading for ``double``, ``print`` /
+``read`` on the ``Text`` class — all live here in source form and are
+compiled by the same pipeline as user programs.
+"""
+
+from repro.prelude.primitives import PRIMITIVES, primitive_schemes
+from repro.prelude.source import PRELUDE_SOURCE
+
+__all__ = ["PRIMITIVES", "primitive_schemes", "PRELUDE_SOURCE"]

@@ -1,0 +1,261 @@
+"""Primitive operations.
+
+Primitives are the leaves the prelude builds on: machine arithmetic,
+comparisons, character codes, and ``error``.  Each primitive has
+
+* a run-time implementation over evaluator values (strict in the
+  arguments it inspects), and
+* a type scheme, used to seed the initial type environment.
+
+Everything else — Bool, lists, show/reads, even integer parsing — is
+written in Mini-Haskell in the prelude source and compiled by the
+normal pipeline, exactly the layering a real Haskell system uses
+("instance Eq Int where (==) = primEqInt", section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import EvalError
+from repro.core.types import (
+    Scheme,
+    T_BOOL,
+    T_CHAR,
+    T_FLOAT,
+    T_INT,
+    T_STRING,
+    TyGen,
+    fn_types,
+)
+from repro.coreir.eval import (
+    Evaluator,
+    Value,
+    VChar,
+    VCon,
+    VFloat,
+    VInt,
+    VPrim,
+    value_to_python,
+)
+
+
+def _bool(b: bool) -> Value:
+    return VCon("True" if b else "False", [])
+
+
+def _int_bin(op: Callable[[int, int], int]):
+    def prim(ev: Evaluator, a, b) -> Value:
+        return VInt(op(ev.force(a).value, ev.force(b).value))
+    return prim
+
+
+def _int_cmp(op: Callable[[int, int], bool]):
+    def prim(ev: Evaluator, a, b) -> Value:
+        return _bool(op(ev.force(a).value, ev.force(b).value))
+    return prim
+
+
+def _float_bin(op: Callable[[float, float], float]):
+    def prim(ev: Evaluator, a, b) -> Value:
+        return VFloat(op(ev.force(a).value, ev.force(b).value))
+    return prim
+
+
+def _float_cmp(op: Callable[[float, float], bool]):
+    def prim(ev: Evaluator, a, b) -> Value:
+        return _bool(op(ev.force(a).value, ev.force(b).value))
+    return prim
+
+
+def _div_int(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("division by zero")
+    # Haskell's div truncates toward negative infinity, like Python.
+    return a // b
+
+
+def _mod_int(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("division by zero")
+    return a % b
+
+
+def _div_float(a: float, b: float) -> float:
+    if b == 0.0:
+        raise EvalError("division by zero")
+    return a / b
+
+
+def _prim_error(ev: Evaluator, msg) -> Value:
+    text = value_to_python(ev, msg)
+    if not isinstance(text, str):
+        text = str(text)
+    raise EvalError(f"error: {text}")
+
+
+def _prim_show_int(ev: Evaluator, a) -> Value:
+    return _string(str(ev.force(a).value))
+
+
+def _prim_show_float(ev: Evaluator, a) -> Value:
+    v = ev.force(a).value
+    text = repr(float(v))
+    return _string(text)
+
+
+def _string(text: str) -> Value:
+    out: Value = VCon("[]", [])
+    for ch in reversed(text):
+        out = VCon(":", [VChar(ch), out])
+    return out
+
+
+def _prim_reads_float(ev: Evaluator, s) -> Value:
+    """Parse a leading Float from a string: [(Float, rest)] or []."""
+    text = value_to_python(ev, s)
+    if not isinstance(text, str):
+        text = "".join(text) if text else ""
+    stripped = text.lstrip()
+    i = 0
+    n = len(stripped)
+    if i < n and stripped[i] in "+-":
+        i += 1
+    start_digits = i
+    while i < n and stripped[i].isdigit():
+        i += 1
+    if i == start_digits:
+        return VCon("[]", [])
+    if i < n and stripped[i] == "." and i + 1 < n and stripped[i + 1].isdigit():
+        i += 1
+        while i < n and stripped[i].isdigit():
+            i += 1
+    if i < n and stripped[i] in "eE":
+        j = i + 1
+        if j < n and stripped[j] in "+-":
+            j += 1
+        if j < n and stripped[j].isdigit():
+            i = j
+            while i < n and stripped[i].isdigit():
+                i += 1
+    try:
+        value = float(stripped[:i])
+    except ValueError:
+        return VCon("[]", [])
+    from repro.coreir.eval import VTuple
+    pair = VTuple([VFloat(value), _string(stripped[i:])])
+    return VCon(":", [pair, VCon("[]", [])])
+
+
+def _prim_ord(ev: Evaluator, c) -> Value:
+    return VInt(ord(ev.force(c).value))
+
+
+def _prim_chr(ev: Evaluator, n) -> Value:
+    v = ev.force(n).value
+    if not 0 <= v <= 0x10FFFF:
+        raise EvalError(f"chr: code point {v} out of range")
+    return VChar(chr(v))
+
+
+def _prim_int_to_float(ev: Evaluator, n) -> Value:
+    return VFloat(float(ev.force(n).value))
+
+
+def _prim_float_to_int(ev: Evaluator, x) -> Value:
+    return VInt(int(ev.force(x).value))
+
+
+def _prim_seq(ev: Evaluator, a, b):
+    ev.force(a)
+    return b
+
+
+_A = TyGen(0)
+_B = TyGen(1)
+
+
+def _mono(*types) -> Scheme:
+    return Scheme([], [], fn_types(list(types[:-1]), types[-1]))
+
+
+#: name -> (arity, implementation, scheme)
+_TABLE = {
+    # Int arithmetic
+    "primAddInt": (2, _int_bin(lambda a, b: a + b), _mono(T_INT, T_INT, T_INT)),
+    "primSubInt": (2, _int_bin(lambda a, b: a - b), _mono(T_INT, T_INT, T_INT)),
+    "primMulInt": (2, _int_bin(lambda a, b: a * b), _mono(T_INT, T_INT, T_INT)),
+    "primDivInt": (2, _int_bin(_div_int), _mono(T_INT, T_INT, T_INT)),
+    "primModInt": (2, _int_bin(_mod_int), _mono(T_INT, T_INT, T_INT)),
+    "primNegInt": (1, lambda ev, a: VInt(-ev.force(a).value),
+                   _mono(T_INT, T_INT)),
+    "primEqInt": (2, _int_cmp(lambda a, b: a == b),
+                  _mono(T_INT, T_INT, T_BOOL)),
+    "primLtInt": (2, _int_cmp(lambda a, b: a < b),
+                  _mono(T_INT, T_INT, T_BOOL)),
+    "primLeInt": (2, _int_cmp(lambda a, b: a <= b),
+                  _mono(T_INT, T_INT, T_BOOL)),
+    "primShowInt": (1, _prim_show_int, _mono(T_INT, T_STRING)),
+    # Float arithmetic
+    "primAddFloat": (2, _float_bin(lambda a, b: a + b),
+                     _mono(T_FLOAT, T_FLOAT, T_FLOAT)),
+    "primSubFloat": (2, _float_bin(lambda a, b: a - b),
+                     _mono(T_FLOAT, T_FLOAT, T_FLOAT)),
+    "primMulFloat": (2, _float_bin(lambda a, b: a * b),
+                     _mono(T_FLOAT, T_FLOAT, T_FLOAT)),
+    "primDivFloat": (2, _float_bin(_div_float),
+                     _mono(T_FLOAT, T_FLOAT, T_FLOAT)),
+    "primNegFloat": (1, lambda ev, a: VFloat(-ev.force(a).value),
+                     _mono(T_FLOAT, T_FLOAT)),
+    "primEqFloat": (2, _float_cmp(lambda a, b: a == b),
+                    _mono(T_FLOAT, T_FLOAT, T_BOOL)),
+    "primLtFloat": (2, _float_cmp(lambda a, b: a < b),
+                    _mono(T_FLOAT, T_FLOAT, T_BOOL)),
+    "primLeFloat": (2, _float_cmp(lambda a, b: a <= b),
+                    _mono(T_FLOAT, T_FLOAT, T_BOOL)),
+    "primShowFloat": (1, _prim_show_float, _mono(T_FLOAT, T_STRING)),
+    "primReadsFloat": (1, _prim_reads_float, None),  # scheme set below
+    "primIntToFloat": (1, _prim_int_to_float, _mono(T_INT, T_FLOAT)),
+    "primFloatToInt": (1, _prim_float_to_int, _mono(T_FLOAT, T_INT)),
+    # Char
+    "primEqChar": (2, lambda ev, a, b: _bool(
+        ev.force(a).value == ev.force(b).value),
+        _mono(T_CHAR, T_CHAR, T_BOOL)),
+    "primLeChar": (2, lambda ev, a, b: _bool(
+        ev.force(a).value <= ev.force(b).value),
+        _mono(T_CHAR, T_CHAR, T_BOOL)),
+    "primLtChar": (2, lambda ev, a, b: _bool(
+        ev.force(a).value < ev.force(b).value),
+        _mono(T_CHAR, T_CHAR, T_BOOL)),
+    "primOrd": (1, _prim_ord, _mono(T_CHAR, T_INT)),
+    "primChr": (1, _prim_chr, _mono(T_INT, T_CHAR)),
+    # Control
+    "error": (1, _prim_error, None),  # scheme set below
+    "seq": (2, _prim_seq, None),      # scheme set below
+}
+
+# Schemes that need polymorphism or structured types are built here to
+# keep the table readable.
+from repro.core.kinds import STAR  # noqa: E402
+from repro.core.types import list_type, tuple_type  # noqa: E402
+
+_TABLE["error"] = (
+    1, _prim_error,
+    Scheme([STAR], [], fn_types([T_STRING], _A)))
+_TABLE["seq"] = (
+    2, _prim_seq,
+    Scheme([STAR, STAR], [], fn_types([_A, _B], _B)))
+_TABLE["primReadsFloat"] = (
+    1, _prim_reads_float,
+    Scheme([], [], fn_types(
+        [T_STRING], list_type(tuple_type([T_FLOAT, T_STRING])))))
+
+
+def PRIMITIVES() -> Dict[str, VPrim]:
+    """Fresh primitive values for one evaluator instance."""
+    return {name: VPrim(name, arity, fn)
+            for name, (arity, fn, _scheme) in _TABLE.items()}
+
+
+def primitive_schemes() -> Dict[str, Scheme]:
+    return {name: scheme for name, (_a, _f, scheme) in _TABLE.items()}

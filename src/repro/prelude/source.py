@@ -1,0 +1,688 @@
+'''The standard prelude, in Mini-Haskell.
+
+This is compiled by the same pipeline as user programs.  It defines the
+paper's running examples in their natural habitat: the ``Eq`` class
+with instances for ``Int`` and lists (section 2), the ``Text`` class
+whose ``reads`` is overloaded *on the result type* (the case tags
+cannot handle, section 3), the ``Num`` hierarchy with superclasses
+(section 8.1) and default methods (section 8.2).
+'''
+
+PRELUDE_SOURCE = r"""
+-- Operator fixities (must precede use).
+infixr 9 .
+infixl 9 !!
+infixr 8 ^
+infixl 7 *, /, `div`, `mod`
+infixl 6 +, -
+infixr 5 :, ++
+infix  4 ==, /=, <, <=, >, >=
+infixr 3 &&
+infixr 2 ||
+infixr 0 $
+
+-- Core data types.  Bool and Ordering derive their classes, which
+-- exercises the 'deriving' expansion inside the prelude itself.
+data Bool = False | True deriving (Eq, Ord, Text, Bounded, Enum)
+data Ordering = LT | EQ | GT deriving (Eq, Ord, Text, Bounded, Enum)
+data Maybe a = Nothing | Just a deriving (Eq, Ord, Text)
+data Either a b = Left a | Right b deriving (Eq, Ord, Text)
+
+type String = [Char]
+
+-- ---------------------------------------------------------------------
+-- Classes
+-- ---------------------------------------------------------------------
+
+class Eq a where
+  (==) :: a -> a -> Bool
+  (/=) :: a -> a -> Bool
+  x /= y = not (x == y)
+  x == y = not (x /= y)
+
+class Eq a => Ord a where
+  compare :: a -> a -> Ordering
+  (<)  :: a -> a -> Bool
+  (<=) :: a -> a -> Bool
+  (>)  :: a -> a -> Bool
+  (>=) :: a -> a -> Bool
+  max  :: a -> a -> a
+  min  :: a -> a -> a
+  x <  y = case compare x y of { LT -> True;  q -> False }
+  x <= y = case compare x y of { GT -> False; q -> True }
+  x >  y = case compare x y of { GT -> True;  q -> False }
+  x >= y = case compare x y of { LT -> False; q -> True }
+  max x y = if x <= y then y else x
+  min x y = if x <= y then x else y
+
+class Text a where
+  show  :: a -> String
+  reads :: String -> [(a, String)]
+
+class (Eq a, Text a) => Num a where
+  (+) :: a -> a -> a
+  (-) :: a -> a -> a
+  (*) :: a -> a -> a
+  negate :: a -> a
+  abs    :: a -> a
+  signum :: a -> a
+  fromInteger :: Int -> a
+  negate x = fromInteger 0 - x
+  x - y    = x + negate y
+
+class Num a => Fractional a where
+  (/) :: a -> a -> a
+
+class Bounded a where
+  minBound :: a
+  maxBound :: a
+
+class Enum a where
+  toEnum   :: Int -> a
+  fromEnum :: a -> Int
+  succ     :: a -> a
+  pred     :: a -> a
+  succ x = toEnum (primAddInt (fromEnum x) 1)
+  pred x = toEnum (primSubInt (fromEnum x) 1)
+
+-- ---------------------------------------------------------------------
+-- Boolean functions
+-- ---------------------------------------------------------------------
+
+not :: Bool -> Bool
+not True  = False
+not False = True
+
+otherwise :: Bool
+otherwise = True
+
+(&&) :: Bool -> Bool -> Bool
+True  && x = x
+False && x = False
+
+(||) :: Bool -> Bool -> Bool
+True  || x = True
+False || x = x
+
+-- ---------------------------------------------------------------------
+-- Basic combinators
+-- ---------------------------------------------------------------------
+
+id :: a -> a
+id x = x
+
+const :: a -> b -> a
+const x y = x
+
+flip :: (a -> b -> c) -> b -> a -> c
+flip f x y = f y x
+
+(.) :: (b -> c) -> (a -> b) -> a -> c
+f . g = \x -> f (g x)
+
+($) :: (a -> b) -> a -> b
+f $ x = f x
+
+fst :: (a, b) -> a
+fst (x, y) = x
+
+snd :: (a, b) -> b
+snd (x, y) = y
+
+curry :: ((a, b) -> c) -> a -> b -> c
+curry f x y = f (x, y)
+
+uncurry :: (a -> b -> c) -> (a, b) -> c
+uncurry f (x, y) = f x y
+
+until :: (a -> Bool) -> (a -> a) -> a -> a
+until p f x = if p x then x else until p f (f x)
+
+maybe :: b -> (a -> b) -> Maybe a -> b
+maybe d f Nothing  = d
+maybe d f (Just x) = f x
+
+either :: (a -> c) -> (b -> c) -> Either a b -> c
+either f g (Left x)  = f x
+either f g (Right y) = g y
+
+-- ---------------------------------------------------------------------
+-- Lists
+-- ---------------------------------------------------------------------
+
+head :: [a] -> a
+head (x:xs) = x
+head []     = error "head: empty list"
+
+tail :: [a] -> [a]
+tail (x:xs) = xs
+tail []     = error "tail: empty list"
+
+null :: [a] -> Bool
+null [] = True
+null xs = False
+
+length :: [a] -> Int
+length []     = 0
+length (x:xs) = 1 + length xs
+
+(++) :: [a] -> [a] -> [a]
+[]     ++ ys = ys
+(x:xs) ++ ys = x : (xs ++ ys)
+
+map :: (a -> b) -> [a] -> [b]
+map f []     = []
+map f (x:xs) = f x : map f xs
+
+filter :: (a -> Bool) -> [a] -> [a]
+filter p [] = []
+filter p (x:xs) | p x       = x : filter p xs
+                | otherwise = filter p xs
+
+foldr :: (a -> b -> b) -> b -> [a] -> b
+foldr f z []     = z
+foldr f z (x:xs) = f x (foldr f z xs)
+
+foldl :: (b -> a -> b) -> b -> [a] -> b
+foldl f z []     = z
+foldl f z (x:xs) = foldl f (f z x) xs
+
+reverse :: [a] -> [a]
+reverse xs = foldl (flip (:)) [] xs
+
+concat :: [[a]] -> [a]
+concat = foldr (++) []
+
+concatMap :: (a -> [b]) -> [a] -> [b]
+concatMap f xs = concat (map f xs)
+
+-- The paper's running example (section 2).
+member :: Eq a => a -> [a] -> Bool
+member x []     = False
+member x (y:ys) = x == y || member x ys
+
+elem :: Eq a => a -> [a] -> Bool
+elem = member
+
+notElem :: Eq a => a -> [a] -> Bool
+notElem x xs = not (member x xs)
+
+lookup :: Eq a => a -> [(a, b)] -> Maybe b
+lookup k []          = Nothing
+lookup k ((x, v):xs) = if k == x then Just v else lookup k xs
+
+zip :: [a] -> [b] -> [(a, b)]
+zip (x:xs) (y:ys) = (x, y) : zip xs ys
+zip xs     ys     = []
+
+zipWith :: (a -> b -> c) -> [a] -> [b] -> [c]
+zipWith f (x:xs) (y:ys) = f x y : zipWith f xs ys
+zipWith f xs     ys     = []
+
+unzip :: [(a, b)] -> ([a], [b])
+unzip [] = ([], [])
+unzip ((x, y):ps) = case unzip ps of
+                      (xs, ys) -> (x : xs, y : ys)
+
+take :: Int -> [a] -> [a]
+take n []     = []
+take n (x:xs) = if n <= 0 then [] else x : take (n - 1) xs
+
+drop :: Int -> [a] -> [a]
+drop n []     = []
+drop n (x:xs) = if n <= 0 then x : xs else drop (n - 1) xs
+
+splitAt :: Int -> [a] -> ([a], [a])
+splitAt n xs = (take n xs, drop n xs)
+
+(!!) :: [a] -> Int -> a
+[]     !! n = error "(!!): index too large"
+(x:xs) !! n = if n == 0 then x else xs !! (n - 1)
+
+takeWhile :: (a -> Bool) -> [a] -> [a]
+takeWhile p [] = []
+takeWhile p (x:xs) | p x       = x : takeWhile p xs
+                   | otherwise = []
+
+dropWhile :: (a -> Bool) -> [a] -> [a]
+dropWhile p [] = []
+dropWhile p (x:xs) | p x       = dropWhile p xs
+                   | otherwise = x : xs
+
+any :: (a -> Bool) -> [a] -> Bool
+any p []     = False
+any p (x:xs) = p x || any p xs
+
+all :: (a -> Bool) -> [a] -> Bool
+all p []     = True
+all p (x:xs) = p x && all p xs
+
+and :: [Bool] -> Bool
+and = foldr (&&) True
+
+or :: [Bool] -> Bool
+or = foldr (||) False
+
+sum :: Num a => [a] -> a
+sum xs = foldl (+) (fromInteger 0) xs
+
+product :: Num a => [a] -> a
+product xs = foldl (*) (fromInteger 1) xs
+
+maximum :: Ord a => [a] -> a
+maximum []     = error "maximum: empty list"
+maximum (x:xs) = foldl max x xs
+
+minimum :: Ord a => [a] -> a
+minimum []     = error "minimum: empty list"
+minimum (x:xs) = foldl min x xs
+
+iterate :: (a -> a) -> a -> [a]
+iterate f x = x : iterate f (f x)
+
+repeat :: a -> [a]
+repeat x = x : repeat x
+
+replicate :: Int -> a -> [a]
+replicate n x = take n (repeat x)
+
+enumFromTo :: Int -> Int -> [Int]
+enumFromTo a b = if a > b then [] else a : enumFromTo (a + 1) b
+
+last :: [a] -> a
+last [x]    = x
+last (x:xs) = last xs
+last []     = error "last: empty list"
+
+init :: [a] -> [a]
+init [x]    = []
+init (x:xs) = x : init xs
+init []     = error "init: empty list"
+
+nub :: Eq a => [a] -> [a]
+nub []     = []
+nub (x:xs) = x : nub (filter (\y -> not (x == y)) xs)
+
+insert :: Ord a => a -> [a] -> [a]
+insert x []     = [x]
+insert x (y:ys) = if x <= y then x : y : ys else y : insert x ys
+
+sort :: Ord a => [a] -> [a]
+sort = foldr insert []
+
+-- Generic enumeration (the class-polymorphic sibling of enumFromTo).
+range :: Enum a => a -> a -> [a]
+range a b = map toEnum (enumFromTo (fromEnum a) (fromEnum b))
+
+allValues :: (Bounded a, Enum a) => [a]
+allValues = range minBound maxBound
+
+-- ---------------------------------------------------------------------
+-- Maybe and list utilities
+-- ---------------------------------------------------------------------
+
+fromMaybe :: a -> Maybe a -> a
+fromMaybe d Nothing  = d
+fromMaybe d (Just x) = x
+
+isJust :: Maybe a -> Bool
+isJust Nothing = False
+isJust (Just x) = True
+
+isNothing :: Maybe a -> Bool
+isNothing m = not (isJust m)
+
+catMaybes :: [Maybe a] -> [a]
+catMaybes []             = []
+catMaybes (Nothing : ms) = catMaybes ms
+catMaybes (Just x : ms)  = x : catMaybes ms
+
+mapMaybe :: (a -> Maybe b) -> [a] -> [b]
+mapMaybe f xs = catMaybes (map f xs)
+
+partition :: (a -> Bool) -> [a] -> ([a], [a])
+partition p xs = (filter p xs, filter (\x -> not (p x)) xs)
+
+intersperse :: a -> [a] -> [a]
+intersperse sep []     = []
+intersperse sep [x]    = [x]
+intersperse sep (x:xs) = x : sep : intersperse sep xs
+
+foldl1 :: (a -> a -> a) -> [a] -> a
+foldl1 f (x:xs) = foldl f x xs
+foldl1 f []     = error "foldl1: empty list"
+
+foldr1 :: (a -> a -> a) -> [a] -> a
+foldr1 f [x]    = x
+foldr1 f (x:xs) = f x (foldr1 f xs)
+foldr1 f []     = error "foldr1: empty list"
+
+scanl :: (b -> a -> b) -> b -> [a] -> [b]
+scanl f z []     = [z]
+scanl f z (x:xs) = z : scanl f (f z x) xs
+
+zip3 :: [a] -> [b] -> [c] -> [(a, b, c)]
+zip3 (x:xs) (y:ys) (z:zs) = (x, y, z) : zip3 xs ys zs
+zip3 xs ys zs = []
+
+lookupAll :: Eq a => a -> [(a, b)] -> [b]
+lookupAll k ps = map snd (filter (\p -> fst p == k) ps)
+
+deleteBy :: Eq a => a -> [a] -> [a]
+deleteBy x []     = []
+deleteBy x (y:ys) = if x == y then ys else y : deleteBy x ys
+
+groupRuns :: Eq a => [a] -> [[a]]
+groupRuns []     = []
+groupRuns (x:xs) = case span (\y -> y == x) xs of
+                     (run, rest) -> (x : run) : groupRuns rest
+
+-- ---------------------------------------------------------------------
+-- Numeric helpers
+-- ---------------------------------------------------------------------
+
+div :: Int -> Int -> Int
+div = primDivInt
+
+mod :: Int -> Int -> Int
+mod = primModInt
+
+even :: Int -> Bool
+even n = mod n 2 == 0
+
+odd :: Int -> Bool
+odd n = not (even n)
+
+(^) :: Num a => a -> Int -> a
+x ^ n = if n <= 0 then fromInteger 1 else x * (x ^ (n - 1))
+
+subtract :: Num a => a -> a -> a
+subtract x y = y - x
+
+gcd :: Int -> Int -> Int
+gcd a b = if b == 0 then abs a else gcd b (mod a b)
+
+fromIntegral :: Num a => Int -> a
+fromIntegral = fromInteger
+
+truncate :: Float -> Int
+truncate = primFloatToInt
+
+-- ---------------------------------------------------------------------
+-- Characters and strings
+-- ---------------------------------------------------------------------
+
+ord :: Char -> Int
+ord = primOrd
+
+chr :: Int -> Char
+chr = primChr
+
+isDigit :: Char -> Bool
+isDigit c = primLeChar '0' c && primLeChar c '9'
+
+isSpace :: Char -> Bool
+isSpace c = c == ' ' || c == '\t' || c == '\n' || c == '\r'
+
+isUpper :: Char -> Bool
+isUpper c = primLeChar 'A' c && primLeChar c 'Z'
+
+isLower :: Char -> Bool
+isLower c = primLeChar 'a' c && primLeChar c 'z'
+
+isAlpha :: Char -> Bool
+isAlpha c = isUpper c || isLower c
+
+digitToInt :: Char -> Int
+digitToInt c = primOrd c - primOrd '0'
+
+intToDigit :: Int -> Char
+intToDigit n = primChr (n + primOrd '0')
+
+dropSpace :: String -> String
+dropSpace []     = []
+dropSpace (c:cs) = if isSpace c then dropSpace cs else c : cs
+
+stripPrefix :: String -> String -> Maybe String
+stripPrefix []     s      = Just s
+stripPrefix (c:cs) []     = Nothing
+stripPrefix (c:cs) (d:ds) = if c == d then stripPrefix cs ds else Nothing
+
+-- Parsing combinators used by 'reads' instances and derived readers.
+readToken :: String -> String -> [((), String)]
+readToken t s = case stripPrefix t (dropSpace s) of
+                  Nothing -> []
+                  Just r  -> [((), r)]
+
+bindReads :: [(a, String)] -> (a -> String -> [(b, String)]) -> [(b, String)]
+bindReads []            f = []
+bindReads ((x, r):rest) f = f x r ++ bindReads rest f
+
+-- The return-type-overloaded reader of section 3: tags cannot express
+-- this, dictionaries can.
+read :: Text a => String -> a
+read s = case filter (\p -> null (dropSpace (snd p))) (reads s) of
+           []           -> error "read: no parse"
+           ((x, r):ps)  -> x
+
+readsInt :: String -> [(Int, String)]
+readsInt s =
+  let go n cs = case cs of
+                  []     -> [(n, [])]
+                  (c:ds) -> if isDigit c
+                              then go (primAddInt (primMulInt n 10)
+                                                  (digitToInt c)) ds
+                              else [(n, c : ds)]
+      first cs = case cs of
+                   []     -> []
+                   (c:ds) -> if isDigit c then go 0 (c : ds) else []
+  in case dropSpace s of
+       ('-':cs) -> map (\p -> (primNegInt (fst p), snd p)) (first cs)
+       cs       -> first cs
+
+shows :: Text a => a -> String -> String
+shows x s = show x ++ s
+
+showString :: String -> String -> String
+showString = (++)
+
+unwords :: [String] -> String
+unwords []     = ""
+unwords [w]    = w
+unwords (w:ws) = w ++ " " ++ unwords ws
+
+lines :: String -> [String]
+lines [] = []
+lines s  = case span (\c -> not (c == '\n')) s of
+             (l, rest) -> case rest of
+                            []      -> [l]
+                            (c:cs)  -> l : lines cs
+
+span :: (a -> Bool) -> [a] -> ([a], [a])
+span p [] = ([], [])
+span p (x:xs) | p x = case span p xs of
+                        (ys, zs) -> (x : ys, zs)
+              | otherwise = ([], x : xs)
+
+words :: String -> [String]
+words s = case dropWhile isSpace s of
+            []  -> []
+            s2  -> case span (\c -> not (isSpace c)) s2 of
+                     (w, rest) -> w : words rest
+
+unlines :: [String] -> String
+unlines []     = ""
+unlines (l:ls) = l ++ "\n" ++ unlines ls
+
+-- ---------------------------------------------------------------------
+-- Instances for the built-in types
+-- ---------------------------------------------------------------------
+
+instance Eq Int where
+  (==) = primEqInt
+
+instance Ord Int where
+  compare x y = if primEqInt x y then EQ
+                else if primLtInt x y then LT else GT
+  (<)  = primLtInt
+  (<=) = primLeInt
+  x >  y = primLtInt y x
+  x >= y = primLeInt y x
+
+instance Text Int where
+  show  = primShowInt
+  reads = readsInt
+
+instance Num Int where
+  (+) = primAddInt
+  (-) = primSubInt
+  (*) = primMulInt
+  negate = primNegInt
+  abs x = if primLtInt x 0 then primNegInt x else x
+  signum x = if primLtInt x 0 then primNegInt 1
+             else if primEqInt x 0 then 0 else 1
+  fromInteger x = x
+
+instance Eq Float where
+  (==) = primEqFloat
+
+instance Ord Float where
+  compare x y = if primEqFloat x y then EQ
+                else if primLtFloat x y then LT else GT
+  (<)  = primLtFloat
+  (<=) = primLeFloat
+  x >  y = primLtFloat y x
+  x >= y = primLeFloat y x
+
+instance Text Float where
+  show  = primShowFloat
+  reads = primReadsFloat
+
+instance Num Float where
+  (+) = primAddFloat
+  (-) = primSubFloat
+  (*) = primMulFloat
+  negate = primNegFloat
+  abs x = if primLtFloat x (primIntToFloat 0) then primNegFloat x else x
+  signum x = if primLtFloat x (primIntToFloat 0) then primIntToFloat (primNegInt 1)
+             else if primEqFloat x (primIntToFloat 0) then primIntToFloat 0
+             else primIntToFloat 1
+  fromInteger = primIntToFloat
+
+instance Fractional Float where
+  (/) = primDivFloat
+
+instance Enum Int where
+  toEnum x = x
+  fromEnum x = x
+
+instance Bounded Char where
+  minBound = primChr 0
+  maxBound = primChr 1114111
+
+instance Enum Char where
+  toEnum = primChr
+  fromEnum = primOrd
+
+instance Eq Char where
+  (==) = primEqChar
+
+instance Ord Char where
+  compare x y = if primEqChar x y then EQ
+                else if primLtChar x y then LT else GT
+  (<)  = primLtChar
+  (<=) = primLeChar
+
+instance Text Char where
+  show c  = '\'' : c : '\'' : []
+  reads s = case dropSpace s of
+              ('\'' : rest) -> case rest of
+                                 (c : more) -> case more of
+                                                 ('\'' : r) -> [(c, r)]
+                                                 ms         -> []
+                                 ms         -> []
+              cs            -> []
+
+instance Eq () where
+  x == y = True
+
+instance Text () where
+  show x  = "()"
+  reads s = bindReads (readToken "(" s) (\u r ->
+              bindReads (readToken ")" r) (\v r2 -> [((), r2)]))
+
+-- The paper's list instance (section 2), plus Ord and Text.
+instance Eq a => Eq [a] where
+  []     == []     = True
+  (x:xs) == (y:ys) = x == y && xs == ys
+  xs     == ys     = False
+
+instance Ord a => Ord [a] where
+  compare []     []     = EQ
+  compare []     (y:ys) = LT
+  compare (x:xs) []     = GT
+  compare (x:xs) (y:ys) = case compare x y of
+                            EQ -> compare xs ys
+                            r  -> r
+
+instance Text a => Text [a] where
+  show xs = let go zs = case zs of
+                          []     -> ""
+                          (w:ws) -> ", " ++ show w ++ go ws
+            in case xs of
+                 []     -> "[]"
+                 (y:ys) -> "[" ++ show y ++ go ys ++ "]"
+  reads s = let items r = bindReads (reads r) (\x r1 ->
+                            bindReads (readToken "," r1) (\u r2 ->
+                              bindReads (items r2) (\xs r3 ->
+                                [(x : xs, r3)]))
+                            ++ bindReads (readToken "]" r1) (\u r2 ->
+                                 [([x], r2)]))
+            in bindReads (readToken "[" s) (\u r ->
+                 bindReads (readToken "]" r) (\v r2 -> [([], r2)])
+                 ++ items r)
+
+-- Pairs: the paper's print-tuple2 example (section 7).
+instance (Eq a, Eq b) => Eq (a, b) where
+  (x1, y1) == (x2, y2) = x1 == x2 && y1 == y2
+
+instance (Ord a, Ord b) => Ord (a, b) where
+  compare (x1, y1) (x2, y2) = case compare x1 x2 of
+                                EQ -> compare y1 y2
+                                r  -> r
+
+instance (Text a, Text b) => Text (a, b) where
+  show (x, y) = "(" ++ show x ++ ", " ++ show y ++ ")"
+  reads s = bindReads (readToken "(" s) (\u r0 ->
+              bindReads (reads r0) (\x r1 ->
+                bindReads (readToken "," r1) (\v r2 ->
+                  bindReads (reads r2) (\y r3 ->
+                    bindReads (readToken ")" r3) (\w r4 ->
+                      [((x, y), r4)])))))
+
+instance (Eq a, Eq b, Eq c) => Eq (a, b, c) where
+  (x1, y1, z1) == (x2, y2, z2) = x1 == x2 && y1 == y2 && z1 == z2
+
+instance (Ord a, Ord b, Ord c) => Ord (a, b, c) where
+  compare (x1, y1, z1) (x2, y2, z2) =
+    case compare x1 x2 of
+      EQ -> case compare y1 y2 of
+              EQ -> compare z1 z2
+              r  -> r
+      r  -> r
+
+instance (Eq a, Eq b, Eq c, Eq d) => Eq (a, b, c, d) where
+  (x1, y1, z1, w1) == (x2, y2, z2, w2) =
+    x1 == x2 && y1 == y2 && z1 == z2 && w1 == w2
+
+instance (Text a, Text b, Text c) => Text (a, b, c) where
+  show (x, y, z) = "(" ++ show x ++ ", " ++ show y ++ ", " ++ show z ++ ")"
+  reads s = bindReads (readToken "(" s) (\u r0 ->
+              bindReads (reads r0) (\x r1 ->
+                bindReads (readToken "," r1) (\v r2 ->
+                  bindReads (reads r2) (\y r3 ->
+                    bindReads (readToken "," r3) (\v2 r4 ->
+                      bindReads (reads r4) (\z r5 ->
+                        bindReads (readToken ")" r5) (\w r6 ->
+                          [((x, y, z), r6)])))))))
+"""

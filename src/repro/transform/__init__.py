@@ -1,0 +1,15 @@
+"""Core-level program transformations.
+
+Each module implements one of the paper's optimisations:
+
+* :mod:`repro.transform.float_dicts` — section 8.8: hoist dictionary
+  construction out of lambdas (restricted full laziness) so that
+  recursion does not rebuild the same dictionary at every step;
+* :mod:`repro.transform.entrypoints` — sections 6.3/7: inner entry
+  points so recursive calls skip re-passing unchanged dictionaries;
+* :mod:`repro.transform.specialize` — section 9: type-specific clones
+  of overloaded functions at constant dictionaries, eliminating
+  dynamic method dispatch;
+* :mod:`repro.transform.constdict` — section 8.4: overloaded functions
+  used at only one overloading collapse to that overloading.
+"""

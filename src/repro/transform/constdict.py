@@ -1,0 +1,130 @@
+"""Constant dictionary reduction — section 8.4.
+
+    "Another source of inefficiency are local functions which are
+    inferred to have an overloaded type but are used at only one
+    overloading ...  If all of these variables are instantiated to the
+    same concrete type the dictionary can be reduced to a constant."
+
+At the core level this is a usage analysis: for each overloaded
+top-level function, collect every reference.  If every reference is an
+application to one and the same vector of constant dictionaries (and
+the function never escapes bare), the function is rebuilt with those
+dictionaries substituted in and its dictionary parameters dropped, and
+all call sites shed the dictionary arguments.
+
+The pass complements :mod:`repro.transform.specialize`: specialisation
+*adds* clones at every constant call site; constant-dictionary
+reduction *replaces* the original when a single overloading covers all
+uses, so no code grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.coreir.syntax import (
+    CLam,
+    CoreBinding,
+    CoreExpr,
+    CoreProgram,
+    CVar,
+    app_spine,
+    capp,
+    map_subexprs,
+)
+from repro.transform.specialize import _Specializer, simplify, SIMPLIFY_FUEL
+from repro.transform.subst import substitute
+
+
+def reduce_constant_dictionaries(program: CoreProgram) -> CoreProgram:
+    helper = _Specializer(program)  # reuse const_dict_key machinery
+    usage: Dict[str, Set[str]] = {}
+    escaped: Set[str] = set()
+    candidates = {b.name: b for b in program.bindings
+                  if b.dict_arity > 0 and b.kind == "user"
+                  and isinstance(b.expr, CLam)
+                  and len(b.expr.params) >= b.dict_arity}
+
+    def scan(expr: CoreExpr, within: str) -> None:
+        head, args = app_spine(expr)
+        if isinstance(head, CVar) and head.name in candidates:
+            target = candidates[head.name]
+            if within == head.name:
+                # Recursive self-reference: ignore (its dictionary
+                # arguments are the formal parameters, by construction).
+                pass
+            elif len(args) >= target.dict_arity:
+                keys = [helper.const_dict_key(a)
+                        for a in args[:target.dict_arity]]
+                if all(k is not None for k in keys):
+                    usage.setdefault(head.name, set()).add(
+                        ",".join(keys))  # type: ignore[arg-type]
+                else:
+                    escaped.add(head.name)
+            else:
+                escaped.add(head.name)
+            for a in args:
+                scan(a, within)
+            return
+        if isinstance(expr, CVar) and expr.name in candidates \
+                and expr.name != within:
+            escaped.add(expr.name)
+            return
+        map_subexprs(expr, lambda e: (scan(e, within), e)[1])
+
+    for b in program.bindings:
+        scan(b.expr, b.name)
+
+    reducible: Dict[str, str] = {}
+    for name, keys in usage.items():
+        if name in escaped or len(keys) != 1:
+            continue
+        reducible[name] = next(iter(keys))
+    if not reducible:
+        return program
+
+    # Rebuild the reducible bindings with their dictionaries fixed, and
+    # strip dictionary arguments at every call site.
+    dict_args_of: Dict[str, List[CoreExpr]] = {}
+
+    def strip_calls(expr: CoreExpr, within: str) -> CoreExpr:
+        head, args = app_spine(expr)
+        if isinstance(head, CVar) and head.name in reducible:
+            target = candidates[head.name]
+            k = target.dict_arity
+            if within == head.name and all(
+                    isinstance(a, CVar) and a.name == p
+                    for a, p in zip(args[:k], target.expr.params[:k])):
+                rest = [strip_calls(a, within) for a in args[k:]]
+                return capp(CVar(head.name), *rest)
+            if len(args) >= k:
+                if head.name not in dict_args_of:
+                    dict_args_of[head.name] = args[:k]
+                rest = [strip_calls(a, within) for a in args[k:]]
+                return capp(CVar(head.name), *rest)
+        return map_subexprs(expr, lambda e: strip_calls(e, within))
+
+    out: List[CoreBinding] = []
+    for b in program.bindings:
+        expr = strip_calls(b.expr, b.name)
+        out.append(CoreBinding(b.name, expr, b.kind, b.dict_arity))
+
+    by_name = {b.name: b for b in program.bindings}
+    final: List[CoreBinding] = []
+    for b in out:
+        if b.name in reducible and b.name in dict_args_of:
+            lam = b.expr
+            assert isinstance(lam, CLam)
+            k = b.dict_arity
+            body: CoreExpr
+            if len(lam.params) > k:
+                body = CLam(lam.params[k:], lam.body)
+            else:
+                body = lam.body
+            body = substitute(body, dict(zip(lam.params[:k],
+                                             dict_args_of[b.name])))
+            body = simplify(body, by_name, SIMPLIFY_FUEL)
+            final.append(CoreBinding(b.name, body, b.kind, 0))
+        else:
+            final.append(b)
+    return CoreProgram(final)

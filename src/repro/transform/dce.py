@@ -1,0 +1,40 @@
+"""Dead-code elimination over top-level core bindings.
+
+A compiled program carries the whole prelude plus every generated
+dictionary, selector and implementation function; most entry points
+reach only a fraction of them.  This pass keeps exactly the bindings
+reachable from a set of roots — used by ``CompiledProgram.shake`` to
+produce lean programs for the compiled backend and readable core
+dumps.
+
+Laziness makes this sound: an unreferenced top-level thunk can never be
+forced, so removing it cannot change any observable behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.coreir.syntax import CoreProgram, free_vars
+from repro.util.graph import Digraph, reachable_from
+
+
+def reachable_bindings(program: CoreProgram,
+                       roots: Iterable[str]) -> Set[str]:
+    """Names of bindings reachable from *roots* through free-variable
+    references."""
+    graph = Digraph()
+    names = set(program.names())
+    for binding in program.bindings:
+        graph.add_node(binding.name)
+        for ref in free_vars(binding.expr):
+            if ref in names:
+                graph.add_edge(binding.name, ref)
+    wanted = [r for r in roots if r in names]
+    return set(reachable_from(graph, wanted))
+
+
+def shake(program: CoreProgram, roots: Iterable[str]) -> CoreProgram:
+    """Drop every binding not reachable from *roots*."""
+    keep = reachable_bindings(program, roots)
+    return CoreProgram([b for b in program.bindings if b.name in keep])

@@ -1,0 +1,311 @@
+"""Specialisation: type-specific clones of overloaded functions (§9).
+
+    "It is possible to completely eliminate dynamic method dispatch
+    within an overloaded function at specific overloadings by creating
+    type specific clones of overloaded functions."
+
+The pass finds applications of an overloaded top-level function to
+*constant* dictionary arguments (dictionary constructors applied to
+constant dictionaries, all the way down), creates one clone per
+distinct dictionary vector, and rewrites the call sites.  Inside a
+clone, the now-known dictionaries are simplified away:
+
+* a selector application becomes a tuple selection;
+* a selection from a known dictionary constructor becomes the selected
+  slot — a direct call to the instance's method implementation;
+* recursive calls to the original function at the same dictionaries
+  become calls to the clone itself.
+
+Method implementations are themselves overloaded functions (over the
+instance context), so specialisation cascades through them; a global
+clone budget guarantees termination even under polymorphic recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.coreir.syntax import (
+    CApp,
+    CDict,
+    CLam,
+    CLet,
+    CoreBinding,
+    CoreExpr,
+    CoreProgram,
+    CSel,
+    CVar,
+    app_spine,
+    capp,
+    map_subexprs,
+)
+from repro.transform.subst import substitute
+from repro.util.names import specialized_name
+
+#: Safety valve: the maximum number of clones one run may create.
+CLONE_BUDGET = 400
+
+#: Fuel for the local simplifier (nodes rewritten per clone body).
+SIMPLIFY_FUEL = 10_000
+
+
+class _Specializer:
+    def __init__(self, program: CoreProgram) -> None:
+        self.by_name: Dict[str, CoreBinding] = {
+            b.name: b for b in program.bindings}
+        self.order = [b.name for b in program.bindings]
+        self.clones: Dict[Tuple[str, str], str] = {}
+        self.new_bindings: List[CoreBinding] = []
+        self.budget = CLONE_BUDGET
+
+    # --------------------------------------------------- dictionary forms
+
+    def const_dict_key(self, expr: CoreExpr) -> Optional[str]:
+        """A canonical key when *expr* is a compile-time-constant
+        dictionary expression, else None."""
+        head, args = app_spine(expr)
+        if not isinstance(head, CVar):
+            return None
+        binding = self.by_name.get(head.name)
+        if binding is None or binding.kind != "dict":
+            return None
+        if len(args) != binding.dict_arity:
+            return None
+        keys = []
+        for a in args:
+            k = self.const_dict_key(a)
+            if k is None:
+                return None
+            keys.append(k)
+        if keys:
+            return f"{head.name}({','.join(keys)})"
+        return head.name
+
+    # ------------------------------------------------------------ rewrite
+
+    def run(self) -> CoreProgram:
+        out: List[CoreBinding] = []
+        for name in self.order:
+            b = self.by_name[name]
+            if b.kind in ("selector", "dict"):
+                out.append(b)
+                continue
+            out.append(CoreBinding(b.name, self.rewrite(b.expr), b.kind,
+                                   b.dict_arity))
+        # Clone generation may enqueue further clones.
+        while self.new_bindings:
+            clone = self.new_bindings.pop(0)
+            clone = CoreBinding(clone.name, self.rewrite(clone.expr),
+                                clone.kind, clone.dict_arity)
+            out.append(clone)
+            self.by_name[clone.name] = clone
+        return CoreProgram(out)
+
+    def rewrite(self, expr: CoreExpr) -> CoreExpr:
+        head, args = app_spine(expr)
+        if isinstance(head, CVar) and args:
+            target = self.by_name.get(head.name)
+            if (target is not None and target.dict_arity > 0
+                    and target.kind in ("user", "impl", "default")
+                    and len(args) >= target.dict_arity):
+                dict_args = args[:target.dict_arity]
+                keys = [self.const_dict_key(a) for a in dict_args]
+                if all(k is not None for k in keys):
+                    clone_name = self.clone_of(head.name, dict_args,
+                                               ",".join(keys))  # type: ignore[arg-type]
+                    if clone_name is not None:
+                        rest = [self.rewrite(a)
+                                for a in args[target.dict_arity:]]
+                        return capp(CVar(clone_name), *rest)
+        return map_subexprs(expr, self.rewrite)
+
+    def clone_of(self, fname: str, dict_args: List[CoreExpr],
+                 key: str) -> Optional[str]:
+        cache_key = (fname, key)
+        existing = self.clones.get(cache_key)
+        if existing is not None:
+            return existing
+        if self.budget <= 0:
+            return None
+        original = self.by_name[fname]
+        if not isinstance(original.expr, CLam) or \
+                len(original.expr.params) < original.dict_arity:
+            return None
+        self.budget -= 1
+        clone_name = specialized_name(fname, _short_key(key))
+        self.clones[cache_key] = clone_name
+        params = original.expr.params
+        body: CoreExpr
+        if len(params) > original.dict_arity:
+            body = CLam(params[original.dict_arity:], original.expr.body)
+        else:
+            body = original.expr.body
+        subst = {p: d for p, d in zip(params[:original.dict_arity],
+                                      dict_args)}
+        body = substitute(body, subst)
+        body = simplify(body, self.by_name, SIMPLIFY_FUEL)
+        # Self-calls at the same dictionaries become self-calls of the
+        # clone (handled by the rewrite pass when the clone is emitted).
+        self.new_bindings.append(
+            CoreBinding(clone_name, body, original.kind, 0))
+        return clone_name
+
+
+_KEY_CACHE: Dict[str, str] = {}
+
+
+def _short_key(key: str) -> str:
+    """Human-readable but bounded clone suffix."""
+    if len(key) <= 48:
+        return key.replace("d$", "")
+    short = _KEY_CACHE.get(key)
+    if short is None:
+        short = f"k{len(_KEY_CACHE) + 1}"
+        _KEY_CACHE[key] = short
+    return short
+
+
+# --------------------------------------------------------------------------
+# The local simplifier
+# --------------------------------------------------------------------------
+
+def simplify(expr: CoreExpr, by_name: Dict[str, CoreBinding],
+             fuel: int) -> CoreExpr:
+    """Reduce dictionary plumbing inside a specialised body.
+
+    Tracks let-bound dictionary tuples (including the ``dict$this``
+    knot produced for defaulted method slots) so selections through
+    them reduce to direct slot expressions; dead dictionary bindings
+    are then dropped.
+    """
+    state = {"fuel": fuel}
+
+    def go(e: CoreExpr, env: Dict[str, CoreExpr]) -> CoreExpr:
+        if state["fuel"] <= 0:
+            return e
+        if isinstance(e, CLet):
+            inner = dict(env)
+            # Bindings visible to RHSs (recursive) and body alike; only
+            # dictionary-shaped RHSs are tracked.
+            for name, rhs in e.binds:
+                if isinstance(rhs, CDict):
+                    inner[name] = rhs
+                else:
+                    inner.pop(name, None)
+            rhs_env = inner if e.recursive else env
+            binds = [(n, go(rhs, rhs_env)) for n, rhs in e.binds]
+            for name, rhs in binds:
+                if isinstance(rhs, CDict):
+                    inner[name] = rhs
+            body = go(e.body, inner)
+            e = _drop_dead_dict_binds(CLet(binds, body, e.recursive))
+            return e
+        if isinstance(e, CLam):
+            inner = dict(env)
+            for p in e.params:
+                inner.pop(p, None)
+            return CLam(list(e.params), go(e.body, inner))
+        e = map_subexprs(e, lambda sub: go(sub, env))
+        changed = True
+        while changed and state["fuel"] > 0:
+            changed = False
+            # selector application -> selection
+            if isinstance(e, CApp):
+                head, args = app_spine(e)
+                if isinstance(head, CVar) and args:
+                    binding = by_name.get(head.name)
+                    if binding is not None and binding.kind == "selector" \
+                            and isinstance(binding.expr, CLam) \
+                            and len(args) >= len(binding.expr.params):
+                        n = len(binding.expr.params)
+                        inlined = substitute(
+                            binding.expr.body,
+                            dict(zip(binding.expr.params, args[:n])))
+                        e = capp(go(inlined, env), *args[n:])
+                        state["fuel"] -= 1
+                        changed = True
+                        continue
+            # selection pushed through let
+            if isinstance(e, CSel) and isinstance(e.expr, CLet):
+                inner_let = e.expr
+                e = CLet(inner_let.binds,
+                         CSel(e.index, e.arity, inner_let.body, e.from_dict),
+                         inner_let.recursive)
+                e = go(e, env)
+                state["fuel"] -= 1
+                changed = True
+                continue
+            # selection from a known dictionary
+            if isinstance(e, CSel):
+                target = e.expr
+                if isinstance(target, CDict):
+                    e = go(target.items[e.index], env)
+                    state["fuel"] -= 1
+                    changed = True
+                    continue
+                if isinstance(target, CVar) and target.name in env:
+                    e = go(env[target.name].items[e.index], env)
+                    state["fuel"] -= 1
+                    changed = True
+                    continue
+                inlined = _inline_dict(target, by_name)
+                if inlined is not None:
+                    e = CSel(e.index, e.arity, go(inlined, env), e.from_dict)
+                    state["fuel"] -= 1
+                    changed = True
+                    continue
+        return e
+
+    return go(expr, {})
+
+
+def _drop_dead_dict_binds(let: CLet) -> CoreExpr:
+    """Remove let-bound dictionaries that are no longer referenced.
+
+    For recursive lets, usefulness is computed as a fixpoint from the
+    body, so a self-referential dictionary knot (``dict$this``) whose
+    selections have all been reduced away is recognised as dead.
+    """
+    from repro.coreir.syntax import free_vars
+    rhs_vars = {n: set(free_vars(rhs)) for n, rhs in let.binds}
+    used = set(free_vars(let.body))
+    if let.recursive:
+        changed = True
+        while changed:
+            changed = False
+            for n in list(rhs_vars):
+                if n in used:
+                    extra = rhs_vars[n] - used
+                    if extra:
+                        used.update(extra)
+                        changed = True
+    binds = [(n, rhs) for n, rhs in let.binds
+             if n in used or not isinstance(rhs, CDict)]
+    if not binds:
+        return let.body
+    return CLet(binds, let.body, let.recursive)
+
+
+def _inline_dict(expr: CoreExpr,
+                 by_name: Dict[str, CoreBinding]) -> Optional[CoreExpr]:
+    """Inline a constant dictionary reference/application one step."""
+    head, args = app_spine(expr)
+    if not isinstance(head, CVar):
+        return None
+    binding = by_name.get(head.name)
+    if binding is None or binding.kind != "dict":
+        return None
+    body = binding.expr
+    if isinstance(body, CLam):
+        if len(args) != len(body.params):
+            return None
+        return substitute(body.body, dict(zip(body.params, args)))
+    if args:
+        return None
+    return body
+
+
+def specialize_program(program: CoreProgram) -> CoreProgram:
+    """Create clones for every overloaded call at constant dictionaries
+    and rewrite call sites (section 9)."""
+    return _Specializer(program).run()

@@ -1,0 +1,99 @@
+"""Capture-avoiding substitution and renaming for core expressions.
+
+Shared infrastructure for the specialisation passes: substituting a
+(closed or open) expression for a variable must rename any binder that
+would capture a free variable of the payload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.coreir.syntax import (
+    CAlt,
+    CApp,
+    CCase,
+    CLam,
+    CLet,
+    CLitAlt,
+    CoreExpr,
+    CVar,
+    free_vars,
+    map_subexprs,
+)
+from repro.util.names import NameSupply
+
+_renamer = NameSupply()
+
+
+def substitute(expr: CoreExpr, subst: Dict[str, CoreExpr]) -> CoreExpr:
+    """``expr[x := subst[x]]`` for every key, capture-avoiding."""
+    if not subst:
+        return expr
+    avoid: Set[str] = set()
+    for payload in subst.values():
+        avoid.update(free_vars(payload))
+    return _subst(expr, dict(subst), avoid)
+
+
+def _subst(expr: CoreExpr, subst: Dict[str, CoreExpr],
+           avoid: Set[str]) -> CoreExpr:
+    if isinstance(expr, CVar):
+        return subst.get(expr.name, expr)
+    if isinstance(expr, CLam):
+        params, inner_subst, renames = _protect(expr.params, subst, avoid)
+        body = expr.body if renames is None else _rename(expr.body, renames)
+        if not inner_subst:
+            return CLam(params, body)
+        return CLam(params, _subst(body, inner_subst, avoid))
+    if isinstance(expr, CLet):
+        names = [n for n, _ in expr.binds]
+        new_names, inner_subst, renames = _protect(names, subst, avoid)
+
+        def fix_inner(e: CoreExpr) -> CoreExpr:
+            if renames is not None:
+                e = _rename(e, renames)
+            return _subst(e, inner_subst, avoid) if inner_subst else e
+
+        if expr.recursive:
+            binds = [(new, fix_inner(rhs))
+                     for new, (_old, rhs) in zip(new_names, expr.binds)]
+        else:
+            binds = [(new, _subst(rhs, subst, avoid))
+                     for new, (_old, rhs) in zip(new_names, expr.binds)]
+        return CLet(binds, fix_inner(expr.body), expr.recursive)
+    if isinstance(expr, CCase):
+        scrut = _subst(expr.scrutinee, subst, avoid)
+        alts = []
+        for alt in expr.alts:
+            binders, inner_subst, renames = _protect(alt.binders, subst, avoid)
+            body = alt.body if renames is None else _rename(alt.body, renames)
+            if inner_subst:
+                body = _subst(body, inner_subst, avoid)
+            alts.append(CAlt(alt.con_name, binders, body))
+        lit_alts = [CLitAlt(a.value, a.kind, _subst(a.body, subst, avoid))
+                    for a in expr.lit_alts]
+        default = (_subst(expr.default, subst, avoid)
+                   if expr.default is not None else None)
+        return CCase(scrut, alts, lit_alts, default)
+    return map_subexprs(expr, lambda e: _subst(e, subst, avoid))
+
+
+def _protect(binders, subst: Dict[str, CoreExpr], avoid: Set[str]):
+    """Handle one binding group: drop shadowed substitutions and rename
+    binders that would capture."""
+    inner_subst = {k: v for k, v in subst.items() if k not in binders}
+    renames: Dict[str, str] = {}
+    new_binders = []
+    for b in binders:
+        if b in avoid and inner_subst:
+            fresh = _renamer.fresh(b.split("$")[0] or "v")
+            renames[b] = fresh
+            new_binders.append(fresh)
+        else:
+            new_binders.append(b)
+    return new_binders, inner_subst, (renames or None)
+
+
+def _rename(expr: CoreExpr, renames: Dict[str, str]) -> CoreExpr:
+    return substitute(expr, {old: CVar(new) for old, new in renames.items()})

@@ -1,0 +1,18 @@
+"""Small self-contained utilities shared across the compiler.
+
+Nothing in this package depends on any other part of :mod:`repro`; the
+modules here provide generic infrastructure (graph algorithms, ordered
+sets, fresh-name supplies) used by the front end and the type checker.
+"""
+
+from repro.util.graph import Digraph, strongly_connected_components, topological_order
+from repro.util.names import NameSupply
+from repro.util.orderedset import OrderedSet
+
+__all__ = [
+    "Digraph",
+    "strongly_connected_components",
+    "topological_order",
+    "NameSupply",
+    "OrderedSet",
+]

@@ -1,0 +1,68 @@
+"""An insertion-ordered set.
+
+Contexts — the sets of class constraints attached to type variables
+(section 5) — need set semantics for the union performed when two type
+variables are unified, but the *order* of the context determines the
+order of dictionary parameters at generalization (section 6.2), and the
+paper requires that "the same ordering is used consistently".  A plain
+``set`` would make dictionary order depend on hash seeds; an
+insertion-ordered set makes the whole pipeline deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class OrderedSet(Generic[T]):
+    """A set that iterates in insertion order."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Iterable[T]] = None) -> None:
+        self._items: Dict[T, None] = {}
+        if items is not None:
+            for item in items:
+                self._items[item] = None
+
+    def add(self, item: T) -> None:
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        self._items.pop(item, None)
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items[item] = None
+
+    def union(self, items: Iterable[T]) -> "OrderedSet[T]":
+        out = OrderedSet(self)
+        out.update(items)
+        return out
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._items)!r})"
+
+    def copy(self) -> "OrderedSet[T]":
+        return OrderedSet(self)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompilerOptions, compile_source
+
+
+@pytest.fixture(scope="session")
+def prelude_program():
+    """One compiled empty program (prelude only), shared by read-only
+    tests.  Tests that run code should use ``run_main`` or compile
+    their own program: the evaluator itself is per-call state."""
+    return compile_source("preludeOnlyMarker = ()")
+
+
+def compile_main(source: str, options: CompilerOptions | None = None):
+    return compile_source(source, options)
+
+
+@pytest.fixture
+def run_main():
+    """Compile a program and run its ``main``."""
+
+    def go(source: str, options: CompilerOptions | None = None, **kwargs):
+        return compile_source(source, options).run("main", **kwargs)
+
+    return go
+
+
+@pytest.fixture
+def evaluate(prelude_program):
+    """Evaluate one expression against the shared prelude."""
+
+    def go(expr: str, **kwargs):
+        return prelude_program.eval(expr, **kwargs)
+
+    return go

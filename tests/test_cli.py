@@ -1,0 +1,109 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_options, main, render
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.mhs"
+    path.write_text(
+        "double :: Num a => a -> a\n"
+        "double x = x + x\n"
+        "main = (double 4, show (double 1.5))\n")
+    return str(path)
+
+
+class TestRun:
+    def test_run_main(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "(8, '3.0')"
+
+    def test_run_expression(self, program_file, capsys):
+        assert main(["run", program_file, "-e", "double 100"]) == 0
+        assert capsys.readouterr().out.strip() == "200"
+
+    def test_run_other_entry(self, tmp_path, capsys):
+        path = tmp_path / "p.mhs"
+        path.write_text("answer = (42 :: Int)\nmain = 0\n")
+        assert main(["run", str(path), "--entry", "answer"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_stats_flag(self, program_file, capsys):
+        assert main(["run", program_file, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "dicts=" in err
+
+    def test_string_results_unquoted(self):
+        assert render("abc") == "abc"
+        assert render((1, 2)) == "(1, 2)"
+
+    def test_type_error_reported_with_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.mhs"
+        path.write_text("main = (1 :: Int) + 'c'\n")
+        with pytest.raises(SystemExit):
+            main(["run", str(path)])
+        err = capsys.readouterr().err
+        assert "cannot unify" in err
+        assert "^" in err  # caret under the offending source
+
+    def test_runtime_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "boom.mhs"
+        path.write_text('main = error "kaput"\n')
+        assert main(["run", str(path)]) == 1
+        assert "kaput" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_prints_schemes(self, program_file, capsys):
+        assert main(["check", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "double :: Num a => a -> a" in out
+
+    def test_hides_generated_names(self, program_file, capsys):
+        main(["check", program_file])
+        out = capsys.readouterr().out
+        assert "impl$" not in out
+        assert "dflt$" not in out
+
+
+class TestCore:
+    def test_dumps_requested_binding(self, program_file, capsys):
+        assert main(["core", program_file, "double"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("double =")
+        assert "main =" not in out
+
+    def test_dumps_everything_by_default(self, program_file, capsys):
+        main(["core", program_file])
+        out = capsys.readouterr().out
+        assert "double =" in out and "member =" in out
+
+
+class TestOptions:
+    def test_set_boolean(self, program_file, capsys):
+        assert main(["run", program_file, "--set",
+                     "hoist_dictionaries=false", "--set",
+                     "specialize=true"]) == 0
+
+    def test_set_string(self, program_file):
+        assert main(["run", program_file, "--set",
+                     "dict_layout=flat"]) == 0
+
+    def test_unknown_option_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--set", "warp_speed=9"])
+
+    def test_bad_boolean_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--set",
+                  "specialize=perhaps"])
+
+    def test_build_options(self):
+        opts = build_options(["dict_layout=flat", "eval_step_limit=500",
+                              "defaulting=off"])
+        assert opts.dict_layout == "flat"
+        assert opts.eval_step_limit == 500
+        assert opts.defaulting is False

@@ -1,0 +1,152 @@
+"""Direct tests for core-IR helpers (free variables, traversal, spine)
+and the capture-avoiding substitution used by specialisation."""
+
+import pytest
+
+from repro.coreir.syntax import (
+    CAlt,
+    CApp,
+    CCase,
+    CCon,
+    CDict,
+    CLam,
+    CLet,
+    CLit,
+    CLitAlt,
+    CSel,
+    CTuple,
+    CVar,
+    app_spine,
+    capp,
+    count_nodes,
+    free_vars,
+    map_subexprs,
+)
+from repro.transform.subst import substitute
+
+
+class TestSpine:
+    def test_flattens_nested_application(self):
+        e = capp(CVar("f"), CVar("a"), CVar("b"), CVar("c"))
+        head, args = app_spine(e)
+        assert head.name == "f"
+        assert [a.name for a in args] == ["a", "b", "c"]
+
+    def test_non_application(self):
+        head, args = app_spine(CVar("x"))
+        assert head.name == "x" and args == []
+
+
+class TestFreeVars:
+    def test_lambda_binds(self):
+        e = CLam(["x"], capp(CVar("f"), CVar("x"), CVar("y")))
+        assert free_vars(e) == ["f", "y"]
+
+    def test_let_nonrecursive_rhs_sees_outer(self):
+        e = CLet([("x", CVar("x"))], CVar("x"), recursive=False)
+        # the rhs 'x' is the OUTER x; the body 'x' is the bound one
+        assert free_vars(e) == ["x"]
+
+    def test_let_recursive_rhs_sees_binder(self):
+        e = CLet([("x", CVar("x"))], CVar("x"), recursive=True)
+        assert free_vars(e) == []
+
+    def test_case_binders_scoped_to_alt(self):
+        e = CCase(CVar("s"),
+                  [CAlt(":", ["h", "t"], capp(CVar("g"), CVar("h")))],
+                  [], CVar("h"))
+        # 'h' in the default is free (binders scope only over the alt)
+        assert free_vars(e) == ["s", "g", "h"]
+
+    def test_first_occurrence_order(self):
+        e = CTuple([CVar("b"), CVar("a"), CVar("b")])
+        assert free_vars(e) == ["b", "a"]
+
+    def test_dict_and_sel(self):
+        e = CSel(0, 2, CDict([CVar("m")], "t"), from_dict=True)
+        assert free_vars(e) == ["m"]
+
+
+class TestMapSubexprs:
+    def test_rebuilds_all_children(self):
+        renamed = lambda e: CVar(e.name + "'") if isinstance(e, CVar) else e
+        e = CApp(CVar("f"), CVar("x"))
+        out = map_subexprs(e, renamed)
+        assert out.fn.name == "f'" and out.arg.name == "x'"
+
+    def test_leaves_untouched(self):
+        lit = CLit(1, "int")
+        assert map_subexprs(lit, lambda e: e) is lit
+
+    def test_count_nodes(self):
+        e = CLet([("x", CLit(1, "int"))],
+                 capp(CVar("f"), CVar("x")), recursive=False)
+        assert count_nodes(e) == 5  # let, lit, app, f, x
+
+
+class TestSubstitution:
+    def test_simple(self):
+        e = capp(CVar("f"), CVar("x"))
+        out = substitute(e, {"x": CLit(1, "int")})
+        _, (arg,) = app_spine(out)
+        assert isinstance(arg, CLit)
+
+    def test_shadowed_by_lambda(self):
+        e = CLam(["x"], CVar("x"))
+        out = substitute(e, {"x": CLit(1, "int")})
+        assert isinstance(out.body, CVar) and out.body.name == out.params[0]
+
+    def test_capture_avoided_by_lambda(self):
+        # (\y -> x) [x := y]  must NOT become \y -> y
+        e = CLam(["y"], CVar("x"))
+        out = substitute(e, {"x": CVar("y")})
+        assert isinstance(out.body, CVar)
+        assert out.body.name == "y"          # the payload y
+        assert out.params[0] != "y"          # the binder was renamed
+
+    def test_capture_avoided_in_let(self):
+        e = CLet([("y", CLit(1, "int"))],
+                 capp(CVar("f"), CVar("x"), CVar("y")), recursive=False)
+        out = substitute(e, {"x": CVar("y")})
+        (binder, _rhs), = out.binds
+        head, args = app_spine(out.body)
+        assert args[0].name == "y"          # payload survives
+        assert args[1].name == binder        # bound reference follows rename
+        assert binder != "y"
+
+    def test_capture_avoided_in_case_alt(self):
+        e = CCase(CVar("s"), [CAlt("Just", ["y"],
+                                   capp(CVar("f"), CVar("x"), CVar("y")))],
+                  [], None)
+        out = substitute(e, {"x": CVar("y")})
+        alt = out.alts[0]
+        head, args = app_spine(alt.body)
+        assert args[0].name == "y"
+        assert args[1].name == alt.binders[0]
+        assert alt.binders[0] != "y"
+
+    def test_recursive_let_self_reference(self):
+        e = CLet([("go", capp(CVar("go"), CVar("x")))],
+                 CVar("go"), recursive=True)
+        out = substitute(e, {"x": CLit(5, "int")})
+        (name, rhs), = out.binds
+        head, (arg,) = app_spine(rhs)
+        assert head.name == name            # self reference intact
+        assert isinstance(arg, CLit)
+
+    def test_empty_substitution_identity(self):
+        e = capp(CVar("f"), CVar("x"))
+        assert substitute(e, {}) is e
+
+    def test_literal_alternatives(self):
+        e = CCase(CVar("x"), [], [CLitAlt(0, "int", CVar("x"))], CVar("x"))
+        out = substitute(e, {"x": CLit(9, "int")})
+        assert isinstance(out.scrutinee, CLit)
+        assert isinstance(out.lit_alts[0].body, CLit)
+        assert isinstance(out.default, CLit)
+
+    def test_constructors_untouched(self):
+        e = capp(CCon(":", 2), CVar("x"), CCon("[]", 0))
+        out = substitute(e, {"x": CLit(1, "int")})
+        head, args = app_spine(out)
+        assert isinstance(head, CCon)

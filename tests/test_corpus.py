@@ -1,0 +1,151 @@
+"""A corpus of classic programs and their expected principal types,
+plus a corpus of programs that must be rejected.
+
+The positive table is in the tradition of 'Typing Haskell in Haskell'
+test suites: each entry is checked for its inferred scheme, and — when
+it has a ``main`` — for its value under both backends.
+"""
+
+import pytest
+
+from repro import ReproError, compile_source
+from repro.core.types import scheme_str
+
+#: (source, binding, expected scheme)
+POSITIVE = [
+    # -- combinators --------------------------------------------------
+    ("i x = x", "i", "a -> a"),
+    ("k x y = x", "k", "a -> b -> a"),
+    ("s f g x = f x (g x)", "s",
+     "(a -> b -> c) -> (a -> b) -> a -> c"),
+    ("b f g x = f (g x)", "b", "(a -> b) -> (c -> a) -> c -> b"),
+    ("c f x y = f y x", "c", "(a -> b -> c) -> b -> a -> c"),
+    ("w f x = f x x", "w", "(a -> a -> b) -> a -> b"),
+    ("twice f = f . f", "twice", "(a -> a) -> a -> a"),
+    ("on f g x y = f (g x) (g y)", "on",
+     "(a -> a -> b) -> (c -> a) -> c -> c -> b"),
+    # -- lists --------------------------------------------------------
+    ("singleton x = [x]", "singleton", "a -> [a]"),
+    ("pairUp x y = [(x, y)]", "pairUp", "a -> b -> [(a, b)]"),
+    ("heads xs = map head xs", "heads", "[[a]] -> [a]"),
+    ("apply fs x = map (\\f -> f x) fs", "apply", "[a -> b] -> a -> [b]"),
+    ("selfZip xs = zip xs xs", "selfZip", "[a] -> [(a, a)]"),
+    ("len2 xs = length xs + length xs", "len2", "[a] -> Int"),
+    # -- overloading --------------------------------------------------
+    ("eq3 x y z = x == y && y == z", "eq3", "Eq a => a -> a -> a -> Bool"),
+    ("sq x = x * x", "sq", "Num a => a -> a"),
+    ("avg x y = (x + y) / fromInteger 2", "avg",
+     "Fractional a => a -> a -> a"),
+    ("clamp lo hi x = max lo (min hi x)", "clamp",
+     "Ord a => a -> a -> a -> a"),
+    ("table xs = map show xs", "table", "Text a => [a] -> [[Char]]"),
+    ("parse2 s = (read s, read s)", "parse2",
+     "(Text a, Text b) => [Char] -> (a, b)"),
+    ("count x xs = length (filter (\\y -> y == x) xs)", "count",
+     "Eq a => a -> [a] -> Int"),
+    ("distinct xs = length (nub xs) == length xs", "distinct",
+     "Eq a => [a] -> Bool"),
+    ("ordNub xs = sort (nub xs)", "ordNub", "Ord a => [a] -> [a]"),
+    ("showBoth x = show x ++ show [x]", "showBoth",
+     "Text a => a -> [Char]"),
+    # superclass compaction: Ord absorbs Eq; Num absorbs Eq and Text
+    ("f x = x < x || x == x", "f", "Ord a => a -> Bool"),
+    ("g x = show (x + x) ++ show (x == x)", "g", "Num a => a -> [Char]"),
+    # -- recursion ----------------------------------------------------
+    ("lenR xs = case xs of { [] -> 0; (y:ys) -> 1 + lenR ys }", "lenR",
+     "Num b => [a] -> b"),
+    ("untilEq f x = let y = f x in if x == y then x else untilEq f y",
+     "untilEq", "Eq a => (a -> a) -> a -> a"),
+    ("interleave xs ys = case xs of\n"
+     "                     [] -> ys\n"
+     "                     (z:zs) -> z : interleave ys zs",
+     "interleave", "[a] -> [a] -> [a]"),
+    # -- data types ---------------------------------------------------
+    ("data Id a = MkId a\nrunId (MkId x) = x", "runId", "Id a -> a"),
+    ("data Two a = Two a a\nboth f (Two x y) = Two (f x) (f y)", "both",
+     "(a -> b) -> Two a -> Two b"),
+    ("swapE (Left x) = Right x\nswapE (Right y) = Left y", "swapE",
+     "Either a b -> Either b a"),
+    ("justs xs = [x | 0 == 0, x <- []]" if False else
+     "justs xs = catMaybes xs", "justs", "[Maybe a] -> [a]"),
+    # -- signatures make things monomorphic / more general ------------
+    ("h :: Int -> Int\nh x = x", "h", "Int -> Int"),
+    ("e :: Eq a => a -> a -> Bool\ne x y = x == y", "e",
+     "Eq a => a -> a -> Bool"),
+]
+
+
+@pytest.mark.parametrize("source,name,expected",
+                         POSITIVE, ids=[p[1] + str(i)
+                                        for i, p in enumerate(POSITIVE)])
+def test_positive_corpus(source, name, expected):
+    program = compile_source(source)
+    assert scheme_str(program.schemes[name]) == expected
+
+
+#: programs that must fail to compile (any ReproError subclass)
+NEGATIVE = [
+    "main = \\x -> x x",                       # occurs check
+    "main = (1 :: Int) + 'a'",                 # unification
+    "main = if 1 then 2 else 3",               # Num Bool
+    "data T = T\nmain = T == T",               # no instance Eq T
+    "data T = T\nmain = show T",               # no instance Text T
+    "main = id == id",                         # Eq on functions
+    "f :: a -> a\nf x = x + x",                # signature too general
+    "f :: a -> b\nf x = x",                    # two ro vars conflated
+    "f :: Int\nf = 'c'",                       # wrong literal type
+    "main = frobnicate",                       # unbound
+    "f (x, x) = x",                            # repeated pattern var
+    "f (Just x y) = x",                        # wrong constructor arity
+    "main = head",                             # main not ground? fine...
+    "data D = D D2",                           # unknown type D2
+    "data D a = D b",                          # tyvar not in scope
+    "data Bad a = MkBad (a a)",                # kind error
+    "class X a where\n  m :: Int -> Int",      # class var unused
+    "instance Eq Int where\n  x == y = True",  # duplicate instance
+    "instance Eq [Int] where\n  x == y = True",  # non-variable head arg
+    "f s = show (read s)\nmain = f \"x\"",     # ambiguous
+    "x :: Int",                                # signature without binding
+    "f :: Int\nf :: Int\nf = 1",               # duplicate signature
+    "type A = A\nf :: A\nf = f",               # cyclic synonym
+    "data T = T deriving Wat",                 # unknown deriving
+    "main = case [] of { }" ,                  # empty case
+]
+
+
+@pytest.mark.parametrize("source", NEGATIVE,
+                         ids=[f"neg{i}" for i in range(len(NEGATIVE))])
+def test_negative_corpus(source):
+    if source == "main = head":
+        # actually fine: main may be a function value
+        compile_source(source)
+        return
+    with pytest.raises(ReproError):
+        compile_source(source)
+
+
+#: runnable programs checked on both backends
+RUNNABLE = [
+    ("main = until (\\x -> x > 50) (\\x -> x * 2) 3", 96),
+    ("main = foldr (\\x acc -> x : acc) [] \"ok\"", "ok"),
+    ("main = show (compare (1, 'z') (1, 'a'))", "GT"),
+    ("main = let fib n = if n < 2 then n else fib (n-1) + fib (n-2)\n"
+     "       in map fib (enumFromTo 0 10)",
+     [0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55]),
+    ("main = concatMap (\\x -> replicate x x) [1,2,3]",
+     [1, 2, 2, 3, 3, 3]),
+    ("primes = let sieve (p:xs) = "
+     "p : sieve (filter (\\x -> mod x p > 0) xs)\n"
+     "          in sieve (iterate (\\n -> n + 1) 2)\n"
+     "main = take 8 primes", [2, 3, 5, 7, 11, 13, 17, 19]),
+    ("main = show (minimum [(2, 'b'), (1, 'z'), (1, 'a')])", "(1, 'a')"),
+    ("main = words \"the quick  brown\"", ["the", "quick", "brown"]),
+]
+
+
+@pytest.mark.parametrize("source,expected", RUNNABLE,
+                         ids=[f"run{i}" for i in range(len(RUNNABLE))])
+def test_runnable_corpus_both_backends(source, expected):
+    program = compile_source(source)
+    assert program.run("main") == expected
+    assert program.to_python().run("main") == expected

@@ -1,0 +1,75 @@
+"""Dead-code elimination tests."""
+
+import pytest
+
+from repro import compile_source
+from repro.transform.dce import reachable_bindings, shake
+
+
+class TestReachability:
+    def test_direct_reference(self):
+        program = compile_source("a = (1 :: Int)\nb = a + 1\nmain = b")
+        keep = reachable_bindings(program.core, ["main"])
+        assert {"main", "b", "a"} <= keep
+
+    def test_unreferenced_dropped(self):
+        program = compile_source(
+            "used = (1 :: Int)\nunused = (2 :: Int)\nmain = used")
+        shaken = shake(program.core, ["main"])
+        names = set(shaken.names())
+        assert "used" in names
+        assert "unused" not in names
+
+    def test_dictionaries_kept_when_needed(self):
+        program = compile_source(
+            "poly :: Eq a => a -> Bool\npoly x = x == x\nmain = poly 'x'")
+        shaken = shake(program.core, ["main"])
+        names = set(shaken.names())
+        assert "d$Eq$Char" in names
+
+    def test_unused_instances_dropped(self):
+        program = compile_source("main = (1 :: Int) + 1")
+        shaken = shake(program.core, ["main"])
+        names = set(shaken.names())
+        # Float arithmetic is unreachable from this main.
+        assert "d$Num$Float" not in names
+        assert "impl$Text$Float$show" not in names
+
+    def test_shaking_shrinks_substantially(self):
+        program = compile_source("main = (1 :: Int) + 1")
+        shaken = shake(program.core, ["main"])
+        assert len(shaken.bindings) < len(program.core.bindings) // 2
+
+    def test_missing_root_tolerated(self):
+        program = compile_source("main = 1")
+        shaken = shake(program.core, ["main", "ghost"])
+        assert "main" in shaken.names()
+
+
+class TestShakenPrograms:
+    def test_shaken_program_still_runs(self):
+        program = compile_source(
+            "main = show (sort [3,1,2]) ++ show (member 1 [1])")
+        expected = program.run("main")
+        assert program.shake(["main"]).run("main") == expected
+
+    def test_shaken_compiled_backend(self):
+        program = compile_source("main = sum (map (\\x -> x * x) [1,2,3])")
+        py = program.to_python(roots=["main"])
+        assert py.run("main") == 14
+
+    def test_shaking_respects_derived_instances(self):
+        program = compile_source(
+            "data C = A | B deriving (Eq, Text)\n"
+            "main = show [A, B]")
+        expected = program.run("main")
+        assert program.shake(["main"]).run("main") == expected == "[A, B]"
+
+    def test_shaking_with_specialization(self):
+        from repro import CompilerOptions
+        program = compile_source(
+            "mem :: Eq a => a -> [a] -> Bool\n"
+            "mem x [] = False\nmem x (y:ys) = x == y || mem x ys\n"
+            "main = mem 2 [1,2]",
+            CompilerOptions(specialize=True))
+        assert program.shake(["main"]).run("main") is True

@@ -1,0 +1,125 @@
+"""Derived instances (section 2: "derived instances ... automatically
+generating appropriate instance definitions")."""
+
+import pytest
+
+from repro import compile_source
+from repro.errors import StaticError
+
+
+class TestDerivedEq:
+    def test_enumeration(self, run_main):
+        assert run_main(
+            "data Color = Red | Green | Blue deriving Eq\n"
+            "main = (Red == Red, Red == Blue, Red /= Blue)") \
+            == (True, False, True)
+
+    def test_fields_compared_structurally(self, run_main):
+        assert run_main(
+            "data Point = Point Int Int deriving Eq\n"
+            "main = (Point 1 2 == Point 1 2, Point 1 2 == Point 1 3)") \
+            == (True, False)
+
+    def test_parameterised_type_needs_element_eq(self, run_main):
+        assert run_main(
+            "data Pair a = Pair a a deriving Eq\n"
+            "main = (Pair 'x' 'y' == Pair 'x' 'y', Pair [1] [1] == Pair [1] [2])") \
+            == (True, False)
+
+    def test_recursive_type(self, run_main):
+        assert run_main(
+            "data Tree = Leaf | Node Tree Int Tree deriving Eq\n"
+            "main = Node Leaf 1 Leaf == Node Leaf 1 Leaf") is True
+
+    def test_derived_eq_usable_by_member(self, run_main):
+        assert run_main(
+            "data C = A | B deriving Eq\n"
+            "main = member B [A, B]") is True
+
+
+class TestDerivedOrd:
+    def test_constructor_order(self, run_main):
+        assert run_main(
+            "data C = A | B | D deriving (Eq, Ord)\n"
+            "main = (A < B, D > B, compare B B)") \
+            == (True, True, ("EQ",))
+
+    def test_lexicographic_fields(self, run_main):
+        assert run_main(
+            "data P = P Int Char deriving (Eq, Ord)\n"
+            "main = (P 1 'b' < P 2 'a', P 1 'a' < P 1 'b')") == (True, True)
+
+    def test_sortable(self, run_main):
+        assert run_main(
+            "data C = A | B | D deriving (Eq, Ord, Text)\n"
+            "main = show (sort [D, A, B, A])") == "[A, A, B, D]"
+
+    def test_max_min_from_defaults(self, run_main):
+        assert run_main(
+            "data C = A | B deriving (Eq, Ord)\n"
+            "main = (max A B == B, min A B == A)") == (True, True)
+
+
+class TestDerivedText:
+    def test_show_enumeration(self, run_main):
+        assert run_main(
+            "data C = A | B deriving (Eq, Text)\n"
+            "main = (show A, show B)") == ("A", "B")
+
+    def test_show_with_fields(self, run_main):
+        assert run_main(
+            "data P = P Int Char deriving (Eq, Text)\n"
+            "main = show (P 3 'x')") == "(P 3 'x')"
+
+    def test_show_nested(self, run_main):
+        assert run_main(
+            "data T = T [Int] deriving (Eq, Text)\n"
+            "main = show (T [1,2])") == "(T [1, 2])"
+
+    def test_read_roundtrip_enumeration(self, run_main):
+        assert run_main(
+            "data C = A | B deriving (Eq, Text)\n"
+            "main = (read \"B\" :: C) == B") is True
+
+    def test_read_roundtrip_fields(self, run_main):
+        assert run_main(
+            "data P = P Int Char deriving (Eq, Text)\n"
+            "main = (read (show (P 3 'x')) :: P) == P 3 'x'") is True
+
+    def test_read_roundtrip_recursive(self, run_main):
+        assert run_main(
+            "data T = L | N T T deriving (Eq, Text)\n"
+            "main = (read (show (N (N L L) L)) :: T) == N (N L L) L") is True
+
+    def test_read_roundtrip_parameterised(self, run_main):
+        assert run_main(
+            "data Box a = Box a deriving (Eq, Text)\n"
+            "main = (read (show (Box [1,2])) :: Box [Int]) == Box [1,2]") \
+            is True
+
+    def test_derived_reads_in_lists(self, run_main):
+        assert run_main(
+            "data C = A | B deriving (Eq, Text)\n"
+            "main = (read \"[A, B, A]\" :: [C]) == [A, B, A]") is True
+
+
+class TestDerivingErrors:
+    def test_unknown_derivable_class(self):
+        with pytest.raises(StaticError, match="derive"):
+            compile_source("data T = T deriving Num")
+
+    def test_derived_instance_counts_as_instance(self):
+        from repro.errors import DuplicateInstanceError
+        with pytest.raises(DuplicateInstanceError):
+            compile_source(
+                "data T = T deriving Eq\n"
+                "instance Eq T where\n  x == y = True")
+
+    def test_field_type_must_have_instance_when_used(self):
+        from repro.errors import NoInstanceError
+        # deriving Eq for a type holding functions: the derived (==)
+        # needs Eq on the field, which functions lack.
+        with pytest.raises(NoInstanceError):
+            compile_source(
+                "data F = F (Int -> Int) deriving Eq\n"
+                "main = F id == F id")

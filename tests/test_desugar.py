@@ -1,0 +1,157 @@
+"""Desugarer tests: kernel form invariants."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.desugar import desugar_expr, desugar_program
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pp_expr
+
+
+def desugar_bind(source, name=None, overload=True):
+    program = desugar_program(parse_program(source), overload)
+    binds = [d for d in program.decls if isinstance(d, ast.FunBind)]
+    if name is None:
+        assert len(binds) == 1
+        return binds[0]
+    return next(b for b in binds if b.name == name)
+
+
+class TestBindings:
+    def test_simple_binding_stays_simple(self):
+        bind = desugar_bind("x = y")
+        assert bind.is_simple
+        assert bind.original_arity == 0
+
+    def test_function_binding_becomes_lambda_case(self):
+        bind = desugar_bind("f x y = x")
+        assert bind.is_simple
+        assert bind.original_arity == 2
+        body = bind.simple_rhs
+        assert isinstance(body, ast.Lam)
+        assert isinstance(body.body, ast.Case)
+
+    def test_single_param_scrutinee_is_var(self):
+        bind = desugar_bind("f x = x")
+        case = bind.simple_rhs.body
+        assert isinstance(case.scrutinee, ast.Var)
+
+    def test_multi_param_scrutinee_is_tuple(self):
+        bind = desugar_bind("f x y = x")
+        case = bind.simple_rhs.body
+        assert isinstance(case.scrutinee, ast.TupleExpr)
+
+    def test_equations_become_alternatives(self):
+        bind = desugar_bind("f 0 = 1\nf n = n")
+        case = bind.simple_rhs.body
+        assert len(case.alts) == 2
+
+    def test_where_becomes_let(self):
+        bind = desugar_bind("f = y where y = 1")
+        assert isinstance(bind.simple_rhs, ast.Let)
+
+    def test_where_on_equation_kept_on_alternative(self):
+        bind = desugar_bind("f x = y where y = x")
+        alt = bind.simple_rhs.body.alts[0]
+        assert alt.where_decls
+
+    def test_guards_survive_on_alternatives(self):
+        bind = desugar_bind("f x | x > 0 = 1\n    | otherwise = 2")
+        alt = bind.simple_rhs.body.alts[0]
+        assert len(alt.rhss) == 2
+        assert alt.rhss[0].guard is not None
+
+    def test_guarded_pattern_free_binding_becomes_if(self):
+        bind = desugar_bind("x | c = 1\n  | otherwise = 2")
+        assert isinstance(bind.simple_rhs, ast.If)
+
+    def test_multiple_equations_for_constant_rejected(self):
+        with pytest.raises(ParseError):
+            desugar_program(parse_program("x = 1\nx = 2"))
+
+
+class TestLiterals:
+    def test_int_literal_overloaded(self):
+        expr = desugar_expr(parse_expr("1"))
+        assert isinstance(expr, ast.App)
+        assert expr.fn.name == "fromInteger"
+
+    def test_int_literal_monomorphic_mode(self):
+        expr = desugar_expr(parse_expr("1"), overload_literals=False)
+        assert isinstance(expr, ast.Lit)
+
+    def test_float_literal_not_wrapped(self):
+        expr = desugar_expr(parse_expr("1.5"))
+        assert isinstance(expr, ast.Lit)
+
+    def test_string_literal_not_wrapped(self):
+        expr = desugar_expr(parse_expr('"ab"'))
+        assert isinstance(expr, ast.Lit)
+
+    def test_literal_pattern_becomes_guard(self):
+        bind = desugar_bind("f 0 = 1\nf n = n")
+        alt = bind.simple_rhs.body.alts[0]
+        assert isinstance(alt.pat, ast.PVar)
+        assert alt.rhss[0].guard is not None
+        assert "==" in pp_expr(alt.rhss[0].guard)
+
+    def test_nested_literal_pattern_becomes_guard(self):
+        bind = desugar_bind("f (x:0:xs) = 1\nf q = 2")
+        alt = bind.simple_rhs.body.alts[0]
+        assert alt.rhss[0].guard is not None
+
+    def test_string_pattern_becomes_cons_chain(self):
+        bind = desugar_bind('f "ab" = 1\nf s = 2')
+        alt = bind.simple_rhs.body.alts[0]
+        assert isinstance(alt.pat, ast.PCon)
+        assert alt.pat.name == ":"
+
+    def test_char_pattern_survives(self):
+        bind = desugar_bind("f 'a' = 1\nf c = 2")
+        alt = bind.simple_rhs.body.alts[0]
+        assert isinstance(alt.pat, ast.PLit) and alt.pat.kind == "char"
+
+
+class TestExpressions:
+    def test_list_literal_becomes_cons(self):
+        expr = desugar_expr(parse_expr("[1, 2]"), overload_literals=False)
+        assert pp_expr(expr) == "(:) 1 ((:) 2 [])"
+
+    def test_lambda_with_var_params_unchanged(self):
+        expr = desugar_expr(parse_expr("\\x y -> x"))
+        assert isinstance(expr, ast.Lam)
+        assert all(isinstance(p, ast.PVar) for p in expr.params)
+
+    def test_lambda_with_pattern_params_gets_case(self):
+        expr = desugar_expr(parse_expr("\\(x, y) -> x"))
+        assert isinstance(expr, ast.Lam)
+        assert isinstance(expr.params[0], ast.PVar)
+        assert isinstance(expr.body, ast.Case)
+
+    def test_if_survives(self):
+        expr = desugar_expr(parse_expr("if c then 1 else 2"))
+        assert isinstance(expr, ast.If)
+
+    def test_let_decls_desugared(self):
+        expr = desugar_expr(parse_expr("let f x = x in f"))
+        bind = expr.decls[0]
+        assert bind.is_simple
+        assert bind.original_arity == 1
+
+    def test_case_guards_get_literal_conjuncts(self):
+        expr = desugar_expr(parse_expr(
+            "case x of { 0 -> a; n | n > m -> b }"))
+        assert expr.alts[0].rhss[0].guard is not None
+
+    def test_instance_bodies_desugared(self):
+        program = desugar_program(parse_program(
+            "instance Eq T where\n  x == y = q"))
+        inst = program.decls[0]
+        assert inst.bindings[0].is_simple
+
+    def test_class_defaults_desugared(self):
+        program = desugar_program(parse_program(
+            "class Eq a where\n  (/=) :: a -> a -> Bool\n  x /= y = q"))
+        cls = program.decls[0]
+        assert cls.defaults[0].is_simple

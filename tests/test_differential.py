@@ -1,0 +1,117 @@
+"""Differential fuzzing: random well-typed expressions, generated from
+a typed grammar, must (a) type check at their intended type, (b)
+produce identical results under the interpreter and the compiled
+backend, and (c) keep producing that result under the optimising
+configurations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CompilerOptions, compile_source
+
+#: Recursive deferred strategies discard many over-deep candidates on
+#: some seeds; that is expected here, not a test smell.
+FUZZ = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.filter_too_much,
+                                       HealthCheck.too_slow])
+
+
+# --------------------------------------------------------------------------
+# Typed expression grammar.  Each strategy yields a source string of
+# the named type; depth is bounded by hypothesis' recursion control.
+# --------------------------------------------------------------------------
+
+def int_atom():
+    return st.integers(-20, 20).map(lambda n: f"({n})" if n < 0 else str(n))
+
+
+def list_literal(elems):
+    return st.lists(elems, min_size=1, max_size=4).map(
+        lambda xs: "[" + ", ".join(xs) + "]")
+
+
+def exprs():
+    """(int_expr, bool_expr, list_expr) mutually recursive strategies."""
+    int_expr = st.deferred(lambda: st.one_of(
+        int_atom(),
+        st.tuples(int_expr, int_expr).map(lambda p: f"({p[0]} + {p[1]})"),
+        st.tuples(int_expr, int_expr).map(lambda p: f"({p[0]} * {p[1]})"),
+        st.tuples(int_expr, int_expr).map(lambda p: f"({p[0]} - {p[1]})"),
+        list_expr.map(lambda l: f"(length {l})"),
+        list_expr.map(lambda l: f"(sum {l})"),
+        # head is applied to a cons so the list is never empty
+        st.tuples(int_expr, list_expr).map(
+            lambda p: f"(head ({p[0]} : {p[1]}))"),
+        st.tuples(bool_expr, int_expr, int_expr).map(
+            lambda t: f"(if {t[0]} then {t[1]} else {t[2]})"),
+        st.tuples(int_expr, int_expr).map(
+            lambda p: f"(max {p[0]} {p[1]})"),
+    ))
+    bool_expr = st.deferred(lambda: st.one_of(
+        st.sampled_from(["True", "False"]),
+        st.tuples(int_expr, int_expr).map(lambda p: f"({p[0]} == {p[1]})"),
+        st.tuples(int_expr, int_expr).map(lambda p: f"({p[0]} < {p[1]})"),
+        st.tuples(bool_expr, bool_expr).map(lambda p: f"({p[0]} && {p[1]})"),
+        st.tuples(bool_expr, bool_expr).map(lambda p: f"({p[0]} || {p[1]})"),
+        bool_expr.map(lambda b: f"(not {b})"),
+        int_expr.map(lambda e: f"(even {e})"),
+        st.tuples(int_expr, list_expr).map(
+            lambda p: f"(member {p[0]} {p[1]})"),
+        list_expr.map(lambda l: f"(null (drop 1 {l}))"),
+    ))
+    list_expr = st.deferred(lambda: st.one_of(
+        list_literal(int_atom()),
+        st.tuples(int_expr, list_expr).map(
+            lambda p: f"(map (\\z -> z + {p[0]}) {p[1]})"),
+        list_expr.map(lambda l: f"(filter even {l})"),
+        list_expr.map(lambda l: f"(reverse {l})"),
+        list_expr.map(lambda l: f"(sort {l})"),
+        st.tuples(list_expr, list_expr).map(
+            lambda p: f"({p[0]} ++ {p[1]})"),
+        st.tuples(int_expr, list_expr).map(
+            lambda p: f"(take (mod {p[0]} 5) {p[1]})"),
+        st.tuples(int_expr, list_expr).map(
+            lambda p: f"({p[0]} : {p[1]})"),
+    ))
+    return int_expr, bool_expr, list_expr
+
+
+INT_EXPR, BOOL_EXPR, LIST_EXPR = exprs()
+
+
+def check(source_expr: str, expected_type: str) -> None:
+    program = compile_source(f"main :: {expected_type}\nmain = {source_expr}")
+    interp = program.run("main")
+    compiled = program.to_python().run("main")
+    assert interp == compiled
+    optimised = compile_source(
+        f"main :: {expected_type}\nmain = {source_expr}",
+        CompilerOptions(specialize=True, constant_dict_reduction=True))
+    assert optimised.run("main") == interp
+
+
+class TestDifferentialFuzzing:
+    @FUZZ
+    @given(INT_EXPR)
+    def test_int_expressions(self, expr):
+        check(expr, "Int")
+
+    @FUZZ
+    @given(BOOL_EXPR)
+    def test_bool_expressions(self, expr):
+        check(expr, "Bool")
+
+    @FUZZ
+    @given(LIST_EXPR)
+    def test_list_expressions(self, expr):
+        check(expr, "[Int]")
+
+    @FUZZ
+    @given(LIST_EXPR)
+    def test_show_of_random_lists(self, expr):
+        # show goes through the full Text dictionary machinery.
+        program = compile_source(f"main = show ({expr} :: [Int])")
+        interp = program.run("main")
+        assert interp == program.to_python().run("main")
+        assert interp.startswith("[")

@@ -1,0 +1,164 @@
+"""Driver / public API tests: options handling, program objects,
+compile statistics, incremental evaluation."""
+
+import pytest
+
+from repro import (
+    NAIVE,
+    OPTIMIZED,
+    CompilerOptions,
+    compile_and_run,
+    compile_source,
+)
+
+
+class TestOptions:
+    def test_defaults(self):
+        opts = CompilerOptions()
+        assert opts.monomorphism_restriction is True
+        assert opts.defaulting is True
+        assert opts.dict_layout == "nested"
+        assert opts.hoist_dictionaries is True
+        assert opts.specialize is False
+
+    def test_with_copies(self):
+        base = CompilerOptions()
+        changed = base.with_(specialize=True)
+        assert changed.specialize is True
+        assert base.specialize is False  # original untouched
+
+    def test_presets(self):
+        assert NAIVE.hoist_dictionaries is False
+        assert NAIVE.inner_entry_points is False
+        assert OPTIMIZED.specialize is True
+        assert OPTIMIZED.constant_dict_reduction is True
+
+    def test_bad_layout_rejected_at_compile(self):
+        with pytest.raises(ValueError):
+            compile_source("main = 1", CompilerOptions(dict_layout="odd"))
+
+
+class TestCompiledProgram:
+    def test_compile_and_run_helper(self):
+        assert compile_and_run("main = 6 * 7") == 42
+
+    def test_run_named_binding(self):
+        program = compile_source("a = (1 :: Int)\nb = a + 1")
+        assert program.run("b") == 2
+
+    def test_schemes_include_prelude(self):
+        program = compile_source("")
+        assert "member" in program.schemes
+        assert str(program.schemes["map"]) == "(a -> b) -> [a] -> [b]"
+
+    def test_compile_stats_populated(self):
+        program = compile_source("f x = x == x")
+        stats = program.compile_stats
+        assert stats.unify_count > 0
+        assert stats.bindings > 100  # prelude + generated code
+
+    def test_without_prelude(self):
+        program = compile_source(
+            "f :: Int -> Int\nf x = primAddInt x 1\nmain = f 41",
+            CompilerOptions(overload_literals=False),
+            include_prelude=False)
+        assert program.run("main") == 42
+
+    def test_without_prelude_no_classes(self):
+        program = compile_source(
+            "main = primMulInt 6 7",
+            CompilerOptions(overload_literals=False),
+            include_prelude=False)
+        assert program.run("main") == 42
+        assert len(program.core.bindings) < 10
+
+    def test_eval_sequence_is_stateless_enough(self):
+        program = compile_source("k = (10 :: Int)")
+        assert program.eval("k + 1") == 11
+        assert program.eval("k + 2") == 12
+        assert program.eval("show k") == "10"
+
+    def test_eval_can_define_nothing(self):
+        # Expressions only; definitions still come from compile time.
+        program = compile_source("")
+        with pytest.raises(Exception):
+            program.eval("x = 1")
+
+    def test_last_stats_updated_per_run(self):
+        program = compile_source("main = 1 + 1\nbig = sum (enumFromTo 1 50)")
+        program.run("main")
+        small = program.last_stats.steps
+        program.run("big")
+        assert program.last_stats.steps > small
+
+    def test_step_limit_option(self):
+        from repro import EvalError
+        program = compile_source(
+            "loop n = loop (n + 1)\nmain = loop (0 :: Int)",
+            CompilerOptions(eval_step_limit=5000))
+        with pytest.raises(EvalError):
+            program.run("main")
+
+    def test_warnings_surface(self):
+        program = compile_source(
+            "f x = x == x && g\ng = null [f]",
+            CompilerOptions(monomorphism_restriction=False))
+        assert program.warnings
+
+
+class TestInfo:
+    def test_info_on_class(self):
+        program = compile_source("")
+        text = program.info("Ord")
+        assert text.startswith("class Eq a => Ord a where")
+        assert "compare ::" in text
+        assert "instance Ord Int" in text
+
+    def test_info_on_data_type(self):
+        program = compile_source("data S = C Int | R Int Int deriving Eq")
+        text = program.info("S")
+        assert "C :: Int -> S" in text
+        assert "R :: Int -> Int -> S" in text
+
+    def test_info_on_binding_and_unknown(self):
+        program = compile_source("")
+        assert program.info("member") == "member :: Eq a => a -> [a] -> Bool"
+        assert "not defined" in program.info("zorp")
+
+
+class TestInterface:
+    def test_interface_lists_user_bindings(self):
+        program = compile_source(
+            "f :: (Text b, Eq a) => a -> b -> [Char]\n"
+            "f x y = if x == x then show y else []")
+        text = program.interface()
+        assert "f :: (Text b, Eq a) => a -> b -> [Char]" in text
+
+    def test_interface_hides_generated_names(self):
+        program = compile_source("g x = x")
+        text = program.interface()
+        assert "impl$" not in text and "@" not in text
+
+    def test_interface_context_order_is_dictionary_order(self):
+        # The declared order (Text before Eq) survives into the
+        # interface, which is what separate compilation relies on.
+        program = compile_source(
+            "f :: (Text b, Eq a) => a -> b -> [Char]\n"
+            "f x y = if x == x then show y else []")
+        line = [l for l in program.interface().splitlines()
+                if l.startswith("f ::")][0]
+        assert line.index("Text") < line.index("Eq")
+
+
+class TestTupleInstances:
+    def test_triple_ordering(self, evaluate):
+        assert evaluate("compare (1, 'a', True) (1, 'a', False)") == ("GT",)
+        assert evaluate("sort [(1, 'b', 2), (1, 'a', 9)]") \
+            == [(1, "a", 9), (1, "b", 2)]
+
+    def test_quadruple_equality(self, evaluate):
+        assert evaluate("(1, 'a', True, [2]) == (1, 'a', True, [2])") is True
+        assert evaluate("(1, 'a', True, [2]) == (1, 'a', True, [3])") is False
+
+    def test_unlines(self, evaluate):
+        assert evaluate('unlines ["a", "b"]') == "a\nb\n"

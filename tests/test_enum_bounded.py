@@ -1,0 +1,113 @@
+"""Enum and Bounded: classes, instances, deriving — including the
+second return-type-overloaded method of the system (``toEnum``)."""
+
+import pytest
+
+from repro import EvalError, compile_source
+from repro.errors import StaticError
+
+DIR = ("data Dir = North | East | South | West "
+       "deriving (Eq, Ord, Text, Bounded, Enum)\n")
+
+
+class TestDerivedEnum:
+    def test_fromEnum_tags(self, run_main):
+        assert run_main(DIR + "main = map fromEnum [North, West]") == [0, 3]
+
+    def test_toEnum_return_type_overloaded(self, run_main):
+        assert run_main(DIR + "main = show (toEnum 2 :: Dir)") == "South"
+
+    def test_toEnum_out_of_range(self, run_main):
+        with pytest.raises(EvalError, match="toEnum"):
+            run_main(DIR + "main = show (toEnum 9 :: Dir)")
+
+    def test_succ_pred_defaults(self, run_main):
+        assert run_main(DIR + "main = (show (succ North), show (pred West))") \
+            == ("East", "South")
+
+    def test_roundtrip(self, run_main):
+        assert run_main(
+            DIR + "main = all (\\d -> toEnum (fromEnum d) == d) "
+                  "[North, East, South, West]") is True
+
+
+class TestDerivedBounded:
+    def test_min_max_bounds(self, run_main):
+        assert run_main(DIR + "main = (show (minBound :: Dir), "
+                              "show (maxBound :: Dir))") == ("North", "West")
+
+    def test_allValues(self, run_main):
+        assert run_main(DIR + "main = show (allValues :: [Dir])") \
+            == "[North, East, South, West]"
+
+    def test_range(self, run_main):
+        assert run_main(DIR + "main = show (range East West)") \
+            == "[East, South, West]"
+
+
+class TestBuiltinInstances:
+    def test_enum_int(self, evaluate):
+        assert evaluate("(fromEnum (5 :: Int), toEnum 7 :: Int)") == (5, 7)
+
+    def test_enum_char(self, evaluate):
+        assert evaluate("(fromEnum 'A', toEnum 66 :: Char)") == (65, "B")
+        assert evaluate("succ 'a'") == "b"
+
+    def test_enum_bool(self, evaluate):
+        assert evaluate("(fromEnum True, show (toEnum 0 :: Bool))") \
+            == (1, "False")
+
+    def test_bounded_bool(self, evaluate):
+        assert evaluate("show (allValues :: [Bool])") == "[False, True]"
+
+    def test_range_over_chars(self, evaluate):
+        assert evaluate("range 'a' 'e'") == "abcde"
+
+
+class TestDerivingRestrictions:
+    def test_enum_rejected_for_non_enumeration(self):
+        with pytest.raises(StaticError, match="enumerations"):
+            compile_source("data P = P Int deriving Enum")
+
+    def test_bounded_rejected_for_parameterised(self):
+        with pytest.raises(StaticError, match="enumerations"):
+            compile_source("data B a = B deriving Bounded")
+
+
+class TestNewPreludeFunctions:
+    def test_maybe_helpers(self, evaluate):
+        assert evaluate("(fromMaybe 0 (Just 5), fromMaybe 0 Nothing)") == (5, 0)
+        assert evaluate("(isJust (Just 1), isNothing (Just 1))") \
+            == (True, False)
+        assert evaluate("catMaybes [Just 1, Nothing, Just 3]") == [1, 3]
+        assert evaluate(
+            "mapMaybe (\\x -> if even x then Just (x * x) else Nothing)"
+            " [1,2,3,4]") == [4, 16]
+
+    def test_partition(self, evaluate):
+        assert evaluate("partition even [1,2,3,4,5]") == ([2, 4], [1, 3, 5])
+
+    def test_intersperse(self, evaluate):
+        assert evaluate("intersperse 0 [1,2,3]") == [1, 0, 2, 0, 3]
+        assert evaluate("intersperse 'x' \"\"") == []
+
+    def test_fold1s(self, evaluate):
+        assert evaluate("foldl1 (-) [10, 2, 3]") == 5
+        assert evaluate("foldr1 (-) [10, 2, 3]") == 11
+        with pytest.raises(EvalError):
+            evaluate("foldl1 (+) ([] :: [Int])")
+
+    def test_scanl(self, evaluate):
+        assert evaluate("scanl (*) 1 [2,3,4]") == [1, 2, 6, 24]
+
+    def test_zip3(self, evaluate):
+        assert evaluate("zip3 [1,2] \"ab\" [True, False, True]") \
+            == [(1, "a", True), (2, "b", False)]
+
+    def test_lookupAll_deleteBy(self, evaluate):
+        assert evaluate("lookupAll 1 [(1,'a'), (2,'b'), (1,'c')]") == "ac"
+        assert evaluate("deleteBy 2 [1,2,3,2]") == [1, 3, 2]
+
+    def test_groupRuns(self, evaluate):
+        assert evaluate('groupRuns "aabbbc"') == ["aa", "bbb", "c"]
+        assert evaluate("groupRuns ([] :: [Int])") == []

@@ -1,0 +1,24 @@
+"""Every example script must run to completion (they double as
+end-to-end smoke tests of the public API)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(path):
+    result = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True,
+        timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print something"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"

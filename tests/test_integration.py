@@ -1,0 +1,257 @@
+"""Whole-program integration tests: realistic programs exercising the
+full pipeline, in the spirit of the paper's motivating applications."""
+
+import pytest
+
+from repro import CompilerOptions, compile_source
+
+
+class TestRealisticPrograms:
+    def test_insertion_sort_polymorphic(self, run_main):
+        src = """
+isort :: Ord a => [a] -> [a]
+isort [] = []
+isort (x:xs) = ins x (isort xs)
+  where ins y [] = [y]
+        ins y (z:zs) | y <= z = y : z : zs
+                     | otherwise = z : ins y zs
+main = (isort [3,1,2], isort "typeclass", isort [[2],[1,5],[1]])
+"""
+        assert run_main(src) == ([1, 2, 3], "acelpssty", [[1], [1, 5], [2]])
+
+    def test_association_map(self, run_main):
+        src = """
+insertA :: Eq k => k -> v -> [(k, v)] -> [(k, v)]
+insertA k v [] = [(k, v)]
+insertA k v ((k2, v2):rest) | k == k2 = (k, v) : rest
+                            | otherwise = (k2, v2) : insertA k v rest
+
+fromList :: Eq k => [(k, v)] -> [(k, v)]
+fromList = foldr (\\p m -> insertA (fst p) (snd p) m) []
+
+main = let m = fromList [('a', 1), ('b', 2), ('a', 9)]
+       in (lookup 'a' m, lookup 'b' m, lookup 'z' m)
+"""
+        # foldr inserts right-to-left, so the leftmost pair for a
+        # key ends up winning.
+        assert run_main(src) == (("Just", 1), ("Just", 2), ("Nothing",))
+
+    def test_expression_evaluator(self, run_main):
+        src = """
+data Expr = Lit Int
+          | Add Expr Expr
+          | Mul Expr Expr
+          | Neg Expr
+          deriving (Eq, Text)
+
+evalE :: Expr -> Int
+evalE (Lit n) = n
+evalE (Add a b) = evalE a + evalE b
+evalE (Mul a b) = evalE a * evalE b
+evalE (Neg a) = negate (evalE a)
+
+simplifyE :: Expr -> Expr
+simplifyE (Add (Lit 0) e) = simplifyE e
+simplifyE (Add e (Lit 0)) = simplifyE e
+simplifyE (Mul (Lit 1) e) = simplifyE e
+simplifyE (Mul e (Lit 1)) = simplifyE e
+simplifyE (Add a b) = Add (simplifyE a) (simplifyE b)
+simplifyE (Mul a b) = Mul (simplifyE a) (simplifyE b)
+simplifyE (Neg e) = Neg (simplifyE e)
+simplifyE e = e
+
+expr = Add (Lit 0) (Mul (Lit 1) (Add (Lit 3) (Neg (Lit 1))))
+main = (evalE expr, simplifyE expr == Add (Lit 3) (Neg (Lit 1)),
+        evalE (simplifyE expr))
+"""
+        assert run_main(src) == (2, True, 2)
+
+    def test_binary_search_tree_with_classes(self, run_main):
+        src = """
+data Tree a = Tip | Bin (Tree a) a (Tree a)
+
+insertT :: Ord a => a -> Tree a -> Tree a
+insertT x Tip = Bin Tip x Tip
+insertT x t@(Bin l v r) | x < v = Bin (insertT x l) v r
+                        | x > v = Bin l v (insertT x r)
+                        | otherwise = t
+
+toList :: Tree a -> [a]
+toList Tip = []
+toList (Bin l v r) = toList l ++ (v : toList r)
+
+fromListT :: Ord a => [a] -> Tree a
+fromListT = foldr insertT Tip
+
+main = (toList (fromListT [5,3,8,1,3,9]),
+        toList (fromListT "banana"))
+"""
+        assert run_main(src) == ([1, 3, 5, 8, 9], "abn")
+
+    def test_json_like_pretty_printer(self, run_main):
+        src = """
+data J = JNull | JBool Bool | JNum Int | JStr [Char] | JList [J]
+
+render :: J -> [Char]
+render JNull = "null"
+render (JBool True) = "true"
+render (JBool False) = "false"
+render (JNum n) = show n
+render (JStr s) = show s
+render (JList items) =
+  let go [] = ""
+      go [x] = render x
+      go (x:xs) = render x ++ "," ++ go xs
+  in "[" ++ go items ++ "]"
+
+main = render (JList [JNum 1, JBool True, JList [JNull]])
+"""
+        assert run_main(src) == "[1,true,[null]]"
+
+    def test_polymorphic_queue(self, run_main):
+        src = """
+data Queue a = Queue [a] [a] deriving (Eq, Text)
+
+emptyQ :: Queue a
+emptyQ = Queue [] []
+
+push :: a -> Queue a -> Queue a
+push x (Queue front back) = Queue front (x : back)
+
+pop :: Queue a -> Maybe (a, Queue a)
+pop (Queue [] []) = Nothing
+pop (Queue [] back) = pop (Queue (reverse back) [])
+pop (Queue (x:xs) back) = Just (x, Queue xs back)
+
+drain :: Queue a -> [a]
+drain q = case pop q of
+            Nothing -> []
+            Just (x, q2) -> x : drain q2
+
+main = drain (push 3 (push 2 (push 1 emptyQ)))
+"""
+        assert run_main(src) == [1, 2, 3]
+
+    def test_class_based_lattice(self, run_main):
+        """In the spirit of "Computing with lattices" (the paper cites
+        Jones' JFP 1992 application of classes)."""
+        src = """
+class Lattice a where
+  bottom :: a
+  top    :: a
+  join   :: a -> a -> a
+  meet   :: a -> a -> a
+
+instance Lattice Bool where
+  bottom = False
+  top = True
+  join = (||)
+  meet = (&&)
+
+instance (Lattice a, Lattice b) => Lattice (a, b) where
+  bottom = (bottom, bottom)
+  top = (top, top)
+  join p q = (join (fst p) (fst q), join (snd p) (snd q))
+  meet p q = (meet (fst p) (fst q), meet (snd p) (snd q))
+
+joins :: Lattice a => [a] -> a
+joins = foldr join bottom
+
+main = (joins [(False, True), (True, False)],
+        meet (top :: (Bool, Bool)) (False, True))
+"""
+        assert run_main(src) == ((True, True), (False, True))
+
+    def test_show_read_roundtrip_user_structure(self, run_main):
+        src = """
+data Shape = Circle Int | Rect Int Int deriving (Eq, Ord, Text)
+shapes = [Circle 1, Rect 2 3, Circle 9]
+main = ((read (show shapes) :: [Shape]) == shapes,
+        show (sort shapes))
+"""
+        result = run_main(src)
+        assert result[0] is True
+        assert result[1] == "[(Circle 1), (Circle 9), (Rect 2 3)]"
+
+    def test_mutual_recursion_across_types(self, run_main):
+        src = """
+data Rose = Rose Int [Rose]
+
+sizeR :: Rose -> Int
+sizeR (Rose _ kids) = 1 + sizeF kids
+
+sizeF :: [Rose] -> Int
+sizeF [] = 0
+sizeF (r:rs) = sizeR r + sizeF rs
+
+main = sizeR (Rose 1 [Rose 2 [], Rose 3 [Rose 4 []]])
+"""
+        assert run_main(src) == 4
+
+    def test_numeric_pipeline_with_both_types(self, run_main):
+        src = """
+mean :: [Float] -> Float
+mean xs = sum xs / fromIntegral (length xs)
+
+normalize :: [Float] -> [Float]
+normalize xs = let m = mean xs in map (\\x -> x - m) xs
+
+main = (mean [1.0, 2.0, 3.0], normalize [1.0, 2.0, 3.0],
+        sum [1, 2, 3])
+"""
+        assert run_main(src) == (2.0, [-1.0, 0.0, 1.0], 6)
+
+
+class TestCrossOptionAgreement:
+    SOURCES = [
+        """
+isort :: Ord a => [a] -> [a]
+isort [] = []
+isort (x:xs) = ins x (isort xs)
+  where ins y [] = [y]
+        ins y (z:zs) | y <= z = y : z : zs
+                     | otherwise = z : ins y zs
+main = isort [5,2,8,1]
+""",
+        'main = show (zip [1,2,3] "abc")',
+        "main = member [1,2] [[1],[1,2],[3]]",
+        'main = (read "[(1, \'a\'), (2, \'b\')]" :: [(Int, Char)])',
+    ]
+
+    @pytest.mark.parametrize("idx", range(4))
+    def test_options_agree(self, idx):
+        source = self.SOURCES[idx]
+        reference = compile_source(source).run("main")
+        for options in (
+            CompilerOptions(hoist_dictionaries=False,
+                            inner_entry_points=False),
+            CompilerOptions(specialize=True),
+            CompilerOptions(constant_dict_reduction=True, specialize=True),
+            CompilerOptions(dict_layout="flat"),
+            CompilerOptions(dict_layout="flat", single_slot_opt=False),
+            CompilerOptions(call_by_need=False),
+            CompilerOptions(overload_literals=False),
+        ):
+            assert compile_source(source, options).run("main") == reference
+
+
+class TestEvalApi:
+    def test_eval_uses_program_scope(self):
+        program = compile_source("triple x = x * 3")
+        assert program.eval("triple 7") == 21
+
+    def test_eval_with_overloading(self):
+        program = compile_source("")
+        # strings are [Char] and show has no special string case,
+        # so the character list rendering is the honest output
+        assert program.eval("show (sort \"cab\")") == "['a', 'b', 'c']"
+
+    def test_type_of(self):
+        program = compile_source("")
+        assert program.type_of("\\x xs -> member x xs") \
+            == "Eq a => a -> [a] -> Bool"
+
+    def test_run_missing_binding(self):
+        program = compile_source("x = 1")
+        with pytest.raises(Exception):
+            program.run("nonexistent")

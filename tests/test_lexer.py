@@ -1,0 +1,207 @@
+"""Lexer tests: tokens, literals, comments, and the layout algorithm."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import apply_layout, lex, scan
+from repro.lang.tokens import TokenType
+
+
+def kinds(tokens):
+    return [t.type for t in tokens]
+
+
+def values(tokens):
+    return [t.value for t in tokens]
+
+
+class TestScanner:
+    def test_simple_identifiers(self):
+        toks = scan("foo bar baz'")
+        assert values(toks) == ["foo", "bar", "baz'"]
+        assert all(t.type is TokenType.VARID for t in toks)
+
+    def test_constructor_names(self):
+        toks = scan("Foo Bar123 B'")
+        assert all(t.type is TokenType.CONID for t in toks)
+
+    def test_keywords_are_not_identifiers(self):
+        toks = scan("let in where case of class instance data")
+        assert all(t.type is TokenType.KEYWORD for t in toks)
+
+    def test_integer_literal(self):
+        (tok,) = scan("42")
+        assert tok.type is TokenType.INT and tok.value == "42"
+
+    def test_float_literal(self):
+        (tok,) = scan("3.25")
+        assert tok.type is TokenType.FLOAT and tok.value == "3.25"
+
+    def test_float_with_exponent(self):
+        (tok,) = scan("1.5e3")
+        assert tok.type is TokenType.FLOAT and tok.value == "1.5e3"
+
+    def test_int_then_dot_is_not_float(self):
+        toks = scan("1 . 2")
+        assert kinds(toks) == [TokenType.INT, TokenType.VARSYM, TokenType.INT]
+
+    def test_char_literal(self):
+        (tok,) = scan("'a'")
+        assert tok.type is TokenType.CHAR and tok.value == "a"
+
+    def test_char_escapes(self):
+        assert scan(r"'\n'")[0].value == "\n"
+        assert scan(r"'\t'")[0].value == "\t"
+        assert scan(r"'\''")[0].value == "'"
+        assert scan(r"'\\'")[0].value == "\\"
+
+    def test_string_literal(self):
+        (tok,) = scan('"hello world"')
+        assert tok.type is TokenType.STRING and tok.value == "hello world"
+
+    def test_string_escapes(self):
+        (tok,) = scan(r'"a\nb\"c"')
+        assert tok.value == 'a\nb"c'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            scan('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            scan('"abc\ndef"')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            scan("'a")
+
+    def test_line_comment(self):
+        toks = scan("a -- comment here\nb")
+        assert values(toks) == ["a", "b"]
+
+    def test_dashes_operator_not_comment(self):
+        toks = scan("a --> b")
+        assert values(toks) == ["a", "-->", "b"]
+
+    def test_block_comment(self):
+        toks = scan("a {- hidden -} b")
+        assert values(toks) == ["a", "b"]
+
+    def test_nested_block_comment(self):
+        toks = scan("a {- x {- y -} z -} b")
+        assert values(toks) == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            scan("a {- x")
+
+    def test_operators(self):
+        toks = scan("== /= <= >= ++ && || . $")
+        assert all(t.type is TokenType.VARSYM for t in toks)
+
+    def test_reserved_operators(self):
+        toks = scan(":: => -> = \\ |")
+        assert all(t.type is TokenType.RESERVED_OP for t in toks)
+
+    def test_colon_is_a_plain_operator(self):
+        (tok,) = scan(":")
+        assert tok.type is TokenType.VARSYM
+
+    def test_specials(self):
+        toks = scan("( ) [ ] , ; _ `")
+        assert all(t.type is TokenType.SPECIAL for t in toks)
+
+    def test_positions(self):
+        toks = scan("ab cd\nef")
+        assert (toks[0].pos.line, toks[0].pos.column) == (1, 1)
+        assert (toks[1].pos.line, toks[1].pos.column) == (1, 4)
+        assert (toks[2].pos.line, toks[2].pos.column) == (2, 1)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            scan("«")
+
+
+class TestLayout:
+    def render(self, source):
+        """Token values after layout, with virtual tokens marked."""
+        out = []
+        for t in lex(source):
+            if t.type is TokenType.EOF:
+                break
+            out.append(("~" + t.value) if t.virtual else t.value)
+        return out
+
+    def test_module_opens_implicit_block(self):
+        assert self.render("x = 1") == ["~{", "x", "=", "1", "~}"]
+
+    def test_same_column_inserts_semicolons(self):
+        out = self.render("x = 1\ny = 2")
+        assert out == ["~{", "x", "=", "1", "~;", "y", "=", "2", "~}"]
+
+    def test_continuation_lines_do_not_split(self):
+        out = self.render("x = 1 +\n      2")
+        assert "~;" not in out
+
+    def test_where_block(self):
+        out = self.render("f x = y\n  where y = x")
+        assert out == ["~{", "f", "x", "=", "y", "where", "~{", "y", "=",
+                       "x", "~}", "~}"]
+
+    def test_let_in_single_line(self):
+        out = self.render("v = let x = 1 in x")
+        assert out == ["~{", "v", "=", "let", "~{", "x", "=", "1", "~}",
+                       "in", "x", "~}"]
+
+    def test_let_block_closed_by_offside_in(self):
+        out = self.render("v = let x = 1\n        y = 2\n    in x")
+        # both bindings in one block; the in arrives after the implicit
+        # close caused by its smaller indentation
+        i = out.index("in")
+        assert out[i - 1] == "~}"
+        assert out.count("~;") == 1
+
+    def test_nested_lets(self):
+        source = "v = let a = let b = 1\n            in b\n    in a"
+        out = self.render(source)
+        assert out.count("in") == 2
+        assert out.count("~{") == 3  # module + two let blocks
+
+    def test_case_of_inline_alternatives(self):
+        out = self.render("v = case x of\n      A -> 1\n      B -> 2")
+        assert out.count("~;") == 1  # between the alternatives
+
+    def test_case_inside_parens_closed_by_bracket(self):
+        out = self.render("v = f (case x of A -> 1) y")
+        closing = out.index(")")
+        assert out[closing - 1] == "~}"
+
+    def test_explicit_braces_respected(self):
+        out = self.render("v = let { x = 1; y = 2 } in x")
+        assert "~{" not in out[2:]  # only the module block is implicit
+
+    def test_explicit_let_braces_with_in(self):
+        out = self.render("v = let { x = 1 } in x")
+        assert out.count("~}") == 1  # only the module close
+
+    def test_empty_block_for_offside_keyword(self):
+        # 'where' whose body is offside opens and closes immediately
+        out = self.render("f = 1 where\ng = 2")
+        i = out.index("where")
+        assert out[i + 1 : i + 3] == ["~{", "~}"]
+
+    def test_unmatched_explicit_brace(self):
+        with pytest.raises(LexError):
+            lex("v = let { x = 1 in x")
+
+    def test_stray_closing_brace(self):
+        with pytest.raises(LexError):
+            lex("v = }")
+
+    def test_deeper_indentation_continues_declaration(self):
+        out = self.render("f x =\n    x")
+        assert "~;" not in out
+
+    def test_eof_closes_all_blocks(self):
+        out = self.render("f x = y\n  where y = case x of\n          A -> 1")
+        assert out[-3:] == ["~}", "~}", "~}"]

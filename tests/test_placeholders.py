@@ -1,0 +1,97 @@
+"""Unit tests for the placeholder machinery (section 6.1-6.3) at the
+data-structure level, complementing the end-to-end tests in
+test_infer.py."""
+
+import pytest
+
+from repro.core.placeholders import (
+    ClassPlaceholder,
+    MethodPlaceholder,
+    PlaceholderScope,
+    RecursivePlaceholder,
+    make_placeholder_expr,
+)
+from repro.core.types import T_INT, TyVar, list_type, prune
+from repro.lang.ast import PlaceholderExpr, Var, unwrap_placeholders
+
+
+class TestPlaceholderRecords:
+    def test_paper_notation(self):
+        """Placeholders print as the paper's <object, type> pairs."""
+        t = TyVar(hint="t")
+        ph = MethodPlaceholder(t, None, method_name="==", class_name="Eq")
+        assert str(ph).startswith("==, ")
+        cp = ClassPlaceholder(t, None, class_name="Num")
+        assert str(cp).startswith("Num, ")
+
+    def test_pruned_type_follows_instantiation(self):
+        t = TyVar()
+        ph = ClassPlaceholder(t, None, class_name="Eq")
+        t.value = list_type(T_INT)
+        assert prune(ph.pruned_type) is prune(t)
+
+    def test_recursive_placeholder_carries_group(self):
+        group = object()
+        ph = RecursivePlaceholder(TyVar(), None, name="f", group=group)
+        assert ph.group is group
+
+
+class TestPlaceholderScope:
+    def test_add_and_drain(self):
+        scope = PlaceholderScope()
+        ph = ClassPlaceholder(TyVar(), None, class_name="Eq")
+        scope.add(ph, make_placeholder_expr(ph))
+        batch = scope.drain()
+        assert len(batch) == 1
+        assert scope.drain() == []
+
+    def test_drain_resets_for_new_placeholders(self):
+        """Resolution may create placeholders; the worklist loop drains
+        until quiescent."""
+        scope = PlaceholderScope()
+        first = ClassPlaceholder(TyVar(), None, class_name="Eq")
+        scope.add(first, make_placeholder_expr(first))
+        scope.drain()
+        second = ClassPlaceholder(TyVar(), None, class_name="Ord")
+        scope.add(second, make_placeholder_expr(second))
+        assert len(scope.drain()) == 1
+
+    def test_defer_moves_to_parent(self):
+        """Resolution case 3: placeholders owned by an outer binding."""
+        outer = PlaceholderScope()
+        inner = PlaceholderScope(outer)
+        ph = ClassPlaceholder(TyVar(), None, class_name="Eq")
+        entry = inner.add(ph, make_placeholder_expr(ph))
+        inner.defer(entry)
+        # it is pending in the inner scope list too (added then drained)
+        inner.drain()
+        assert entry in outer.pending
+
+    def test_defer_at_top_level_is_an_error(self):
+        top = PlaceholderScope()
+        ph = ClassPlaceholder(TyVar(), None, class_name="Eq")
+        entry = top.add(ph, make_placeholder_expr(ph))
+        with pytest.raises(AssertionError):
+            top.defer(entry)
+
+
+class TestPlaceholderExprNodes:
+    def test_unwrap_resolved_chain(self):
+        ph = ClassPlaceholder(TyVar(), None, class_name="Eq")
+        node = make_placeholder_expr(ph)
+        node.resolved = Var("d$1")
+        assert unwrap_placeholders(node).name == "d$1"
+
+    def test_unwrap_through_two_levels(self):
+        ph1 = ClassPlaceholder(TyVar(), None, class_name="Eq")
+        ph2 = ClassPlaceholder(TyVar(), None, class_name="Eq")
+        inner = make_placeholder_expr(ph2)
+        inner.resolved = Var("final")
+        outer = make_placeholder_expr(ph1)
+        outer.resolved = inner
+        assert unwrap_placeholders(outer).name == "final"
+
+    def test_unresolved_stays(self):
+        ph = ClassPlaceholder(TyVar(), None, class_name="Eq")
+        node = make_placeholder_expr(ph)
+        assert unwrap_placeholders(node) is node

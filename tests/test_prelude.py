@@ -1,0 +1,267 @@
+"""Prelude correctness: the standard functions, instances and the Text
+class (show / reads / read)."""
+
+import pytest
+
+from repro import EvalError
+
+
+class TestCombinators:
+    def test_id_const_flip(self, evaluate):
+        assert evaluate("id 42") == 42
+        assert evaluate("const 1 'x'") == 1
+        assert evaluate("flip (-) 1 10") == 9
+
+    def test_composition(self, evaluate):
+        assert evaluate("((\\x -> x + 1) . (\\x -> x * 2)) 5") == 11
+
+    def test_dollar(self, evaluate):
+        assert evaluate("length $ map id [1,2,3]") == 3
+
+    def test_fst_snd(self, evaluate):
+        assert evaluate("(fst (1, 'a'), snd (1, 'a'))") == (1, "a")
+
+    def test_curry_uncurry(self, evaluate):
+        assert evaluate("curry fst 1 2") == 1
+        assert evaluate("uncurry (+) (3, 4)") == 7
+
+    def test_until(self, evaluate):
+        assert evaluate("until (\\x -> x > 100) (\\x -> x * 2) 1") == 128
+
+    def test_maybe(self, evaluate):
+        assert evaluate("maybe 0 (\\x -> x + 1) (Just 5)") == 6
+        assert evaluate("maybe 0 (\\x -> x + 1) Nothing") == 0
+
+    def test_either(self, evaluate):
+        assert evaluate("either (\\x -> x) length (Left 3)") == 3
+        assert evaluate("either (\\x -> x) length (Right \"abc\")") == 3
+
+
+class TestListFunctions:
+    def test_head_tail(self, evaluate):
+        assert evaluate("head [1,2,3]") == 1
+        assert evaluate("tail [1,2,3]") == [2, 3]
+
+    def test_head_empty_errors(self, evaluate):
+        with pytest.raises(EvalError):
+            evaluate("head []")
+
+    def test_null_length(self, evaluate):
+        assert evaluate("(null [], null [1], length [1,2,3])") \
+            == (True, False, 3)
+
+    def test_append(self, evaluate):
+        assert evaluate("[1,2] ++ [3]") == [1, 2, 3]
+        assert evaluate('"ab" ++ "cd"') == "abcd"
+
+    def test_map_filter(self, evaluate):
+        assert evaluate("map (\\x -> x + 1) [1,2,3]") == [2, 3, 4]
+        assert evaluate("filter even [1,2,3,4,5,6]") == [2, 4, 6]
+
+    def test_folds(self, evaluate):
+        assert evaluate("foldr (:) [] [1,2,3]") == [1, 2, 3]
+        assert evaluate("foldl (-) 10 [1,2,3]") == 4
+        assert evaluate("foldr (-) 0 [1,2,3]") == 2
+
+    def test_reverse(self, evaluate):
+        assert evaluate("reverse [1,2,3]") == [3, 2, 1]
+        assert evaluate('reverse "abc"') == "cba"
+
+    def test_concat(self, evaluate):
+        assert evaluate("concat [[1],[2,3],[]]") == [1, 2, 3]
+        assert evaluate("concatMap (\\x -> [x, x]) [1,2]") == [1, 1, 2, 2]
+
+    def test_member_elem(self, evaluate):
+        assert evaluate("member 2 [1,2,3]") is True
+        assert evaluate("member 9 [1,2,3]") is False
+        assert evaluate("elem 'b' \"abc\"") is True
+        assert evaluate("notElem 'z' \"abc\"") is True
+
+    def test_member_on_nested_lists(self, evaluate):
+        """The paper's example: equality at [[Int]]."""
+        assert evaluate("member [1] [[2], [1]]") is True
+
+    def test_lookup(self, evaluate):
+        assert evaluate("lookup 2 [(1,'a'), (2,'b')]") == ("Just", "b")
+        assert evaluate("lookup 9 [(1,'a')]") == ("Nothing",)
+
+    def test_zip_zipWith_unzip(self, evaluate):
+        assert evaluate("zip [1,2,3] \"ab\"") == [(1, "a"), (2, "b")]
+        assert evaluate("zipWith (+) [1,2] [10,20]") == [11, 22]
+        assert evaluate("unzip [(1,'a'), (2,'b')]") == ([1, 2], "ab")
+
+    def test_take_drop_splitAt(self, evaluate):
+        assert evaluate("take 2 [1,2,3]") == [1, 2]
+        assert evaluate("drop 2 [1,2,3]") == [3]
+        assert evaluate("take 5 [1]") == [1]
+        assert evaluate("splitAt 1 [1,2,3]") == ([1], [2, 3])
+
+    def test_index(self, evaluate):
+        assert evaluate("[10,20,30] !! 1") == 20
+        with pytest.raises(EvalError):
+            evaluate("[1] !! 5")
+
+    def test_takeWhile_dropWhile_span(self, evaluate):
+        assert evaluate("takeWhile even [2,4,5,6]") == [2, 4]
+        assert evaluate("dropWhile even [2,4,5,6]") == [5, 6]
+        assert evaluate("span even [2,4,5,6]") == ([2, 4], [5, 6])
+
+    def test_any_all_and_or(self, evaluate):
+        assert evaluate("(any even [1,3,4], all even [2,4], and [True], or [])") \
+            == (True, True, True, False)
+
+    def test_sum_product(self, evaluate):
+        assert evaluate("(sum [1,2,3], product [1,2,3,4])") == (6, 24)
+
+    def test_sum_on_floats(self, evaluate):
+        assert evaluate("sum [1.5, 2.5]") == 4.0
+
+    def test_maximum_minimum(self, evaluate):
+        assert evaluate("(maximum [3,1,2], minimum \"cab\")") == (3, "a")
+
+    def test_replicate_enumFromTo(self, evaluate):
+        assert evaluate("replicate 3 'x'") == "xxx"
+        assert evaluate("enumFromTo 1 5") == [1, 2, 3, 4, 5]
+        assert evaluate("enumFromTo 5 1") == []
+
+    def test_last_init(self, evaluate):
+        assert evaluate("(last [1,2,3], init [1,2,3])") == (3, [1, 2])
+
+    def test_nub(self, evaluate):
+        assert evaluate("nub [1,2,1,3,2]") == [1, 2, 3]
+
+    def test_sort_insert(self, evaluate):
+        assert evaluate("sort [3,1,2,1]") == [1, 1, 2, 3]
+        assert evaluate('sort "hello"') == "ehllo"
+        assert evaluate("insert 2 [1,3]") == [1, 2, 3]
+
+    def test_lines_words_unwords(self, evaluate):
+        assert evaluate('lines "ab\\ncd"') == ["ab", "cd"]
+        assert evaluate('words "  a bc  d "') == ["a", "bc", "d"]
+        assert evaluate('unwords ["a", "bc"]') == "a bc"
+
+
+class TestNumeric:
+    def test_negate_abs_signum(self, evaluate):
+        assert evaluate("(negate 5, abs (-3), signum (-2), signum 0)") \
+            == (-5, 3, -1, 0)
+
+    def test_float_instances(self, evaluate):
+        assert evaluate("(negate 2.5, abs (-1.5), signum 3.5)") \
+            == (-2.5, 1.5, 1.0)
+
+    def test_power(self, evaluate):
+        assert evaluate("2 ^ 10") == 1024
+        assert evaluate("2.0 ^ 3") == 8.0
+
+    def test_subtract_gcd(self, evaluate):
+        assert evaluate("(subtract 3 10, gcd 12 18)") == (7, 6)
+
+    def test_even_odd(self, evaluate):
+        assert evaluate("(even 4, odd 4)") == (True, False)
+
+    def test_fromIntegral_truncate(self, evaluate):
+        assert evaluate("fromIntegral 3 + 0.5") == 3.5
+        assert evaluate("truncate 3.9") == 3
+
+    def test_min_max(self, evaluate):
+        assert evaluate("(max 1 2, min 1.5 0.5, max 'a' 'z')") \
+            == (2, 0.5, "z")
+
+    def test_compare(self, evaluate):
+        assert evaluate("(compare 1 2, compare 'b' 'a', compare [1] [1])") \
+            == (("LT",), ("GT",), ("EQ",))
+
+
+class TestCharsAndStrings:
+    def test_ord_chr(self, evaluate):
+        assert evaluate("(ord 'A', chr 66)") == (65, "B")
+
+    def test_predicates(self, evaluate):
+        assert evaluate("(isDigit '3', isSpace ' ', isAlpha 'x', isUpper 'x')") \
+            == (True, True, True, False)
+
+    def test_digit_conversion(self, evaluate):
+        assert evaluate("(digitToInt '7', intToDigit 4)") == (7, "4")
+
+    def test_dropSpace_stripPrefix(self, evaluate):
+        assert evaluate('dropSpace "  ab"') == "ab"
+        assert evaluate('stripPrefix "ab" "abcd"') == ("Just", "cd")
+        assert evaluate('stripPrefix "x" "abcd"') == ("Nothing",)
+
+    def test_string_ordering(self, evaluate):
+        assert evaluate('("abc" < "abd", "ab" < "abc", compare "b" "a")') \
+            == (True, True, ("GT",))
+
+
+class TestTextClass:
+    def test_show_int(self, evaluate):
+        assert evaluate("show 42") == "42"
+        assert evaluate("show (-7)") == "-7"
+
+    def test_show_float(self, evaluate):
+        assert evaluate("show 2.5") == "2.5"
+
+    def test_show_char(self, evaluate):
+        assert evaluate("show 'a'") == "'a'"
+
+    def test_show_bool(self, evaluate):
+        assert evaluate("show True") == "True"
+
+    def test_show_list(self, evaluate):
+        assert evaluate("show [1,2,3]") == "[1, 2, 3]"
+        assert evaluate("show ([] :: [Int])") == "[]"
+
+    def test_show_nested(self, evaluate):
+        assert evaluate("show [[1],[2,3]]") == "[[1], [2, 3]]"
+
+    def test_show_tuple(self, evaluate):
+        assert evaluate("show (1, 'a')") == "(1, 'a')"
+        assert evaluate("show (1, 2, 3)") == "(1, 2, 3)"
+
+    def test_show_maybe_ordering(self, evaluate):
+        assert evaluate("show (Just 1)") == "(Just 1)"
+        assert evaluate("show LT") == "LT"
+
+    def test_show_unit(self, evaluate):
+        assert evaluate("show ()") == "()"
+
+    def test_read_int(self, evaluate):
+        assert evaluate('(read "42" :: Int)') == 42
+        assert evaluate('(read " -17 " :: Int)') == -17
+
+    def test_read_float(self, evaluate):
+        assert evaluate('(read "2.5" :: Float)') == 2.5
+
+    def test_read_bool(self, evaluate):
+        assert evaluate('(read "True" :: Bool)') is True
+
+    def test_read_list(self, evaluate):
+        assert evaluate('(read "[1, 2, 3]" :: [Int])') == [1, 2, 3]
+        assert evaluate('(read "[]" :: [Int])') == []
+
+    def test_read_nested_list(self, evaluate):
+        assert evaluate('(read "[[1], []]" :: [[Int]])') == [[1], []]
+
+    def test_read_tuple(self, evaluate):
+        assert evaluate('(read "(1, \'x\')" :: (Int, Char))') == (1, "x")
+
+    def test_read_maybe(self, evaluate):
+        assert evaluate('(read "(Just 3)" :: Maybe Int)') == ("Just", 3)
+
+    def test_read_no_parse(self, evaluate):
+        with pytest.raises(EvalError, match="no parse"):
+            evaluate('(read "zzz" :: Int)')
+
+    def test_read_rejects_trailing_garbage(self, evaluate):
+        with pytest.raises(EvalError, match="no parse"):
+            evaluate('(read "1 x" :: Int)')
+
+    def test_reads_returns_remainder(self, evaluate):
+        assert evaluate('reads "42 rest" :: [(Int, [Char])]') \
+            == [(42, " rest")]
+
+    def test_show_read_roundtrip_composite(self, evaluate):
+        assert evaluate(
+            '(read (show [(1, \'a\'), (2, \'b\')]) :: [(Int, Char)])') \
+            == [(1, "a"), (2, "b")]

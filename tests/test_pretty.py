@@ -1,0 +1,123 @@
+"""Pretty printer tests: surface syntax, core IR, and parse/print
+round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import compile_source
+from repro.coreir.pretty import pp_binding, pp_core, pp_program
+from repro.coreir.syntax import (
+    CAlt,
+    CApp,
+    CCase,
+    CCon,
+    CDict,
+    CLam,
+    CLet,
+    CLit,
+    CoreBinding,
+    CoreProgram,
+    CSel,
+    CTuple,
+    CVar,
+    capp,
+)
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pp_expr, pp_program as pp_surface
+
+
+class TestCorePrinting:
+    def test_literals(self):
+        assert pp_core(CLit(3, "int")) == "3"
+        assert pp_core(CLit("a", "char")) == "'a'"
+        assert pp_core(CLit("hi", "string")) == '"hi"'
+
+    def test_application(self):
+        assert pp_core(capp(CVar("f"), CVar("x"), CVar("y"))) == "f x y"
+
+    def test_application_parenthesised(self):
+        e = CApp(CVar("f"), CApp(CVar("g"), CVar("x")))
+        assert pp_core(e) == "f (g x)"
+
+    def test_lambda(self):
+        assert pp_core(CLam(["x", "y"], CVar("x"))) == "\\x y -> x"
+
+    def test_let_forms(self):
+        e = CLet([("a", CLit(1, "int"))], CVar("a"), recursive=False)
+        assert pp_core(e) == "let { a = 1 } in a"
+        e2 = CLet([("a", CVar("a"))], CVar("a"), recursive=True)
+        assert pp_core(e2).startswith("letrec")
+
+    def test_case(self):
+        e = CCase(CVar("xs"),
+                  [CAlt(":", ["y", "ys"], CVar("y")),
+                   CAlt("[]", [], CLit(0, "int"))],
+                  [], None)
+        out = pp_core(e)
+        assert ": y ys -> y" in out and "[] -> 0" in out
+
+    def test_dict_and_selection(self):
+        e = CSel(1, 2, CDict([CVar("m1"), CVar("m2")], "Eq@Int"),
+                 from_dict=True)
+        assert pp_core(e) == "dict[m1, m2]!1"
+
+    def test_tuple_vs_dict_distinguished(self):
+        assert pp_core(CTuple([CVar("a")])) == "(a)"
+        assert pp_core(CDict([CVar("a")], "t")) == "dict[a]"
+
+    def test_program_filtering(self):
+        program = CoreProgram([
+            CoreBinding("a", CLit(1, "int")),
+            CoreBinding("b", CLit(2, "int")),
+        ])
+        assert "b =" not in pp_program(program, ["a"])
+        assert "b = 2" in pp_program(program)
+
+
+class TestSurfaceRoundTrip:
+    EXPRESSIONS = [
+        "f x y",
+        "\\x -> x",
+        "let { a = 1 } in a",
+        "if c then 1 else 2",
+        "case xs of { (y : ys) -> y }",
+        "(1, 'a')",
+        "[1, 2, 3]",
+        "f (g x) (h y)",
+    ]
+
+    @pytest.mark.parametrize("source", EXPRESSIONS)
+    def test_print_parse_print_stable(self, source):
+        once = pp_expr(parse_expr(source))
+        twice = pp_expr(parse_expr(once))
+        assert once == twice
+
+    def test_program_roundtrip(self):
+        src = ("data T = A | B deriving Eq\n"
+               "f :: T -> Int\n"
+               "f x = case x of { A -> 1; B -> 2 }")
+        printed = pp_surface(parse_program(src))
+        reparsed = pp_surface(parse_program(printed))
+        assert printed == reparsed
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-99, 99), min_size=1, max_size=5))
+    def test_random_list_expressions_roundtrip(self, xs):
+        source = "[" + ", ".join(str(abs(x)) for x in xs) + "]"
+        once = pp_expr(parse_expr(source))
+        assert pp_expr(parse_expr(once)) == once
+
+
+class TestDumpCore:
+    def test_dump_core_api(self):
+        program = compile_source("inc x = x + (1 :: Int)")
+        dump = program.dump_core(["inc"])
+        assert dump.startswith("inc =")
+        full = program.dump_core()
+        assert "member =" in full
+
+    def test_dump_is_informative_for_dictionaries(self):
+        program = compile_source("")
+        dump = program.dump_core(["d$Eq$Int"])
+        assert "dict[" in dump
+        assert "impl$Eq$Int" in dump

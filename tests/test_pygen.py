@@ -1,0 +1,164 @@
+"""The compiled backend (core → Python): differential tests against
+the interpreter, laziness preservation, and counter parity."""
+
+import pytest
+
+from repro import CompilerOptions, compile_source
+from repro.coreir.pyrt import PyRtError
+
+
+PROGRAMS = [
+    ("main = 2 + 3 * 4", 14),
+    ("main = (1 < 2, 'a' == 'a', not True)", (True, True, False)),
+    ("main = show (sort [3,1,2])", "[1, 2, 3]"),
+    ("main = member [1] [[2], [1]]", True),
+    ('main = (read "[1, 2]" :: [Int])', [1, 2]),
+    ("main = take 5 (iterate (\\x -> x * 2) 1)", [1, 2, 4, 8, 16]),
+    ("main = foldl (-) 100 [1,2,3]", 94),
+    ("data C = A | B deriving (Eq, Ord, Text)\n"
+     "main = (show (maximum [A, B]), A < B)", ("B", True)),
+    ("f 0 = \"zero\"\nf n | even n = \"even\"\n"
+     "    | otherwise = \"odd\"\n"
+     "main = map f [0, 1, 2]", ["zero", "odd", "even"]),
+    ("main = let go n acc = if n == 0 then acc else go (n-1) (acc+n)\n"
+     "       in go 50 0", 1275),
+    ("main = (show 2.5, 7.0 / 2.0, truncate 3.9)", ("2.5", 3.5, 3)),
+    ("main = zip \"ab\" [1,2,3]", [("a", 1), ("b", 2)]),
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("source,expected",
+                             PROGRAMS, ids=range(len(PROGRAMS)))
+    def test_backends_agree(self, source, expected):
+        program = compile_source(source)
+        interp = program.run("main")
+        compiled = program.to_python().run("main")
+        assert interp == compiled == expected
+
+    @pytest.mark.parametrize("opts", [
+        CompilerOptions(hoist_dictionaries=False, inner_entry_points=False),
+        CompilerOptions(specialize=True),
+        CompilerOptions(dict_layout="flat"),
+        CompilerOptions(single_slot_opt=False),
+    ])
+    def test_backends_agree_across_options(self, opts):
+        src = ("data T = L | N T T deriving (Eq, Ord, Text)\n"
+               "main = (show (N L (N L L)), sort [N L L, L] == [L, N L L],"
+               " member 3 [1,2,3])")
+        program = compile_source(src, opts)
+        assert program.run("main") == program.to_python().run("main")
+
+
+class TestCompiledSemantics:
+    def test_laziness(self):
+        program = compile_source(
+            'main = (take 3 (repeat 1), if True then 5 else error "no")')
+        assert program.to_python().run("main") == ([1, 1, 1], 5)
+
+    def test_unused_binding_not_forced(self):
+        program = compile_source('main = let b = error "no" in 42')
+        assert program.to_python().run("main") == 42
+
+    def test_sharing_memoises(self):
+        program = compile_source(
+            "big = length (replicate 200 'x')\nmain = big + big")
+        py = program.to_python()
+        assert py.run("main") == 400
+        # 200 elements traversed roughly once, not twice: the prim call
+        # count stays near one traversal's worth.
+        assert py.counters.prim_calls < 1000
+
+    def test_knot_tying(self):
+        program = compile_source("main = let ones = 1 : ones in take 3 ones")
+        assert program.to_python().run("main") == [1, 1, 1]
+
+    def test_self_loop_detected(self):
+        program = compile_source("main = let x = x + (1::Int) in x")
+        with pytest.raises(PyRtError, match="loop"):
+            program.to_python().run("main")
+
+    def test_pattern_match_failure(self):
+        program = compile_source("f (Just x) = x\nmain = f Nothing")
+        with pytest.raises(PyRtError, match="pattern match"):
+            program.to_python().run("main")
+
+    def test_error_primitive(self):
+        program = compile_source('main = error "boom"')
+        with pytest.raises(PyRtError, match="boom"):
+            program.to_python().run("main")
+
+    def test_division_by_zero(self):
+        program = compile_source("main = 1 `div` 0")
+        with pytest.raises(PyRtError, match="division"):
+            program.to_python().run("main")
+
+    def test_partial_application(self):
+        program = compile_source(
+            "main = let add3 = (\\a b c -> a + b + c) 1 2 in add3 4")
+        assert program.to_python().run("main") == 7
+
+    def test_shadowing_does_not_leak(self):
+        # A case binder must not clobber an outer binding of the same
+        # source name used after the case.
+        program = compile_source(
+            "f x ys = (case ys of { (x:rest) -> x; q -> 0 }) + x\n"
+            "main = f 10 [5]")
+        assert program.run("main") == 15
+        assert program.to_python().run("main") == 15
+
+
+class TestCounterParity:
+    def test_dict_counters_match_interpreter(self):
+        src = ("poly :: Eq a => a -> Bool\npoly x = x == x\n"
+               "main = (poly 'c', poly [1,2])")
+        program = compile_source(src)
+        program.run("main")
+        interp = program.last_stats
+        py = program.to_python()
+        py.run("main")
+        assert py.counters.dict_constructions == interp.dict_constructions
+        assert py.counters.dict_selections == interp.dict_selections
+
+    def test_monomorphic_zero_dict_traffic(self):
+        program = compile_source("main = (1 :: Int) + 2")
+        py = program.to_python()
+        py.run("main")
+        assert py.counters.dict_constructions == 0
+        assert py.counters.dict_selections == 0
+
+
+class TestGeneratedSource:
+    def test_source_is_inspectable(self):
+        program = compile_source("inc x = x + (1 :: Int)")
+        source = program.to_python().source
+        assert "def _init(rt, C, G):" in source
+        assert "'inc'" in source
+
+    def test_source_compiles_standalone(self):
+        import types
+        program = compile_source("main = 41 + 1")
+        source = program.to_python().source
+        module = types.ModuleType("generated")
+        exec(compile(source, "<test>", "exec"), module.__dict__)
+        from repro.coreir import pyrt
+        counters = pyrt.Counters()
+        globals_map = dict(pyrt.primitives(counters))
+        g = module._init(pyrt, counters, globals_map)
+        assert pyrt.to_python(pyrt.force(g["main"])) == 42
+
+    def test_speedup_over_interpreter(self):
+        import time
+        src = "main = sum (map (\\x -> x * x) (enumFromTo 1 800))"
+        program = compile_source(src)
+        t0 = time.perf_counter()
+        r1 = program.run("main")
+        t1 = time.perf_counter()
+        py = program.to_python()
+        t2 = time.perf_counter()
+        r2 = py.run("main")
+        t3 = time.perf_counter()
+        assert r1 == r2
+        # Compiled should not be slower; usually it is several times
+        # faster.  Allow generous noise headroom.
+        assert (t3 - t2) < (t1 - t0) * 1.5

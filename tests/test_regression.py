@@ -1,0 +1,67 @@
+"""The kitchen-sink regression program (tests/data/regression.mhs),
+checked binding by binding on both backends."""
+
+import pathlib
+
+import pytest
+
+from repro import compile_source
+
+SOURCE = (pathlib.Path(__file__).parent / "data" / "regression.mhs"
+          ).read_text()
+
+EXPECTED = {
+    "rArea": 47,
+    "rPerims": (14, 25),
+    "rDescribe": "[7] area=4",
+    "rSuits": "[Clubs, Hearts, Spades]",
+    "rAllSuits": [False, True, True, False],
+    "rBuckets": ["zero", "small", "medium", "large"],
+    "rStutter": "aab",
+    "rShapes": 16,
+    "rLocal": ("1!", "'x'!"),
+    "rFibs": [0, 1, 1, 2, 3, 5, 8, 13, 21, 34],
+    "rRoundtrip": True,
+    "rPairs": "(Pair 10 20)",
+}
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, filename="regression.mhs")
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_interpreter(program, name):
+    assert program.run(name) == EXPECTED[name]
+
+
+@pytest.fixture(scope="module")
+def compiled(program):
+    return program.to_python()
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_compiled_backend(compiled, name):
+    assert compiled.run(name) == EXPECTED[name]
+
+
+def test_schemes(program):
+    from repro.core.types import scheme_str
+    assert scheme_str(program.schemes["<+>"]) == "Shape a => a -> a -> Int"
+    assert scheme_str(program.schemes["sumShapes"]) == "Shape a => [a] -> Int"
+    assert scheme_str(program.schemes["mapP"]) \
+        == "(a -> b) -> Pair a -> Pair b"
+    assert scheme_str(program.schemes["fibs"]) == "[Int]"
+
+
+def test_regression_under_every_configuration():
+    from repro import CompilerOptions
+    for options in (
+        CompilerOptions(hoist_dictionaries=False, inner_entry_points=False),
+        CompilerOptions(specialize=True, constant_dict_reduction=True),
+        CompilerOptions(dict_layout="flat", single_slot_opt=False),
+    ):
+        program = compile_source(SOURCE, options)
+        for name, expected in EXPECTED.items():
+            assert program.run(name) == expected, (name, options)

@@ -1,0 +1,116 @@
+"""The run-time tagging baseline of section 3, and its comparison
+against dictionary passing."""
+
+import pytest
+
+from repro import TagDispatchError, compile_source
+from repro.baselines.tags import TagRuntime
+
+
+@pytest.fixture
+def rt():
+    return TagRuntime()
+
+
+class TestTagging:
+    def test_inject_scalars(self, rt):
+        assert rt.inject(3).tag == "Int"
+        assert rt.inject(2.5).tag == "Float"
+        assert rt.inject("c").tag == "Char"
+        assert rt.inject(True).tag == "Bool"
+
+    def test_inject_structures(self, rt):
+        v = rt.inject([1, 2])
+        assert v.tag == "[]"
+        assert [x.tag for x in v.payload] == ["Int", "Int"]
+
+    def test_project_roundtrip(self, rt):
+        for value in (3, 2.5, [1, 2], (1, "a"), [[1], [2, 3]]):
+            assert rt.project(rt.inject(value)) == value
+
+    def test_uniform_tagging_allocates_per_object(self, rt):
+        rt.stats.reset()
+        rt.inject([[1, 2], [3]])
+        # every cons cell level and every int gets a tag
+        assert rt.stats.tag_allocations == 6
+
+
+class TestDispatch:
+    def test_eq_int(self, rt):
+        a, b = rt.inject(1), rt.inject(1)
+        assert rt.call("Eq", "==", a, b).payload is True
+
+    def test_eq_list_recursive(self, rt):
+        a, b = rt.inject([1, 2]), rt.inject([1, 2])
+        assert rt.call("Eq", "==", a, b).payload is True
+
+    def test_eq_list_dispatches_per_element(self, rt):
+        a, b = rt.inject([1, 2, 3, 4]), rt.inject([1, 2, 3, 4])
+        rt.stats.reset()
+        rt.call("Eq", "==", a, b)
+        # one top-level dispatch + one per element
+        assert rt.stats.dispatches == 5
+
+    def test_unknown_tag_errors(self, rt):
+        a = rt.inject(1)
+        with pytest.raises(TagDispatchError):
+            rt.call("Text", "read???", a)
+
+    def test_double_works_by_argument_tag(self, rt):
+        assert rt.double(rt.inject(21)).payload == 42
+        assert rt.double(rt.inject(1.25)).payload == 2.5
+
+    def test_member(self, rt):
+        xs = rt.inject([1, 2, 3])
+        assert rt.member(rt.inject(2), xs).payload is True
+        assert rt.member(rt.inject(9), xs).payload is False
+
+    def test_member_nested(self, rt):
+        xss = rt.inject([[1], [2, 5]])
+        assert rt.member(rt.inject([2, 5]), xss).payload is True
+
+    def test_duplicate_method_rejected(self, rt):
+        with pytest.raises(TagDispatchError):
+            rt.define("Eq", "==", "Int", lambda r, a, b: r.tag_bool(True))
+
+
+class TestResultTypeOverloading:
+    """Section 3: "it is not possible to implement functions where the
+    overloading is defined by the returned type"."""
+
+    def test_read_impossible_under_tags(self, rt):
+        with pytest.raises(TagDispatchError, match="result type"):
+            rt.read(rt.inject("42"))
+
+    def test_read_fine_under_dictionaries(self):
+        # The same program the tags runtime cannot express.
+        assert compile_source('main = (read "42" :: Int) + 1').run("main") == 43
+
+    def test_zero_argument_call_impossible(self, rt):
+        with pytest.raises(TagDispatchError):
+            rt.call("Text", "read")
+
+
+class TestComparisonWithDictionaries:
+    def test_dictionaries_dispatch_once_tags_per_element(self):
+        """The structural comparison the paper motivates: dictionary
+        passing selects the element == once; tag dispatch re-inspects
+        tags at every element."""
+        n = 40
+        rt = TagRuntime()
+        a = rt.inject(list(range(n)))
+        b = rt.inject(list(range(n)))
+        rt.stats.reset()
+        rt.call("Eq", "==", a, b)
+        tag_dispatches = rt.stats.dispatches
+
+        program = compile_source(
+            "eqAt :: Eq a => a -> a -> Bool\n"
+            "eqAt x y = x == y\n"
+            f"main = eqAt (enumFromTo 1 {n}) (enumFromTo 1 {n})")
+        assert program.run("main") is True
+        dict_selections = program.last_stats.dict_selections
+        assert program.last_stats.dict_constructions <= 2
+        # tags pay per element; dictionaries a small constant
+        assert tag_dispatches >= n
+        assert dict_selections < tag_dispatches

@@ -1,0 +1,166 @@
+"""Core translation tests: pattern-match compilation, guards,
+dictionary marking, lambda handling."""
+
+import pytest
+
+from repro import compile_source, CompilerOptions
+from repro.coreir.syntax import (
+    CCase,
+    CDict,
+    CLam,
+    CLet,
+    CoreExpr,
+    count_nodes,
+    free_vars,
+)
+from repro.coreir.pretty import pp_binding
+
+
+def core_of(source, name, **options):
+    program = compile_source(source, CompilerOptions(**options)
+                             if options else None)
+    return program.core.binding(name)
+
+
+class TestMatchCompilation:
+    def test_constructor_cases_flat(self, run_main):
+        assert run_main(
+            "f [] = 0\nf (x:xs) = x\nmain = (f [], f [7])") == (0, 7)
+
+    def test_nested_patterns(self, run_main):
+        assert run_main(
+            "f (Just (Just x)) = x\n"
+            "f (Just Nothing) = 1\n"
+            "f Nothing = 2\n"
+            "main = (f (Just (Just 9)), f (Just Nothing), f Nothing)") \
+            == (9, 1, 2)
+
+    def test_tuple_patterns(self, run_main):
+        assert run_main(
+            "f ((a, b), c) = a + b + c\nmain = f ((1, 2), 3)") == 6
+
+    def test_overlapping_alternatives_first_wins(self, run_main):
+        assert run_main(
+            "f (x:xs) = 1\nf xs = 2\nmain = (f [9], f [])") == (1, 2)
+
+    def test_guard_falls_through_to_next_equation(self, run_main):
+        assert run_main(
+            "f (x:xs) | x > 10 = 1\n"
+            "f xs = 2\n"
+            "main = (f [11], f [1], f [])") == (1, 2, 2)
+
+    def test_guard_falls_through_within_equation(self, run_main):
+        assert run_main(
+            "f x | x > 10 = 1\n"
+            "    | x > 5 = 2\n"
+            "    | otherwise = 3\n"
+            "main = (f 11, f 7, f 1)") == (1, 2, 3)
+
+    def test_char_literal_alternatives(self, run_main):
+        assert run_main(
+            "f 'a' = 1\nf 'b' = 2\nf c = 3\n"
+            "main = (f 'a', f 'b', f 'z')") == (1, 2, 3)
+
+    def test_string_pattern(self, run_main):
+        assert run_main(
+            'f "hi" = 1\nf s = 2\nmain = (f "hi", f "no")') == (1, 2)
+
+    def test_failure_continuations_are_linear(self):
+        """The match compiler must not duplicate the failure branch
+        exponentially for nested patterns."""
+        arms = "\n".join(
+            f"f (Just (Just (Just {i}))) = {i}" for i in range(8))
+        b = core_of(arms + "\nf q = 99", "f")
+        # With exponential duplication this would explode well past 10k.
+        assert count_nodes(b.expr) < 4000
+
+    def test_wildcards_do_not_bind(self, run_main):
+        assert run_main("f (_, y) = y\nmain = f (1, 2)") == 2
+
+
+class TestDictionaryMarking:
+    def test_dict_binding_body_is_cdict(self):
+        # Eq [a] has a defaulted slot (/=), so the tuple is knotted
+        # through a let: \d -> let dict$this = dict[...] in dict$this
+        b = core_of("", "d$Eq$List")
+        body = b.expr
+        found = []
+        while isinstance(body, (CLam, CLet)):
+            if isinstance(body, CLet):
+                found += [rhs for _n, rhs in body.binds
+                          if isinstance(rhs, CDict)]
+            body = body.body
+        assert isinstance(body, CDict) or found
+
+    def test_bare_dict_not_tuple(self):
+        # Text has two methods (show, reads): tuple.  A single-method
+        # user class with the optimisation on becomes bare.
+        src = ("class Sized a where\n"
+               "  size :: a -> Int\n"
+               "data B = B\n"
+               "instance Sized B where\n"
+               "  size x = 1\n")
+        b = core_of(src, "d$Sized$B")
+
+        def has_cdict(e: CoreExpr) -> bool:
+            if isinstance(e, CDict):
+                return True
+            from repro.coreir.syntax import map_subexprs
+            found = []
+            map_subexprs(e, lambda s: (found.append(has_cdict(s)), s)[1])
+            return any(found)
+
+        assert not has_cdict(b.expr)
+
+    def test_bare_dict_disabled_gives_tuple(self):
+        src = ("class Sized a where\n"
+               "  size :: a -> Int\n"
+               "data B = B\n"
+               "instance Sized B where\n"
+               "  size x = 1\n")
+        b = core_of(src, "d$Sized$B", single_slot_opt=False)
+        body = b.expr
+        while isinstance(body, (CLam, CLet)):
+            body = body.body
+        assert isinstance(body, CDict)
+        assert len(body.items) == 1
+
+    def test_user_tuples_not_dicts(self):
+        b = core_of("f x = (x, x)", "f")
+        text = pp_binding(b)
+        assert "dict[" not in text
+
+
+class TestLambdas:
+    def test_dict_lambda_kept_separate(self):
+        b = core_of("poly :: Eq a => a -> a -> Bool\npoly x y = x == y",
+                    "poly", hoist_dictionaries=False)
+        assert isinstance(b.expr, CLam)
+        assert len(b.expr.params) == b.dict_arity == 1
+        assert isinstance(b.expr.body, (CLam, CLet))
+
+    def test_plain_nested_lambdas_merged(self):
+        b = core_of("f = \\x -> \\y -> x", "f")
+        assert isinstance(b.expr, CLam)
+        assert len(b.expr.params) == 2
+
+    def test_free_vars(self):
+        b = core_of("k = 10\nf x = x + k", "f")
+        assert "k" in free_vars(b.expr)
+        assert "x" not in free_vars(b.expr)
+
+
+class TestLetClassification:
+    def test_nonrecursive_let(self, run_main):
+        assert run_main("main = let a = 1 in let b = a + 1 in b") == 2
+
+    def test_recursive_let(self, run_main):
+        assert run_main(
+            "main = let go n = if n == 0 then 0 else 2 + go (n - 1)\n"
+            "       in go 5") == 10
+
+    def test_mutually_recursive_local(self, run_main):
+        assert run_main(
+            "main = let ev n = if n == 0 then True else od (n - 1)\n"
+            "           od n = if n == 0 then False else ev (n - 1)\n"
+            "       in (ev 4, od 4)") == (True, False)

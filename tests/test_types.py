@@ -1,0 +1,232 @@
+"""Tests for the semantic type representation (section 5)."""
+
+import pytest
+
+from repro.core.kinds import (
+    STAR,
+    KFun,
+    KindEnv,
+    KVar,
+    default_kind,
+    kfun,
+    kind_arity,
+    kind_str,
+    prune_kind,
+    unify_kinds,
+)
+from repro.errors import KindError
+from repro.core.types import (
+    ARROW,
+    LIST_CON,
+    Pred,
+    Scheme,
+    T_BOOL,
+    T_INT,
+    TyApp,
+    TyCon,
+    TyGen,
+    TyVar,
+    Type,
+    adjust_levels,
+    fn_parts,
+    fn_type,
+    fn_types,
+    generalize_over,
+    list_type,
+    occurs_in,
+    prune,
+    qual_type_str,
+    scheme_str,
+    spine,
+    tuple_type,
+    type_str,
+    type_variables,
+)
+
+
+class TestKinds:
+    def test_star_singleton(self):
+        from repro.core.kinds import KStar
+        assert KStar() is KStar()
+
+    def test_kfun_right_associated(self):
+        k = kfun(STAR, STAR, STAR)
+        assert kind_str(k) == "* -> * -> *"
+
+    def test_kind_str_parenthesises_argument(self):
+        k = KFun(KFun(STAR, STAR), STAR)
+        assert kind_str(k) == "(* -> *) -> *"
+
+    def test_unify_kvar(self):
+        v = KVar()
+        unify_kinds(v, KFun(STAR, STAR))
+        assert kind_str(prune_kind(v)) == "* -> *"
+
+    def test_unify_mismatch(self):
+        with pytest.raises(KindError):
+            unify_kinds(STAR, KFun(STAR, STAR))
+
+    def test_occurs_check(self):
+        v = KVar()
+        with pytest.raises(KindError):
+            unify_kinds(v, KFun(v, STAR))
+
+    def test_default_kind(self):
+        v = KVar()
+        k = default_kind(KFun(v, STAR))
+        assert kind_str(k) == "* -> *"
+
+    def test_kind_arity(self):
+        assert kind_arity(STAR) == 0
+        assert kind_arity(kfun(STAR, STAR, STAR)) == 2
+
+    def test_kind_env_chaining(self):
+        parent = KindEnv()
+        parent.bind("T", STAR)
+        child = parent.child()
+        child.bind("U", STAR)
+        assert child.lookup("T") is STAR
+        assert parent.lookup("U") is None
+
+
+class TestPruneAndSpine:
+    def test_prune_unbound(self):
+        v = TyVar()
+        assert prune(v) is v
+
+    def test_prune_chases_chains(self):
+        a, b = TyVar(), TyVar()
+        a.value = b
+        b.value = T_INT
+        assert prune(a) is T_INT
+        # path compression
+        assert a.value is T_INT
+
+    def test_spine(self):
+        t = TyApp(TyApp(TyCon("Either", kfun(STAR, STAR, STAR)), T_INT), T_BOOL)
+        head, args = spine(t)
+        assert head.name == "Either"
+        assert [a.name for a in args] == ["Int", "Bool"]
+
+    def test_fn_parts(self):
+        t = fn_type(T_INT, T_BOOL)
+        arg, res = fn_parts(t)
+        assert arg is T_INT and res is T_BOOL
+
+    def test_fn_parts_none_for_non_function(self):
+        assert fn_parts(T_INT) is None
+
+    def test_fn_types(self):
+        t = fn_types([T_INT, T_BOOL], T_INT)
+        arg, rest = fn_parts(t)
+        assert arg is T_INT
+        arg2, res = fn_parts(rest)
+        assert arg2 is T_BOOL and res is T_INT
+
+
+class TestVariables:
+    def test_type_variables_in_order(self):
+        a, b = TyVar(), TyVar()
+        t = fn_type(a, fn_type(b, a))
+        assert type_variables(t) == [a, b]
+
+    def test_occurs_in(self):
+        a = TyVar()
+        assert occurs_in(a, list_type(a))
+        assert not occurs_in(a, T_INT)
+
+    def test_adjust_levels(self):
+        a = TyVar(level=5)
+        adjust_levels(2, list_type(a))
+        assert a.level == 2
+
+    def test_adjust_levels_never_raises_level(self):
+        a = TyVar(level=1)
+        adjust_levels(3, a)
+        assert a.level == 1
+
+    def test_fresh_ids_unique(self):
+        assert TyVar().id != TyVar().id
+
+
+class TestSchemes:
+    def make_member_scheme(self):
+        # member :: Eq a => a -> [a] -> Bool
+        g = TyGen(0)
+        return Scheme([STAR], [Pred("Eq", TyGen(0))],
+                      fn_types([g, list_type(g)], T_BOOL))
+
+    def test_instantiate_fresh_variables(self):
+        scheme = self.make_member_scheme()
+        t1, preds1, vars1 = scheme.instantiate(0)
+        t2, preds2, vars2 = scheme.instantiate(0)
+        assert vars1[0] is not vars2[0]
+
+    def test_instantiate_attaches_context(self):
+        scheme = self.make_member_scheme()
+        _t, preds, new_vars = scheme.instantiate(0)
+        assert preds == [("Eq", new_vars[0])]
+        assert "Eq" in new_vars[0].context
+
+    def test_instantiate_at_level(self):
+        scheme = self.make_member_scheme()
+        _t, _p, new_vars = scheme.instantiate(7)
+        assert new_vars[0].level == 7
+
+    def test_generalize_over_roundtrip(self):
+        a = TyVar(level=1)
+        a.context.add("Eq")
+        t = fn_types([a, list_type(a)], T_BOOL)
+        scheme = generalize_over([a], [("Eq", a)], t)
+        assert scheme_str(scheme) == "Eq a => a -> [a] -> Bool"
+
+    def test_generalize_leaves_free_vars(self):
+        a, b = TyVar(level=2), TyVar(level=1)
+        scheme = generalize_over([a], [], fn_type(a, b))
+        t, _p, _v = scheme.instantiate(0)
+        _arg, res = fn_parts(t)
+        assert prune(res) is b
+
+    def test_pred_order_is_dictionary_order(self):
+        a = TyVar(level=1)
+        a.context.update(["Num", "Text"])
+        scheme = generalize_over([a], [("Num", a), ("Text", a)], a)
+        assert [p.class_name for p in scheme.preds] == ["Num", "Text"]
+
+    def test_is_overloaded(self):
+        assert self.make_member_scheme().is_overloaded
+        assert not Scheme([], [], T_INT).is_overloaded
+
+
+class TestPrinting:
+    def test_simple_types(self):
+        assert type_str(T_INT) == "Int"
+        assert type_str(fn_type(T_INT, T_BOOL)) == "Int -> Bool"
+        assert type_str(list_type(T_INT)) == "[Int]"
+        assert type_str(tuple_type([T_INT, T_BOOL])) == "(Int, Bool)"
+
+    def test_nested_functions(self):
+        t = fn_type(fn_type(T_INT, T_INT), T_INT)
+        assert type_str(t) == "(Int -> Int) -> Int"
+
+    def test_variables_named_consistently(self):
+        a, b = TyVar(), TyVar()
+        assert type_str(fn_type(a, fn_type(b, a))) == "a -> b -> a"
+
+    def test_qual_type_str_shows_contexts(self):
+        a = TyVar()
+        a.context.add("Eq")
+        assert qual_type_str(fn_type(a, T_BOOL)) == "Eq a => a -> Bool"
+
+    def test_qual_type_str_multiple(self):
+        a, b = TyVar(), TyVar()
+        a.context.add("Eq")
+        b.context.add("Text")
+        out = qual_type_str(fn_type(a, b))
+        assert out == "(Eq a, Text b) => a -> b"
+
+    def test_application_printing(self):
+        m = TyCon("Maybe", KFun(STAR, STAR))
+        t = TyApp(m, T_INT)
+        assert type_str(t) == "Maybe Int"
+        assert type_str(TyApp(m, t)) == "Maybe (Maybe Int)"

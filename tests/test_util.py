@@ -1,0 +1,224 @@
+"""Tests for the utility substrate: graphs, ordered sets, name supply.
+
+The SCC implementation is checked against networkx on random graphs —
+the one external dependency we allow ourselves in tests only.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.graph import (
+    Digraph,
+    condensation,
+    reachable_from,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.util.names import (
+    NameSupply,
+    dict_var_name,
+    method_impl_name,
+    selector_name,
+)
+from repro.util.orderedset import OrderedSet
+
+
+class TestDigraph:
+    def test_nodes_in_insertion_order(self):
+        g = Digraph()
+        for n in "cab":
+            g.add_node(n)
+        assert g.nodes == ["c", "a", "b"]
+
+    def test_add_edge_creates_nodes(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+
+    def test_duplicate_edges_ignored(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.successors("a") == ("b",)
+
+
+class TestSCC:
+    def test_empty(self):
+        assert strongly_connected_components(Digraph()) == []
+
+    def test_singleton(self):
+        g = Digraph()
+        g.add_node("a")
+        assert strongly_connected_components(g) == [["a"]]
+
+    def test_self_loop_is_own_component(self):
+        g = Digraph()
+        g.add_edge("a", "a")
+        assert strongly_connected_components(g) == [["a"]]
+
+    def test_two_cycle(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        (comp,) = strongly_connected_components(g)
+        assert sorted(comp) == ["a", "b"]
+
+    def test_reverse_topological_order(self):
+        # f calls g; g must come first (dependencies first).
+        g = Digraph()
+        g.add_edge("f", "g")
+        comps = strongly_connected_components(g)
+        assert comps == [["g"], ["f"]]
+
+    def test_chain_order(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert strongly_connected_components(g) == [["c"], ["b"], ["a"]]
+
+    def test_mixed(self):
+        g = Digraph()
+        g.add_edge("main", "even")
+        g.add_edge("even", "odd")
+        g.add_edge("odd", "even")
+        g.add_edge("main", "helper")
+        comps = strongly_connected_components(g)
+        flat = [frozenset(c) for c in comps]
+        assert frozenset(["even", "odd"]) in flat
+        assert flat.index(frozenset(["even", "odd"])) \
+            < flat.index(frozenset(["main"]))
+
+    def test_deep_chain_no_recursion_error(self):
+        g = Digraph()
+        for i in range(50_000):
+            g.add_edge(i, i + 1)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 50_001
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 25), st.integers(0, 25)),
+                    max_size=120))
+    def test_matches_networkx(self, edges):
+        g = Digraph()
+        ref = nx.DiGraph()
+        for a, b in edges:
+            g.add_edge(a, b)
+            ref.add_edge(a, b)
+        ours = {frozenset(c) for c in strongly_connected_components(g)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(ref)}
+        assert ours == theirs
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                    max_size=60))
+    def test_component_order_respects_dependencies(self, edges):
+        g = Digraph()
+        for a, b in edges:
+            g.add_edge(a, b)
+        comps = strongly_connected_components(g)
+        position = {}
+        for i, comp in enumerate(comps):
+            for node in comp:
+                position[node] = i
+        for a, b in edges:
+            # a depends on b => b's component comes first (or the same)
+            assert position[b] <= position[a]
+
+
+class TestTopological:
+    def test_simple(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        assert topological_order(g) == ["b", "a"]
+
+    def test_cycle_rejected(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+    def test_self_loop_rejected(self):
+        g = Digraph()
+        g.add_edge("a", "a")
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+
+class TestCondensationReachable:
+    def test_condensation(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        g.add_edge("a", "c")
+        comps, dag = condensation(g)
+        assert len(comps) == 2
+        assert len(dag) == 2
+
+    def test_reachable(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("d", "e")
+        assert set(reachable_from(g, ["a"])) == {"a", "b", "c"}
+
+
+class TestOrderedSet:
+    def test_insertion_order(self):
+        s = OrderedSet(["b", "a", "c", "a"])
+        assert list(s) == ["b", "a", "c"]
+
+    def test_add_discard(self):
+        s = OrderedSet()
+        s.add("x")
+        assert "x" in s
+        s.discard("x")
+        assert "x" not in s
+        s.discard("x")  # idempotent
+
+    def test_union_preserves_order(self):
+        s = OrderedSet(["a"]).union(["c", "b"])
+        assert list(s) == ["a", "c", "b"]
+
+    def test_equality_ignores_order(self):
+        assert OrderedSet(["a", "b"]) == OrderedSet(["b", "a"])
+        assert OrderedSet(["a"]) == {"a"}
+
+    def test_len_and_bool(self):
+        assert not OrderedSet()
+        assert len(OrderedSet("ab")) == 2
+
+    def test_copy_is_independent(self):
+        s = OrderedSet(["a"])
+        t = s.copy()
+        t.add("b")
+        assert "b" not in s
+
+
+class TestNames:
+    def test_fresh_names_distinct(self):
+        supply = NameSupply()
+        names = {supply.fresh("d") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_prefixes_have_own_counters(self):
+        supply = NameSupply()
+        assert supply.fresh("a") == "a$1"
+        assert supply.fresh("b") == "b$1"
+        assert supply.fresh("a") == "a$2"
+
+    def test_dict_var_name_matches_paper_convention(self):
+        # the paper writes d-Eq-List
+        assert dict_var_name("Eq", "[]") == "d$Eq$List"
+
+    def test_operator_methods_tidied(self):
+        name = method_impl_name("Eq", "Int", "==")
+        assert "$" in name and "=" not in name
+
+    def test_selector_name_deterministic(self):
+        assert selector_name("Eq", "==") == selector_name("Eq", "==")
+
+    def test_tuple_tycon_tidied(self):
+        assert "Tuple2" in dict_var_name("Eq", "(,)")
