@@ -1,0 +1,164 @@
+"""S1 — the compilation service amortises the prelude.
+
+Three measurements on the quickstart program (examples/quickstart.py):
+
+* **cold** — one-shot ``compile_source``: parses, type checks and
+  translates the full prelude every time;
+* **warm** — ``compile_source(..., snapshot=...)``: the prelude comes
+  from a prebuilt :class:`~repro.service.snapshot.PreludeSnapshot`, so
+  only the user program is compiled.  Required: **>= 5x** faster;
+* **served** — a real TCP server with four concurrent clients issuing
+  ``eval`` requests against a cached program, reported as requests/s.
+
+Run under pytest (``pytest benchmarks/bench_s1_server_throughput.py``)
+for the shape assertions, or as a script to (re)write ``BENCH_s1.json``
+at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_s1_server_throughput.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import statistics
+import threading
+import time
+from typing import Dict, List
+
+from benchmarks.conftest import record
+from repro import CompilerOptions, compile_source
+from repro.service.server import CompileServer, CompileService, ServiceClient
+from repro.service.snapshot import PreludeSnapshot
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: compile repetitions per flavour (medians are reported)
+REPEATS = int(os.environ.get("BENCH_S1_REPEATS", "5"))
+#: eval requests per client in the throughput phase
+REQUESTS_PER_CLIENT = int(os.environ.get("BENCH_S1_REQUESTS", "25"))
+CLIENTS = 4
+REQUIRED_SPEEDUP = 5.0
+
+
+def quickstart_source() -> str:
+    path = os.path.join(REPO_ROOT, "examples", "quickstart.py")
+    spec = importlib.util.spec_from_file_location("quickstart", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SOURCE
+
+
+def _median_seconds(fn, repeats: int = REPEATS) -> float:
+    times: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def measure_compiles() -> Dict[str, float]:
+    source = quickstart_source()
+    options = CompilerOptions()
+    snapshot = PreludeSnapshot.build(options)
+
+    cold = _median_seconds(lambda: compile_source(source, options))
+    warm = _median_seconds(
+        lambda: compile_source(source, options, snapshot=snapshot))
+    return {
+        "cold_compile_s": round(cold, 6),
+        "warm_compile_s": round(warm, 6),
+        "speedup": round(cold / warm, 2),
+    }
+
+
+def measure_throughput() -> Dict[str, float]:
+    source = quickstart_source()
+    options = CompilerOptions(server_workers=CLIENTS)
+    server = CompileServer(service=CompileService(options))
+    port = server.start()
+    errors: List[Exception] = []
+    try:
+        # Warm the cache once so the phase measures serving, not the
+        # first compile.
+        with ServiceClient("127.0.0.1", port) as c:
+            r = c.request("compile", source=source)
+            assert r["ok"], r
+            key = r["result"]["program"]
+
+        def client(_n: int) -> None:
+            try:
+                with ServiceClient("127.0.0.1", port) as c:
+                    for i in range(REQUESTS_PER_CLIENT):
+                        r = c.request("eval", program=key,
+                                      expr=f"double {i}")
+                        assert r["ok"], r
+                        assert r["result"]["value"] == str(2 * i), r
+            except Exception as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(n,))
+                   for n in range(CLIENTS)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+    finally:
+        server.stop()
+    if errors:
+        raise errors[0]
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    return {
+        "clients": CLIENTS,
+        "requests": total,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(total / elapsed, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+def test_warm_compile_is_5x_faster():
+    metrics = measure_compiles()
+    record("S1 server throughput", "compile cold vs warm", **metrics)
+    assert metrics["speedup"] >= REQUIRED_SPEEDUP, metrics
+
+
+def test_served_evals_under_concurrency():
+    metrics = measure_throughput()
+    record("S1 server throughput",
+           f"{CLIENTS} concurrent clients", **metrics)
+    assert metrics["requests"] == CLIENTS * REQUESTS_PER_CLIENT
+
+
+# ---------------------------------------------------------------------------
+# script entry point: write BENCH_s1.json
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    compiles = measure_compiles()
+    throughput = measure_throughput()
+    payload = {
+        "benchmark": "s1_server_throughput",
+        "compile": compiles,
+        "throughput": throughput,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "passed": compiles["speedup"] >= REQUIRED_SPEEDUP,
+    }
+    out = os.path.join(REPO_ROOT, "BENCH_s1.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {out}")
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,8 @@
     python -m repro check program.mhs          # types + warnings only
     python -m repro core program.mhs           # dump translated core
     python -m repro repl                       # interactive session
+    python -m repro serve --port 7433          # long-lived compile server
+    python -m repro batch a.mhs b.mhs -e main  # many files, shared cache
 
 Every option of :class:`repro.options.CompilerOptions` is reachable via
 ``--set name=value`` so the paper's ablations can be driven from the
@@ -43,7 +45,17 @@ def build_options(settings: List[str]) -> CompilerOptions:
                 raise SystemExit(f"option {name} expects a boolean, "
                                  f"got {raw!r}")
         elif isinstance(current, int):
-            value = int(raw)
+            try:
+                value = int(raw)
+            except ValueError:
+                raise SystemExit(f"option {name} expects an integer, "
+                                 f"got {raw!r}")
+        elif isinstance(current, float):
+            try:
+                value = float(raw)
+            except ValueError:
+                raise SystemExit(f"option {name} expects a number, "
+                                 f"got {raw!r}")
         else:
             value = raw
         setattr(options, name, value)
@@ -60,6 +72,15 @@ def load(path: str, options: CompilerOptions) -> CompiledProgram:
         raise SystemExit(1)
 
 
+def print_stats(program: CompiledProgram) -> None:
+    s = program.last_stats
+    if s is None:
+        return
+    print(f"-- steps={s.steps} calls={s.fun_calls} "
+          f"dicts={s.dict_constructions} selections={s.dict_selections}",
+          file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     options = build_options(args.set or [])
     program = load(args.file, options)
@@ -72,13 +93,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             result = program.run(args.entry)
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
+        # The evaluator records its counters even on failure; --stats
+        # reports the partial work so aborted runs are diagnosable.
+        if args.stats:
+            print_stats(program)
         return 1
     print(render(result))
-    if args.stats and program.last_stats is not None:
-        s = program.last_stats
-        print(f"-- steps={s.steps} calls={s.fun_calls} "
-              f"dicts={s.dict_constructions} selections={s.dict_selections}",
-              file=sys.stderr)
+    if args.stats:
+        print_stats(program)
     return 0
 
 
@@ -139,6 +161,77 @@ def cmd_repl(args: argparse.Namespace) -> int:
             print(str(exc))
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived compile/eval server (repro.service)."""
+    from repro.service.server import CompileServer, CompileService
+    options = build_options(args.set or [])
+    if args.host:
+        options.server_host = args.host
+    if args.port is not None:
+        options.server_port = args.port
+    service = CompileService(options)
+    server = CompileServer(service=service)
+    try:
+        if args.stdio:
+            server.serve_stdio()
+        else:
+            try:
+                port = server.start()
+            except OSError as exc:
+                print(f"repro serve: cannot bind "
+                      f"{options.server_host}:{options.server_port}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"repro serve: listening on {server.host}:{port} "
+                  f"(cache={options.cache_size}, "
+                  f"workers={options.server_workers})", file=sys.stderr)
+            server.wait()
+    except KeyboardInterrupt:
+        server.stop()
+    if args.stats_json:
+        service.metrics.dump_json(args.stats_json,
+                                  extra={"cache": service.cache.snapshot()})
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Compile many programs through one shared snapshot + cache."""
+    from repro.service.server import CompileService
+    options = build_options(args.set or [])
+    service = CompileService(options)
+    failures = 0
+    for _ in range(max(1, args.repeat)):
+        for path in args.files:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                failures += 1
+                print(f"{path}: error: {exc}", file=sys.stderr)
+                continue
+            try:
+                with service.metrics.time("batch_file"):
+                    _key, program, cached = service.compile(source,
+                                                            filename=path)
+                tag = "cached" if cached else "compiled"
+                if args.expr:
+                    result = program.eval(args.expr)
+                    print(f"{path}: {render(result)} [{tag}]")
+                elif args.entry:
+                    result = program.run(args.entry)
+                    print(f"{path}: {render(result)} [{tag}]")
+                else:
+                    print(f"{path}: ok, "
+                          f"{len(program.core.bindings)} bindings [{tag}]")
+            except ReproError as exc:
+                failures += 1
+                print(f"{path}: error: {exc}", file=sys.stderr)
+    if args.stats_json:
+        service.metrics.dump_json(args.stats_json,
+                                  extra={"cache": service.cache.snapshot()})
+    return 1 if failures else 0
+
+
 def render(value: object) -> str:
     """Show a result the way a Haskell REPL would: strings without the
     Python quote style, tuples/lists via repr."""
@@ -186,6 +279,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="program to load into scope first")
     add_common(p_repl)
     p_repl.set_defaults(fn=cmd_repl)
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived compile/eval server (JSON protocol)")
+    p_serve.add_argument("--host", help="bind address "
+                                        "(default CompilerOptions.server_host)")
+    p_serve.add_argument("--port", type=int,
+                         help="TCP port (0 = ephemeral; prints the choice)")
+    p_serve.add_argument("--stdio", action="store_true",
+                         help="serve on stdin/stdout instead of TCP")
+    p_serve.add_argument("--stats-json", metavar="FILE",
+                         help="write request metrics to FILE on shutdown")
+    add_common(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_batch = sub.add_parser(
+        "batch", help="compile many programs via one snapshot + cache")
+    p_batch.add_argument("files", nargs="+")
+    p_batch.add_argument("-e", "--expr",
+                         help="evaluate this expression in every program")
+    p_batch.add_argument("--entry", help="run this binding in every program")
+    p_batch.add_argument("--repeat", type=int, default=1,
+                         help="process the file list N times "
+                              "(cache warm-up demos)")
+    p_batch.add_argument("--stats-json", metavar="FILE",
+                         help="write request metrics to FILE when done")
+    add_common(p_batch)
+    p_batch.set_defaults(fn=cmd_batch)
 
     args = parser.parse_args(argv)
     return args.fn(args)

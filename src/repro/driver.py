@@ -17,6 +17,7 @@ compiled in front of the user program) and
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -58,6 +59,7 @@ class CompiledProgram:
         self.schemes: Dict[str, Scheme] = result.schemes
         self.warnings: List[MonomorphismWarning] = result.warnings
         self._inferencer = inferencer
+        self._lock = threading.RLock()
         self.last_stats: Optional[EvalStats] = None
         self.compile_stats = CompileStats(
             unify_count=result.unifier.unify_count,
@@ -65,6 +67,20 @@ class CompiledProgram:
             constraint_propagations=result.unifier.constraint_propagations,
             bindings=len(core.bindings),
         )
+
+    # The lock guards the shared inferencer during expression compilation
+    # (``eval`` / ``type_of``) so one program can serve concurrent
+    # requests from the compile server; it must not be pickled (the disk
+    # compile cache stores whole programs).
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- running
 
@@ -87,8 +103,12 @@ class CompiledProgram:
                 return value_to_python(evaluator, value)
             return value
 
-        result = with_big_stack(go) if big_stack else go()
-        self.last_stats = evaluator.stats
+        try:
+            result = with_big_stack(go) if big_stack else go()
+        finally:
+            # Record the counters even when evaluation fails, so callers
+            # (e.g. ``repro run --stats``) can report partial work.
+            self.last_stats = evaluator.stats
         return result
 
     def eval(self, source: str, deep: bool = True, big_stack: bool = False,
@@ -97,13 +117,20 @@ class CompiledProgram:
         scope (e.g. ``program.eval("member 2 [1,2,3]")``)."""
         expr = desugar_expr(parse_expr(source),
                             self.options.overload_literals)
-        n_before = len(self._inferencer.output)
-        _ty, resolved = self._inferencer.infer_expression(expr)
-        extra = self._inferencer.output[n_before:]
-        translator = Translator(self._arity_map())
-        core_extra = [translator.binding(b.name, b.expr, b.kind)
-                      for b in extra]
-        core_expr = translator.expr(resolved)
+        with self._lock:
+            n_before = len(self._inferencer.output)
+            _ty, resolved = self._inferencer.infer_expression(expr)
+            extra = self._inferencer.output[n_before:]
+            # Helper bindings generated for this expression (local lets,
+            # hoisted dictionaries) must not accumulate in the shared
+            # inferencer: they are only meaningful to this evaluation,
+            # and leaving them would grow ``output`` by one suffix per
+            # ``eval`` for the lifetime of the program.
+            del self._inferencer.output[n_before:]
+            translator = Translator(self._arity_map())
+            core_extra = [translator.binding(b.name, b.expr, b.kind)
+                          for b in extra]
+            core_expr = translator.expr(resolved)
         evaluator = Evaluator(self.core.extend(core_extra), PRIMITIVES(),
                               call_by_need=overrides.get(
                                   "call_by_need", self.options.call_by_need),
@@ -116,8 +143,10 @@ class CompiledProgram:
                 return value_to_python(evaluator, value)
             return value
 
-        result = with_big_stack(go) if big_stack else go()
-        self.last_stats = evaluator.stats
+        try:
+            result = with_big_stack(go) if big_stack else go()
+        finally:
+            self.last_stats = evaluator.stats
         return result
 
     def type_of(self, source: str) -> str:
@@ -125,13 +154,15 @@ class CompiledProgram:
         handy for tests and the examples."""
         expr = desugar_expr(parse_expr(source),
                             self.options.overload_literals)
-        # Use a scratch inferencer so defaulting does not pollute state.
-        scratch = Inferencer(self.static_env, self.options,
-                             global_env=self._inferencer.env)
-        scratch.level += 1
-        ty, _ = scratch.infer_expr(expr, scratch.env)
-        scratch.level -= 1
-        return qual_type_str(ty)
+        with self._lock:
+            # Use a scratch inferencer so defaulting does not pollute
+            # state.
+            scratch = Inferencer(self.static_env, self.options,
+                                 global_env=self._inferencer.env)
+            scratch.level += 1
+            ty, _ = scratch.infer_expr(expr, scratch.env)
+            scratch.level -= 1
+            return qual_type_str(ty)
 
     def scheme_of(self, name: str) -> Optional[Scheme]:
         return self.schemes.get(name)
@@ -223,8 +254,19 @@ class CompiledProgram:
 def compile_source(source: str,
                    options: Optional[CompilerOptions] = None,
                    include_prelude: bool = True,
-                   filename: str = "<input>") -> CompiledProgram:
-    """Compile *source* (with the prelude) into a runnable program."""
+                   filename: str = "<input>",
+                   snapshot: Optional["object"] = None) -> CompiledProgram:
+    """Compile *source* (with the prelude) into a runnable program.
+
+    When *snapshot* (a :class:`repro.service.snapshot.PreludeSnapshot`)
+    is given, the prelude is not re-compiled: the user program is built
+    on a cheap fork of the snapshot's compiled state, producing the same
+    schemes and core as a cold compile at a fraction of the cost.
+    """
+    if snapshot is not None and include_prelude:
+        from repro.service.snapshot import compile_with_snapshot
+        return compile_with_snapshot(source, snapshot, options=options,
+                                     filename=filename)
     options = options if options is not None else CompilerOptions()
     class_env = ClassEnv(layout=options.dict_layout,
                          single_slot_opt=options.single_slot_opt)

@@ -24,8 +24,23 @@ a flag here, so that the benchmarks can run controlled ablations:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import List
+
+#: Fields of :class:`CompilerOptions` that configure the compilation
+#: *service* (cache sizing, server transport) rather than the compiler
+#: itself.  They are excluded from :func:`options_fingerprint` so that,
+#: e.g., resizing the cache does not invalidate every cached program.
+SERVICE_OPTION_FIELDS = (
+    "cache_size",
+    "cache_dir",
+    "server_host",
+    "server_port",
+    "server_workers",
+    "request_timeout",
+)
 
 
 @dataclass
@@ -49,9 +64,29 @@ class CompilerOptions:
     call_by_need: bool = True
     eval_step_limit: int = 0  # 0 = unlimited
 
+    # ---- compilation service (repro.service)
+    cache_size: int = 64          # in-memory compile cache capacity
+    cache_dir: str = ""           # "" = memory only; a path enables disk cache
+    server_host: str = "127.0.0.1"
+    server_port: int = 0          # 0 = pick an ephemeral port
+    server_workers: int = 4       # thread-pool width for request handling
+    request_timeout: float = 10.0  # per-request budget, seconds (0 = none)
+
     def with_(self, **kwargs) -> "CompilerOptions":
         """A copy with some fields replaced (ablation helper)."""
         return replace(self, **kwargs)
+
+
+def options_fingerprint(options: CompilerOptions) -> str:
+    """A stable digest of every option that can change compilation
+    output.  Two option sets with the same fingerprint produce the same
+    compiled program for the same source, so the fingerprint is a
+    component of the compile-cache key (service-only fields are left
+    out; see :data:`SERVICE_OPTION_FIELDS`)."""
+    relevant = {name: value for name, value in sorted(vars(options).items())
+                if name not in SERVICE_OPTION_FIELDS}
+    blob = json.dumps(relevant, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 #: The configuration closest to the paper's "naive translation": no

@@ -1,0 +1,45 @@
+"""The compilation service: infrastructure that turns the one-shot
+compiler into a system that can serve sustained traffic.
+
+* :mod:`repro.service.snapshot` — compile the prelude once into an
+  immutable :class:`~repro.service.snapshot.PreludeSnapshot`; fork it
+  cheaply under every user compile;
+* :mod:`repro.service.cache` — a content-addressed compile cache keyed
+  by ``(source, options, prelude)`` digests, with LRU eviction and an
+  optional on-disk tier;
+* :mod:`repro.service.server` — a long-lived compile/eval server
+  speaking line-delimited JSON over stdio or TCP;
+* :mod:`repro.service.metrics` — request counters and latency
+  histograms behind the server's ``stats`` request.
+"""
+
+from repro.service.cache import CacheStats, CompileCache, cache_key
+from repro.service.metrics import LatencyHistogram, Metrics
+from repro.service.server import (
+    CompileServer,
+    CompileService,
+    ServiceClient,
+)
+from repro.service.snapshot import (
+    PreludeSnapshot,
+    clear_default_snapshots,
+    compile_with_snapshot,
+    get_default_snapshot,
+    prelude_fingerprint,
+)
+
+__all__ = [
+    "CacheStats",
+    "CompileCache",
+    "cache_key",
+    "LatencyHistogram",
+    "Metrics",
+    "CompileServer",
+    "CompileService",
+    "ServiceClient",
+    "PreludeSnapshot",
+    "clear_default_snapshots",
+    "compile_with_snapshot",
+    "get_default_snapshot",
+    "prelude_fingerprint",
+]

@@ -1,0 +1,224 @@
+"""A content-addressed compile cache.
+
+Programs are cached under a key derived from *content*, never identity:
+
+    key = sha256(source) x options_fingerprint x prelude_fingerprint
+
+so a hit is only possible when the source text, every
+compilation-relevant option, and the prelude the program was compiled
+against are all byte-identical.  Because compilation is deterministic
+(dictionary parameter order is fixed by the §8.6 interface ordering and
+instance resolution is coherent), a cached program is indistinguishable
+from a fresh compile.
+
+The in-memory tier is a bounded LRU; an optional on-disk tier persists
+pickled programs under a cache directory (default
+``~/.cache/repro/``) keyed by the same digest, surviving process
+restarts.  Hit/miss/eviction counters are kept for the server's
+``stats`` request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.options import CompilerOptions, options_fingerprint
+
+#: default on-disk location (used when ``cache_dir`` is the sentinel
+#: string ``"default"``; an explicit path wins; ``""`` disables disk)
+DEFAULT_CACHE_DIR = os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def source_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def cache_key(source: str, options: CompilerOptions,
+              prelude_fp: str) -> str:
+    """The content address of one compilation."""
+    h = hashlib.sha256()
+    h.update(source_hash(source).encode("ascii"))
+    h.update(b"\x00")
+    h.update(options_fingerprint(options).encode("ascii"))
+    h.update(b"\x00")
+    h.update(prelude_fp.encode("ascii"))
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    disk_errors: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CompileCache:
+    """Bounded LRU over compiled programs, optionally disk-backed.
+
+    Thread safe: the structure is guarded by a lock; the cached
+    programs themselves serialise their mutable operations internally
+    (see :class:`repro.driver.CompiledProgram`).
+    """
+
+    def __init__(self, capacity: int = 64,
+                 disk_dir: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.disk_dir = disk_dir
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        if disk_dir:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    # -------------------------------------------------------------- lookup
+
+    def get(self, key: str) -> Optional[Any]:
+        """The program cached under *key*, or None.  A memory miss
+        falls through to the disk tier (when enabled) and promotes the
+        loaded program back into memory."""
+        with self._lock:
+            program = self._entries.get(key)
+            if program is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return program
+        program = self._disk_get(key)
+        if program is not None:
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert(key, program)
+            return program
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, program: Any) -> None:
+        with self._lock:
+            self._insert(key, program)
+            self.stats.inserts += 1
+        self._disk_put(key, program)
+
+    def _insert(self, key: str, program: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = program
+            return
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = program
+
+    # ------------------------------------------------------------ disk tier
+
+    def _disk_path(self, key: str) -> str:
+        assert self.disk_dir
+        return os.path.join(self.disk_dir, f"{key}.pkl")
+
+    def _disk_get(self, key: str) -> Optional[Any]:
+        if not self.disk_dir:
+            return None
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # A corrupt or version-skewed entry is equivalent to a miss;
+            # drop it so it is rebuilt.
+            with self._lock:
+                self.stats.disk_errors += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, program: Any) -> None:
+        if not self.disk_dir:
+            return
+        path = self._disk_path(key)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(program, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic publish
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            with self._lock:
+                self.stats.disk_writes += 1
+        except Exception:
+            with self._lock:
+                self.stats.disk_errors += 1
+
+    # ------------------------------------------------------- introspection
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self, disk: bool = False) -> None:
+        with self._lock:
+            self._entries.clear()
+        if disk and self.disk_dir and os.path.isdir(self.disk_dir):
+            for name in os.listdir(self.disk_dir):
+                if name.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(self.disk_dir, name))
+                    except OSError:
+                        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters plus occupancy, for the ``stats`` request."""
+        with self._lock:
+            out: Dict[str, Any] = self.stats.snapshot()
+            out["size"] = len(self._entries)
+        out["capacity"] = self.capacity
+        out["hit_rate"] = round(self.stats.hit_rate, 4)
+        out["disk_dir"] = self.disk_dir or None
+        return out
+
+
+def resolve_cache_dir(options: CompilerOptions) -> Optional[str]:
+    """Map the ``cache_dir`` option to a directory: empty string means
+    memory-only, the sentinel ``"default"`` means ``~/.cache/repro``,
+    anything else is used as given."""
+    raw = options.cache_dir
+    if not raw:
+        return None
+    if raw == "default":
+        return DEFAULT_CACHE_DIR
+    return raw

@@ -1,0 +1,129 @@
+"""Request counters and latency histograms for the compile service.
+
+Latencies are recorded per operation (``compile``, ``eval``, ...) into
+a bounded ring of recent samples; percentiles (p50/p95/p99) are
+computed over that window on demand.  Everything is thread safe and
+cheap enough to sit on the request hot path — recording is a counter
+bump and a ring-slot write under a short lock.
+
+Exposed through the server's ``stats`` request and the CLI's
+``--stats-json`` dump.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class LatencyHistogram:
+    """Running latency summary over a bounded window of samples."""
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._samples: List[float] = []
+        self._next = 0  # ring cursor once the window is full
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self._samples) < self.window:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % self.window
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (0..100) of the recent window, by the
+        nearest-rank method; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, int(round(p / 100.0 * len(ordered) + 0.5)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean * 1e3, 3),
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p95_ms": round(self.percentile(95) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
+            "max_ms": round(self.max * 1e3, 3),
+        }
+
+
+class Metrics:
+    """Thread-safe counters plus per-operation latency histograms."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------ recording
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, op: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(op)
+            if hist is None:
+                hist = self._histograms[op] = LatencyHistogram(self._window)
+            hist.record(seconds)
+
+    def time(self, op: str) -> "_Timer":
+        """``with metrics.time("compile"): ...`` — records the elapsed
+        wall clock whether or not the body raises."""
+        return _Timer(self, op)
+
+    # -------------------------------------------------------- introspection
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "counters": dict(self._counters),
+                "latency": {op: hist.summary()
+                            for op, hist in sorted(self._histograms.items())},
+            }
+
+    def dump_json(self, path: str,
+                  extra: Optional[Dict[str, Any]] = None) -> None:
+        payload = self.snapshot()
+        if extra:
+            payload.update(extra)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class _Timer:
+    def __init__(self, metrics: Metrics, op: str) -> None:
+        self._metrics = metrics
+        self._op = op
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self._metrics.observe(self._op, time.perf_counter() - self._t0)

@@ -1,0 +1,506 @@
+"""A long-lived compile/eval server.
+
+The server keeps one prelude snapshot and one content-addressed compile
+cache in memory and answers requests over a line-delimited JSON
+protocol, either on a TCP socket or on stdio::
+
+    -> {"id": 1, "op": "compile", "source": "main = 1 + 2"}
+    <- {"id": 1, "ok": true, "result": {"program": "ab12...", ...}}
+
+Operations: ``compile``, ``eval``, ``typeof``, ``info``, ``stats``,
+``ping``, ``shutdown`` (see docs/SERVICE.md for the full schema).
+
+Design points:
+
+* every request is handled on a thread pool; a per-request timeout
+  (``request_timeout`` option, overridable per request) produces a
+  structured ``timeout`` error while the server keeps running;
+* errors never kill the process: compiler errors, malformed JSON and
+  unknown operations all come back as ``{"ok": false, "error": ...}``;
+* concurrent requests against one cached program are safe — a program
+  serialises its expression *compilation* internally while evaluation
+  itself runs concurrently (each request gets its own evaluator).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.options import CompilerOptions
+from repro.service.cache import CompileCache, cache_key, resolve_cache_dir
+from repro.service.metrics import Metrics
+from repro.service.snapshot import get_default_snapshot
+
+PROTOCOL_VERSION = 1
+
+
+def _error(kind: str, message: str, **extra: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"type": kind, "message": message}
+    out.update(extra)
+    return out
+
+
+class ProtocolError(Exception):
+    """A malformed request (bad JSON, missing field, unknown op)."""
+
+
+class CompileService:
+    """Transport-independent request handling: snapshot + cache + ops.
+
+    Shared by the TCP and stdio servers and usable directly in-process
+    (``repro batch`` drives it without any socket)."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None) -> None:
+        self.options = options if options is not None else CompilerOptions()
+        self.snapshot = get_default_snapshot(self.options)
+        self.cache = CompileCache(capacity=self.options.cache_size,
+                                  disk_dir=resolve_cache_dir(self.options))
+        self.metrics = Metrics()
+
+    # ------------------------------------------------------------- programs
+
+    def compile(self, source: str,
+                filename: str = "<request>") -> Tuple[str, Any, bool]:
+        """Compile *source* through the cache; returns
+        ``(key, program, was_cached)``."""
+        key = cache_key(source, self.options, self.snapshot.fingerprint)
+        program = self.cache.get(key)
+        if program is not None:
+            self.metrics.incr("cache_hits")
+            return key, program, True
+        with self.metrics.time("compile_miss"):
+            from repro.driver import compile_source
+            program = compile_source(source, self.options, filename=filename,
+                                     snapshot=self.snapshot)
+        self.cache.put(key, program)
+        self.metrics.incr("cache_misses")
+        return key, program, False
+
+    def _resolve_program(self, request: Dict[str, Any]) -> Tuple[str, Any]:
+        """The program a request targets: by ``program`` handle (cache
+        key) or by ``source`` (compiled on demand)."""
+        handle = request.get("program")
+        if handle is not None:
+            program = self.cache.get(handle)
+            if program is not None:
+                return handle, program
+            if "source" not in request:
+                raise ProtocolError(
+                    f"unknown program {handle!r} (evicted or never "
+                    f"compiled); re-send with its source")
+        source = request.get("source")
+        if source is None:
+            raise ProtocolError(
+                "request needs a 'program' handle or a 'source' string")
+        key, program, _ = self.compile(source)
+        return key, program
+
+    # ------------------------------------------------------------- requests
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one request dict to a response dict (never raises)."""
+        request_id = request.get("id") if isinstance(request, dict) else None
+        self.metrics.incr("requests_total")
+        try:
+            if not isinstance(request, dict):
+                raise ProtocolError("request must be a JSON object")
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise ProtocolError("request needs an 'op' string")
+            op = {"type_of": "typeof"}.get(op, op)
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise ProtocolError(f"unknown op {op!r}")
+            with self.metrics.time(op):
+                result = handler(request)
+            return {"id": request_id, "ok": True, "result": result}
+        except ProtocolError as exc:
+            return self._failure(request_id, _error("protocol", str(exc)))
+        except ReproError as exc:
+            error = _error(type(exc).__name__, str(exc))
+            if getattr(exc, "pos", None) is not None:
+                error["pos"] = str(exc.pos)
+            return self._failure(request_id, error)
+        except Exception as exc:  # never let a request kill the server
+            return self._failure(
+                request_id, _error("internal", f"{type(exc).__name__}: {exc}"))
+
+    def _failure(self, request_id: Any,
+                 error: Dict[str, Any]) -> Dict[str, Any]:
+        self.metrics.incr("errors_total")
+        return {"id": request_id, "ok": False, "error": error}
+
+    # ------------------------------------------------------------------ ops
+
+    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True, "protocol": PROTOCOL_VERSION}
+
+    def _op_compile(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        source = request.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError("'compile' needs a 'source' string")
+        key, program, cached = self.compile(
+            source, filename=request.get("filename", "<request>"))
+        result: Dict[str, Any] = {
+            "program": key,
+            "cached": cached,
+            "warnings": [str(w) for w in program.warnings],
+        }
+        if request.get("schemes", True):
+            result["schemes"] = {
+                name: str(scheme)
+                for name, scheme in sorted(program.schemes.items())
+                if "$" not in name and "@" not in name}
+        return result
+
+    def _op_eval(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        expr = request.get("expr")
+        if not isinstance(expr, str):
+            raise ProtocolError("'eval' needs an 'expr' string")
+        key, program = self._resolve_program(request)
+        from repro.cli import render
+        overrides: Dict[str, Any] = {}
+        if "step_limit" in request:
+            try:
+                overrides["step_limit"] = int(request["step_limit"])
+            except (TypeError, ValueError):
+                raise ProtocolError("'step_limit' must be an integer")
+        value = program.eval(expr, **overrides)
+        result: Dict[str, Any] = {"program": key, "value": render(value)}
+        stats = program.last_stats
+        if stats is not None:
+            result["stats"] = stats.snapshot()
+        return result
+
+    def _op_typeof(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        expr = request.get("expr")
+        if not isinstance(expr, str):
+            raise ProtocolError("'typeof' needs an 'expr' string")
+        key, program = self._resolve_program(request)
+        return {"program": key, "type": program.type_of(expr)}
+
+    def _op_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request.get("name")
+        if not isinstance(name, str):
+            raise ProtocolError("'info' needs a 'name' string")
+        key, program = self._resolve_program(request)
+        return {"program": key, "info": program.info(name)}
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self.stats()
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"shutting_down": True}
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "server": self.metrics.snapshot(),
+            "cache": self.cache.snapshot(),
+            "snapshot": {
+                "fingerprint": self.snapshot.fingerprint,
+                "prelude_bindings": self.snapshot.n_bindings,
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+class _Once:
+    """First-writer-wins guard so a timed-out request that later
+    completes does not emit a second response."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._done = False
+
+    def claim(self) -> bool:
+        with self._lock:
+            if self._done:
+                return False
+            self._done = True
+            return True
+
+
+class CompileServer:
+    """Line-delimited JSON over TCP (or stdio via :meth:`serve_stdio`)."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None,
+                 service: Optional[CompileService] = None,
+                 host: Optional[str] = None,
+                 port: Optional[int] = None) -> None:
+        self.service = service if service is not None \
+            else CompileService(options)
+        opts = self.service.options
+        self.host = host if host is not None else opts.server_host
+        self.port = port if port is not None else opts.server_port
+        self._pool = self._make_pool(max(1, opts.server_workers))
+        self._shutdown = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._acceptor: Optional[threading.Thread] = None
+        self._threads: list = []
+
+    @staticmethod
+    def _make_pool(workers: int, stack_mb: int = 512) -> ThreadPoolExecutor:
+        """A thread pool whose workers all have big stacks.
+
+        Interpreted evaluation nests deeply (see
+        :func:`repro.coreir.eval.with_big_stack`); a default-sized
+        thread stack overflows — fatally, below Python — on programs the
+        compiler handles fine.  Stack size is fixed at thread creation,
+        and the executor spawns threads lazily, so every worker is
+        forced into existence here, inside the enlarged-stack window.
+        The memory is virtual: untouched pages cost nothing.
+        """
+        if sys.getrecursionlimit() < 1_000_000:
+            sys.setrecursionlimit(1_000_000)
+        old = threading.stack_size(stack_mb * 1024 * 1024)
+        try:
+            pool = ThreadPoolExecutor(max_workers=workers,
+                                      thread_name_prefix="repro-worker")
+            ready = threading.Barrier(workers + 1)
+            futures = [pool.submit(ready.wait) for _ in range(workers)]
+            ready.wait()
+            for future in futures:
+                future.result()
+        finally:
+            threading.stack_size(old)
+        return pool
+
+    # --------------------------------------------------------------- life
+
+    def start(self) -> int:
+        """Bind and start accepting in a background thread; returns the
+        bound port (useful with ``server_port = 0``)."""
+        listener = socket.create_server((self.host, self.port))
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    name="repro-acceptor", daemon=True)
+        acceptor.start()
+        self._acceptor = acceptor
+        self._threads.append(acceptor)
+        return self.port
+
+    def stop(self) -> None:
+        # Tear the listener down before signalling: anyone woken by
+        # ``wait()`` may immediately probe the port and must find it
+        # closed.  ``close()`` alone is not enough — the acceptor
+        # thread blocked in ``accept()`` keeps the kernel socket alive
+        # (and accepting!) until its poll window expires, so shut the
+        # socket down to wake it and join it out.
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            for teardown in (lambda: listener.shutdown(socket.SHUT_RDWR),
+                             listener.close):
+                try:
+                    teardown()
+                except OSError:
+                    pass
+        acceptor = self._acceptor
+        if acceptor is not None and acceptor is not threading.current_thread():
+            acceptor.join(timeout=2.0)
+        self._shutdown.set()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server shuts down; True if it did."""
+        return self._shutdown.wait(timeout)
+
+    # ------------------------------------------------------------- accept
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        assert listener is not None
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(target=self._client_loop, args=(conn,),
+                                      name="repro-client", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _client_loop(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+        waiters: list = []
+        try:
+            reader = conn.makefile("rb")
+
+            def write(response: Dict[str, Any]) -> None:
+                data = (json.dumps(response) + "\n").encode("utf-8")
+                with write_lock:
+                    try:
+                        conn.sendall(data)
+                    except OSError:
+                        pass
+
+            for raw in reader:
+                if self._shutdown.is_set():
+                    break
+                if not raw.strip():
+                    continue
+                if not self._dispatch_line(raw, write, waiters):
+                    break
+        finally:
+            # Requests still in flight get to write their responses
+            # before the connection goes away; each waiter is bounded
+            # by its request timeout.
+            for waiter in waiters:
+                waiter.join()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------ requests
+
+    def _dispatch_line(self, raw: bytes, write,
+                       waiters: Optional[list] = None) -> bool:
+        """Parse and run one request line; False stops the connection
+        loop (shutdown was requested).  Spawned waiter threads are
+        appended to *waiters* so the caller can drain them."""
+        try:
+            request = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.service.metrics.incr("requests_total")
+            self.service.metrics.incr("errors_total")
+            write({"id": None, "ok": False,
+                   "error": _error("protocol", f"malformed JSON: {exc}")})
+            return True
+        is_shutdown = isinstance(request, dict) \
+            and request.get("op") == "shutdown"
+        if is_shutdown and waiters:
+            # Graceful: earlier requests on this connection respond
+            # before the shutdown does (stop() cancels queued work).
+            for waiter in waiters:
+                waiter.join()
+        timeout = self._request_timeout(request)
+        future = self._pool.submit(self.service.handle, request)
+        once = _Once()
+        request_id = request.get("id") if isinstance(request, dict) else None
+
+        def deliver() -> None:
+            try:
+                response = future.result(timeout=timeout)
+            except FutureTimeout:
+                if once.claim():
+                    self.service.metrics.incr("timeouts_total")
+                    write({"id": request_id, "ok": False,
+                           "error": _error(
+                               "timeout",
+                               f"request exceeded {timeout}s budget")})
+                # Discard the eventual result: the response slot is used.
+                future.add_done_callback(lambda f: f.exception())
+                return
+            except Exception as exc:  # pool shutdown races, etc.
+                if once.claim():
+                    write({"id": request_id, "ok": False,
+                           "error": _error("internal", str(exc))})
+                return
+            if once.claim():
+                write(response)
+                if is_shutdown and response.get("ok"):
+                    self.stop()
+
+        if is_shutdown or timeout is None:
+            deliver()  # nothing to time out; keep ordering simple
+        else:
+            waiter = threading.Thread(target=deliver, name="repro-waiter",
+                                      daemon=True)
+            waiter.start()
+            if waiters is not None:
+                waiters.append(waiter)
+        return not (is_shutdown and self._shutdown.is_set())
+
+    def _request_timeout(self, request: Any) -> Optional[float]:
+        timeout = self.service.options.request_timeout
+        if isinstance(request, dict) and "timeout" in request:
+            try:
+                timeout = float(request["timeout"])
+            except (TypeError, ValueError):
+                pass
+        return timeout if timeout and timeout > 0 else None
+
+    # -------------------------------------------------------------- stdio
+
+    def serve_stdio(self, stdin=None, stdout=None) -> None:
+        """Serve line-delimited JSON on stdio until EOF or shutdown."""
+        stdin = stdin if stdin is not None else sys.stdin.buffer
+        stdout = stdout if stdout is not None else sys.stdout
+        write_lock = threading.Lock()
+
+        def write(response: Dict[str, Any]) -> None:
+            line = json.dumps(response) + "\n"
+            with write_lock:
+                try:
+                    stdout.write(line)
+                    stdout.flush()
+                except (ValueError, OSError):
+                    pass
+
+        waiters: list = []
+        for raw in stdin:
+            if isinstance(raw, str):
+                raw = raw.encode("utf-8")
+            if not raw.strip():
+                continue
+            if not self._dispatch_line(raw, write, waiters):
+                break
+            if self._shutdown.is_set():
+                break
+        for waiter in waiters:
+            waiter.join()
+        self._shutdown.set()
+
+
+# ---------------------------------------------------------------------------
+# Client (tests, benchmarks, simple tooling)
+# ---------------------------------------------------------------------------
+
+class ServiceClient:
+    """A minimal synchronous client: one request in flight at a time."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        with self._lock:
+            self._next_id += 1
+            payload: Dict[str, Any] = {"id": self._next_id, "op": op}
+            payload.update(fields)
+            self._sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            while True:
+                raw = self._reader.readline()
+                if not raw:
+                    raise ConnectionError("server closed the connection")
+                response = json.loads(raw.decode("utf-8"))
+                if response.get("id") == self._next_id:
+                    return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -1,0 +1,252 @@
+"""Prelude snapshots: compile the prelude once, reuse it forever.
+
+Every cold :func:`repro.driver.compile_source` call re-lexes, re-parses
+and re-infers the whole prelude before it reaches the user program.  A
+:class:`PreludeSnapshot` performs that work exactly once and freezes
+the result:
+
+* the static environment (data types, constructors, kinds, the class
+  environment with every prelude class and instance);
+* the inferencer state after ``infer_program(<prelude>)`` — the global
+  :class:`~repro.core.infer.TypeEnv`, the scheme table, the compiled
+  (dictionary-converted) prelude bindings;
+* the translated (but *unoptimised*, selector-free) prelude core.
+
+A snapshot is immutable.  :meth:`PreludeSnapshot.fork` produces a
+cheap, independent copy of the *mutable containers* (dictionaries and
+lists) while sharing the immutable compiled structures — schemes,
+kernel ASTs and core bindings are never mutated after the prelude has
+been compiled, so sharing them is sound.  Forking costs microseconds
+where re-compiling the prelude costs hundreds of milliseconds.
+
+:func:`compile_with_snapshot` then runs the ordinary pipeline on the
+user program only, stacked on a fork.  The binding order, schemes and
+optimised core are identical to a cold compile: selectors are
+regenerated for *all* classes after the user program (exactly where the
+one-shot path emits them) and the optimisation passes run over the full
+concatenated core.  Determinism of the result is what makes the compile
+cache sound — the paper's §8.6 interface ordering fixes dictionary
+parameter order, and instance resolution is coherent (Bottu et al.),
+so equal inputs give equal elaborations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.classes import ClassEnv
+from repro.core.dictionary import generate_selectors
+from repro.core.infer import (
+    CompiledBinding,
+    Inferencer,
+    InferResult,
+    SchemeEntry,
+    TypeEnv,
+)
+from repro.core.kinds import KindEnv
+from repro.core.static import StaticEnv, analyze_program
+from repro.coreir.syntax import CoreBinding, CoreProgram
+from repro.coreir.translate import translate_bindings
+from repro.lang.desugar import desugar_program
+from repro.lang.parser import parse_program
+from repro.options import CompilerOptions, options_fingerprint
+from repro.prelude import PRELUDE_SOURCE, primitive_schemes
+
+
+def prelude_fingerprint(options: Optional[CompilerOptions] = None,
+                        prelude_source: str = PRELUDE_SOURCE) -> str:
+    """Digest identifying one prelude compilation: the prelude text plus
+    every compilation-relevant option.  A component of every compile
+    cache key — editing the prelude or flipping a compiler flag yields a
+    new fingerprint and therefore a cache miss."""
+    options = options if options is not None else CompilerOptions()
+    h = hashlib.sha256()
+    h.update(prelude_source.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(options_fingerprint(options).encode("ascii"))
+    return h.hexdigest()
+
+
+def _fork_class_env(src: ClassEnv) -> ClassEnv:
+    out = ClassEnv(layout=src.layout, single_slot_opt=src.single_slot_opt)
+    out.classes = dict(src.classes)
+    out.instances = dict(src.instances)
+    out.method_owner = dict(src.method_owner)
+    out.default_types = list(src.default_types)
+    return out
+
+
+def _fork_static_env(src: StaticEnv, class_env: ClassEnv) -> StaticEnv:
+    # Bypass __init__ (it would rebuild the builtins we are about to
+    # copy anyway); copy every mutable container one level deep.  The
+    # *values* (DataConInfo, ClassInfo, schemes, declaration ASTs) are
+    # not mutated after their defining program has been compiled.
+    out = StaticEnv.__new__(StaticEnv)
+    out.kind_env = KindEnv()
+    out.kind_env.kinds = dict(src.kind_env.kinds)
+    out.class_env = class_env
+    out.data_types = dict(src.data_types)
+    out.data_cons = dict(src.data_cons)
+    out._tycons = dict(src._tycons)
+    out.instance_bodies = list(src.instance_bodies)
+    out.class_bodies = dict(src.class_bodies)
+    out.synonyms = dict(src.synonyms)
+    return out
+
+
+class PreludeSnapshot:
+    """The prelude, compiled once, frozen, and cheap to build upon."""
+
+    def __init__(self, options: CompilerOptions, static_env: StaticEnv,
+                 inferencer: Inferencer,
+                 core_bindings: Tuple[CoreBinding, ...],
+                 fingerprint: str) -> None:
+        self.options = options
+        self._static_env = static_env
+        self._inferencer = inferencer
+        #: translated prelude core: unoptimised and selector-free, so a
+        #: forked compile can reproduce the one-shot pipeline exactly
+        self.core_bindings = core_bindings
+        #: number of compiled prelude bindings (the fork's outputs
+        #: beyond this index belong to the user program)
+        self.n_bindings = len(inferencer.output)
+        self.fingerprint = fingerprint
+        self.options_fp = options_fingerprint(options)
+        self.class_names = frozenset(static_env.class_env.classes)
+        u = inferencer.unifier
+        self._unifier_counts = (u.unify_count, u.context_reduction_count,
+                                u.constraint_propagations)
+
+    # ----------------------------------------------------------- building
+
+    @classmethod
+    def build(cls, options: Optional[CompilerOptions] = None,
+              prelude_source: str = PRELUDE_SOURCE) -> "PreludeSnapshot":
+        """Compile *prelude_source* through the front end (parse,
+        desugar, static analysis, inference, translation) and freeze the
+        result."""
+        options = options if options is not None else CompilerOptions()
+        class_env = ClassEnv(layout=options.dict_layout,
+                             single_slot_opt=options.single_slot_opt)
+        static_env = StaticEnv(class_env)
+        global_env = TypeEnv()
+        for name, scheme in primitive_schemes().items():
+            global_env.bind(name, SchemeEntry(scheme))
+        inferencer = Inferencer(static_env, options, global_env)
+        program = parse_program(prelude_source, "<prelude>")
+        program = desugar_program(program, options.overload_literals)
+        analyze_program(program, env=static_env)
+        inferencer._install_methods()
+        result = inferencer.infer_program(program)
+        con_arity = {name: info.arity
+                     for name, info in static_env.data_cons.items()}
+        core = translate_bindings(result.bindings, con_arity)
+        return cls(options, static_env, inferencer, tuple(core.bindings),
+                   prelude_fingerprint(options, prelude_source))
+
+    # ------------------------------------------------------------ forking
+
+    def fork(self) -> Tuple[StaticEnv, Inferencer]:
+        """An independent compilation state seeded with the prelude.
+
+        The returned environments may be mutated freely (user data
+        types, classes, instances, bindings); the snapshot itself is
+        never affected, so forks are isolated from each other.
+        """
+        class_env = _fork_class_env(self._static_env.class_env)
+        static_env = _fork_static_env(self._static_env, class_env)
+        # A child TypeEnv layer receives every global binding the user
+        # program makes; the prelude's own layer below it stays frozen.
+        inferencer = Inferencer(static_env, self.options,
+                                global_env=self._inferencer.env.child())
+        inferencer.names._counters = dict(self._inferencer.names._counters)
+        inferencer.warnings = list(self._inferencer.warnings)
+        inferencer.output = list(self._inferencer.output)
+        inferencer.schemes = dict(self._inferencer.schemes)
+        inferencer._compiled_instances = set(
+            self._inferencer._compiled_instances)
+        inferencer._compiled_defaults = set(
+            self._inferencer._compiled_defaults)
+        # Carry the prelude's unifier counters so CompileStats reports
+        # the same totals as a cold compile.
+        (inferencer.unifier.unify_count,
+         inferencer.unifier.context_reduction_count,
+         inferencer.unifier.constraint_propagations) = self._unifier_counts
+        return static_env, inferencer
+
+
+def compile_with_snapshot(source: str, snapshot: PreludeSnapshot,
+                          options: Optional[CompilerOptions] = None,
+                          filename: str = "<input>"):
+    """Compile *source* on top of *snapshot* — the fast path behind
+    ``compile_source(..., snapshot=...)``.
+
+    Produces a :class:`repro.driver.CompiledProgram` with the same
+    schemes, warnings, binding order and optimised core as a cold
+    ``compile_source(source, options)``.
+    """
+    from repro.driver import CompiledProgram, _optimize
+
+    if options is None:
+        options = snapshot.options
+    elif options_fingerprint(options) != snapshot.options_fp:
+        raise ValueError(
+            "snapshot was built with different compiler options; build a "
+            "snapshot for these options (PreludeSnapshot.build(options))")
+    static_env, inferencer = snapshot.fork()
+    program = parse_program(source, filename)
+    program = desugar_program(program, options.overload_literals)
+    analyze_program(program, env=static_env)
+    inferencer._install_methods()
+    result = inferencer.infer_program(program)
+    user_compiled: List[CompiledBinding] = \
+        result.bindings[snapshot.n_bindings:]
+    con_arity = {name: info.arity
+                 for name, info in static_env.data_cons.items()}
+    user_core = translate_bindings(user_compiled, con_arity)
+    # Same tail as the one-shot pipeline: prelude core, user core, then
+    # selectors for every class, then whole-program optimisation.
+    core = CoreProgram(list(snapshot.core_bindings) + user_core.bindings)
+    core.bindings.extend(generate_selectors(static_env.class_env))
+    core = _optimize(core, options, static_env.class_env)
+    final = InferResult(result.bindings, inferencer.schemes,
+                        inferencer.warnings, inferencer.env,
+                        inferencer.unifier)
+    return CompiledProgram(core, final, static_env, options, inferencer)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default snapshots (one per option fingerprint)
+# ---------------------------------------------------------------------------
+
+_default_snapshots: Dict[str, PreludeSnapshot] = {}
+_default_lock = threading.Lock()
+
+
+def get_default_snapshot(options: Optional[CompilerOptions] = None
+                         ) -> PreludeSnapshot:
+    """The shared snapshot for *options*, built on first use.
+
+    Snapshots are keyed by :func:`prelude_fingerprint`, so every option
+    set that changes compilation output gets its own; service-only
+    options (cache sizing, server transport) share one.
+    """
+    options = options if options is not None else CompilerOptions()
+    key = prelude_fingerprint(options)
+    with _default_lock:
+        snap = _default_snapshots.get(key)
+    if snap is None:
+        # Built outside the lock: compilation is slow and reentrant
+        # (other threads may want other option sets meanwhile).
+        snap = PreludeSnapshot.build(options)
+        with _default_lock:
+            snap = _default_snapshots.setdefault(key, snap)
+    return snap
+
+
+def clear_default_snapshots() -> None:
+    """Drop all process-wide snapshots (tests)."""
+    with _default_lock:
+        _default_snapshots.clear()

@@ -1,0 +1,265 @@
+"""Compile/eval server tests: protocol, concurrency, resilience.
+
+These drive a real TCP server on an ephemeral port through
+:class:`repro.service.server.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import CompilerOptions, compile_source
+from repro.service.server import (
+    PROTOCOL_VERSION,
+    CompileServer,
+    CompileService,
+    ServiceClient,
+)
+
+PROGRAM = """
+class Sized a where
+  size :: a -> Int
+
+data Box = Box Int
+
+instance Sized Box where
+  size (Box n) = n
+
+main = size (Box 42)
+"""
+
+
+@pytest.fixture(scope="module")
+def server():
+    options = CompilerOptions(server_workers=4, request_timeout=30.0)
+    srv = CompileServer(service=CompileService(options))
+    port = srv.start()
+    yield srv, port
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    _srv, port = server
+    with ServiceClient("127.0.0.1", port) as c:
+        yield c
+
+
+class TestProtocol:
+    def test_ping(self, client):
+        r = client.request("ping")
+        assert r["ok"]
+        assert r["result"]["protocol"] == PROTOCOL_VERSION
+
+    def test_compile_then_cached(self, client):
+        r1 = client.request("compile", source=PROGRAM)
+        assert r1["ok"] and r1["result"]["cached"] is False
+        r2 = client.request("compile", source=PROGRAM)
+        assert r2["ok"] and r2["result"]["cached"] is True
+        assert r1["result"]["program"] == r2["result"]["program"]
+        # Class methods live in the class env, not the schemes map —
+        # matching one-shot compile_source (see test_concurrency).
+        assert r1["result"]["schemes"]["main"] == "Int"
+
+    def test_eval_and_typeof_by_handle(self, client):
+        key = client.request("compile", source=PROGRAM)["result"]["program"]
+        r = client.request("eval", program=key, expr="size (Box 7) + 1")
+        assert r["ok"] and r["result"]["value"] == "8"
+        assert r["result"]["stats"]["steps"] > 0
+        r = client.request("typeof", program=key, expr="size")
+        assert r["ok"] and r["result"]["type"] == "Sized a => a -> Int"
+
+    def test_eval_by_source(self, client):
+        r = client.request("eval", source="triple x = 3 * x",
+                           expr="triple 14")
+        assert r["ok"] and r["result"]["value"] == "42"
+
+    def test_unknown_program_handle(self, client):
+        r = client.request("eval", program="feedface" * 8, expr="1")
+        assert not r["ok"]
+        assert r["error"]["type"] == "protocol"
+        assert "unknown program" in r["error"]["message"]
+
+    def test_compile_error_is_structured(self, client):
+        r = client.request("compile", source="main = undefinedName")
+        assert not r["ok"]
+        assert "error" in r
+        assert r["error"]["type"]
+        assert r["error"]["message"]
+
+    def test_type_error_reports_position(self, client):
+        r = client.request("eval", source="main = 1",
+                           expr="length True")
+        assert not r["ok"]
+        assert r["error"]["type"]
+
+    def test_unknown_op(self, client):
+        r = client.request("frobnicate")
+        assert not r["ok"]
+        assert r["error"]["type"] == "protocol"
+        assert "unknown op" in r["error"]["message"]
+
+    def test_stats(self, client):
+        client.request("compile", source=PROGRAM)
+        r = client.request("stats")
+        assert r["ok"]
+        result = r["result"]
+        assert result["server"]["counters"]["requests_total"] > 0
+        assert result["cache"]["capacity"] > 0
+        assert len(result["snapshot"]["fingerprint"]) == 64
+        assert result["snapshot"]["prelude_bindings"] > 0
+
+    def test_info(self, client):
+        key = client.request("compile", source=PROGRAM)["result"]["program"]
+        r = client.request("info", name="length", program=key)
+        assert r["ok"] and "length" in r["result"]["info"]
+
+
+class TestResilience:
+    def test_malformed_json_is_structured_error(self, client):
+        client._sock.sendall(b"this is not json\n")
+        raw = client._reader.readline()
+        response = json.loads(raw)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "protocol"
+        assert "malformed JSON" in response["error"]["message"]
+        # The connection (and server) survive.
+        assert client.request("ping")["ok"]
+
+    def test_timeout_does_not_kill_server(self, client):
+        r = client.request("eval", source="main = 1",
+                           expr="length (enumFromTo 1 100000)",
+                           timeout=0.01, step_limit=500_000)
+        assert not r["ok"]
+        assert r["error"]["type"] == "timeout"
+        # Same connection keeps working afterwards.
+        r = client.request("eval", source="main = 1", expr="2 + 2")
+        assert r["ok"] and r["result"]["value"] == "4"
+
+    def test_eval_error_does_not_kill_server(self, client):
+        r = client.request("eval", source="main = 1",
+                           expr="head []")
+        assert not r["ok"]
+        assert client.request("ping")["ok"]
+
+    def test_deep_eval_succeeds_on_worker_stack(self, client):
+        # Deep interpreted recursion needs the enlarged worker stacks;
+        # on a default thread stack this is fatal, not an exception.
+        r = client.request("eval", source="main = 1",
+                           expr="length (enumFromTo 1 30000)")
+        assert r["ok"] and r["result"]["value"] == "30000"
+
+
+class TestConcurrency:
+    def test_concurrent_clients_no_cross_talk(self, server):
+        """Four clients hammer the server with *different* programs;
+        every response must match its own program — and the schemes
+        must equal a single-shot ``compile_source`` of the same text."""
+        _srv, port = server
+        per_client = 6
+        errors = []
+
+        def worker(tag: int) -> None:
+            source = (f"client{tag} x = x + {tag}\n"
+                      f"main = client{tag} 100")
+            try:
+                with ServiceClient("127.0.0.1", port) as c:
+                    for i in range(per_client):
+                        r = c.request("eval", source=source,
+                                      expr=f"client{tag} {i}")
+                        assert r["ok"], r
+                        assert r["result"]["value"] == str(i + tag), r
+                    r = c.request("compile", source=source)
+                    assert r["ok"], r
+                    schemes = r["result"]["schemes"]
+                    solo = compile_source(source)
+                    expected = {
+                        name: str(s) for name, s in solo.schemes.items()
+                        if "$" not in name and "@" not in name}
+                    assert schemes == expected, (schemes, expected)
+            except Exception as exc:  # noqa: BLE001 — collected for report
+                errors.append((tag, exc))
+
+        threads = [threading.Thread(target=worker, args=(tag,))
+                   for tag in range(1, 5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+
+    def test_concurrent_evals_one_program(self, server):
+        """Many threads share one cached program; per-request evaluator
+        state must not leak between them."""
+        _srv, port = server
+        results = {}
+        errors = []
+
+        def worker(n: int) -> None:
+            try:
+                with ServiceClient("127.0.0.1", port) as c:
+                    r = c.request("eval", source=PROGRAM,
+                                  expr=f"size (Box {n}) * 2")
+                    assert r["ok"], r
+                    results[n] = r["result"]["value"]
+            except Exception as exc:  # noqa: BLE001
+                errors.append((n, exc))
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert results == {n: str(n * 2) for n in range(8)}
+
+
+class TestLifecycle:
+    def test_shutdown_request_stops_server(self):
+        srv = CompileServer(service=CompileService(
+            CompilerOptions(server_workers=2)))
+        port = srv.start()
+        with ServiceClient("127.0.0.1", port) as c:
+            r = c.request("shutdown")
+            assert r["ok"] and r["result"]["shutting_down"]
+        assert srv.wait(10)
+        # The listener really is gone: a connect attempt is either
+        # refused or — Linux quirk with freed ephemeral ports — ends up
+        # as a TCP self-connection, which is not the server either.
+        try:
+            probe = socket.create_connection(("127.0.0.1", port),
+                                             timeout=0.5)
+        except OSError:
+            pass
+        else:
+            with probe:
+                assert probe.getsockname() == probe.getpeername()
+
+    def test_stdio_transport(self):
+        requests = "\n".join([
+            json.dumps({"id": 1, "op": "ping"}),
+            "not json at all",
+            json.dumps({"id": 2, "op": "eval", "source": "main = 1",
+                        "expr": "40 + 2"}),
+            json.dumps({"id": 3, "op": "shutdown"}),
+        ]) + "\n"
+        stdout = io.StringIO()
+        srv = CompileServer(service=CompileService(
+            CompilerOptions(server_workers=2)))
+        srv.serve_stdio(stdin=io.BytesIO(requests.encode("utf-8")),
+                        stdout=stdout)
+        lines = [json.loads(line) for line
+                 in stdout.getvalue().splitlines() if line]
+        by_id = {line["id"]: line for line in lines}
+        assert by_id[1]["ok"] and by_id[1]["result"]["pong"]
+        assert by_id[None]["ok"] is False
+        assert by_id[None]["error"]["type"] == "protocol"
+        assert by_id[2]["ok"] and by_id[2]["result"]["value"] == "42"
+        assert by_id[3]["ok"] and by_id[3]["result"]["shutting_down"]
+        srv.stop()

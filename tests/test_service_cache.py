@@ -1,0 +1,165 @@
+"""Compile-cache tests: content addressing, LRU behaviour, counters,
+and the optional disk tier."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro import CompilerOptions
+from repro.service.cache import (
+    CompileCache,
+    cache_key,
+    resolve_cache_dir,
+    source_hash,
+)
+from repro.service.snapshot import prelude_fingerprint
+
+
+OPTS = CompilerOptions()
+FP = prelude_fingerprint(OPTS)
+
+
+class TestKeys:
+    def test_key_is_content_addressed(self):
+        a = cache_key("main = 1", OPTS, FP)
+        b = cache_key("main = 1", OPTS, FP)
+        c = cache_key("main = 2", OPTS, FP)
+        assert a == b
+        assert a != c
+
+    def test_key_tracks_options(self):
+        other = CompilerOptions(hoist_dictionaries=False)
+        assert cache_key("main = 1", OPTS, FP) \
+            != cache_key("main = 1", other, FP)
+
+    def test_service_options_do_not_invalidate(self):
+        tuned = CompilerOptions(cache_size=3, server_workers=9,
+                                request_timeout=1.5)
+        assert cache_key("main = 1", OPTS, FP) \
+            == cache_key("main = 1", tuned, FP)
+
+    def test_key_tracks_prelude(self):
+        assert cache_key("main = 1", OPTS, FP) \
+            != cache_key("main = 1", OPTS, "different-prelude")
+
+    def test_source_hash_is_sha256(self):
+        digest = source_hash("main = 1")
+        assert len(digest) == 64
+        int(digest, 16)  # hex
+
+
+class TestLRU:
+    def test_hit_miss_counters(self):
+        cache = CompileCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", "program")
+        assert cache.get("k") == "program"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.inserts == 1
+
+    def test_eviction_order_is_least_recent(self):
+        cache = CompileCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1   # refresh a; b is now LRU
+        cache.put("c", 3)            # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_capacity_bounds_size(self):
+        cache = CompileCache(capacity=3)
+        for i in range(10):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 3
+        assert cache.keys() == ["k7", "k8", "k9"]
+        assert cache.stats.evictions == 7
+
+    def test_reinsert_refreshes_not_duplicates(self):
+        cache = CompileCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)           # refresh, not insert-evict
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CompileCache(capacity=0)
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, tmp_path):
+        d = str(tmp_path)
+        one = CompileCache(capacity=4, disk_dir=d)
+        one.put("key1", {"compiled": [1, 2, 3]})
+        assert one.stats.disk_writes == 1
+        # A fresh process sees the persisted entry.
+        two = CompileCache(capacity=4, disk_dir=d)
+        assert two.get("key1") == {"compiled": [1, 2, 3]}
+        assert two.stats.disk_hits == 1
+        # ... and promotes it to memory: second get is a memory hit.
+        assert two.get("key1") == {"compiled": [1, 2, 3]}
+        assert two.stats.disk_hits == 1
+        assert two.stats.hits == 2
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        d = str(tmp_path)
+        cache = CompileCache(capacity=4, disk_dir=d)
+        path = os.path.join(d, "bad.pkl")
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get("bad") is None
+        assert cache.stats.disk_errors == 1
+        assert not os.path.exists(path)
+
+    def test_disk_files_are_pickles_keyed_by_digest(self, tmp_path):
+        d = str(tmp_path)
+        cache = CompileCache(capacity=4, disk_dir=d)
+        cache.put("abc123", ["payload"])
+        path = os.path.join(d, "abc123.pkl")
+        with open(path, "rb") as handle:
+            assert pickle.load(handle) == ["payload"]
+
+    def test_clear_disk(self, tmp_path):
+        d = str(tmp_path)
+        cache = CompileCache(capacity=4, disk_dir=d)
+        cache.put("k", 1)
+        cache.clear(disk=True)
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_memory_only_without_dir(self):
+        cache = CompileCache(capacity=4)
+        cache.put("k", 1)
+        assert cache.stats.disk_writes == 0
+
+
+class TestSnapshotAndResolve:
+    def test_stats_snapshot_shape(self):
+        cache = CompileCache(capacity=4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("nope")
+        snap = cache.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["size"] == 1
+        assert snap["capacity"] == 4
+        assert snap["hit_rate"] == 0.5
+        assert snap["disk_dir"] is None
+
+    def test_resolve_cache_dir(self, tmp_path):
+        assert resolve_cache_dir(CompilerOptions(cache_dir="")) is None
+        explicit = str(tmp_path / "x")
+        assert resolve_cache_dir(
+            CompilerOptions(cache_dir=explicit)) == explicit
+        default = resolve_cache_dir(CompilerOptions(cache_dir="default"))
+        assert default is not None and default.endswith(
+            os.path.join(".cache", "repro"))
