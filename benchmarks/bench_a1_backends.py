@@ -8,7 +8,6 @@ dictionary operation counts, while being faster in wall-clock terms —
 i.e. the counts really are backend-independent quantities.
 """
 
-import pytest
 
 from benchmarks.conftest import compiled, record
 

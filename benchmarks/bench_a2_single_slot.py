@@ -10,7 +10,6 @@ the optimisation on and off.  Series: dictionary constructions (tuple
 allocations) and selections.
 """
 
-import pytest
 
 from benchmarks.conftest import compiled, record
 

@@ -17,7 +17,7 @@ unification and the placement and resolution of placeholders").
 
 import pytest
 
-from benchmarks.conftest import compiled, record
+from benchmarks.conftest import record
 from repro import CompilerOptions, compile_source
 
 

@@ -14,7 +14,6 @@ element (one dictionary selection amortised over the loop body) and
 specialisation recovers the direct cost.
 """
 
-import pytest
 
 from benchmarks.conftest import compiled, record
 

@@ -14,7 +14,6 @@ Workloads:
   dictionary traffic at all (the second half of the claim).
 """
 
-import pytest
 
 from benchmarks.conftest import compiled, record
 

@@ -9,7 +9,6 @@ dictionary selections and constructions, generic vs specialised — the
 specialised clone must hit zero dynamic dispatch on its hot path.
 """
 
-import pytest
 
 from benchmarks.conftest import compiled, record
 
@@ -36,7 +35,7 @@ main = (length (isort (shuffle 60)), length (histogram (shuffle 60)))
 
 def test_e6_generic(benchmark):
     program = compiled(SRC, specialize=False)
-    result = program.run("main")
+    program.run("main")  # warm-up; timings come from the benchmark loop
     benchmark(lambda: program.run("main"))
     s = program.last_stats
     record("E6 specialisation", "generic (dictionaries)",
@@ -46,7 +45,7 @@ def test_e6_generic(benchmark):
 
 def test_e6_specialized(benchmark):
     program = compiled(SRC, specialize=True)
-    result = program.run("main")
+    program.run("main")  # warm-up; timings come from the benchmark loop
     benchmark(lambda: program.run("main"))
     s = program.last_stats
     record("E6 specialisation", "specialised clones (§9)",

@@ -18,7 +18,7 @@ the paper left open, for this interpreter's cost model.
 
 import pytest
 
-from benchmarks.conftest import compiled, record
+from benchmarks.conftest import record
 from repro import CompilerOptions, compile_source
 
 
@@ -94,7 +94,6 @@ def test_e7_shape():
 def test_e7_construction_cost():
     """The other side of the tradeoff: the flattened dictionary for the
     deepest class is wider (more slots built per construction)."""
-    from repro.core.classes import ClassEnv
     depth = 6
     nested_prog = run(depth, "nested")
     flat_prog = run(depth, "flat")

@@ -1,0 +1,157 @@
+"""S2 — the pass manager is free.
+
+PR 2 replaced the driver's hard-coded compile loop with the registered
+pass sequence in ``repro.pipeline`` (per-pass timing, ``stop_after``
+prefixes, observers).  The instrumentation must not tax compilation:
+a cold ``compile_source`` through the pass manager is required to be
+within **5%** of the seed driver's inline loop, reconstructed here
+verbatim (the same reconstruction ``tests/test_pipeline.py`` uses for
+the equivalence corpus).
+
+Timings are best-of-N over interleaved rounds — the two flavours
+alternate inside each round so cache/allocator drift hits both
+equally, and the minimum filters scheduler noise.
+
+Run under pytest (``pytest benchmarks/bench_s2_pass_overhead.py``) for
+the shape assertion, or as a script to (re)write ``BENCH_s2.json`` at
+the repository root::
+
+    PYTHONPATH=src:. python benchmarks/bench_s2_pass_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict
+
+from benchmarks.conftest import record
+from repro import CompilerOptions, compile_source
+from repro.core.classes import ClassEnv
+from repro.core.dictionary import generate_selectors
+from repro.core.infer import Inferencer, InferResult, SchemeEntry, TypeEnv
+from repro.core.static import StaticEnv, analyze_program
+from repro.coreir.translate import translate_bindings
+from repro.lang.desugar import desugar_program
+from repro.lang.parser import parse_program
+from repro.prelude import PRELUDE_SOURCE, primitive_schemes
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: interleaved measurement rounds (minima are reported)
+ROUNDS = int(os.environ.get("BENCH_S2_ROUNDS", "7"))
+REQUIRED_MAX_OVERHEAD = 0.05  # fraction: pipeline may cost <= 5% extra
+
+SOURCE = """
+data Color = Red | Green | Blue deriving (Eq, Ord, Text)
+
+double :: Num a => a -> a
+double x = x + x
+
+main = (member Green [Blue, Red], double 21, show (sort [Blue, Red]))
+"""
+
+
+def seed_compile(source: str, options: CompilerOptions):
+    """The pre-pipeline ``compile_source`` body: the hard-coded
+    parse/desugar/static/infer loop, one-shot translation, selector
+    generation and the ``_optimize`` if-chain."""
+    from repro.driver import CompiledProgram
+
+    class_env = ClassEnv(layout=options.dict_layout,
+                         single_slot_opt=options.single_slot_opt)
+    static_env = StaticEnv(class_env)
+    global_env = TypeEnv()
+    for name, scheme in primitive_schemes().items():
+        global_env.bind(name, SchemeEntry(scheme))
+    inferencer = Inferencer(static_env, options, global_env)
+    compiled = []
+    for text, fname in [(PRELUDE_SOURCE, "<prelude>"), (source, "<input>")]:
+        program = parse_program(text, fname)
+        program = desugar_program(program, options.overload_literals)
+        analyze_program(program, env=static_env)
+        inferencer.install_methods()
+        result = inferencer.infer_program(program)
+        compiled = result.bindings
+    con_arity = {name: info.arity
+                 for name, info in static_env.data_cons.items()}
+    core = translate_bindings(compiled, con_arity)
+    core.bindings.extend(generate_selectors(class_env))
+    if options.hoist_dictionaries:
+        from repro.transform.float_dicts import hoist_dictionaries
+        core = hoist_dictionaries(core)
+    if options.inner_entry_points:
+        from repro.transform.entrypoints import add_inner_entry_points
+        core = add_inner_entry_points(core)
+    if options.constant_dict_reduction:
+        from repro.transform.constdict import reduce_constant_dictionaries
+        core = reduce_constant_dictionaries(core)
+    if options.specialize:
+        from repro.transform.specialize import specialize_program
+        core = specialize_program(core)
+    final = InferResult(compiled, inferencer.schemes, inferencer.warnings,
+                        inferencer.env, inferencer.unifier)
+    return CompiledProgram(core, final, static_env, options, inferencer)
+
+
+def measure_overhead(rounds: int = ROUNDS) -> Dict[str, float]:
+    options = CompilerOptions()
+    # One throwaway compile per flavour so import costs and warmed
+    # caches are off the books for both.
+    seed_compile(SOURCE, options)
+    compile_source(SOURCE, options)
+
+    seed_best = pipeline_best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        seed_compile(SOURCE, options)
+        seed_best = min(seed_best, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        compile_source(SOURCE, options)
+        pipeline_best = min(pipeline_best, time.perf_counter() - t0)
+
+    overhead = pipeline_best / seed_best - 1.0
+    return {
+        "rounds": rounds,
+        "seed_compile_s": round(seed_best, 6),
+        "pipeline_compile_s": round(pipeline_best, 6),
+        "overhead_fraction": round(overhead, 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point
+# ---------------------------------------------------------------------------
+
+def test_pass_manager_overhead_under_5_percent():
+    metrics = measure_overhead()
+    record("S2 pass-manager overhead", "cold compile, seed vs pipeline",
+           **metrics)
+    assert metrics["overhead_fraction"] < REQUIRED_MAX_OVERHEAD, metrics
+
+
+# ---------------------------------------------------------------------------
+# script entry point: write BENCH_s2.json
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    metrics = measure_overhead()
+    payload = {
+        "benchmark": "s2_pass_overhead",
+        "compile": metrics,
+        "required_max_overhead": REQUIRED_MAX_OVERHEAD,
+        "passed": metrics["overhead_fraction"] < REQUIRED_MAX_OVERHEAD,
+    }
+    out = os.path.join(REPO_ROOT, "BENCH_s2.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {out}")
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,11 +62,13 @@ def build_options(settings: List[str]) -> CompilerOptions:
     return options
 
 
-def load(path: str, options: CompilerOptions) -> CompiledProgram:
+def load(path: str, options: CompilerOptions,
+         observer=None) -> CompiledProgram:
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     try:
-        return compile_source(source, options, filename=path)
+        return compile_source(source, options, filename=path,
+                              observer=observer)
     except ReproError as exc:
         print(exc.pretty(source), file=sys.stderr)
         raise SystemExit(1)
@@ -81,9 +83,45 @@ def print_stats(program: CompiledProgram) -> None:
           file=sys.stderr)
 
 
+def print_time_passes(program: CompiledProgram) -> None:
+    trace = program.compile_stats.phases
+    if trace is not None:
+        print(trace.pretty(), file=sys.stderr)
+
+
+def dump_after_observer(target: str):
+    """An observer for ``--dump-after=<pass>``: pretty-print the
+    program state right after the named pass runs.  After ``translate``
+    that is the core IR; for front-end passes it is the (kernel) AST of
+    each source unit processed so far."""
+    from repro.pipeline import pass_names
+    if target not in pass_names():
+        raise SystemExit(f"--dump-after: unknown pass {target!r}; "
+                         f"passes: {', '.join(pass_names())}")
+
+    def observer(name, ctx) -> None:
+        if name != target:
+            return
+        print(f"-- after {name}:")
+        if ctx.core is not None:
+            from repro.coreir.pretty import pp_program
+            print(pp_program(ctx.core))
+        else:
+            from repro.lang.pretty import pp_program
+            for unit in ctx.units:
+                if unit.program is not None:
+                    print(f"-- unit {unit.filename}")
+                    print(pp_program(unit.program))
+    return observer
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     options = build_options(args.set or [])
-    program = load(args.file, options)
+    observer = dump_after_observer(args.dump_after) \
+        if args.dump_after else None
+    program = load(args.file, options, observer=observer)
+    if args.time_passes:
+        print_time_passes(program)
     for warning in program.warnings:
         print(str(warning), file=sys.stderr)
     try:
@@ -259,6 +297,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="top-level binding to evaluate (default main)")
     p_run.add_argument("--stats", action="store_true",
                        help="print evaluator operation counts")
+    p_run.add_argument("--time-passes", action="store_true",
+                       help="print per-pass compile times (stderr)")
+    p_run.add_argument("--dump-after", metavar="PASS",
+                       help="pretty-print the program after the named "
+                            "pipeline pass (e.g. translate, selectors, "
+                            "specialize)")
     add_common(p_run)
     p_run.set_defaults(fn=cmd_run)
 

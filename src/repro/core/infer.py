@@ -35,8 +35,9 @@ Also implemented here:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     AmbiguityError,
@@ -75,9 +76,7 @@ from repro.core.types import (
     fn_type,
     fn_types,
     generalize_over,
-    list_type,
     prune,
-    qual_type_str,
     spine,
     tuple_type,
     type_str,
@@ -211,15 +210,39 @@ class Inferencer:
         self.schemes: Dict[str, Scheme] = {}
         self._compiled_instances: set = set()
         self._compiled_defaults: set = set()
-        self._install_methods()
+        self.install_methods()
 
-    def _install_methods(self) -> None:
+    def install_methods(self) -> None:
+        """Bind every class method name in scope to its class.
+
+        Idempotent; run after each unit's static analysis (the
+        pipeline's ``install-methods`` pass) so methods declared by
+        newly analysed classes are visible to inference.
+        """
         for class_name, info in self.class_env.classes.items():
             for method in info.methods:
                 if self.env.lookup(method.name) is None:
                     self.env.bind(method.name, MethodEntry(class_name, method))
 
+    #: historical name, kept for external callers
+    _install_methods = install_methods
+
     # ------------------------------------------------------------ helpers
+
+    @contextmanager
+    def scoped_level(self) -> Iterator[int]:
+        """Enter one quantification level for the duration of a block.
+
+        Yields the new level and restores the previous one on exit —
+        including on error, so a failed inference never leaves the
+        shared inferencer at a skewed level (the bug the old manual
+        ``level += 1 ... level -= 1`` bookkeeping allowed).
+        """
+        self.level += 1
+        try:
+            yield self.level
+        finally:
+            self.level -= 1
 
     def fresh(self, kind: Kind = STAR, hint: str = "t") -> TyVar:
         return TyVar(kind, self.level, hint)
@@ -250,10 +273,9 @@ class Inferencer:
         """Check one expression against the current environment (the
         public ``eval``-style API); dictionaries resolve against
         concrete types or defaults."""
-        self.level += 1
-        scope = self.scope = PlaceholderScope(self.scope)
-        ty, expr2 = self.infer_expr(expr, self.env)
-        self.level -= 1
+        with self.scoped_level():
+            scope = self.scope = PlaceholderScope(self.scope)
+            ty, expr2 = self.infer_expr(expr, self.env)
         self.resolve_scope(scope, param_env={}, group=None)
         self.scope = scope.parent
         self.finish_top_level()
@@ -333,19 +355,18 @@ class Inferencer:
     def check_implicit_group(self, binds: List[ast.FunBind],
                              top_level: bool = False) -> None:
         outer_level = self.level
-        self.level += 1
-        scope = self.scope = PlaceholderScope(self.scope)
-        group = GroupState([b.name for b in binds])
-        monos: Dict[str, TyVar] = {}
-        for b in binds:
-            tv = self.fresh()
-            monos[b.name] = tv
-            self.env.bind(b.name, RecEntry(tv, group))
-        for b in binds:
-            ty, rhs = self.infer_expr(b.simple_rhs, self.env)
-            b.set_simple_rhs(rhs)
-            self.unify(ty, monos[b.name], b.pos)
-        self.level -= 1
+        with self.scoped_level():
+            scope = self.scope = PlaceholderScope(self.scope)
+            group = GroupState([b.name for b in binds])
+            monos: Dict[str, TyVar] = {}
+            for b in binds:
+                tv = self.fresh()
+                monos[b.name] = tv
+                self.env.bind(b.name, RecEntry(tv, group))
+            for b in binds:
+                ty, rhs = self.infer_expr(b.simple_rhs, self.env)
+                b.set_simple_rhs(rhs)
+                self.unify(ty, monos[b.name], b.pos)
         # ----- generalization (section 6.2) -----
         # Collect the group's quantifiable variables and its context.
         gen_vars_per: Dict[str, List[TyVar]] = {}
@@ -418,16 +439,14 @@ class Inferencer:
         declared context, in declared order, determines the dictionary
         parameters.
         """
-        outer_level = self.level
-        self.level += 1
-        level = self.level
-        scope = self.scope = PlaceholderScope(self.scope)
-        sig_ty, sig_preds, _ro_vars = scheme.instantiate(
-            level, fresh=lambda kind_, lvl: self.fresh_read_only(kind_, lvl))
-        ty, rhs = self.infer_expr(bind.simple_rhs, self.env)
-        bind.set_simple_rhs(rhs)
-        self.unify(ty, sig_ty, bind.pos)
-        self.level -= 1
+        with self.scoped_level() as level:
+            scope = self.scope = PlaceholderScope(self.scope)
+            sig_ty, sig_preds, _ro_vars = scheme.instantiate(
+                level,
+                fresh=lambda kind_, lvl: self.fresh_read_only(kind_, lvl))
+            ty, rhs = self.infer_expr(bind.simple_rhs, self.env)
+            bind.set_simple_rhs(rhs)
+            self.unify(ty, sig_ty, bind.pos)
         dict_params = [self.names.fresh("d") for _ in sig_preds]
         param_env = {(cls, v.id): name
                      for (cls, v), name in zip(sig_preds, dict_params)}
@@ -805,10 +824,8 @@ class Inferencer:
                            dict_expr, pos=pos)
         hops, owner = env.method_access_path(have_class, method)
         expr = dict_expr
-        current = have_class
         for (c, s) in hops:
             expr = self.superdict_hop(c, s, expr, pos)
-            current = s
         if env.uses_bare_dict(owner):
             return expr
         return ast.App(ast.Var(selector_name(owner, method), pos=pos),

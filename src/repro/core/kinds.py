@@ -17,7 +17,7 @@ report's rule).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.errors import KindError, SourcePos
 

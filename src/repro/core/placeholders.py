@@ -26,11 +26,11 @@ case 3) can be handed to the enclosing group.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import SourcePos
-from repro.core.types import TyVar, Type, prune, type_str
+from repro.core.types import Type, prune, type_str
 from repro.lang.ast import PlaceholderExpr
 
 

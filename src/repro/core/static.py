@@ -37,11 +37,9 @@ from repro.core.kinds import (
     default_kind,
     kind_arity,
     kfun,
-    prune_kind,
     unify_kinds,
 )
 from repro.core.types import (
-    ARROW,
     LIST_CON,
     Pred,
     Scheme,

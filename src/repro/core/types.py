@@ -26,7 +26,7 @@ order so long as the same ordering is used consistently").
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.kinds import STAR, Kind, KFun, kfun
 from repro.util.orderedset import OrderedSet

@@ -44,7 +44,6 @@ from repro.core.types import (
     TyVar,
     Type,
     adjust_levels,
-    kind_of,
     occurs_in,
     prune,
     spine,

@@ -25,7 +25,7 @@ whose repeated dictionary construction section 8.8 warns about.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import EvalError
@@ -37,7 +37,6 @@ from repro.coreir.syntax import (
     CLam,
     CLet,
     CLit,
-    CoreBinding,
     CoreExpr,
     CoreProgram,
     CSel,

@@ -19,7 +19,7 @@ the two run-time costs the paper attributes to type classes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 
 class CoreExpr:

@@ -19,7 +19,7 @@ made explicit; this pass finishes the job of reaching a runnable form:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.errors import StaticError
 from repro.lang import ast
@@ -37,7 +37,6 @@ from repro.coreir.syntax import (
     CoreBinding,
     CoreExpr,
     CoreProgram,
-    CSel,
     CTuple,
     CVar,
     capp,

@@ -1,14 +1,15 @@
-"""The compilation pipeline and public entry points.
+"""Public compilation entry points over the shared pass pipeline.
 
     source text
-      -> lex/parse            (repro.lang.parser)
-      -> desugar              (repro.lang.desugar)
-      -> static analysis      (repro.core.static)
-      -> inference + dictionary conversion   (repro.core.infer)
-      -> selector generation  (repro.core.dictionary)
-      -> core translation     (repro.coreir.translate)
-      -> core optimisations   (repro.transform.*)
+      -> parse / desugar / static / install-methods / infer   (per unit)
+      -> translate -> selectors -> core transforms            (program)
       -> evaluation           (repro.coreir.eval)
+
+The sequence itself lives in :mod:`repro.pipeline.passes`; this module
+wraps a pipeline run into a :class:`CompiledProgram`.  The same
+sequence serves the prelude snapshot builder and the compile server
+(:mod:`repro.service.snapshot`), so there is exactly one definition of
+"how a program is compiled".
 
 Use :func:`compile_source` for a one-shot compile (the prelude is
 compiled in front of the user program) and
@@ -18,32 +19,37 @@ compiled in front of the user program) and
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import MonomorphismWarning
-from repro.core.infer import CompiledBinding, Inferencer, InferResult, TypeEnv, SchemeEntry
-from repro.core.dictionary import generate_selectors
-from repro.core.static import StaticEnv, analyze_program
-from repro.core.classes import ClassEnv
-from repro.core.types import Scheme, Type, qual_type_str
+from repro.core.infer import Inferencer, InferResult
+from repro.core.static import StaticEnv
+from repro.core.types import Scheme, qual_type_str
 from repro.coreir.eval import Evaluator, EvalStats, value_to_python, with_big_stack
 from repro.coreir.syntax import CoreProgram
-from repro.coreir.translate import Translator, translate_bindings
-from repro.lang.desugar import desugar_expr, desugar_program
-from repro.lang.parser import parse_expr, parse_program
+from repro.coreir.translate import Translator
+from repro.lang.desugar import desugar_expr
+from repro.lang.parser import parse_expr
 from repro.options import CompilerOptions
-from repro.prelude import PRELUDE_SOURCE, PRIMITIVES, primitive_schemes
+from repro.pipeline import CompileContext, PhaseTrace, default_pass_manager
+from repro.prelude import PRELUDE_SOURCE, PRIMITIVES
 
 
 @dataclass
 class CompileStats:
-    """Front-end statistics (experiment E1 reads these)."""
+    """Front-end statistics (experiment E1 reads these).
+
+    ``phases`` is the pipeline's :class:`~repro.pipeline.PhaseTrace` —
+    per-pass wall time and invocation counts for this compilation; the
+    other fields are totals from the unifier.
+    """
 
     unify_count: int = 0
     context_reductions: int = 0
     constraint_propagations: int = 0
     bindings: int = 0
+    phases: Optional[PhaseTrace] = None
 
 
 class CompiledProgram:
@@ -51,7 +57,8 @@ class CompiledProgram:
 
     def __init__(self, core: CoreProgram, result: InferResult,
                  static_env: StaticEnv, options: CompilerOptions,
-                 inferencer: Inferencer) -> None:
+                 inferencer: Inferencer,
+                 trace: Optional[PhaseTrace] = None) -> None:
         self.core = core
         self.static_env = static_env
         self.class_env = static_env.class_env
@@ -66,6 +73,7 @@ class CompiledProgram:
             context_reductions=result.unifier.context_reduction_count,
             constraint_propagations=result.unifier.constraint_propagations,
             bindings=len(core.bindings),
+            phases=trace,
         )
 
     # The lock guards the shared inferencer during expression compilation
@@ -159,9 +167,8 @@ class CompiledProgram:
             # state.
             scratch = Inferencer(self.static_env, self.options,
                                  global_env=self._inferencer.env)
-            scratch.level += 1
-            ty, _ = scratch.infer_expr(expr, scratch.env)
-            scratch.level -= 1
+            with scratch.scoped_level():
+                ty, _ = scratch.infer_expr(expr, scratch.env)
             return qual_type_str(ty)
 
     def scheme_of(self, name: str) -> Optional[Scheme]:
@@ -251,74 +258,47 @@ class CompiledProgram:
         return "\n".join(lines)
 
 
+def program_from_context(ctx: CompileContext) -> CompiledProgram:
+    """Wrap a finished pipeline context into a :class:`CompiledProgram`
+    (shared by the cold path here and the snapshot fork path in
+    :mod:`repro.service.snapshot`)."""
+    inferencer = ctx.inferencer
+    final = InferResult(ctx.compiled, inferencer.schemes,
+                        inferencer.warnings, inferencer.env,
+                        inferencer.unifier)
+    return CompiledProgram(ctx.core, final, ctx.static_env, ctx.options,
+                           inferencer, trace=ctx.trace)
+
+
 def compile_source(source: str,
                    options: Optional[CompilerOptions] = None,
                    include_prelude: bool = True,
                    filename: str = "<input>",
-                   snapshot: Optional["object"] = None) -> CompiledProgram:
+                   snapshot: Optional["object"] = None,
+                   observer: Optional[Callable[[str, CompileContext], None]]
+                   = None) -> CompiledProgram:
     """Compile *source* (with the prelude) into a runnable program.
 
     When *snapshot* (a :class:`repro.service.snapshot.PreludeSnapshot`)
     is given, the prelude is not re-compiled: the user program is built
     on a cheap fork of the snapshot's compiled state, producing the same
     schemes and core as a cold compile at a fraction of the cost.
+
+    *observer* — ``callable(pass_name, ctx)`` — fires after every
+    pipeline pass (the CLI's ``--dump-after`` uses it).
     """
     if snapshot is not None and include_prelude:
         from repro.service.snapshot import compile_with_snapshot
         return compile_with_snapshot(source, snapshot, options=options,
-                                     filename=filename)
+                                     filename=filename, observer=observer)
     options = options if options is not None else CompilerOptions()
-    class_env = ClassEnv(layout=options.dict_layout,
-                         single_slot_opt=options.single_slot_opt)
-    static_env = StaticEnv(class_env)
-
-    global_env = TypeEnv()
-    for name, scheme in primitive_schemes().items():
-        global_env.bind(name, SchemeEntry(scheme))
-
-    inferencer = Inferencer(static_env, options, global_env)
-    compiled: List[CompiledBinding] = []
-
     sources = []
     if include_prelude:
         sources.append((PRELUDE_SOURCE, "<prelude>"))
     sources.append((source, filename))
-
-    for text, fname in sources:
-        program = parse_program(text, fname)
-        program = desugar_program(program, options.overload_literals)
-        analyze_program(program, env=static_env)
-        # Methods may have been added by new classes: refresh entries.
-        inferencer._install_methods()
-        result = inferencer.infer_program(program)
-        compiled = result.bindings  # inferencer accumulates across calls
-
-    con_arity = {name: info.arity
-                 for name, info in static_env.data_cons.items()}
-    core = translate_bindings(compiled, con_arity)
-    core.bindings.extend(generate_selectors(class_env))
-    core = _optimize(core, options, class_env)
-
-    final = InferResult(compiled, inferencer.schemes, inferencer.warnings,
-                        inferencer.env, inferencer.unifier)
-    return CompiledProgram(core, final, static_env, options, inferencer)
-
-
-def _optimize(core: CoreProgram, options: CompilerOptions,
-              class_env: ClassEnv) -> CoreProgram:
-    if options.hoist_dictionaries:
-        from repro.transform.float_dicts import hoist_dictionaries
-        core = hoist_dictionaries(core)
-    if options.inner_entry_points:
-        from repro.transform.entrypoints import add_inner_entry_points
-        core = add_inner_entry_points(core)
-    if options.constant_dict_reduction:
-        from repro.transform.constdict import reduce_constant_dictionaries
-        core = reduce_constant_dictionaries(core)
-    if options.specialize:
-        from repro.transform.specialize import specialize_program
-        core = specialize_program(core)
-    return core
+    ctx = CompileContext.fresh(options, sources)
+    default_pass_manager().run(ctx, observer=observer)
+    return program_from_context(ctx)
 
 
 def compile_and_run(source: str, name: str = "main",

@@ -22,7 +22,7 @@ types live in :mod:`repro.core.types`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.errors import SourcePos
 

@@ -153,7 +153,6 @@ def _scan_number(s: _Scanner, start: SourcePos) -> Token:
         while not s.done() and s.peek().isdigit():
             digits.append(s.advance())
         if s.peek() in ("e", "E"):
-            mark = s.offset
             exp = [s.advance()]
             if s.peek() in ("+", "-"):
                 exp.append(s.advance())
@@ -164,7 +163,6 @@ def _scan_number(s: _Scanner, start: SourcePos) -> Token:
             else:  # not an exponent after all; cannot rewind cheaply
                 raise LexError("malformed exponent in float literal",
                                SourcePos(s.line, s.column, s.filename))
-            del mark
         return Token(TokenType.FLOAT, "".join(digits), start)
     return Token(TokenType.INT, "".join(digits), start)
 

@@ -26,8 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field, replace
-from typing import List
+from dataclasses import dataclass, replace
 
 #: Fields of :class:`CompilerOptions` that configure the compilation
 #: *service* (cache sizing, server transport) rather than the compiler

@@ -1,0 +1,180 @@
+"""Shared state of one compilation as it moves through the passes.
+
+A :class:`CompileContext` is the single mutable value every pass reads
+and writes: the source units to compile, the static environment, the
+inferencer, the accumulated compiled bindings and — once translation
+has run — the core program.  It also carries a :class:`PhaseTrace`
+recording where the wall-clock went, pass by pass.
+
+Two constructors cover the two ways a compilation starts:
+
+* :meth:`CompileContext.fresh` — a cold compile: new class/static/type
+  environments, primitives bound, nothing compiled yet;
+* :meth:`CompileContext.forked` — a warm compile on top of a prelude
+  snapshot fork: the environments come pre-seeded and the prelude's
+  already-translated core is carried as a *prefix* that the translate
+  pass prepends (and whose compiled bindings it skips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.classes import ClassEnv
+from repro.core.infer import (
+    CompiledBinding,
+    Inferencer,
+    InferResult,
+    SchemeEntry,
+    TypeEnv,
+)
+from repro.core.static import StaticEnv
+from repro.coreir.syntax import CoreBinding, CoreProgram
+from repro.options import CompilerOptions
+from repro.prelude import primitive_schemes
+
+
+@dataclass
+class PassTiming:
+    """Accumulated cost of one pass across its invocations."""
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+
+
+class PhaseTrace:
+    """Per-pass wall time and invocation counts for one compilation.
+
+    Recorded by the :class:`~repro.pipeline.manager.PassManager`,
+    attached to ``CompiledProgram.compile_stats.phases``, surfaced by
+    ``repro run --time-passes`` and aggregated across requests by the
+    server's metrics.  The trace also carries the unifier counters so
+    one object answers both "where did the time go" and "how much
+    inference work happened".
+    """
+
+    def __init__(self) -> None:
+        self._timings: Dict[str, PassTiming] = {}
+        self.unify_count = 0
+        self.context_reductions = 0
+        self.constraint_propagations = 0
+
+    # ----------------------------------------------------------- recording
+
+    def record(self, name: str, seconds: float) -> None:
+        timing = self._timings.get(name)
+        if timing is None:
+            timing = self._timings[name] = PassTiming(name)
+        timing.seconds += seconds
+        timing.calls += 1
+
+    def finish(self, unifier: Any) -> None:
+        """Copy the unifier counters into the trace (called once, when
+        the pipeline hands the context over to the driver)."""
+        self.unify_count = unifier.unify_count
+        self.context_reductions = unifier.context_reduction_count
+        self.constraint_propagations = unifier.constraint_propagations
+
+    # ------------------------------------------------------- introspection
+
+    @property
+    def timings(self) -> List[PassTiming]:
+        """Timings in execution order (dicts preserve insertion)."""
+        return list(self._timings.values())
+
+    def names(self) -> List[str]:
+        return list(self._timings)
+
+    def seconds(self, name: str) -> float:
+        timing = self._timings.get(name)
+        return timing.seconds if timing is not None else 0.0
+
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self._timings.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready summary: ``{pass: {ms, calls}}`` plus totals."""
+        out: Dict[str, Dict[str, float]] = {}
+        for timing in self._timings.values():
+            out[timing.name] = {"ms": round(timing.seconds * 1e3, 3),
+                                "calls": timing.calls}
+        return out
+
+    def pretty(self) -> str:
+        """The ``--time-passes`` table."""
+        width = max([len(t.name) for t in self._timings.values()] + [5])
+        lines = [f"{'pass':<{width}}  {'calls':>5}  {'ms':>9}"]
+        for timing in self._timings.values():
+            lines.append(f"{timing.name:<{width}}  {timing.calls:>5}  "
+                         f"{timing.seconds * 1e3:>9.3f}")
+        lines.append(f"{'total':<{width}}  {'':>5}  "
+                     f"{self.total_seconds() * 1e3:>9.3f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SourceUnit:
+    """One source text moving through the per-unit front-end passes."""
+
+    text: str
+    filename: str
+    #: the AST after ``parse``, rewritten in place by ``desugar``
+    program: Optional[Any] = None
+
+
+@dataclass
+class CompileContext:
+    """Everything a pass may read or write."""
+
+    options: CompilerOptions
+    units: List[SourceUnit]
+    static_env: StaticEnv
+    inferencer: Inferencer
+    #: all compiled (dictionary-converted) bindings, prelude included
+    compiled: List[CompiledBinding] = field(default_factory=list)
+    #: the core program; None until the ``translate`` pass has run
+    core: Optional[CoreProgram] = None
+    #: already-translated core carried in from a snapshot fork; the
+    #: translate pass prepends it instead of re-translating
+    prefix_core: Tuple[CoreBinding, ...] = ()
+    #: how many entries of ``compiled`` the prefix covers (skipped by
+    #: the translate pass)
+    n_prefix_bindings: int = 0
+    trace: PhaseTrace = field(default_factory=PhaseTrace)
+    result: Optional[InferResult] = None
+
+    # -------------------------------------------------------- constructors
+
+    @classmethod
+    def fresh(cls, options: CompilerOptions,
+              sources: Sequence[Tuple[str, str]]) -> "CompileContext":
+        """A cold compilation: new environments, primitives bound."""
+        class_env = ClassEnv(layout=options.dict_layout,
+                             single_slot_opt=options.single_slot_opt)
+        static_env = StaticEnv(class_env)
+        global_env = TypeEnv()
+        for name, scheme in primitive_schemes().items():
+            global_env.bind(name, SchemeEntry(scheme))
+        inferencer = Inferencer(static_env, options, global_env)
+        units = [SourceUnit(text, filename) for text, filename in sources]
+        return cls(options, units, static_env, inferencer)
+
+    @classmethod
+    def forked(cls, options: CompilerOptions,
+               sources: Sequence[Tuple[str, str]],
+               static_env: StaticEnv, inferencer: Inferencer,
+               prefix_core: Tuple[CoreBinding, ...] = (),
+               n_prefix_bindings: int = 0) -> "CompileContext":
+        """A warm compilation on a prelude-snapshot fork."""
+        units = [SourceUnit(text, filename) for text, filename in sources]
+        return cls(options, units, static_env, inferencer,
+                   prefix_core=tuple(prefix_core),
+                   n_prefix_bindings=n_prefix_bindings)
+
+    # --------------------------------------------------------------- views
+
+    def con_arity(self) -> Dict[str, int]:
+        return {name: info.arity
+                for name, info in self.static_env.data_cons.items()}

@@ -1,0 +1,149 @@
+"""The pass manager: one instrumented spine for every compilation.
+
+A :class:`Pass` is a named unit of pipeline work with an options
+predicate; a :class:`PassManager` executes a registered sequence of
+passes over a :class:`~repro.pipeline.context.CompileContext`, timing
+every invocation into the context's
+:class:`~repro.pipeline.context.PhaseTrace`.
+
+Two pass shapes exist:
+
+* **per-unit** passes (``per_unit=True``) run once per source unit —
+  the front end (parse, desugar, static analysis, method installation,
+  inference) must process the prelude completely before the user
+  program, because inference of unit *n* depends on the environments
+  units ``0..n-1`` built.  Consecutive per-unit passes therefore form a
+  stage that loops unit-outermost, reproducing the seed driver's
+  interleaving exactly;
+* **whole-program** passes run once (translation, selector generation,
+  the §8/§9 core transforms).
+
+Entry points choose how much of the sequence to run:
+
+* ``run(ctx)`` — the whole pipeline (driver, snapshot fork);
+* ``run(ctx, stop_after="translate")`` — a prefix
+  (:meth:`PreludeSnapshot.build` stops before selectors and
+  optimisation so forks can re-run the shared tail over the full
+  program).
+
+An *observer* — ``callable(pass_name, ctx)`` — fires after each pass
+completes (after its last unit, for per-unit passes); the CLI's
+``--dump-after`` hangs off it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.options import CompilerOptions
+from repro.pipeline.context import CompileContext, SourceUnit
+
+
+def _always(_options: CompilerOptions) -> bool:
+    return True
+
+
+class UnknownPassError(ValueError):
+    """A pass name that is not in the registered sequence."""
+
+    def __init__(self, name: str, names: Sequence[str]) -> None:
+        super().__init__(
+            f"unknown pass {name!r}; registered passes: {', '.join(names)}")
+        self.name = name
+        self.names = list(names)
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One named pipeline stage.
+
+    ``run`` receives ``(ctx)`` for whole-program passes and
+    ``(ctx, unit)`` for per-unit passes.  ``enabled`` gates the pass on
+    the compilation options (disabled passes are skipped entirely and
+    never appear in the trace).  ``doc`` names the paper section the
+    pass realises, for ``--time-passes`` readers.
+    """
+
+    name: str
+    run: Callable[..., None]
+    per_unit: bool = False
+    enabled: Callable[[CompilerOptions], bool] = field(default=_always)
+    doc: str = ""
+
+
+class PassManager:
+    """Executes a pass sequence over a context, recording a trace."""
+
+    def __init__(self, passes: Sequence[Pass]) -> None:
+        names = [p.name for p in passes]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"duplicate pass names: {sorted(dupes)}")
+        self.passes: List[Pass] = list(passes)
+
+    # -------------------------------------------------------- introspection
+
+    def names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def describe(self) -> List[Tuple[str, str]]:
+        """(name, doc) for every registered pass, in order."""
+        return [(p.name, p.doc) for p in self.passes]
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, ctx: CompileContext,
+            stop_after: Optional[str] = None,
+            observer: Optional[Callable[[str, CompileContext], None]] = None
+            ) -> CompileContext:
+        """Execute the sequence (or its prefix up to *stop_after*)."""
+        if stop_after is not None and stop_after not in self.names():
+            raise UnknownPassError(stop_after, self.names())
+        for group in self._stages():
+            stop_here = False
+            if stop_after is not None:
+                group_names = [p.name for p in group]
+                if stop_after in group_names:
+                    group = group[:group_names.index(stop_after) + 1]
+                    stop_here = True
+            enabled = [p for p in group if p.enabled(ctx.options)]
+            if group and group[0].per_unit:
+                for i, unit in enumerate(ctx.units):
+                    last = i == len(ctx.units) - 1
+                    for p in enabled:
+                        self._run_pass(p, ctx, unit)
+                        if observer is not None and last:
+                            observer(p.name, ctx)
+            else:
+                for p in enabled:
+                    self._run_pass(p, ctx, None)
+                    if observer is not None:
+                        observer(p.name, ctx)
+            if stop_here:
+                break
+        ctx.trace.finish(ctx.inferencer.unifier)
+        return ctx
+
+    def _stages(self) -> List[List[Pass]]:
+        """The sequence as maximal runs of same-shaped passes: each run
+        of consecutive per-unit passes forms one unit-outer stage."""
+        stages: List[List[Pass]] = []
+        for p in self.passes:
+            if stages and stages[-1][0].per_unit and p.per_unit:
+                stages[-1].append(p)
+            else:
+                stages.append([p])
+        return stages
+
+    def _run_pass(self, p: Pass, ctx: CompileContext,
+                  unit: Optional[SourceUnit]) -> None:
+        t0 = time.perf_counter()
+        try:
+            if p.per_unit:
+                p.run(ctx, unit)
+            else:
+                p.run(ctx)
+        finally:
+            ctx.trace.record(p.name, time.perf_counter() - t0)

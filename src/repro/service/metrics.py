@@ -6,8 +6,12 @@ computed over that window on demand.  Everything is thread safe and
 cheap enough to sit on the request hot path — recording is a counter
 bump and a ring-slot write under a short lock.
 
-Exposed through the server's ``stats`` request and the CLI's
-``--stats-json`` dump.
+Compilations additionally report *per-phase* latency: every cache-miss
+compile feeds its pipeline :class:`~repro.pipeline.PhaseTrace` into
+per-pass histograms (``phase.<pass>``), so the server's ``stats``
+request and the CLI's ``--stats-json`` dump show where compile time
+goes across requests — parse vs infer vs the §8/§9 transforms — not
+just the end-to-end number.
 """
 
 from __future__ import annotations
@@ -16,6 +20,9 @@ import json
 import threading
 import time
 from typing import Any, Dict, List, Optional
+
+#: histogram-name prefix under which pipeline passes are aggregated
+PHASE_PREFIX = "phase."
 
 
 class LatencyHistogram:
@@ -91,6 +98,13 @@ class Metrics:
         wall clock whether or not the body raises."""
         return _Timer(self, op)
 
+    def record_phases(self, trace: Any) -> None:
+        """Fold one compilation's :class:`~repro.pipeline.PhaseTrace`
+        into the per-pass histograms (one sample per pass per
+        compile)."""
+        for timing in trace.timings:
+            self.observe(f"{PHASE_PREFIX}{timing.name}", timing.seconds)
+
     # -------------------------------------------------------- introspection
 
     def counter(self, name: str) -> int:
@@ -99,11 +113,18 @@ class Metrics:
 
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
+            latency: Dict[str, Any] = {}
+            phases: Dict[str, Any] = {}
+            for op, hist in sorted(self._histograms.items()):
+                if op.startswith(PHASE_PREFIX):
+                    phases[op[len(PHASE_PREFIX):]] = hist.summary()
+                else:
+                    latency[op] = hist.summary()
             return {
                 "uptime_s": round(time.time() - self.started_at, 3),
                 "counters": dict(self._counters),
-                "latency": {op: hist.summary()
-                            for op, hist in sorted(self._histograms.items())},
+                "latency": latency,
+                "phases": phases,
             }
 
     def dump_json(self, path: str,

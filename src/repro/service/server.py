@@ -80,6 +80,12 @@ class CompileService:
                                      snapshot=self.snapshot)
         self.cache.put(key, program)
         self.metrics.incr("cache_misses")
+        # Per-phase latency: every miss contributes one sample per
+        # pipeline pass (programs unpickled from an older disk cache
+        # may predate the trace — hence the getattr).
+        trace = getattr(program.compile_stats, "phases", None)
+        if trace is not None:
+            self.metrics.record_phases(trace)
         return key, program, False
 
     def _resolve_program(self, request: Dict[str, Any]) -> Tuple[str, Any]:

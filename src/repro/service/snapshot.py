@@ -20,39 +20,39 @@ been compiled, so sharing them is sound.  Forking costs microseconds
 where re-compiling the prelude costs hundreds of milliseconds.
 
 :func:`compile_with_snapshot` then runs the ordinary pipeline on the
-user program only, stacked on a fork.  The binding order, schemes and
-optimised core are identical to a cold compile: selectors are
-regenerated for *all* classes after the user program (exactly where the
-one-shot path emits them) and the optimisation passes run over the full
-concatenated core.  Determinism of the result is what makes the compile
-cache sound — the paper's §8.6 interface ordering fixes dictionary
-parameter order, and instance resolution is coherent (Bottu et al.),
-so equal inputs give equal elaborations.
+user program only, stacked on a fork.  Both the prelude build and the
+per-fork user compile are :class:`~repro.pipeline.PassManager` runs —
+the same registered sequence the cold driver executes, with the
+prelude prefix skipped (the build stops after ``translate``; the fork
+carries the frozen prelude core as the translate pass's prefix).  The
+binding order, schemes and optimised core are identical to a cold
+compile: selectors are regenerated for *all* classes after the user
+program (exactly where the one-shot path emits them) and the
+optimisation passes run over the full concatenated core.  Determinism
+of the result is what makes the compile cache sound — the paper's §8.6
+interface ordering fixes dictionary parameter order, and instance
+resolution is coherent (Bottu et al.), so equal inputs give equal
+elaborations.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.classes import ClassEnv
-from repro.core.dictionary import generate_selectors
-from repro.core.infer import (
-    CompiledBinding,
-    Inferencer,
-    InferResult,
-    SchemeEntry,
-    TypeEnv,
-)
+from repro.core.infer import Inferencer
 from repro.core.kinds import KindEnv
-from repro.core.static import StaticEnv, analyze_program
-from repro.coreir.syntax import CoreBinding, CoreProgram
-from repro.coreir.translate import translate_bindings
-from repro.lang.desugar import desugar_program
-from repro.lang.parser import parse_program
+from repro.core.static import StaticEnv
+from repro.coreir.syntax import CoreBinding
 from repro.options import CompilerOptions, options_fingerprint
-from repro.prelude import PRELUDE_SOURCE, primitive_schemes
+from repro.pipeline import (
+    TRANSLATE,
+    CompileContext,
+    default_pass_manager,
+)
+from repro.prelude import PRELUDE_SOURCE
 
 
 def prelude_fingerprint(options: Optional[CompilerOptions] = None,
@@ -124,26 +124,15 @@ class PreludeSnapshot:
     @classmethod
     def build(cls, options: Optional[CompilerOptions] = None,
               prelude_source: str = PRELUDE_SOURCE) -> "PreludeSnapshot":
-        """Compile *prelude_source* through the front end (parse,
-        desugar, static analysis, inference, translation) and freeze the
-        result."""
+        """Compile *prelude_source* through the shared pipeline's
+        front-end prefix (parse .. infer .. translate; no selectors, no
+        optimisation — those run per fork over the full program) and
+        freeze the result."""
         options = options if options is not None else CompilerOptions()
-        class_env = ClassEnv(layout=options.dict_layout,
-                             single_slot_opt=options.single_slot_opt)
-        static_env = StaticEnv(class_env)
-        global_env = TypeEnv()
-        for name, scheme in primitive_schemes().items():
-            global_env.bind(name, SchemeEntry(scheme))
-        inferencer = Inferencer(static_env, options, global_env)
-        program = parse_program(prelude_source, "<prelude>")
-        program = desugar_program(program, options.overload_literals)
-        analyze_program(program, env=static_env)
-        inferencer._install_methods()
-        result = inferencer.infer_program(program)
-        con_arity = {name: info.arity
-                     for name, info in static_env.data_cons.items()}
-        core = translate_bindings(result.bindings, con_arity)
-        return cls(options, static_env, inferencer, tuple(core.bindings),
+        ctx = CompileContext.fresh(options, [(prelude_source, "<prelude>")])
+        default_pass_manager().run(ctx, stop_after=TRANSLATE)
+        return cls(options, ctx.static_env, ctx.inferencer,
+                   tuple(ctx.core.bindings),
                    prelude_fingerprint(options, prelude_source))
 
     # ------------------------------------------------------------ forking
@@ -179,15 +168,22 @@ class PreludeSnapshot:
 
 def compile_with_snapshot(source: str, snapshot: PreludeSnapshot,
                           options: Optional[CompilerOptions] = None,
-                          filename: str = "<input>"):
+                          filename: str = "<input>",
+                          observer: Optional[
+                              Callable[[str, CompileContext], None]] = None):
     """Compile *source* on top of *snapshot* — the fast path behind
     ``compile_source(..., snapshot=...)``.
 
-    Produces a :class:`repro.driver.CompiledProgram` with the same
-    schemes, warnings, binding order and optimised core as a cold
+    Runs the same pass sequence as a cold compile, with the prelude
+    prefix skipped: the forked environments stand in for the prelude's
+    front-end passes, and the frozen prelude core rides in as the
+    translate pass's prefix, so selectors and the §8/§9 transforms see
+    the full concatenated program.  Produces a
+    :class:`repro.driver.CompiledProgram` with the same schemes,
+    warnings, binding order and optimised core as a cold
     ``compile_source(source, options)``.
     """
-    from repro.driver import CompiledProgram, _optimize
+    from repro.driver import program_from_context
 
     if options is None:
         options = snapshot.options
@@ -196,25 +192,12 @@ def compile_with_snapshot(source: str, snapshot: PreludeSnapshot,
             "snapshot was built with different compiler options; build a "
             "snapshot for these options (PreludeSnapshot.build(options))")
     static_env, inferencer = snapshot.fork()
-    program = parse_program(source, filename)
-    program = desugar_program(program, options.overload_literals)
-    analyze_program(program, env=static_env)
-    inferencer._install_methods()
-    result = inferencer.infer_program(program)
-    user_compiled: List[CompiledBinding] = \
-        result.bindings[snapshot.n_bindings:]
-    con_arity = {name: info.arity
-                 for name, info in static_env.data_cons.items()}
-    user_core = translate_bindings(user_compiled, con_arity)
-    # Same tail as the one-shot pipeline: prelude core, user core, then
-    # selectors for every class, then whole-program optimisation.
-    core = CoreProgram(list(snapshot.core_bindings) + user_core.bindings)
-    core.bindings.extend(generate_selectors(static_env.class_env))
-    core = _optimize(core, options, static_env.class_env)
-    final = InferResult(result.bindings, inferencer.schemes,
-                        inferencer.warnings, inferencer.env,
-                        inferencer.unifier)
-    return CompiledProgram(core, final, static_env, options, inferencer)
+    ctx = CompileContext.forked(options, [(source, filename)],
+                                static_env, inferencer,
+                                prefix_core=snapshot.core_bindings,
+                                n_prefix_bindings=snapshot.n_bindings)
+    default_pass_manager().run(ctx, observer=observer)
+    return program_from_context(ctx)
 
 
 # ---------------------------------------------------------------------------

@@ -20,7 +20,7 @@ uses, so no code grows.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.coreir.syntax import (
     CLam,

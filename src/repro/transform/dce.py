@@ -13,7 +13,7 @@ forced, so removing it cannot change any observable behaviour.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, Set
 
 from repro.coreir.syntax import CoreProgram, free_vars
 from repro.util.graph import Digraph, reachable_from

@@ -11,7 +11,6 @@ from typing import Dict, Set
 
 from repro.coreir.syntax import (
     CAlt,
-    CApp,
     CCase,
     CLam,
     CLet,

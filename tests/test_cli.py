@@ -55,6 +55,35 @@ class TestRun:
         assert main(["run", str(path)]) == 1
         assert "kaput" in capsys.readouterr().err
 
+    def test_time_passes(self, program_file, capsys):
+        assert main(["run", program_file, "--time-passes"]) == 0
+        err = capsys.readouterr().err
+        for name in ("parse", "infer", "translate", "selectors", "total"):
+            assert name in err
+        assert "specialize" not in err  # disabled by default
+
+    def test_time_passes_reflects_options(self, program_file, capsys):
+        assert main(["run", program_file, "--time-passes",
+                     "--set", "specialize=true"]) == 0
+        assert "specialize" in capsys.readouterr().err
+
+    def test_dump_after_core_pass(self, program_file, capsys):
+        assert main(["run", program_file, "--dump-after", "selectors"]) == 0
+        out = capsys.readouterr().out
+        assert "-- after selectors:" in out
+        assert "sel$" in out          # selector bindings are present
+        assert "double" in out
+
+    def test_dump_after_frontend_pass(self, program_file, capsys):
+        assert main(["run", program_file, "--dump-after", "desugar"]) == 0
+        out = capsys.readouterr().out
+        assert "-- after desugar:" in out
+        assert "<prelude>" in out     # both units are shown
+
+    def test_dump_after_unknown_pass(self, program_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--dump-after", "bogus"])
+
 
 class TestCheck:
     def test_prints_schemes(self, program_file, capsys):

@@ -1,7 +1,6 @@
 """Direct tests for core-IR helpers (free variables, traversal, spine)
 and the capture-avoiding substitution used by specialisation."""
 
-import pytest
 
 from repro.coreir.syntax import (
     CAlt,

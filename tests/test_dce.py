@@ -1,6 +1,5 @@
 """Dead-code elimination tests."""
 
-import pytest
 
 from repro import compile_source
 from repro.transform.dce import reachable_bindings, shake

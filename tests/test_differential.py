@@ -5,7 +5,6 @@ backend, and (c) keep producing that result under the optimising
 configurations.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import CompilerOptions, compile_source

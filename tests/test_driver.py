@@ -125,6 +125,55 @@ class TestInfo:
         assert program.info("member") == "member :: Eq a => a -> [a] -> Bool"
         assert "not defined" in program.info("zorp")
 
+    def test_info_on_user_class_with_superclass(self):
+        program = compile_source(
+            "class MyEq a where\n"
+            "  myeq :: a -> a -> Bool\n"
+            "class MyEq a => MyOrd a where\n"
+            "  mylt :: a -> a -> Bool\n"
+            "data Pt = Pt Int\n"
+            "instance MyEq Pt where\n"
+            "  myeq (Pt a) (Pt b) = a == b\n")
+        text = program.info("MyOrd")
+        assert text.startswith("class MyEq a => MyOrd a where")
+        assert "mylt ::" in text
+        # No instances of MyOrd: the listing stops at the methods.
+        assert "instance" not in text
+        eq_text = program.info("MyEq")
+        assert eq_text.startswith("class MyEq a where")
+        assert "instance MyEq Pt" in eq_text
+
+    def test_info_on_class_with_two_superclasses(self):
+        program = compile_source(
+            "class A a where\n"
+            "  fa :: a -> Int\n"
+            "class B a where\n"
+            "  fb :: a -> Int\n"
+            "class (A a, B a) => C a where\n"
+            "  fc :: a -> Int\n")
+        header = program.info("C").splitlines()[0]
+        assert header.startswith("class ")
+        assert "A a" in header and "B a" in header
+        assert "=> C a where" in header
+
+    def test_info_instance_context_printed(self):
+        # Prelude: instance Eq a => Eq [a] and the pair instance with
+        # a two-constraint context; both contexts must print.
+        program = compile_source("")
+        lines = program.info("Eq").splitlines()
+        assert "instance Eq a0 => Eq []" in lines
+        assert "instance (Eq a0, Eq a1) => Eq (,)" in lines
+
+    def test_info_on_user_data_type_reports_parameters(self):
+        program = compile_source("data Wrap a = Wrap a")
+        text = program.info("Wrap")
+        assert "1 parameter" in text
+        assert "Wrap :: a -> Wrap a" in text
+
+    def test_info_on_plain_user_binding(self):
+        program = compile_source("plain :: Int\nplain = 42")
+        assert program.info("plain") == "plain :: Int"
+
 
 class TestInterface:
     def test_interface_lists_user_bindings(self):
@@ -148,6 +197,31 @@ class TestInterface:
         line = [l for l in program.interface().splitlines()
                 if l.startswith("f ::")][0]
         assert line.index("Text") < line.index("Eq")
+
+    def test_interface_is_sorted_and_one_line_per_binding(self):
+        program = compile_source("zeta = (1 :: Int)\nalpha = (2 :: Int)")
+        lines = program.interface().splitlines()
+        assert lines == sorted(lines)
+        assert "alpha :: Int" in lines
+        assert "zeta :: Int" in lines
+        assert all(" :: " in line for line in lines)
+
+    def test_interface_lists_only_value_bindings(self):
+        # Class methods and data constructors are reachable via
+        # ``info``; the interface file proper is one line per
+        # top-level value binding (the §8.6 signature listing).
+        program = compile_source(
+            "class MyEq a where\n"
+            "  myeq :: a -> a -> Bool\n"
+            "data Pt = Pt Int\n"
+            "instance MyEq Pt where\n"
+            "  myeq (Pt a) (Pt b) = a == b\n"
+            "use :: Pt -> Bool\n"
+            "use p = myeq p p\n")
+        lines = program.interface().splitlines()
+        assert "use :: Pt -> Bool" in lines
+        assert not any(line.startswith("myeq ::") for line in lines)
+        assert program.info("Pt").splitlines()[1] == "  Pt :: Int -> Pt"
 
 
 class TestTupleInstances:

@@ -3,12 +3,7 @@ interactions between features."""
 
 import pytest
 
-from repro import (
-    AmbiguityError,
-    CompilerOptions,
-    EvalError,
-    compile_source,
-)
+from repro import AmbiguityError, CompilerOptions, compile_source
 
 
 class TestInstanceEdgeCases:

@@ -3,12 +3,7 @@
 import pytest
 
 from repro import CompilerOptions, EvalError, compile_source
-from repro.coreir.eval import (
-    Evaluator,
-    VCon,
-    VInt,
-    value_to_python,
-)
+from repro.coreir.eval import Evaluator, value_to_python
 from repro.coreir.syntax import (
     CApp,
     CDict,
@@ -231,7 +226,7 @@ class TestRawCoreEvaluation:
 
     def test_tail_calls_do_not_grow_python_stack(self):
         # A loop of 100k tail calls must not blow the recursion limit.
-        from repro.coreir.syntax import CCase, CAlt, CLitAlt
+        from repro.coreir.syntax import CCase, CLitAlt
         ev = Evaluator(CoreProgram([CoreBinding(
             "loop",
             CLam(["n"], CCase(

@@ -1,0 +1,131 @@
+"""Fingerprint stability guards.
+
+The compile cache persists across processes (disk tier), so the
+fingerprints that form cache keys must only move when compilation
+output can actually change.  These tests pin that contract:
+
+* every service-only option is ignored by ``options_fingerprint`` (and
+  hence by ``prelude_fingerprint`` and ``cache_key``);
+* the default fingerprint matches a known-good digest, so *adding* a
+  service-only field to ``CompilerOptions`` cannot silently invalidate
+  every disk-cached program — the author must consciously extend
+  ``SERVICE_OPTION_FIELDS`` (restoring the digest) or accept the
+  invalidation by updating the constant here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.options import (
+    SERVICE_OPTION_FIELDS,
+    CompilerOptions,
+    options_fingerprint,
+)
+from repro.service.cache import cache_key
+from repro.service.snapshot import prelude_fingerprint
+
+#: options_fingerprint(CompilerOptions()) at the time the disk cache
+#: format was frozen.  A change here invalidates every cached program
+#: on every user's disk — never update it casually.
+KNOWN_DEFAULT_OPTIONS_FP = (
+    "c280f9d69959badd8dde58b27b3a2ac379e985e27f4457ac1e6cebbd81f818e0")
+
+#: prelude_fingerprint(CompilerOptions()) for the current prelude text.
+#: Moves when the prelude source changes (expected) or when
+#: options_fingerprint moves (see above).
+KNOWN_DEFAULT_PRELUDE_FP = (
+    "4f83ae95fe0ff05c2d0a1f4a99b375e921391e497b467f2926ede4fec0e10c26")
+
+#: a value, different from the default, for each service-only field
+SERVICE_OVERRIDES = {
+    "cache_size": 3,
+    "cache_dir": "/tmp/elsewhere",
+    "server_host": "0.0.0.0",
+    "server_port": 7433,
+    "server_workers": 17,
+    "request_timeout": 99.5,
+}
+
+
+class TestServiceFieldsIgnored:
+    def test_every_service_field_is_covered_here(self):
+        # If a field is added to SERVICE_OPTION_FIELDS, give it an
+        # override above so the invariance tests exercise it.
+        assert set(SERVICE_OVERRIDES) == set(SERVICE_OPTION_FIELDS)
+
+    def test_every_service_field_exists(self):
+        names = {f.name for f in dataclasses.fields(CompilerOptions)}
+        for field in SERVICE_OPTION_FIELDS:
+            assert field in names, field
+
+    @pytest.mark.parametrize("field", SERVICE_OPTION_FIELDS)
+    def test_options_fingerprint_ignores(self, field):
+        base = CompilerOptions()
+        changed = base.with_(**{field: SERVICE_OVERRIDES[field]})
+        assert options_fingerprint(changed) == options_fingerprint(base)
+
+    @pytest.mark.parametrize("field", SERVICE_OPTION_FIELDS)
+    def test_prelude_fingerprint_ignores(self, field):
+        base = CompilerOptions()
+        changed = base.with_(**{field: SERVICE_OVERRIDES[field]})
+        assert prelude_fingerprint(changed) == prelude_fingerprint(base)
+
+    @pytest.mark.parametrize("field", SERVICE_OPTION_FIELDS)
+    def test_cache_key_ignores(self, field):
+        base = CompilerOptions()
+        changed = base.with_(**{field: SERVICE_OVERRIDES[field]})
+        fp = prelude_fingerprint(base)
+        assert cache_key("main = 1", changed, fp) \
+            == cache_key("main = 1", base, fp)
+
+    def test_all_service_fields_at_once(self):
+        base = CompilerOptions()
+        changed = base.with_(**SERVICE_OVERRIDES)
+        assert options_fingerprint(changed) == options_fingerprint(base)
+
+
+class TestCompilerFieldsCovered:
+    def test_compiler_options_do_change_fingerprint(self):
+        base_fp = options_fingerprint(CompilerOptions())
+        for field in dataclasses.fields(CompilerOptions):
+            if field.name in SERVICE_OPTION_FIELDS:
+                continue
+            current = getattr(CompilerOptions(), field.name)
+            if isinstance(current, bool):
+                flipped = not current
+            elif isinstance(current, int):
+                flipped = current + 1
+            elif isinstance(current, float):
+                flipped = current + 1.0
+            else:
+                flipped = current + "-changed"
+            changed = CompilerOptions().with_(**{field.name: flipped})
+            assert options_fingerprint(changed) != base_fp, field.name
+
+
+class TestKnownGoodDigests:
+    def test_default_options_fingerprint_pinned(self):
+        # Guards the disk cache: any new CompilerOptions field changes
+        # this digest unless it is listed in SERVICE_OPTION_FIELDS.
+        # Failing here means "every cached program is about to be
+        # invalidated" — decide explicitly, then update the constant.
+        assert options_fingerprint(CompilerOptions()) \
+            == KNOWN_DEFAULT_OPTIONS_FP
+
+    def test_default_prelude_fingerprint_pinned(self):
+        assert prelude_fingerprint(CompilerOptions()) \
+            == KNOWN_DEFAULT_PRELUDE_FP
+
+    def test_simulated_service_field_addition_is_caught(self):
+        # A *new* service-only field must be excluded explicitly.
+        # Simulate forgetting: injecting an extra attribute changes the
+        # fingerprint (vars() picks it up) ...
+        sloppy = CompilerOptions()
+        sloppy.new_service_knob = 10_000  # type: ignore[attr-defined]
+        assert options_fingerprint(sloppy) != KNOWN_DEFAULT_OPTIONS_FP
+        # ... which is exactly what test_default_options_fingerprint
+        # _pinned would catch on the real dataclass, forcing the author
+        # to add the field to SERVICE_OPTION_FIELDS instead.

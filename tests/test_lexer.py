@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LexError
-from repro.lang.lexer import apply_layout, lex, scan
+from repro.lang.lexer import lex, scan
 from repro.lang.tokens import TokenType
 
 

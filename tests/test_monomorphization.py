@@ -4,7 +4,6 @@ overloading is all at known types must contain *no* residual
 dictionary machinery — §9's "completely eliminate dynamic method
 dispatch", verified statically over the final core."""
 
-import pytest
 
 from repro import CompilerOptions, compile_source
 from repro.coreir.syntax import (

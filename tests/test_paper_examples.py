@@ -21,7 +21,6 @@ monomorphism restriction — which the paper discusses separately in
 section 8.7 — is disabled where it would interfere.
 """
 
-import pytest
 
 from repro import CompilerOptions, compile_source
 from repro.coreir.pretty import pp_binding

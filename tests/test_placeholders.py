@@ -12,7 +12,7 @@ from repro.core.placeholders import (
     make_placeholder_expr,
 )
 from repro.core.types import T_INT, TyVar, list_type, prune
-from repro.lang.ast import PlaceholderExpr, Var, unwrap_placeholders
+from repro.lang.ast import Var, unwrap_placeholders
 
 
 class TestPlaceholderRecords:

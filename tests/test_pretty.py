@@ -5,12 +5,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import compile_source
-from repro.coreir.pretty import pp_binding, pp_core, pp_program
+from repro.coreir.pretty import pp_core, pp_program
 from repro.coreir.syntax import (
     CAlt,
     CApp,
     CCase,
-    CCon,
     CDict,
     CLam,
     CLet,

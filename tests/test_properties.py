@@ -24,7 +24,6 @@ from repro.core.types import (
     list_type,
     prune,
     tuple_type,
-    type_str,
 )
 from repro.core.unify import Unifier
 from repro.errors import ReproError

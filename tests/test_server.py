@@ -114,6 +114,20 @@ class TestProtocol:
         assert len(result["snapshot"]["fingerprint"]) == 64
         assert result["snapshot"]["prelude_bindings"] > 0
 
+    def test_stats_report_per_phase_latency(self, client):
+        # At least one cache-miss compile happened on this server, so
+        # the pipeline passes show up as aggregated histograms.
+        client.request("compile", source=PROGRAM)
+        phases = client.request("stats")["result"]["server"]["phases"]
+        for name in ("parse", "infer", "translate", "selectors"):
+            assert name in phases, name
+            assert phases[name]["count"] >= 1
+            assert phases[name]["mean_ms"] >= 0.0
+        # Warm-path compiles skip the prelude: every pass records one
+        # sample per miss.
+        assert phases["translate"]["count"] \
+            == phases["parse"]["count"]
+
     def test_info(self, client):
         key = client.request("compile", source=PROGRAM)["result"]["program"]
         r = client.request("info", name="length", program=key)

@@ -3,8 +3,7 @@ inference, type synonyms, class/instance processing, signatures."""
 
 import pytest
 
-from repro.core.classes import ClassEnv
-from repro.core.kinds import kind_arity, kind_str
+from repro.core.kinds import kind_str
 from repro.core.static import (
     StaticEnv,
     analyze_program,
@@ -222,8 +221,6 @@ class TestClassesAndInstances:
         assert info.defined_methods == frozenset({"=="})
 
     def test_decompose_instance_head(self):
-        from repro.lang.parser import Parser
-        from repro.lang.lexer import lex
         q = parse_type("[a]")
         assert decompose_instance_head(q.type) == ("[]", ["a"])
 

@@ -1,7 +1,6 @@
 """Stress tests: scale along each axis the implementation could be
 quadratic or recursion-limited on."""
 
-import pytest
 
 from repro import CompilerOptions, compile_source
 

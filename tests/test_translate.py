@@ -1,11 +1,9 @@
 """Core translation tests: pattern-match compilation, guards,
 dictionary marking, lambda handling."""
 
-import pytest
 
 from repro import compile_source, CompilerOptions
 from repro.coreir.syntax import (
-    CCase,
     CDict,
     CLam,
     CLet,

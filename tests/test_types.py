@@ -16,8 +16,6 @@ from repro.core.kinds import (
 )
 from repro.errors import KindError
 from repro.core.types import (
-    ARROW,
-    LIST_CON,
     Pred,
     Scheme,
     T_BOOL,
@@ -26,7 +24,6 @@ from repro.core.types import (
     TyCon,
     TyGen,
     TyVar,
-    Type,
     adjust_levels,
     fn_parts,
     fn_type,

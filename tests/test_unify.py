@@ -11,8 +11,6 @@ from repro.core.classes import ClassEnv, ClassInfo, InstanceInfo
 from repro.core.types import (
     T_BOOL,
     T_INT,
-    TyApp,
-    TyCon,
     TyVar,
     fn_type,
     list_type,
