@@ -63,15 +63,16 @@ def build_options(settings: List[str]) -> CompilerOptions:
 
 
 def load(path: str, options: CompilerOptions,
-         observer=None) -> CompiledProgram:
+         observer=None, with_source: bool = False):
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     try:
-        return compile_source(source, options, filename=path,
-                              observer=observer)
+        program = compile_source(source, options, filename=path,
+                                 observer=observer)
     except ReproError as exc:
         print(exc.pretty(source), file=sys.stderr)
         raise SystemExit(1)
+    return (program, source) if with_source else program
 
 
 def print_stats(program: CompiledProgram) -> None:
@@ -119,7 +120,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     options = build_options(args.set or [])
     observer = dump_after_observer(args.dump_after) \
         if args.dump_after else None
-    program = load(args.file, options, observer=observer)
+    program, source = load(args.file, options, observer=observer,
+                           with_source=True)
     if args.time_passes:
         print_time_passes(program)
     for warning in program.warnings:
@@ -130,7 +132,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         else:
             result = program.run(args.entry)
     except ReproError as exc:
-        print(str(exc), file=sys.stderr)
+        # Quote the offending line: the expression text for -e errors,
+        # the file for everything else (run-time limits included).
+        print(exc.pretty(args.expr if args.expr else source),
+              file=sys.stderr)
         # The evaluator records its counters even on failure; --stats
         # reports the partial work so aborted runs are diagnosable.
         if args.stats:
@@ -196,7 +201,7 @@ def cmd_repl(args: argparse.Namespace) -> int:
             else:
                 print(render(program.eval(line)))
         except ReproError as exc:
-            print(str(exc))
+            print(exc.pretty(line))
 
 
 def cmd_serve(args: argparse.Namespace) -> int:

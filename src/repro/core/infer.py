@@ -200,7 +200,9 @@ class Inferencer:
         self.static = static_env
         self.class_env: ClassEnv = static_env.class_env
         self.options = options if options is not None else CompilerOptions()
-        self.unifier = Unifier(self.class_env)
+        self.unifier = Unifier(
+            self.class_env,
+            max_depth=getattr(self.options, "max_type_depth", 10_000))
         self.names = NameSupply()
         self.level = 0
         self.env = global_env if global_env is not None else TypeEnv()

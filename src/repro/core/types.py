@@ -149,12 +149,18 @@ def prune(ty: Type) -> Type:
     """Chase instantiated variables to the representative type.
 
     Performs path compression along chains of instantiated variables so
-    that repeated unification stays near-linear.
+    that repeated unification stays near-linear.  Iterative on purpose:
+    instantiation chains can grow with the size of the input program,
+    and a crashed host is worse than a slow one.
     """
-    if isinstance(ty, TyVar) and ty.value is not None:
-        result = prune(ty.value)
-        ty.value = result
-        return result
+    if not (isinstance(ty, TyVar) and ty.value is not None):
+        return ty
+    chain: List[TyVar] = []
+    while isinstance(ty, TyVar) and ty.value is not None:
+        chain.append(ty)
+        ty = ty.value
+    for var in chain:
+        var.value = ty
     return ty
 
 
@@ -178,30 +184,37 @@ def fn_parts(ty: Type) -> Optional[Tuple[Type, Type]]:
 
 
 def type_variables(ty: Type) -> List[TyVar]:
-    """The uninstantiated variables of *ty* in first-occurrence order."""
+    """The uninstantiated variables of *ty* in first-occurrence order.
+
+    Explicit-stack traversal: type terms can be as deep as the program
+    that produced them, so no structural walk may use Python recursion.
+    """
     out: List[TyVar] = []
     seen = set()
-
-    def go(t: Type) -> None:
-        t = prune(t)
+    stack: List[Type] = [ty]
+    while stack:
+        t = prune(stack.pop())
         if isinstance(t, TyVar):
             if t.id not in seen:
                 seen.add(t.id)
                 out.append(t)
         elif isinstance(t, TyApp):
-            go(t.fn)
-            go(t.arg)
-
-    go(ty)
+            # Push arg first so fn is visited first (first-occurrence
+            # order matches the old left-to-right recursive walk).
+            stack.append(t.arg)
+            stack.append(t.fn)
     return out
 
 
 def occurs_in(var: TyVar, ty: Type) -> bool:
-    ty = prune(ty)
-    if ty is var:
-        return True
-    if isinstance(ty, TyApp):
-        return occurs_in(var, ty.fn) or occurs_in(var, ty.arg)
+    stack: List[Type] = [ty]
+    while stack:
+        t = prune(stack.pop())
+        if t is var:
+            return True
+        if isinstance(t, TyApp):
+            stack.append(t.fn)
+            stack.append(t.arg)
     return False
 
 
@@ -213,13 +226,15 @@ def adjust_levels(var_level: int, ty: Type) -> None:
     that generalization never quantifies a variable that is reachable
     from an outer binding.
     """
-    ty = prune(ty)
-    if isinstance(ty, TyVar):
-        if ty.level > var_level:
-            ty.level = var_level
-    elif isinstance(ty, TyApp):
-        adjust_levels(var_level, ty.fn)
-        adjust_levels(var_level, ty.arg)
+    stack: List[Type] = [ty]
+    while stack:
+        t = prune(stack.pop())
+        if isinstance(t, TyVar):
+            if t.level > var_level:
+                t.level = var_level
+        elif isinstance(t, TyApp):
+            stack.append(t.fn)
+            stack.append(t.arg)
 
 
 def kind_of(ty: Type) -> Kind:

@@ -33,10 +33,12 @@ from typing import Iterable, Optional
 
 from repro.errors import (
     OccursCheckError,
+    ResourceLimitError,
     SignatureError,
     SourcePos,
     UnificationError,
 )
+from repro.limits import DEFAULT_TYPE_DEPTH
 from repro.core.classes import ClassEnv
 from repro.core.types import (
     TyApp,
@@ -54,8 +56,10 @@ from repro.core.types import (
 class Unifier:
     """Unification engine bound to one class environment."""
 
-    def __init__(self, class_env: ClassEnv) -> None:
+    def __init__(self, class_env: ClassEnv,
+                 max_depth: int = DEFAULT_TYPE_DEPTH) -> None:
         self.class_env = class_env
+        self.max_depth = max_depth
         self.unify_count = 0
         self.context_reduction_count = 0
         self.constraint_propagations = 0
@@ -63,32 +67,52 @@ class Unifier:
     # ------------------------------------------------------------- unify
 
     def unify(self, t1: Type, t2: Type, pos: Optional[SourcePos] = None) -> None:
-        """Make *t1* and *t2* equal, or raise."""
-        self.unify_count += 1
-        t1 = prune(t1)
-        t2 = prune(t2)
-        if t1 is t2:
-            return
-        if isinstance(t1, TyVar):
+        """Make *t1* and *t2* equal, or raise.
+
+        Structural decomposition runs on an explicit worklist (one pop
+        per pair, preserving the recursive version's depth-first order
+        and ``unify_count``), so arbitrarily deep types cannot overflow
+        the Python stack; the worklist itself is budgeted by
+        ``max_type_depth``.
+        """
+        max_depth = self.max_depth
+        stack = [(t1, t2)]
+        while stack:
+            if max_depth and len(stack) > max_depth:
+                raise ResourceLimitError(
+                    f"unification worklist exceeded max_type_depth "
+                    f"({max_depth}); raise it for very large types",
+                    pos,
+                    limit="max_type_depth",
+                )
+            t1, t2 = stack.pop()
+            self.unify_count += 1
+            t1 = prune(t1)
+            t2 = prune(t2)
+            if t1 is t2:
+                continue
+            if isinstance(t1, TyVar):
+                if isinstance(t2, TyVar):
+                    self._link_vars(t1, t2, pos)
+                    continue
+                self.instantiate_tyvar(t1, t2, pos)
+                continue
             if isinstance(t2, TyVar):
-                self._link_vars(t1, t2, pos)
-                return
-            self.instantiate_tyvar(t1, t2, pos)
-            return
-        if isinstance(t2, TyVar):
-            self.instantiate_tyvar(t2, t1, pos)
-            return
-        if isinstance(t1, TyCon) and isinstance(t2, TyCon):
-            if t1.name == t2.name:
-                return
+                self.instantiate_tyvar(t2, t1, pos)
+                continue
+            if isinstance(t1, TyCon) and isinstance(t2, TyCon):
+                if t1.name == t2.name:
+                    continue
+                raise UnificationError(
+                    f"cannot unify {type_str(t1)} with {type_str(t2)}", pos)
+            if isinstance(t1, TyApp) and isinstance(t2, TyApp):
+                # Push arg first so the fn pair is popped (and unified)
+                # first, matching the old recursive order.
+                stack.append((t1.arg, t2.arg))
+                stack.append((t1.fn, t2.fn))
+                continue
             raise UnificationError(
                 f"cannot unify {type_str(t1)} with {type_str(t2)}", pos)
-        if isinstance(t1, TyApp) and isinstance(t2, TyApp):
-            self.unify(t1.fn, t2.fn, pos)
-            self.unify(t1.arg, t2.arg, pos)
-            return
-        raise UnificationError(
-            f"cannot unify {type_str(t1)} with {type_str(t2)}", pos)
 
     def _link_vars(self, a: TyVar, b: TyVar, pos: Optional[SourcePos]) -> None:
         """Unify two distinct unbound variables."""

@@ -28,7 +28,8 @@ import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import EvalError
+from repro.errors import EvalError, ResourceLimitError
+from repro.limits import DEFAULT_EVAL_DEPTH
 from repro.coreir.syntax import (
     CApp,
     CCase,
@@ -237,15 +238,19 @@ class Evaluator:
     def __init__(self, program: CoreProgram,
                  primitives: Optional[Dict[str, VPrim]] = None,
                  call_by_need: bool = True,
-                 step_limit: int = 0) -> None:
+                 step_limit: int = 0,
+                 max_depth: int = DEFAULT_EVAL_DEPTH) -> None:
         self.stats = EvalStats()
         self.call_by_need = call_by_need
         self.step_limit = step_limit
         # Interpreted recursion nests Python frames (eval -> force ->
-        # eval ...).  CPython 3.11+ keeps Python-to-Python calls off the
-        # C stack, so a high recursion limit is safe and necessary.
-        if sys.getrecursionlimit() < 400_000:
-            sys.setrecursionlimit(400_000)
+        # eval ...).  The evaluator does NOT touch the process recursion
+        # limit: raising it on a default-stack thread lets the C stack
+        # overflow (SIGSEGV) before Python notices.  Deep evaluation must
+        # run under with_big_stack(); the max_depth budget below turns
+        # exhaustion into a clean ResourceLimitError either way.
+        self.max_depth = max_depth
+        self.depth = 0
         self.globals = Frame()
         if primitives:
             for name, prim in primitives.items():
@@ -263,13 +268,24 @@ class Evaluator:
         return self.force(self.eval(expr, self.globals))
 
     def deep(self, value: Any) -> Value:
-        """Force *value* and, recursively, every component — used to
-        extract complete results."""
+        """Force *value* and, iteratively, every component — used to
+        extract complete results.  An explicit worklist (with a visited
+        set, so cyclic structures terminate) keeps result extraction
+        from ever overflowing the Python stack, however long the list."""
         value = self.force(value)
-        if isinstance(value, VCon):
-            value.args = [self.deep(a) for a in value.args]
-        elif isinstance(value, VTuple):
-            value.items = [self.deep(i) for i in value.items]
+        stack: List[Value] = [value]
+        seen = set()
+        while stack:
+            v = stack.pop()
+            if id(v) in seen:
+                continue
+            seen.add(id(v))
+            if isinstance(v, VCon):
+                v.args = [self.force(a) for a in v.args]
+                stack.extend(v.args)
+            elif isinstance(v, VTuple):
+                v.items = [self.force(i) for i in v.items]
+                stack.extend(v.items)
         return value
 
     # --------------------------------------------------------------- eval
@@ -296,78 +312,96 @@ class Evaluator:
         return value
 
     def eval(self, expr: CoreExpr, env: Frame) -> Any:
+        # One eval() frame per level of *non-tail* interpreted nesting
+        # (tail calls loop inside this frame), so self.depth tracks the
+        # real recursion depth.  The budget fires deterministically well
+        # before a big-stack thread's 1M recursion limit is in danger.
+        self.depth += 1
         stats = self.stats
-        while True:
-            stats.steps += 1
-            if self.step_limit and stats.steps > self.step_limit:
-                raise EvalError(
-                    f"evaluation exceeded the step limit "
-                    f"({self.step_limit})")
-            t = type(expr)
-            if t is CVar:
-                return env.lookup(expr.name)
-            if t is CLit:
-                return self.literal(expr)
-            if t is CCon:
-                if expr.arity == 0:
-                    return VCon(expr.name, [])
-                return VPartialCon(expr.name, expr.arity)
-            if t is CLam:
-                return VClosure(expr.params, expr.body, env)
-            if t is CApp:
-                # Evaluate the spine iteratively.
-                args: List[Any] = []
-                node = expr
-                while type(node) is CApp:
-                    args.append(node.arg)
-                    node = node.fn
-                args.reverse()
-                fn = self.force(self.eval(node, env))
-                arg_thunks = [self.mk_thunk(a, env) for a in args]
-                result = self.apply_many(fn, arg_thunks)
-                if isinstance(result, _TailCall):
-                    expr, env = result.body, result.env
+        if self.depth > stats.max_stack:
+            stats.max_stack = self.depth
+        if self.max_depth and self.depth > self.max_depth:
+            self.depth -= 1
+            raise ResourceLimitError(
+                f"evaluation nests too deeply (more than "
+                f"{self.max_depth} levels); raise eval_depth_limit for "
+                f"deeply recursive programs",
+                limit="eval_depth_limit",
+            )
+        try:
+            while True:
+                stats.steps += 1
+                if self.step_limit and stats.steps > self.step_limit:
+                    raise EvalError(
+                        f"evaluation exceeded the step limit "
+                        f"({self.step_limit})")
+                t = type(expr)
+                if t is CVar:
+                    return env.lookup(expr.name)
+                if t is CLit:
+                    return self.literal(expr)
+                if t is CCon:
+                    if expr.arity == 0:
+                        return VCon(expr.name, [])
+                    return VPartialCon(expr.name, expr.arity)
+                if t is CLam:
+                    return VClosure(expr.params, expr.body, env)
+                if t is CApp:
+                    # Evaluate the spine iteratively.
+                    args: List[Any] = []
+                    node = expr
+                    while type(node) is CApp:
+                        args.append(node.arg)
+                        node = node.fn
+                    args.reverse()
+                    fn = self.force(self.eval(node, env))
+                    arg_thunks = [self.mk_thunk(a, env) for a in args]
+                    result = self.apply_many(fn, arg_thunks)
+                    if isinstance(result, _TailCall):
+                        expr, env = result.body, result.env
+                        continue
+                    return result
+                if t is CLet:
+                    frame = Frame(env)
+                    if expr.recursive:
+                        for name, rhs in expr.binds:
+                            frame.vars[name] = Thunk(rhs, frame)
+                            stats.allocations += 1
+                    else:
+                        for name, rhs in expr.binds:
+                            frame.vars[name] = Thunk(rhs, env)
+                            stats.allocations += 1
+                    expr, env = expr.body, frame
                     continue
-                return result
-            if t is CLet:
-                frame = Frame(env)
-                if expr.recursive:
-                    for name, rhs in expr.binds:
-                        frame.vars[name] = Thunk(rhs, frame)
-                        stats.allocations += 1
-                else:
-                    for name, rhs in expr.binds:
-                        frame.vars[name] = Thunk(rhs, env)
-                        stats.allocations += 1
-                expr, env = expr.body, frame
-                continue
-            if t is CCase:
-                scrut = self.force(self.eval(expr.scrutinee, env))
-                selected = self.select_alt(expr, scrut, env)
-                if selected is None:
-                    raise EvalError(
-                        f"no matching case alternative for {scrut!r}")
-                expr, env = selected
-                continue
-            if t is CTuple:
-                stats.allocations += 1
-                return VTuple([self.mk_thunk(i, env) for i in expr.items])
-            if t is CDict:
-                stats.allocations += 1
-                stats.dict_constructions += 1
-                return VDict([self.mk_thunk(i, env) for i in expr.items],
-                             expr.tag)
-            if t is CSel:
-                value = self.force(self.eval(expr.expr, env))
-                if not isinstance(value, VTuple):
-                    raise EvalError(
-                        f"selection from non-tuple value {value!r}")
-                if expr.from_dict:
-                    stats.dict_selections += 1
-                else:
-                    stats.tuple_selections += 1
-                return value.items[expr.index]
-            raise EvalError(f"cannot evaluate core node {expr!r}")
+                if t is CCase:
+                    scrut = self.force(self.eval(expr.scrutinee, env))
+                    selected = self.select_alt(expr, scrut, env)
+                    if selected is None:
+                        raise EvalError(
+                            f"no matching case alternative for {scrut!r}")
+                    expr, env = selected
+                    continue
+                if t is CTuple:
+                    stats.allocations += 1
+                    return VTuple([self.mk_thunk(i, env) for i in expr.items])
+                if t is CDict:
+                    stats.allocations += 1
+                    stats.dict_constructions += 1
+                    return VDict([self.mk_thunk(i, env) for i in expr.items],
+                                 expr.tag)
+                if t is CSel:
+                    value = self.force(self.eval(expr.expr, env))
+                    if not isinstance(value, VTuple):
+                        raise EvalError(
+                            f"selection from non-tuple value {value!r}")
+                    if expr.from_dict:
+                        stats.dict_selections += 1
+                    else:
+                        stats.tuple_selections += 1
+                    return value.items[expr.index]
+                raise EvalError(f"cannot evaluate core node {expr!r}")
+        finally:
+            self.depth -= 1
 
     def mk_thunk(self, expr: CoreExpr, env: Frame) -> Any:
         # Trivial expressions do not need a suspension.
@@ -527,10 +561,30 @@ def value_to_python(evaluator: Evaluator, value: Any) -> Any:
     raise EvalError(f"cannot convert value {value!r}")
 
 
+#: Recursion limit inside big-stack threads; a 512 MB stack holds this
+#: many interpreted frames comfortably.
+BIG_STACK_RECURSION_LIMIT = 1_000_000
+
+_big_stack_lock: Any = None
+_big_stack_active = 0
+_big_stack_saved_limit = 0
+
+
 def with_big_stack(fn: Callable[[], Any], stack_mb: int = 512) -> Any:
     """Run *fn* in a thread with a large stack — deep recursion in
-    interpreted programs nests Python frames."""
+    interpreted programs nests Python frames.
+
+    The recursion limit and ``threading.stack_size`` are process-global,
+    so concurrent callers coordinate through a lock and a nesting count:
+    the limit is raised when the first big-stack thread starts and
+    restored only when the last one finishes (restoring earlier would
+    yank the floor out from under a thread that is still deep).
+    """
     import threading
+
+    global _big_stack_lock, _big_stack_active, _big_stack_saved_limit
+    if _big_stack_lock is None:
+        _big_stack_lock = threading.Lock()
 
     result: List[Any] = []
     error: List[BaseException] = []
@@ -541,16 +595,34 @@ def with_big_stack(fn: Callable[[], Any], stack_mb: int = 512) -> Any:
         except BaseException as exc:  # noqa: BLE001 — re-raised below
             error.append(exc)
 
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(1_000_000)
-    try:
+    with _big_stack_lock:
+        if _big_stack_active == 0:
+            _big_stack_saved_limit = sys.getrecursionlimit()
+            if _big_stack_saved_limit < BIG_STACK_RECURSION_LIMIT:
+                sys.setrecursionlimit(BIG_STACK_RECURSION_LIMIT)
+        _big_stack_active += 1
+        # stack_size is global too: set it, start the thread (which
+        # snapshots it), and reset before releasing the lock.
         threading.stack_size(stack_mb * 1024 * 1024)
-        thread = threading.Thread(target=runner)
-        thread.start()
+        try:
+            thread = threading.Thread(target=runner)
+            thread.start()
+        except BaseException:
+            _big_stack_active -= 1
+            if (_big_stack_active == 0
+                    and sys.getrecursionlimit() == BIG_STACK_RECURSION_LIMIT):
+                sys.setrecursionlimit(_big_stack_saved_limit)
+            raise
+        finally:
+            threading.stack_size(0)
+    try:
         thread.join()
     finally:
-        threading.stack_size(0)
-        sys.setrecursionlimit(old_limit)
+        with _big_stack_lock:
+            _big_stack_active -= 1
+            if (_big_stack_active == 0
+                    and sys.getrecursionlimit() == BIG_STACK_RECURSION_LIMIT):
+                sys.setrecursionlimit(_big_stack_saved_limit)
     if error:
         raise error[0]
     return result[0]

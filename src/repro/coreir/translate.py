@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence
 
 from repro.errors import StaticError
 from repro.lang import ast
+from repro.limits import DEFAULT_TRANSFORM_DEPTH, DepthGuard
 from repro.util.names import NameSupply
 from repro.coreir.syntax import (
     CAlt,
@@ -44,11 +45,14 @@ from repro.coreir.syntax import (
 
 
 class Translator:
-    def __init__(self, con_arity: Dict[str, int]) -> None:
+    def __init__(self, con_arity: Dict[str, int],
+                 max_depth: int = DEFAULT_TRANSFORM_DEPTH) -> None:
         """*con_arity* maps data constructor names to their arities
         (needed to emit saturation-aware ``CCon`` nodes)."""
         self.con_arity = con_arity
         self.names = NameSupply()
+        self._depth = DepthGuard(max_depth, "max_transform_depth",
+                                 "core translation")
 
     # ------------------------------------------------------------ programs
 
@@ -92,6 +96,13 @@ class Translator:
     # --------------------------------------------------------- expressions
 
     def expr(self, expr: ast.Expr) -> CoreExpr:
+        self._depth.enter(getattr(expr, "pos", None))
+        try:
+            return self._expr(expr)
+        finally:
+            self._depth.exit()
+
+    def _expr(self, expr: ast.Expr) -> CoreExpr:
         expr = ast.unwrap_placeholders(expr)
         if isinstance(expr, ast.Var):
             return CVar(expr.name)

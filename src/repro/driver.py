@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import MonomorphismWarning
+from repro.limits import ensure_recursion_headroom, recursion_fence
 from repro.core.infer import Inferencer, InferResult
 from repro.core.static import StaticEnv
 from repro.core.types import Scheme, qual_type_str
@@ -97,19 +98,29 @@ class CompiledProgram:
                                      self.options.call_by_need)
         step_limit = overrides.get("step_limit",
                                    self.options.eval_step_limit)
+        max_depth = overrides.get(
+            "max_depth", getattr(self.options, "eval_depth_limit", 200_000))
         return Evaluator(self.core, PRIMITIVES(), call_by_need=call_by_need,
-                         step_limit=step_limit)
+                         step_limit=step_limit, max_depth=max_depth)
 
     def run(self, name: str = "main", deep: bool = True,
-            big_stack: bool = False, **overrides: Any) -> Any:
-        """Evaluate the top-level binding *name* to a Python value."""
+            big_stack: bool = True, **overrides: Any) -> Any:
+        """Evaluate the top-level binding *name* to a Python value.
+
+        Deep work runs on a dedicated big-stack thread by default —
+        never by raising the recursion limit on the caller's thread,
+        which is how interpreters segfault.  ``big_stack=False`` stays
+        available for hosts that already run on a big stack (the
+        compile server's workers).
+        """
         evaluator = self.evaluator(**overrides)
 
         def go() -> Any:
-            value = evaluator.run(name)
-            if deep:
-                return value_to_python(evaluator, value)
-            return value
+            with recursion_fence(f"evaluation of '{name}'"):
+                value = evaluator.run(name)
+                if deep:
+                    return value_to_python(evaluator, value)
+                return value
 
         try:
             result = with_big_stack(go) if big_stack else go()
@@ -119,37 +130,52 @@ class CompiledProgram:
             self.last_stats = evaluator.stats
         return result
 
-    def eval(self, source: str, deep: bool = True, big_stack: bool = False,
+    def eval(self, source: str, deep: bool = True, big_stack: bool = True,
              **overrides: Any) -> Any:
         """Type check and evaluate an expression in this program's
-        scope (e.g. ``program.eval("member 2 [1,2,3]")``)."""
-        expr = desugar_expr(parse_expr(source),
-                            self.options.overload_literals)
-        with self._lock:
-            n_before = len(self._inferencer.output)
-            _ty, resolved = self._inferencer.infer_expression(expr)
-            extra = self._inferencer.output[n_before:]
-            # Helper bindings generated for this expression (local lets,
-            # hoisted dictionaries) must not accumulate in the shared
-            # inferencer: they are only meaningful to this evaluation,
-            # and leaving them would grow ``output`` by one suffix per
-            # ``eval`` for the lifetime of the program.
-            del self._inferencer.output[n_before:]
-            translator = Translator(self._arity_map())
-            core_extra = [translator.binding(b.name, b.expr, b.kind)
-                          for b in extra]
-            core_expr = translator.expr(resolved)
+        scope (e.g. ``program.eval("member 2 [1,2,3]")``).
+
+        As with :meth:`run`, evaluation uses a big-stack thread by
+        default instead of mutating the caller's recursion limit.
+        """
+        ensure_recursion_headroom()
+        with recursion_fence("expression compilation"):
+            expr = desugar_expr(
+                parse_expr(
+                    source,
+                    max_depth=getattr(self.options, "max_parse_depth", 300)),
+                self.options.overload_literals)
+            with self._lock:
+                n_before = len(self._inferencer.output)
+                _ty, resolved = self._inferencer.infer_expression(expr)
+                extra = self._inferencer.output[n_before:]
+                # Helper bindings generated for this expression (local
+                # lets, hoisted dictionaries) must not accumulate in the
+                # shared inferencer: they are only meaningful to this
+                # evaluation, and leaving them would grow ``output`` by
+                # one suffix per ``eval`` for the lifetime of the
+                # program.
+                del self._inferencer.output[n_before:]
+                translator = Translator(self._arity_map())
+                core_extra = [translator.binding(b.name, b.expr, b.kind)
+                              for b in extra]
+                core_expr = translator.expr(resolved)
         evaluator = Evaluator(self.core.extend(core_extra), PRIMITIVES(),
                               call_by_need=overrides.get(
                                   "call_by_need", self.options.call_by_need),
                               step_limit=overrides.get(
-                                  "step_limit", self.options.eval_step_limit))
+                                  "step_limit", self.options.eval_step_limit),
+                              max_depth=overrides.get(
+                                  "max_depth",
+                                  getattr(self.options, "eval_depth_limit",
+                                          200_000)))
 
         def go() -> Any:
-            value = evaluator.run_expr(core_expr)
-            if deep:
-                return value_to_python(evaluator, value)
-            return value
+            with recursion_fence("expression evaluation"):
+                value = evaluator.run_expr(core_expr)
+                if deep:
+                    return value_to_python(evaluator, value)
+                return value
 
         try:
             result = with_big_stack(go) if big_stack else go()
@@ -160,8 +186,12 @@ class CompiledProgram:
     def type_of(self, source: str) -> str:
         """The inferred (qualified) type of an expression, as a string —
         handy for tests and the examples."""
-        expr = desugar_expr(parse_expr(source),
-                            self.options.overload_literals)
+        ensure_recursion_headroom()
+        expr = desugar_expr(
+            parse_expr(
+                source,
+                max_depth=getattr(self.options, "max_parse_depth", 300)),
+            self.options.overload_literals)
         with self._lock:
             # Use a scratch inferencer so defaulting does not pollute
             # state.

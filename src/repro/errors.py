@@ -5,12 +5,23 @@ driver (or a test) can catch the whole family at once.  Errors carry an
 optional source location; :meth:`ReproError.pretty` renders a message
 with the offending source line and a caret, in the style users expect
 from a production compiler.
+
+Every error class also carries a stable, machine-readable ``code``
+(dotted, most-general segment first: ``type.unify``, ``limit.depth``)
+and renders itself to a JSON-able dict via :meth:`ReproError.to_json`.
+The compile server's error envelope and the fuzz harness both key off
+these codes, so they are part of the public protocol: changing one is a
+breaking change (see docs/SERVICE.md for the taxonomy).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
+
+#: Tab stop used when quoting source lines (matches the lexer's layout
+#: rule and every mainstream terminal).
+TAB_WIDTH = 8
 
 
 @dataclass(frozen=True)
@@ -24,9 +35,16 @@ class SourcePos:
     def __str__(self) -> str:
         return f"{self.filename}:{self.line}:{self.column}"
 
+    def to_json(self) -> Dict[str, Any]:
+        return {"filename": self.filename, "line": self.line,
+                "column": self.column}
+
 
 class ReproError(Exception):
     """Base class for every error raised by the compiler."""
+
+    #: Stable machine-readable error code; subclasses override.
+    code = "error"
 
     def __init__(self, message: str, pos: Optional[SourcePos] = None) -> None:
         super().__init__(message)
@@ -38,6 +56,16 @@ class ReproError(Exception):
             return f"{self.pos}: {self.message}"
         return self.message
 
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-able rendering: ``{code, message, pos}`` with ``pos``
+        either ``{filename, line, column}`` or ``None``.  The compile
+        server sends exactly this shape in its error envelope."""
+        return {
+            "code": self.code,
+            "message": str(self),
+            "pos": self.pos.to_json() if self.pos is not None else None,
+        }
+
     def pretty(self, source: Optional[str] = None) -> str:
         """Render the error, quoting the offending line when available."""
         header = str(self)
@@ -47,47 +75,69 @@ class ReproError(Exception):
         if not 1 <= self.pos.line <= len(lines):
             return header
         src_line = lines[self.pos.line - 1]
-        caret = " " * (self.pos.column - 1) + "^"
-        return f"{header}\n  {src_line}\n  {caret}"
+        # Expand tabs in both the quoted line and the caret pad with the
+        # same tab stops, so the caret lands under the offending column
+        # even when the line mixes tabs and spaces.
+        prefix = src_line[:self.pos.column - 1].expandtabs(TAB_WIDTH)
+        caret = " " * len(prefix) + "^"
+        return f"{header}\n  {src_line.expandtabs(TAB_WIDTH)}\n  {caret}"
 
 
 class LexError(ReproError):
     """Raised by the lexer: bad character, unterminated literal, bad layout."""
 
+    code = "lex"
+
 
 class ParseError(ReproError):
     """Raised by the parser on malformed syntax."""
+
+    code = "parse"
 
 
 class StaticError(ReproError):
     """Raised during static analysis (section 4): malformed or duplicate
     data/class/instance declarations, unknown names, arity errors."""
 
+    code = "static"
+
 
 class DuplicateInstanceError(StaticError):
     """Two instance declarations for the same (class, type constructor)
     pair — section 4 requires instances to be unique."""
 
+    code = "static.duplicate-instance"
+
 
 class KindError(ReproError):
     """Raised by kind inference when a type expression is ill-kinded."""
+
+    code = "kind"
 
 
 class TypeCheckError(ReproError):
     """Base class for errors raised during type inference proper."""
 
+    code = "type"
+
 
 class UnificationError(TypeCheckError):
     """Two types cannot be made equal."""
+
+    code = "type.unify"
 
 
 class OccursCheckError(UnificationError):
     """A type variable would have to contain itself (infinite type)."""
 
+    code = "type.occurs"
+
 
 class NoInstanceError(TypeCheckError):
     """Context reduction failed: an overloaded operator is used at a type
     that is not an instance of the corresponding class (section 5)."""
+
+    code = "type.no-instance"
 
     def __init__(self, class_name: str, type_str: str,
                  pos: Optional[SourcePos] = None) -> None:
@@ -106,6 +156,8 @@ class AmbiguityError(TypeCheckError):
     mentions a type variable that appears neither in the parameter
     environment nor in an enclosing binding, and defaulting failed."""
 
+    code = "type.ambiguous"
+
     def __init__(self, class_names: List[str], type_str: str,
                  pos: Optional[SourcePos] = None) -> None:
         classes = ", ".join(class_names)
@@ -122,6 +174,8 @@ class AmbiguityError(TypeCheckError):
 class SignatureError(TypeCheckError):
     """A user-supplied signature (section 8.6) is violated: the inferred
     type is more constrained or less general than the declared one."""
+
+    code = "type.signature"
 
 
 class MonomorphismWarning:
@@ -148,8 +202,29 @@ class EvalError(ReproError):
     """Raised by the core evaluator: pattern match failure, bad primitive
     application, user `error` calls."""
 
+    code = "eval"
+
 
 class TagDispatchError(ReproError):
     """Raised by the tag-dispatch baseline (section 3), notably when asked
     to resolve overloading that is determined only by the *result* type
     (e.g. `read`), which tags cannot express."""
+
+    code = "tags"
+
+
+class ResourceLimitError(ReproError):
+    """A compiler or evaluator resource budget was exhausted: parser or
+    type-checker depth guard, evaluator depth budget, or a Python
+    ``RecursionError`` caught at a phase boundary.  Deliberately a
+    `ReproError` so long-lived hosts (the compile server, the REPL) treat
+    pathological inputs like any other diagnostic instead of dying."""
+
+    code = "limit"
+
+    def __init__(self, message: str, pos: Optional[SourcePos] = None,
+                 limit: Optional[str] = None) -> None:
+        super().__init__(message, pos)
+        #: Name of the exhausted budget (e.g. ``"max_parse_depth"``),
+        #: when known — lets callers tell users which knob to raise.
+        self.limit = limit

@@ -33,13 +33,17 @@ from typing import List, Optional, Tuple
 
 from repro.errors import ParseError
 from repro.lang import ast
+from repro.limits import DEFAULT_TRANSFORM_DEPTH, DepthGuard
 from repro.util.names import NameSupply
 
 
 class Desugarer:
-    def __init__(self, overload_literals: bool = True) -> None:
+    def __init__(self, overload_literals: bool = True,
+                 max_depth: int = DEFAULT_TRANSFORM_DEPTH) -> None:
         self.names = NameSupply()
         self.overload_literals = overload_literals
+        self._depth = DepthGuard(max_depth, "max_transform_depth",
+                                 "desugaring")
 
     # ------------------------------------------------------------- programs
 
@@ -194,6 +198,13 @@ class Desugarer:
         return lit
 
     def expr(self, expr: ast.Expr) -> ast.Expr:
+        self._depth.enter(getattr(expr, "pos", None))
+        try:
+            return self._expr(expr)
+        finally:
+            self._depth.exit()
+
+    def _expr(self, expr: ast.Expr) -> ast.Expr:
         if isinstance(expr, ast.Lit):
             return self.literal(expr.value, expr.kind, expr.pos)
         if isinstance(expr, (ast.Var, ast.Con)):

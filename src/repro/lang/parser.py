@@ -16,10 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ParseError, SourcePos
+from repro.errors import ParseError, ResourceLimitError, SourcePos
 from repro.lang import ast
 from repro.lang.lexer import lex
 from repro.lang.tokens import Token, TokenType
+from repro.limits import DEFAULT_PARSE_DEPTH, ensure_recursion_headroom
 
 
 @dataclass(frozen=True)
@@ -58,13 +59,62 @@ _UNKNOWN_FIXITY = Fixity(9, "l")
 class Parser:
     """One parse of one token stream."""
 
-    def __init__(self, tokens: List[Token], source: str = "") -> None:
+    def __init__(self, tokens: List[Token], source: str = "",
+                 max_depth: int = DEFAULT_PARSE_DEPTH) -> None:
         self.tokens = tokens
         self.index = 0
         self.source = source
         self.fixities: Dict[str, Fixity] = dict(DEFAULT_FIXITIES)
+        self.max_depth = max_depth
+        self.depth = 0
+        # Total-work budget.  Legitimate parses use well under one
+        # _enter_depth call per token (the prelude: ~0.3, worst
+        # observed ~0.5); the backtracking in parse_paren_expr /
+        # parse_funlhs goes exponential on adversarial inputs (e.g.
+        # dozens of unclosed parens), which shows up as vastly more
+        # calls.  The budget scales with input size — NOT with
+        # max_depth, or raising the depth knob would let adversarial
+        # inputs burn minutes before tripping it.  Disabled together
+        # with the depth guard (max_depth=0 means "no limits").
+        self.max_fuel = 16 * (len(tokens) + 64) if max_depth else 0
+        self.fuel_used = 0
 
     # ---------------------------------------------------------------- utils
+
+    def _enter_depth(self, what: str) -> None:
+        """Count one level of grammar nesting; the budget turns
+        pathological inputs (hundreds of nested parens) into a located
+        error instead of a Python ``RecursionError``."""
+        self.fuel_used += 1
+        if self.max_fuel and self.fuel_used > self.max_fuel:
+            raise ResourceLimitError(
+                f"parsing exceeded its work budget ({self.max_fuel} "
+                f"steps): the input provokes pathological backtracking; "
+                f"raise max_parse_depth to enlarge the budget",
+                self.peek().pos,
+                limit="max_parse_fuel",
+            )
+        self.depth += 1
+        if self.max_depth and self.depth > self.max_depth:
+            self.depth -= 1
+            raise ResourceLimitError(
+                f"{what} nests too deeply (more than {self.max_depth} "
+                f"levels); raise max_parse_depth for deeply nested inputs",
+                self.peek().pos,
+                limit="max_parse_depth",
+            )
+
+    def _int_literal(self, tok: Token) -> int:
+        try:
+            return int(tok.value)
+        except ValueError:
+            # CPython refuses str→int conversion past
+            # sys.get_int_max_str_digits() digits; surface it as a
+            # located error rather than a bare ValueError.
+            raise ParseError(
+                f"integer literal too large ({len(tok.value)} digits "
+                f"exceeds this Python's string-conversion limit)",
+                tok.pos) from None
 
     def peek(self, ahead: int = 0) -> Token:
         idx = min(self.index + ahead, len(self.tokens) - 1)
@@ -490,12 +540,16 @@ class Parser:
         return ast.SQualType(context, ty, pos=start)
 
     def parse_type(self) -> ast.SType:
-        left = self.parse_btype()
-        if self.peek().is_reserved_op("->"):
-            self.advance()
-            right = self.parse_type()
-            return ast.sty_fun(left, right)
-        return left
+        self._enter_depth("type")
+        try:
+            left = self.parse_btype()
+            if self.peek().is_reserved_op("->"):
+                self.advance()
+                right = self.parse_type()
+                return ast.sty_fun(left, right)
+            return left
+        finally:
+            self.depth -= 1
 
     def parse_btype(self) -> ast.SType:
         ty = self.parse_atype()
@@ -556,13 +610,17 @@ class Parser:
 
     def parse_pattern(self) -> ast.Pat:
         """Full pattern: constructor applications and infix ``:``."""
-        left = self.parse_pat10()
-        tok = self.peek()
-        if tok.type is TokenType.VARSYM and tok.value == ":":
-            self.advance()
-            right = self.parse_pattern()  # ':' is right associative
-            return ast.PCon(":", [left, right], pos=tok.pos)
-        return left
+        self._enter_depth("pattern")
+        try:
+            left = self.parse_pat10()
+            tok = self.peek()
+            if tok.type is TokenType.VARSYM and tok.value == ":":
+                self.advance()
+                right = self.parse_pattern()  # ':' is right associative
+                return ast.PCon(":", [left, right], pos=tok.pos)
+            return left
+        finally:
+            self.depth -= 1
 
     def parse_pat10(self) -> ast.Pat:
         tok = self.peek()
@@ -591,7 +649,7 @@ class Parser:
             return ast.PCon(tok.value, [], pos=tok.pos)
         if tok.type is TokenType.INT:
             self.advance()
-            return ast.PLit(int(tok.value), "int", pos=tok.pos)
+            return ast.PLit(self._int_literal(tok), "int", pos=tok.pos)
         if tok.type is TokenType.FLOAT:
             self.advance()
             return ast.PLit(float(tok.value), "float", pos=tok.pos)
@@ -643,23 +701,27 @@ class Parser:
 
     def parse_opexpr(self, min_prec: int) -> ast.Expr:
         """Precedence climbing over binary operators and prefix minus."""
-        left = self.parse_prefix()
-        while True:
-            op = self._peek_operator()
-            if op is None:
-                return left
-            fix = self.fixities.get(op, _UNKNOWN_FIXITY)
-            if fix.precedence < min_prec:
-                return left
-            op_tok = self._consume_operator()
-            if fix.assoc == "l":
-                next_min = fix.precedence + 1
-            elif fix.assoc == "r":
-                next_min = fix.precedence
-            else:  # non-associative: parse a tighter expression
-                next_min = fix.precedence + 1
-            right = self.parse_opexpr(next_min)
-            left = self._apply_operator(op, op_tok.pos, left, right)
+        self._enter_depth("expression")
+        try:
+            left = self.parse_prefix()
+            while True:
+                op = self._peek_operator()
+                if op is None:
+                    return left
+                fix = self.fixities.get(op, _UNKNOWN_FIXITY)
+                if fix.precedence < min_prec:
+                    return left
+                op_tok = self._consume_operator()
+                if fix.assoc == "l":
+                    next_min = fix.precedence + 1
+                elif fix.assoc == "r":
+                    next_min = fix.precedence
+                else:  # non-associative: parse a tighter expression
+                    next_min = fix.precedence + 1
+                right = self.parse_opexpr(next_min)
+                left = self._apply_operator(op, op_tok.pos, left, right)
+        finally:
+            self.depth -= 1
 
     def _peek_operator(self) -> Optional[str]:
         tok = self.peek()
@@ -785,7 +847,7 @@ class Parser:
             return ast.Con(tok.value, pos=tok.pos)
         if tok.type is TokenType.INT:
             self.advance()
-            return ast.Lit(int(tok.value), "int", pos=tok.pos)
+            return ast.Lit(self._int_literal(tok), "int", pos=tok.pos)
         if tok.type is TokenType.FLOAT:
             self.advance()
             return ast.Lit(float(tok.value), "float", pos=tok.pos)
@@ -916,9 +978,11 @@ def merge_equations(decls: List[ast.Decl]) -> List[ast.Decl]:
     return out
 
 
-def parse_program(source: str, filename: str = "<input>") -> ast.Program:
+def parse_program(source: str, filename: str = "<input>",
+                  max_depth: int = DEFAULT_PARSE_DEPTH) -> ast.Program:
     """Parse a whole module."""
-    parser = Parser(lex(source, filename), source)
+    ensure_recursion_headroom()
+    parser = Parser(lex(source, filename), source, max_depth=max_depth)
     program = parser.parse_program()
     program.decls = merge_equations(program.decls)
     return program
@@ -942,20 +1006,24 @@ def _strip_module_block(tokens: List[Token]) -> List[Token]:
     return out
 
 
-def parse_expr(source: str, filename: str = "<expr>") -> ast.Expr:
+def parse_expr(source: str, filename: str = "<expr>",
+               max_depth: int = DEFAULT_PARSE_DEPTH) -> ast.Expr:
     """Parse a single expression (used by tests and the REPL-style API)."""
+    ensure_recursion_headroom()
     stripped = _strip_module_block(lex(source, filename))
-    parser = Parser(stripped, source)
+    parser = Parser(stripped, source, max_depth=max_depth)
     expr = parser.parse_expr()
     if parser.peek().type is not TokenType.EOF:
         raise parser.error("unexpected input after expression")
     return expr
 
 
-def parse_type(source: str, filename: str = "<type>") -> ast.SQualType:
+def parse_type(source: str, filename: str = "<type>",
+               max_depth: int = DEFAULT_PARSE_DEPTH) -> ast.SQualType:
     """Parse a qualified type (used by tests and the public API)."""
+    ensure_recursion_headroom()
     stripped = _strip_module_block(lex(source, filename))
-    parser = Parser(stripped, source)
+    parser = Parser(stripped, source, max_depth=max_depth)
     ty = parser.parse_qual_type()
     if parser.peek().type is not TokenType.EOF:
         raise parser.error("unexpected input after type")

@@ -63,6 +63,14 @@ class CompilerOptions:
     call_by_need: bool = True
     eval_step_limit: int = 0  # 0 = unlimited
 
+    # ---- resource limits (crash containment; 0 = unlimited)
+    # Budgets fire as located ResourceLimitError long before the Python
+    # stack is in danger; raise them (e.g. --set max_parse_depth=2000)
+    # for batch workloads with unusually deep inputs.  See docs/SERVICE.md.
+    max_parse_depth: int = 300      # parser expression/pattern/type nesting
+    max_type_depth: int = 10_000    # unifier worklist depth
+    eval_depth_limit: int = 200_000  # evaluator nesting (non-tail calls)
+
     # ---- compilation service (repro.service)
     cache_size: int = 64          # in-memory compile cache capacity
     cache_dir: str = ""           # "" = memory only; a path enables disk cache

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.limits import ensure_recursion_headroom, recursion_fence
 from repro.options import CompilerOptions
 from repro.pipeline.context import CompileContext, SourceUnit
 
@@ -99,6 +100,7 @@ class PassManager:
             observer: Optional[Callable[[str, CompileContext], None]] = None
             ) -> CompileContext:
         """Execute the sequence (or its prefix up to *stop_after*)."""
+        ensure_recursion_headroom()
         if stop_after is not None and stop_after not in self.names():
             raise UnknownPassError(stop_after, self.names())
         for group in self._stages():
@@ -141,9 +143,14 @@ class PassManager:
                   unit: Optional[SourceUnit]) -> None:
         t0 = time.perf_counter()
         try:
-            if p.per_unit:
-                p.run(ctx, unit)
-            else:
-                p.run(ctx)
+            # The fence is the catch-all beneath the per-engine depth
+            # budgets: whatever slips past them surfaces as a located
+            # ResourceLimitError naming the pass, never a raw
+            # RecursionError out of a long-lived host.
+            with recursion_fence(f"the '{p.name}' pass"):
+                if p.per_unit:
+                    p.run(ctx, unit)
+                else:
+                    p.run(ctx)
         finally:
             ctx.trace.record(p.name, time.perf_counter() - t0)

@@ -32,7 +32,9 @@ from repro.pipeline.manager import Pass, PassManager
 
 
 def _parse(ctx: CompileContext, unit: SourceUnit) -> None:
-    unit.program = parse_program(unit.text, unit.filename)
+    unit.program = parse_program(
+        unit.text, unit.filename,
+        max_depth=getattr(ctx.options, "max_parse_depth", 300))
 
 
 def _desugar(ctx: CompileContext, unit: SourceUnit) -> None:

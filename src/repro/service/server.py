@@ -40,8 +40,13 @@ from repro.service.snapshot import get_default_snapshot
 PROTOCOL_VERSION = 1
 
 
-def _error(kind: str, message: str, **extra: Any) -> Dict[str, Any]:
-    out: Dict[str, Any] = {"type": kind, "message": message}
+def _error(kind: str, message: str, code: Optional[str] = None,
+           **extra: Any) -> Dict[str, Any]:
+    """The error envelope: ``type`` (legacy, human-oriented), ``code``
+    (stable, machine-readable — see docs/SERVICE.md), ``message`` and
+    optionally ``pos``."""
+    out: Dict[str, Any] = {"type": kind, "code": code or kind,
+                           "message": message, "pos": None}
     out.update(extra)
     return out
 
@@ -129,9 +134,12 @@ class CompileService:
         except ProtocolError as exc:
             return self._failure(request_id, _error("protocol", str(exc)))
         except ReproError as exc:
-            error = _error(type(exc).__name__, str(exc))
-            if getattr(exc, "pos", None) is not None:
-                error["pos"] = str(exc.pos)
+            # {code, message, pos} from the error itself; "type" (the
+            # class name) is kept for older clients.
+            error = exc.to_json()
+            error["type"] = type(exc).__name__
+            if getattr(exc, "limit", None):
+                error["limit"] = exc.limit
             return self._failure(request_id, error)
         except Exception as exc:  # never let a request kill the server
             return self._failure(
@@ -140,6 +148,11 @@ class CompileService:
     def _failure(self, request_id: Any,
                  error: Dict[str, Any]) -> Dict[str, Any]:
         self.metrics.incr("errors_total")
+        # Per-code counters surface in ``stats`` so operators can see
+        # *what kind* of failures a fleet is eating (e.g. a spike in
+        # ``errors.limit`` means someone is feeding us pathological
+        # inputs).
+        self.metrics.incr(f"errors.{error.get('code') or 'error'}")
         return {"id": request_id, "ok": False, "error": error}
 
     # ------------------------------------------------------------------ ops
@@ -177,7 +190,12 @@ class CompileService:
                 overrides["step_limit"] = int(request["step_limit"])
             except (TypeError, ValueError):
                 raise ProtocolError("'step_limit' must be an integer")
-        value = program.eval(expr, **overrides)
+        if "max_depth" in request:
+            try:
+                overrides["max_depth"] = int(request["max_depth"])
+            except (TypeError, ValueError):
+                raise ProtocolError("'max_depth' must be an integer")
+        value = program.eval(expr, big_stack=False, **overrides)
         result: Dict[str, Any] = {"program": key, "value": render(value)}
         stats = program.last_stats
         if stats is not None:
@@ -383,6 +401,7 @@ class CompileServer:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self.service.metrics.incr("requests_total")
             self.service.metrics.incr("errors_total")
+            self.service.metrics.incr("errors.protocol")
             write({"id": None, "ok": False,
                    "error": _error("protocol", f"malformed JSON: {exc}")})
             return True
@@ -404,6 +423,7 @@ class CompileServer:
             except FutureTimeout:
                 if once.claim():
                     self.service.metrics.incr("timeouts_total")
+                    self.service.metrics.incr("errors.timeout")
                     write({"id": request_id, "ok": False,
                            "error": _error(
                                "timeout",

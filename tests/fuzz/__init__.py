@@ -1,0 +1,15 @@
+"""Adversarial-input fuzzing for the compiler and evaluator.
+
+The single invariant under test: **any** input either compiles (and
+optionally evaluates under a step limit) or raises a located
+:class:`repro.errors.ReproError` — the process never dies with a
+``RecursionError``, a segfault, or any other unstructured failure.
+
+* :mod:`tests.fuzz.gen` — seeded random program generator (valid-ish
+  programs plus mutations that corrupt them).
+* :mod:`tests.fuzz.corpus` — hand-written adversarial programs, one per
+  historically crashy shape (deep nesting, deep user recursion,
+  occurs-check bombs, unterminated literals, ...).
+* :mod:`tests.fuzz.run_fuzz` — the CLI smoke runner used by CI:
+  ``python -m tests.fuzz.run_fuzz --seed 0 --count 1000``.
+"""

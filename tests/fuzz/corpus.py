@@ -1,0 +1,91 @@
+"""Hand-written adversarial corpus: one entry per historically crashy
+or otherwise pathological input shape.
+
+Every entry must satisfy the fuzz invariant — compile + step-limited
+eval either succeeds or raises a :class:`repro.errors.ReproError` —
+and the regression tests in ``tests/test_fuzz.py`` additionally pin
+the *code* of the error where one is expected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+# The two confirmed pre-fix crashers -----------------------------------
+
+#: Segfaulted the process before the evaluator's recursion-limit fix:
+#: ~100k levels of non-tail interpreted recursion on a default C stack
+#: with ``sys.setrecursionlimit(400_000)``.  Must now *return 100000*
+#: (the default run path routes through a big-stack thread).
+DEEP_RECURSION_OK = (
+    "count n = if n == 0 then 0 else 1 + count (n - 1)\n"
+    "main = count 100000\n"
+)
+
+#: Same program, three times deeper: must raise ``ResourceLimitError``
+#: (code "limit", limit "eval_depth_limit") — never RecursionError and
+#: never a dead process.
+DEEP_RECURSION_OVER_BUDGET = (
+    "count n = if n == 0 then 0 else 1 + count (n - 1)\n"
+    "main = count 300000\n"
+)
+
+#: Escaped as a raw RecursionError from the parser before the depth
+#: guard: 400 unclosed parens (over the 300 parse-depth budget).
+DEEP_PARENS_UNCLOSED = "main = " + "(" * 400
+
+#: Balanced version — still over the parse budget, so still a located
+#: ResourceLimitError rather than a successful parse.
+DEEP_PARENS_BALANCED = "main = " + "(" * 400 + "1" + ")" * 400
+
+# Other adversarial shapes ---------------------------------------------
+
+ADVERSARIAL_CORPUS: List[Tuple[str, str]] = [
+    ("deep_recursion_ok", DEEP_RECURSION_OK),
+    ("deep_recursion_over_budget", DEEP_RECURSION_OVER_BUDGET),
+    ("deep_parens_unclosed", DEEP_PARENS_UNCLOSED),
+    ("deep_parens_balanced", DEEP_PARENS_BALANCED),
+    ("empty", ""),
+    ("whitespace_only", "  \n\t \n"),
+    ("no_main", "f x = x + 1"),
+    ("unterminated_string", 'main = "never closed'),
+    ("unterminated_char", "main = 'a"),
+    ("stray_close_paren", "main = 1)))))"),
+    ("deep_brackets", "main = " + "[" * 350),
+    ("deep_lambdas", "main = " + "\\x -> (" * 350 + "x" + ")" * 350),
+    ("deep_lets",
+     "main = " + "".join(f"let v{i} = {i} in " for i in range(350)) + "0"),
+    ("deep_type_sig",
+     "f :: " + "(" * 320 + "Int" + ")" * 320 + "\nf = 1\nmain = f"),
+    ("occurs_check_self_apply", "main = (\\x -> x x)"),
+    ("occurs_check_omega", "main = (\\x -> x x) (\\x -> x x)"),
+    ("type_clash", "main = True 1"),
+    ("literal_no_instance", 'main = 1 + "two"'),
+    ("unbound_variable", "main = mystery 42"),
+    ("no_instance", "data T = T\nmain = show T"),
+    ("duplicate_instance",
+     "data T = T deriving Eq\ninstance Eq T where\n  a == b = True\n"
+     "main = T == T"),
+    ("ambiguous_show_read", "main = fromInteger 1 == fromInteger 1"),
+    ("bad_layout", "main =\n1\n  + 2\n      + 3"),
+    ("tab_soup", "main\t=\t1\t+\t2"),
+    ("null_bytes", "main = 1\x00 + 2"),
+    ("non_ascii", "main = 1 ≠ 2"),
+    ("huge_int_literal", "main = " + "9" * 5000),
+    ("long_line_no_newline", "main = 1 " + "+ 1 " * 4000),
+    ("pattern_match_fail",
+     "data T = A | B\nf A = 1\nmain = f B"),
+    ("divide_by_zero", "main = 1 `div` 0"),
+    ("infinite_loop_step_limited", "loop n = loop (n + 1)\nmain = loop 0"),
+    ("mutual_recursion_deep",
+     "even2 n = if n == 0 then True else odd2 (n - 1)\n"
+     "odd2 n = if n == 0 then False else even2 (n - 1)\n"
+     "main = even2 200001\n"),
+    ("class_cycleish",
+     "class A a => B a where\n  b :: a -> Int\n"
+     "class B a => A a where\n  a :: a -> Int\n"
+     "main = 1"),
+    ("keyword_as_name", "let = 3\nmain = let"),
+    ("operator_soup", "main = + * - / == =<< >>= @ ~ ::"),
+    ("brace_bomb", "main = {" + "{" * 300),
+]

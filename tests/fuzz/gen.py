@@ -1,0 +1,152 @@
+"""Seeded random program generator for the fuzz harness.
+
+Two program populations, drawn from one :class:`random.Random` so a
+seed fully determines the run:
+
+* **grown** programs — built from a small grammar of the surface
+  language (arithmetic, comparisons, lambdas, ``let``/``in``,
+  ``if``/``then``/``else``, tuples, lists, class methods like ``show``
+  and ``==``, plus occasional ``data``/``class``/``instance``
+  declarations).  Many of these are type-correct; the rest exercise
+  the inference error paths.
+* **mutated** programs — a grown program corrupted by a random edit
+  (truncation, character insertion/deletion/swap, bracket doubling,
+  token duplication).  These exercise the lexer/parser error paths and
+  layout recovery.
+
+The generator never tries to be *semantically* interesting — the point
+is crash containment, not miscompilation hunting — so it favours
+shapes that historically killed the process: deep nesting, deep user
+recursion, self-application, huge literals and unterminated ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+VAR_NAMES = ["x", "y", "z", "f", "g", "n", "acc"]
+INT_OPS = ["+", "-", "*"]
+CMP_OPS = ["==", "/=", "<", "<=", ">", ">="]
+
+
+class ProgramGen:
+    """Deterministic program source generator for one seed."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------ expressions
+
+    def expr(self, depth: int, vars_: List[str]) -> str:
+        r = self.rng
+        if depth <= 0 or r.random() < 0.3:
+            return self.atom(vars_)
+        kind = r.randrange(8)
+        if kind == 0:
+            op = r.choice(INT_OPS)
+            return (f"({self.expr(depth - 1, vars_)} {op} "
+                    f"{self.expr(depth - 1, vars_)})")
+        if kind == 1:
+            op = r.choice(CMP_OPS)
+            return (f"({self.expr(depth - 1, vars_)} {op} "
+                    f"{self.expr(depth - 1, vars_)})")
+        if kind == 2:
+            return (f"(if {self.expr(depth - 1, vars_)} "
+                    f"then {self.expr(depth - 1, vars_)} "
+                    f"else {self.expr(depth - 1, vars_)})")
+        if kind == 3:
+            v = r.choice(VAR_NAMES)
+            return (f"(let {v} = {self.expr(depth - 1, vars_)} "
+                    f"in {self.expr(depth - 1, vars_ + [v])})")
+        if kind == 4:
+            v = r.choice(VAR_NAMES)
+            return (f"((\\{v} -> {self.expr(depth - 1, vars_ + [v])}) "
+                    f"{self.expr(depth - 1, vars_)})")
+        if kind == 5:
+            return (f"({self.expr(depth - 1, vars_)}, "
+                    f"{self.expr(depth - 1, vars_)})")
+        if kind == 6:
+            items = ", ".join(self.expr(depth - 1, vars_)
+                              for _ in range(r.randrange(4)))
+            return f"[{items}]"
+        return f"(show {self.expr(depth - 1, vars_)})"
+
+    def atom(self, vars_: List[str]) -> str:
+        r = self.rng
+        kind = r.randrange(6)
+        if kind == 0 and vars_:
+            return r.choice(vars_)
+        if kind == 1:
+            return str(r.randrange(-100, 1000))
+        if kind == 2:
+            return r.choice(["True", "False"])
+        if kind == 3:
+            return f"{r.randrange(100)}.{r.randrange(100)}"
+        if kind == 4:
+            return '"' + "ab" * r.randrange(3) + '"'
+        return str(r.randrange(10))
+
+    # -------------------------------------------------------------- programs
+
+    def grown(self) -> str:
+        r = self.rng
+        lines: List[str] = []
+        if r.random() < 0.2:
+            lines.append("data Shape = Dot | Box Int Int"
+                         + (" deriving (Eq, Text)" if r.random() < 0.5
+                            else ""))
+        if r.random() < 0.1:
+            lines.append("class Sized a where")
+            lines.append("  size :: a -> Int")
+        n_defs = r.randrange(1, 4)
+        names = []
+        for i in range(n_defs):
+            name = f"d{i}"
+            names.append(name)
+            if r.random() < 0.3:
+                # Recursive definition; sometimes deep enough to hit
+                # the eval depth budget under a small step limit.
+                lines.append(f"{name} n = if n <= 0 then 0 "
+                             f"else {r.randrange(1, 3)} + "
+                             f"{name} (n - 1)")
+            else:
+                lines.append(f"{name} x = {self.expr(r.randrange(1, 5), ['x'])}")
+        main = self.expr(r.randrange(1, 6), [])
+        if names and r.random() < 0.6:
+            callee = r.choice(names)
+            main = f"{callee} {main}" if r.random() < 0.5 \
+                else f"({main}, {callee} {r.randrange(50)})"
+        lines.append(f"main = {main}")
+        return "\n".join(lines)
+
+    def mutated(self) -> str:
+        r = self.rng
+        src = self.grown()
+        n_edits = r.randrange(1, 4)
+        for _ in range(n_edits):
+            if not src:
+                break
+            op = r.randrange(6)
+            i = r.randrange(len(src))
+            if op == 0:                      # truncate
+                src = src[:i]
+            elif op == 1:                    # delete one char
+                src = src[:i] + src[i + 1:]
+            elif op == 2:                    # insert a random char
+                ch = r.choice("()[]{}\\\"'`=->:;,.@#~ \n\t01azAZ")
+                src = src[:i] + ch + src[i:]
+            elif op == 3:                    # double a bracket run
+                ch = r.choice("((((())))[]")
+                src = src[:i] + ch * r.randrange(1, 40) + src[i:]
+            elif op == 4:                    # swap two adjacent chars
+                if i + 1 < len(src):
+                    src = src[:i] + src[i + 1] + src[i] + src[i + 2:]
+            else:                            # duplicate a slice
+                j = min(len(src), i + r.randrange(1, 20))
+                src = src[:j] + src[i:j] + src[j:]
+        return src
+
+    def program(self) -> str:
+        """One fuzz input: 60% grown, 40% mutated."""
+        return self.grown() if self.rng.random() < 0.6 else self.mutated()

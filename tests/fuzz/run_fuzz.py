@@ -1,0 +1,108 @@
+"""Fuzz smoke runner: the CI crash-containment gate.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.fuzz.run_fuzz --seed 0 --count 1000
+
+For every program — the full adversarial corpus first, then ``count``
+generated programs — the runner compiles it against a shared prelude
+snapshot and, when compilation succeeds, evaluates ``main`` under a
+small step limit.  The invariant:
+
+    every input either succeeds or raises ``ReproError``;
+    the process never dies.
+
+Any other exception (``RecursionError``, ``MemoryError``, a segfault
+taking the whole process down, ...) prints the offending program and
+exits non-zero, so CI fails on exactly the class of bug this PR fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from typing import Optional, Tuple
+
+from repro.driver import compile_source
+from repro.errors import ReproError
+from repro.options import CompilerOptions
+from repro.service.snapshot import PreludeSnapshot
+
+from tests.fuzz.corpus import ADVERSARIAL_CORPUS
+from tests.fuzz.gen import ProgramGen
+
+#: Step budget for evaluating a fuzzed ``main`` — plenty for the tiny
+#: generated programs, small enough that ``loop n = loop (n + 1)``
+#: terminates in milliseconds.
+EVAL_STEP_LIMIT = 200_000
+
+
+def check_one(source: str, snapshot: PreludeSnapshot,
+              options: CompilerOptions) -> Tuple[str, Optional[str]]:
+    """Run one program through the invariant.
+
+    Returns ``(outcome, error_code)`` where outcome is ``"ok"`` or
+    ``"error"``; any non-ReproError exception propagates (and fails
+    the run).
+    """
+    try:
+        program = compile_source(source, options=options,
+                                 snapshot=snapshot)
+        if "main" in program.schemes:
+            program.run("main", step_limit=EVAL_STEP_LIMIT)
+        return "ok", None
+    except ReproError as exc:
+        # The error must also survive its own reporting paths.
+        exc.to_json()
+        exc.pretty(source)
+        return "error", type(exc).code
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--count", type=int, default=1000,
+                    help="number of generated programs (after the corpus)")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    options = CompilerOptions()
+    snapshot = PreludeSnapshot.build(options)
+    gen = ProgramGen(args.seed)
+
+    inputs = [(f"corpus:{name}", src) for name, src in ADVERSARIAL_CORPUS]
+    inputs += [(f"gen:{i}", gen.program()) for i in range(args.count)]
+
+    outcomes: Counter = Counter()
+    codes: Counter = Counter()
+    started = time.monotonic()
+    for label, source in inputs:
+        try:
+            outcome, code = check_one(source, snapshot, options)
+        except BaseException as exc:  # noqa: BLE001 — the invariant itself
+            print(f"FUZZ INVARIANT VIOLATED at {label}: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            print("--- program ---", file=sys.stderr)
+            print(source, file=sys.stderr)
+            print("---------------", file=sys.stderr)
+            raise
+        outcomes[outcome] += 1
+        if code:
+            codes[code] += 1
+        if args.verbose:
+            print(f"{label}: {outcome}" + (f" ({code})" if code else ""))
+
+    elapsed = time.monotonic() - started
+    total = sum(outcomes.values())
+    print(f"fuzz: {total} programs in {elapsed:.1f}s — "
+          f"{outcomes['ok']} ok, {outcomes['error']} contained errors, "
+          f"0 crashes")
+    for code, n in sorted(codes.items(), key=lambda kv: -kv[1]):
+        print(f"  {code:24s} {n}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

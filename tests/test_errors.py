@@ -62,6 +62,84 @@ class TestPrettyRendering:
         exc = ReproError("boom", SourcePos(99, 1))
         assert exc.pretty("one line") == "<input>:99:1: boom"
 
+    def test_caret_aligns_under_tabs(self):
+        # Tabs before the offending column must widen the caret pad by
+        # their expanded width, not by one cell per tab.
+        source = "main\t=\t(1 :: Int) + 'c'"
+        try:
+            compile_source(source)
+        except ReproError as exc:
+            rendered = exc.pretty(source)
+        header, quoted, caret = rendered.splitlines()
+        assert "\t" not in quoted  # quoted line is tab-expanded
+        expanded = source.expandtabs(8)
+        offender = expanded.index("+")
+        assert caret.index("^") == quoted.index(expanded) + offender
+
+    def test_caret_with_tab_mid_line(self):
+        exc = ReproError("boom", SourcePos(1, 10))  # points at 'x'
+        rendered = exc.pretty("\ta = \t b x")
+        _, quoted, caret = rendered.splitlines()
+        expanded = "\ta = \t b x".expandtabs(8)
+        assert caret.index("^") == quoted.index(expanded) + expanded.index("x")
+
+
+class TestErrorProtocol:
+    """Stable machine-readable codes and the JSON rendering — the
+    compile server's error envelope is built from these."""
+
+    def test_code_taxonomy(self):
+        from repro.errors import (
+            AmbiguityError, DuplicateInstanceError, EvalError, KindError,
+            LexError, NoInstanceError, OccursCheckError, ParseError,
+            ReproError, ResourceLimitError, SignatureError, StaticError,
+            TagDispatchError, TypeCheckError, UnificationError,
+        )
+        assert ReproError.code == "error"
+        assert LexError.code == "lex"
+        assert ParseError.code == "parse"
+        assert StaticError.code == "static"
+        assert DuplicateInstanceError.code == "static.duplicate-instance"
+        assert KindError.code == "kind"
+        assert TypeCheckError.code == "type"
+        assert UnificationError.code == "type.unify"
+        assert OccursCheckError.code == "type.occurs"
+        assert NoInstanceError.code == "type.no-instance"
+        assert AmbiguityError.code == "type.ambiguous"
+        assert SignatureError.code == "type.signature"
+        assert EvalError.code == "eval"
+        assert TagDispatchError.code == "tags"
+        assert ResourceLimitError.code == "limit"
+
+    def test_subcodes_extend_parent_codes(self):
+        # Dotted codes refine their superclass code, so clients can
+        # match on prefixes.
+        from repro import errors as E
+        for cls in (E.UnificationError, E.OccursCheckError,
+                    E.NoInstanceError, E.AmbiguityError, E.SignatureError):
+            assert cls.code.startswith("type")
+        assert E.DuplicateInstanceError.code.startswith("static")
+
+    def test_to_json_with_position(self):
+        exc = ParseError("unexpected thing", SourcePos(3, 7, "m.mhs"))
+        assert exc.to_json() == {
+            "code": "parse",
+            "message": "m.mhs:3:7: unexpected thing",
+            "pos": {"filename": "m.mhs", "line": 3, "column": 7},
+        }
+
+    def test_to_json_without_position(self):
+        data = ReproError("boom").to_json()
+        assert data == {"code": "error", "message": "boom", "pos": None}
+
+    def test_to_json_is_json_serialisable(self):
+        import json
+        from repro.errors import ResourceLimitError
+        exc = ResourceLimitError("too deep", SourcePos(1, 2),
+                                 limit="max_parse_depth")
+        assert json.loads(json.dumps(exc.to_json()))["code"] == "limit"
+        assert exc.limit == "max_parse_depth"
+
 
 class TestMessageQuality:
     def test_no_instance_mentions_both_names(self):

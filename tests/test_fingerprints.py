@@ -29,15 +29,18 @@ from repro.service.snapshot import prelude_fingerprint
 
 #: options_fingerprint(CompilerOptions()) at the time the disk cache
 #: format was frozen.  A change here invalidates every cached program
-#: on every user's disk — never update it casually.
+#: on every user's disk — never update it casually.  (Last moved
+#: deliberately when the resource-limit fields — max_parse_depth,
+#: max_type_depth, eval_depth_limit — joined CompilerOptions: they
+#: change compilation outcomes, so they belong in the key.)
 KNOWN_DEFAULT_OPTIONS_FP = (
-    "c280f9d69959badd8dde58b27b3a2ac379e985e27f4457ac1e6cebbd81f818e0")
+    "780fbfc5f5adc889d72f07f9ab99c560510d1d120c5e82b00cb037dd300a448e")
 
 #: prelude_fingerprint(CompilerOptions()) for the current prelude text.
 #: Moves when the prelude source changes (expected) or when
 #: options_fingerprint moves (see above).
 KNOWN_DEFAULT_PRELUDE_FP = (
-    "4f83ae95fe0ff05c2d0a1f4a99b375e921391e497b467f2926ede4fec0e10c26")
+    "7ad7fa8836f34c0cfc8e8bb47453accee4bd76d6343ccee66d791e89774fc06c")
 
 #: a value, different from the default, for each service-only field
 SERVICE_OVERRIDES = {

@@ -137,15 +137,16 @@ class TestSeedEquivalence:
                 == {n: str(s) for n, s in warm.schemes.items()}
 
     def test_fingerprints_unchanged_by_refactor(self):
-        # Pinned pre-refactor digests: the pipeline refactor must not
-        # move them, or every disk-cached program would silently be
-        # invalidated.  If one of these fails, a compilation-relevant
-        # input changed — make sure that was intentional before
-        # updating the constant.
+        # Pinned digests: a pure refactor must not move them, or every
+        # disk-cached program would silently be invalidated.  If one of
+        # these fails, a compilation-relevant input changed — make sure
+        # that was intentional before updating the constant.  (Last
+        # moved when the resource-limit options — max_parse_depth,
+        # max_type_depth, eval_depth_limit — joined CompilerOptions.)
         assert options_fingerprint(CompilerOptions()) == (
-            "c280f9d69959badd8dde58b27b3a2ac379e985e27f4457ac1e6cebbd81f818e0")
+            "780fbfc5f5adc889d72f07f9ab99c560510d1d120c5e82b00cb037dd300a448e")
         assert prelude_fingerprint(CompilerOptions()) == (
-            "4f83ae95fe0ff05c2d0a1f4a99b375e921391e497b467f2926ede4fec0e10c26")
+            "7ad7fa8836f34c0cfc8e8bb47453accee4bd76d6343ccee66d791e89774fc06c")
 
 
 class TestPassManager:
