@@ -4,6 +4,7 @@
     python -m repro run program.mhs -e 'f 3'   # evaluate an expression
     python -m repro check program.mhs          # types + warnings only
     python -m repro core program.mhs           # dump translated core
+    python -m repro build src/ --run           # multi-module build + link
     python -m repro repl                       # interactive session
     python -m repro serve --port 7433          # long-lived compile server
     python -m repro batch a.mhs b.mhs -e main  # many files, shared cache
@@ -204,6 +205,56 @@ def cmd_repl(args: argparse.Namespace) -> int:
             print(exc.pretty(line))
 
 
+def cmd_build(args: argparse.Namespace) -> int:
+    """Build a module tree: separate compilation, caching, linking."""
+    from repro.modules import build_modules
+    options = build_options(args.set or [])
+    try:
+        result = build_modules(args.paths, options, jobs=args.jobs,
+                               out_dir=args.out)
+    except ReproError as exc:
+        print(_pretty_module_error(exc), file=sys.stderr)
+        return 1
+    for name in result.order:
+        info = result.modules[name]
+        tag = "cached" if info["cached"] else "compiled"
+        print(f"{name:<24} {tag:>8} {info['ms']:>9.1f} ms", file=sys.stderr)
+    print(f"-- {len(result.order)} modules: {result.n_compiled} compiled, "
+          f"{result.n_cached} cached; {result.seconds * 1e3:.1f} ms "
+          f"(jobs={result.jobs})", file=sys.stderr)
+    program = result.program
+    for warning in program.warnings:
+        print(str(warning), file=sys.stderr)
+    if args.stats_json:
+        import json
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(result.stats(), handle, indent=2, sort_keys=True)
+    try:
+        if args.expr:
+            print(render(program.eval(args.expr)))
+        elif args.run:
+            print(render(program.run(args.entry)))
+    except ReproError as exc:
+        print(_pretty_module_error(exc), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _pretty_module_error(exc: ReproError) -> str:
+    """Quote the offending source line when the error's position names
+    a readable file (module errors can point into any file of the
+    tree, so the source must be re-read per error)."""
+    pos = getattr(exc, "pos", None)
+    filename = getattr(pos, "filename", None)
+    if filename:
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                return exc.pretty(handle.read())
+        except OSError:
+            pass
+    return str(exc)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the long-lived compile/eval server (repro.service)."""
     from repro.service.server import CompileServer, CompileService
@@ -328,6 +379,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="program to load into scope first")
     add_common(p_repl)
     p_repl.set_defaults(fn=cmd_repl)
+
+    p_build = sub.add_parser(
+        "build", help="build a multi-module program (separate "
+                      "compilation + caching + link)")
+    p_build.add_argument("paths", nargs="+",
+                         help="module files (*.mhs) or directories "
+                              "searched recursively")
+    p_build.add_argument("-j", "--jobs", type=int,
+                         help="parallel module compiles "
+                              "(default CompilerOptions.build_jobs)")
+    p_build.add_argument("--out", metavar="DIR",
+                         help="write .ri interface files here")
+    p_build.add_argument("--run", action="store_true",
+                         help="evaluate the entry binding after linking")
+    p_build.add_argument("--entry", default="main",
+                         help="binding for --run (default main)")
+    p_build.add_argument("-e", "--expr",
+                         help="evaluate this expression after linking")
+    p_build.add_argument("--stats-json", metavar="FILE",
+                         help="write per-module build stats to FILE")
+    add_common(p_build)
+    p_build.set_defaults(fn=cmd_build)
 
     p_serve = sub.add_parser(
         "serve", help="long-lived compile/eval server (JSON protocol)")

@@ -109,6 +109,62 @@ class DuplicateInstanceError(StaticError):
     code = "static.duplicate-instance"
 
 
+class ModuleError(ReproError):
+    """Base class for module-system errors: unresolved imports, name
+    conflicts between modules, export-list problems."""
+
+    code = "module"
+
+
+class UnknownModuleError(ModuleError):
+    """An ``import M`` names a module the build cannot find (or any
+    import in single-file compilation, which has no module search)."""
+
+    code = "module.unknown"
+
+
+class ModuleCycleError(ModuleError):
+    """The import graph is cyclic (including self-imports); separate
+    compilation needs a DAG."""
+
+    code = "module.cycle"
+
+    def __init__(self, modules: List[str],
+                 pos: Optional[SourcePos] = None) -> None:
+        chain = " -> ".join(modules + modules[:1]) if modules else "?"
+        super().__init__(f"import cycle between modules: {chain}", pos)
+        self.modules = list(modules)
+
+
+class LinkError(ModuleError):
+    """Merging module interfaces failed: the same top-level name, class
+    or type is defined in two modules."""
+
+    code = "module.link"
+
+
+class DuplicateInstanceLinkError(LinkError):
+    """Two modules define instances for the same (class, type
+    constructor) pair — rejected at link time for coherence, naming both
+    defining modules."""
+
+    code = "module.link.duplicate-instance"
+
+    def __init__(self, class_name: str, tycon_name: str,
+                 first_module: str, second_module: str,
+                 pos: Optional[SourcePos] = None) -> None:
+        super().__init__(
+            f"duplicate instance {class_name} {tycon_name}: defined in "
+            f"module '{first_module}' and again in module "
+            f"'{second_module}'; instances must be globally coherent",
+            pos,
+        )
+        self.class_name = class_name
+        self.tycon_name = tycon_name
+        self.first_module = first_module
+        self.second_module = second_module
+
+
 class KindError(ReproError):
     """Raised by kind inference when a type expression is ill-kinded."""
 

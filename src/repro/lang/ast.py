@@ -22,7 +22,7 @@ types live in :mod:`repro.core.types`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SourcePos
 
@@ -446,10 +446,39 @@ class DefaultDecl(Decl):
 
 
 @dataclass
+class ImportDecl:
+    """``import M`` or ``import M (n1, ..., nk)``.
+
+    ``names`` is ``None`` for an unrestricted import (every exported
+    value binding of *M* comes into scope) or the explicit list of value
+    names to bring in.  Types, constructors, classes and instances are
+    always visible from the transitive import closure (instances are
+    global, as in Haskell).
+    """
+
+    module: str
+    names: Optional[List[str]] = None
+    pos: Optional[SourcePos] = None
+
+
+@dataclass
 class Program:
-    """A parsed module: the flat list of top-level declarations."""
+    """A parsed module: the flat list of top-level declarations.
+
+    ``module_name``/``exports`` come from an optional ``module M
+    [(names)] where`` header and ``imports`` from leading ``import``
+    declarations; all three default to "no module system in play" so
+    single-file callers are unaffected.
+    """
 
     decls: List[Decl]
+    module_name: Optional[str] = None
+    exports: Optional[List[str]] = None
+    imports: List[ImportDecl] = field(default_factory=list)
+    #: operator fixities declared by this module's own ``infix*`` decls,
+    #: as ``op -> (precedence, assoc)`` — exported through interface
+    #: files so importing modules parse the operators correctly
+    fixities: Dict[str, Tuple[int, str]] = field(default_factory=dict)
 
     def bindings(self) -> List[FunBind]:
         return [d for d in self.decls if isinstance(d, FunBind)]

@@ -51,7 +51,10 @@ class Desugarer:
         out: List[ast.Decl] = []
         for decl in program.decls:
             out.append(self.top_decl(decl))
-        return ast.Program(out)
+        return ast.Program(out, module_name=program.module_name,
+                           exports=program.exports,
+                           imports=program.imports,
+                           fixities=program.fixities)
 
     def top_decl(self, decl: ast.Decl) -> ast.Decl:
         if isinstance(decl, ast.FunBind):

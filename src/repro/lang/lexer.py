@@ -272,7 +272,11 @@ def apply_layout(tokens: List[Token], filename: str = "<input>") -> List[Token]:
     i = 0
     n = len(tokens)
     depth = 0  # current ( [ nesting depth
-    expecting_block = bool(tokens)  # module start opens an implicit block
+    # Module start opens an implicit block — unless the file begins with
+    # a ``module M where`` header, whose ``where`` (a layout keyword)
+    # opens the top-level block itself (the report's special case for
+    # the module header).
+    expecting_block = bool(tokens) and not tokens[0].is_keyword("module")
     block_is_let = False
     # Number of let-blocks already closed (by the offside rule, an
     # explicit '}', or a bracket) whose 'in' has not arrived yet.  When

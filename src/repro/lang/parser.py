@@ -60,11 +60,21 @@ class Parser:
     """One parse of one token stream."""
 
     def __init__(self, tokens: List[Token], source: str = "",
-                 max_depth: int = DEFAULT_PARSE_DEPTH) -> None:
+                 max_depth: int = DEFAULT_PARSE_DEPTH,
+                 fixities: Optional[Dict[str, Fixity]] = None) -> None:
         self.tokens = tokens
         self.index = 0
         self.source = source
-        self.fixities: Dict[str, Fixity] = dict(DEFAULT_FIXITIES)
+        # Start from the defaults, optionally extended with fixities
+        # imported from other modules' interfaces (the single-pass
+        # "declare before use" rule then applies per module).
+        self.fixities = dict(DEFAULT_FIXITIES)
+        if fixities:
+            self.fixities.update(fixities)
+        #: fixities declared by this parse's own ``infix*`` decls, as
+        #: ``op -> (prec, assoc)`` — recorded on the Program so module
+        #: interfaces can export them
+        self.declared_fixities: Dict[str, Tuple[int, str]] = {}
         self.max_depth = max_depth
         self.depth = 0
         # Total-work budget.  Legitimate parses use well under one
@@ -173,11 +183,25 @@ class Parser:
     # ------------------------------------------------------------- programs
 
     def parse_program(self) -> ast.Program:
+        module_name: Optional[str] = None
+        exports: Optional[List[str]] = None
+        if self.peek().is_keyword("module"):
+            module_name, exports = self.parse_module_header()
         decls: List[ast.Decl] = []
+        imports: List[ast.ImportDecl] = []
         if self.peek().type is TokenType.EOF:
-            return ast.Program(decls)  # empty module
+            # Empty module (possibly just a header).
+            return ast.Program(decls, module_name=module_name,
+                               exports=exports, imports=imports,
+                               fixities=dict(self.declared_fixities))
         self.expect_special("{", "at start of module (layout)")
         self.skip_semis()
+        while self.peek().is_keyword("import"):
+            imports.append(self.parse_import_decl())
+            if self.peek().is_special(";"):
+                self.skip_semis()
+            elif not self.peek().is_special("}"):
+                raise self.error("expected ';' or end of module after import")
         while not self.peek().is_special("}"):
             decls.append(self.parse_topdecl())
             if self.peek().is_special(";"):
@@ -187,10 +211,63 @@ class Parser:
         self.advance()  # }
         if self.peek().type is not TokenType.EOF:
             raise self.error("expected end of input after module body")
-        return ast.Program(decls)
+        return ast.Program(decls, module_name=module_name,
+                           exports=exports, imports=imports,
+                           fixities=dict(self.declared_fixities))
+
+    def parse_module_header(self) -> Tuple[str, Optional[List[str]]]:
+        """``module M [(names)] where`` before the top-level layout block."""
+        self.advance()  # 'module'
+        name = self.expect_conid("after 'module'").value
+        exports: Optional[List[str]] = None
+        if self.peek().is_special("("):
+            exports = self.parse_name_list("in export list")
+        self.expect_keyword("where", "after module header")
+        return name, exports
+
+    def parse_import_decl(self) -> ast.ImportDecl:
+        start = self.advance().pos  # 'import'
+        name = self.expect_conid("after 'import'").value
+        names: Optional[List[str]] = None
+        if self.peek().is_special("("):
+            names = self.parse_name_list("in import list")
+        return ast.ImportDecl(name, names, pos=start)
+
+    def parse_name_list(self, context: str) -> List[str]:
+        """A parenthesised export/import list: ``(f, Con, (+), ...)``."""
+        self.expect_special("(", context)
+        names: List[str] = []
+        if not self.peek().is_special(")"):
+            names.append(self.parse_entity_name(context))
+            while self.peek().is_special(","):
+                self.advance()
+                names.append(self.parse_entity_name(context))
+        self.expect_special(")", context)
+        return names
+
+    def parse_entity_name(self, context: str) -> str:
+        tok = self.peek()
+        if tok.type in (TokenType.VARID, TokenType.CONID):
+            self.advance()
+            return tok.value
+        if tok.is_special("(") and self.peek(1).type is TokenType.VARSYM \
+                and self.peek(2).is_special(")"):
+            self.advance()
+            name = self.advance().value
+            self.advance()
+            return name
+        raise self.error(f"expected a name {context}", tok)
 
     def parse_topdecl(self) -> ast.Decl:
         tok = self.peek()
+        if tok.is_keyword("import"):
+            raise ParseError(
+                "import declarations must appear before all other "
+                "declarations", tok.pos)
+        if tok.is_keyword("module"):
+            raise ParseError(
+                "a 'module' header may only appear at the start of a file",
+                tok.pos)
         if tok.is_keyword("data"):
             return self.parse_data_decl()
         if tok.is_keyword("type"):
@@ -376,6 +453,7 @@ class Parser:
             ops.append(self.parse_fixity_op())
         for op in ops:
             self.fixities[op] = Fixity(precedence, assoc)
+            self.declared_fixities[op] = (precedence, assoc)
         return ast.FixityDecl(assoc, precedence, ops, pos=tok.pos)
 
     def parse_fixity_op(self) -> str:
@@ -979,10 +1057,17 @@ def merge_equations(decls: List[ast.Decl]) -> List[ast.Decl]:
 
 
 def parse_program(source: str, filename: str = "<input>",
-                  max_depth: int = DEFAULT_PARSE_DEPTH) -> ast.Program:
-    """Parse a whole module."""
+                  max_depth: int = DEFAULT_PARSE_DEPTH,
+                  fixities: Optional[Dict[str, Fixity]] = None) -> ast.Program:
+    """Parse a whole module.
+
+    *fixities* extends the default fixity table — the module build uses
+    it to hand operator fixities exported by imported interfaces to the
+    single-pass operator parser.
+    """
     ensure_recursion_headroom()
-    parser = Parser(lex(source, filename), source, max_depth=max_depth)
+    parser = Parser(lex(source, filename), source, max_depth=max_depth,
+                    fixities=fixities)
     program = parser.parse_program()
     program.decls = merge_equations(program.decls)
     return program

@@ -1,0 +1,163 @@
+"""Serialized module interfaces — the ``.ri`` files of §8.6.
+
+An interface is everything an importing module needs to compile
+against a module *without its source*: the exported value schemes
+(whose printed context order fixes dictionary parameter order, §8.6),
+the declared data types and constructors, classes with their method
+schemes, the instance 4-tuples ``(type, class, dictionary, context)``
+(§4), type synonyms, and operator fixities.
+
+Each interface carries a **content fingerprint**: a digest of a
+canonical, position-free rendering of the exported surface.  The
+fingerprint deliberately ignores everything else — binding bodies,
+comments, whitespace — so an edit that does not change a module's
+exported surface leaves its fingerprint unchanged and rebuilds of its
+dependents are *cut off* (they hit the compile cache, whose key is the
+dep-interface fingerprints, not the dep sources).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.classes import ClassInfo, InstanceInfo
+from repro.core.kinds import kind_str
+from repro.core.static import DataConInfo, DataTypeInfo
+from repro.core.types import Scheme
+from repro.errors import ModuleError
+from repro.lang import ast
+
+#: bumped whenever the pickled payload layout changes; a version-skewed
+#: file on disk is treated as absent and rebuilt
+INTERFACE_VERSION = 1
+
+_MAGIC = b"repro-ri"
+
+#: file extension for interface files
+INTERFACE_SUFFIX = ".ri"
+
+
+@dataclass
+class ModuleInterface:
+    """The compiled surface of one module."""
+
+    module: str
+    source_sha: str
+    imports: List[str]
+    #: exported value bindings (explicit export lists filter these;
+    #: re-exported imports included)
+    schemes: Dict[str, Scheme]
+    #: kinds of the type constructors this module declares
+    kinds: Dict[str, Any]
+    #: canonical TyCon objects for the declared constructors
+    tycons: Dict[str, Any]
+    data_types: Dict[str, DataTypeInfo]
+    data_cons: Dict[str, DataConInfo]
+    synonyms: Dict[str, Tuple[List[str], ast.SType]]
+    classes: Dict[str, ClassInfo]
+    instances: List[InstanceInfo]
+    fixities: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            self.fingerprint = self._compute_fingerprint()
+
+    # ------------------------------------------------------- fingerprint
+
+    def _compute_fingerprint(self) -> str:
+        return hashlib.sha256(self.render().encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        """The canonical textual interface — §8.6's "interface file"
+        listing, deterministic and position-free.  The fingerprint is a
+        digest of exactly this text."""
+        lines: List[str] = [f"module {self.module}"]
+        for name, (prec, assoc) in sorted(self.fixities.items()):
+            word = {"l": "infixl", "r": "infixr", "n": "infix"}[assoc]
+            lines.append(f"{word} {prec} {name}")
+        for name, (params, rhs) in sorted(self.synonyms.items()):
+            head = " ".join([name] + list(params))
+            lines.append(f"type {head} = {_sty_str(rhs)}")
+        for name, info in sorted(self.data_types.items()):
+            lines.append(f"data {name} :: {kind_str(info.kind)}")
+            for con in info.constructors:
+                lines.append(f"  {con.name} :: {con.scheme}  -- tag {con.tag}")
+        for name, info in sorted(self.classes.items()):
+            supers = ", ".join(info.superclasses)
+            lines.append(f"class ({supers}) => {name} "
+                         f":: {kind_str(info.tyvar_kind)}")
+            for method in info.methods:
+                dflt = " (has default)" if method.has_default else ""
+                lines.append(f"  {method.name} :: {method.scheme}{dflt}")
+        for inst in sorted(self.instances,
+                           key=lambda i: (i.class_name, i.tycon_name)):
+            ctx = ";".join(",".join(cs) for cs in inst.context)
+            lines.append(f"instance {inst.class_name} {inst.tycon_name} "
+                         f"= {inst.dict_name} [{ctx}]")
+        for name, scheme in sorted(self.schemes.items()):
+            lines.append(f"{name} :: {scheme}")
+        return "\n".join(lines)
+
+
+def _sty_str(ty: ast.SType) -> str:
+    """Position-free rendering of type syntax (synonym right-hand
+    sides are kept as syntax; the dataclass repr would drag source
+    positions into the fingerprint)."""
+    if isinstance(ty, ast.STyVar):
+        return ty.name
+    if isinstance(ty, ast.STyCon):
+        return ty.name
+    if isinstance(ty, ast.STyApp):
+        return f"({_sty_str(ty.fn)} {_sty_str(ty.arg)})"
+    return repr(ty)
+
+
+# ---------------------------------------------------------------------------
+# Disk format
+# ---------------------------------------------------------------------------
+
+
+def interface_path(out_dir: str, module: str) -> str:
+    return os.path.join(out_dir, module + INTERFACE_SUFFIX)
+
+
+def save_interface(iface: ModuleInterface, path: str) -> None:
+    """Write *iface* to *path* atomically (magic + version + pickle)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    payload = _MAGIC + bytes([INTERFACE_VERSION]) + pickle.dumps(
+        iface, protocol=pickle.HIGHEST_PROTOCOL)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_interface(path: str) -> ModuleInterface:
+    """Read an interface file, checking magic and version."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if not blob.startswith(_MAGIC) or len(blob) <= len(_MAGIC):
+        raise ModuleError(f"'{path}' is not an interface file")
+    version = blob[len(_MAGIC)]
+    if version != INTERFACE_VERSION:
+        raise ModuleError(
+            f"interface file '{path}' has version {version}, expected "
+            f"{INTERFACE_VERSION}; rebuild it")
+    iface = pickle.loads(blob[len(_MAGIC) + 1:])
+    if not isinstance(iface, ModuleInterface):
+        raise ModuleError(f"'{path}' does not contain a module interface")
+    return iface

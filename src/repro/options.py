@@ -35,10 +35,12 @@ from dataclasses import dataclass, replace
 SERVICE_OPTION_FIELDS = (
     "cache_size",
     "cache_dir",
+    "cache_disk_budget",
     "server_host",
     "server_port",
     "server_workers",
     "request_timeout",
+    "build_jobs",
 )
 
 
@@ -74,6 +76,8 @@ class CompilerOptions:
     # ---- compilation service (repro.service)
     cache_size: int = 64          # in-memory compile cache capacity
     cache_dir: str = ""           # "" = memory only; a path enables disk cache
+    cache_disk_budget: int = 0    # max bytes for the disk tier (0 = unlimited)
+    build_jobs: int = 4           # thread-pool width for `repro build`
     server_host: str = "127.0.0.1"
     server_port: int = 0          # 0 = pick an ephemeral port
     server_workers: int = 4       # thread-pool width for request handling

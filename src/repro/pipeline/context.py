@@ -144,6 +144,13 @@ class CompileContext:
     n_prefix_bindings: int = 0
     trace: PhaseTrace = field(default_factory=PhaseTrace)
     result: Optional[InferResult] = None
+    #: extra operator fixities handed to the parser — the module build
+    #: threads fixities exported by imported interfaces through here
+    fixities: Optional[Dict[str, Any]] = None
+    #: True when a module build has resolved this unit's imports against
+    #: interfaces; a plain single-file compile rejects ``import`` decls
+    #: with a located error (there is nothing to resolve them against)
+    imports_resolved: bool = False
 
     # -------------------------------------------------------- constructors
 

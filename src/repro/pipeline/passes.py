@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.core.dictionary import generate_selectors
 from repro.core.static import analyze_program
+from repro.errors import UnknownModuleError
 from repro.coreir.syntax import CoreProgram
 from repro.coreir.translate import translate_bindings
 from repro.lang.desugar import desugar_program
@@ -34,7 +35,14 @@ from repro.pipeline.manager import Pass, PassManager
 def _parse(ctx: CompileContext, unit: SourceUnit) -> None:
     unit.program = parse_program(
         unit.text, unit.filename,
-        max_depth=getattr(ctx.options, "max_parse_depth", 300))
+        max_depth=getattr(ctx.options, "max_parse_depth", 300),
+        fixities=ctx.fixities)
+    if unit.program.imports and not ctx.imports_resolved:
+        imp = unit.program.imports[0]
+        raise UnknownModuleError(
+            f"cannot resolve import of module '{imp.module}' in "
+            f"single-file compilation; use 'repro build' for "
+            f"multi-module programs", imp.pos)
 
 
 def _desugar(ctx: CompileContext, unit: SourceUnit) -> None:

@@ -61,6 +61,7 @@ class CacheStats:
     disk_hits: int = 0
     disk_writes: int = 0
     disk_errors: int = 0
+    disk_evictions: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -80,14 +81,20 @@ class CompileCache:
     """
 
     def __init__(self, capacity: int = 64,
-                 disk_dir: Optional[str] = None) -> None:
+                 disk_dir: Optional[str] = None,
+                 disk_budget: int = 0) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self.disk_dir = disk_dir
+        #: max total bytes for the disk tier; 0 disables the bound.
+        #: Enforced after every write by an mtime-ordered GC (oldest
+        #: entries go first; a disk hit refreshes the entry's mtime).
+        self.disk_budget = disk_budget
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        self._gc_lock = threading.Lock()
         if disk_dir:
             os.makedirs(disk_dir, exist_ok=True)
 
@@ -142,7 +149,14 @@ class CompileCache:
         path = self._disk_path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                program = pickle.load(handle)
+            try:
+                # Refresh the mtime so the budget GC evicts in LRU
+                # rather than insertion order.
+                os.utime(path)
+            except OSError:
+                pass
+            return program
         except FileNotFoundError:
             return None
         except Exception:
@@ -175,6 +189,44 @@ class CompileCache:
         except Exception:
             with self._lock:
                 self.stats.disk_errors += 1
+            return
+        self._disk_gc()
+
+    def _disk_gc(self) -> None:
+        """Evict oldest-mtime entries until the disk tier fits the
+        budget.  The newest entry always survives, so one oversized
+        program cannot empty the cache it was just written to."""
+        if not self.disk_dir or self.disk_budget <= 0:
+            return
+        with self._gc_lock:
+            entries = []
+            total = 0
+            for name in os.listdir(self.disk_dir):
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(self.disk_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+                total += st.st_size
+            if total <= self.disk_budget:
+                return
+            entries.sort()  # oldest mtime first
+            evicted = 0
+            for mtime, size, path in entries[:-1]:  # keep the newest
+                if total <= self.disk_budget:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                evicted += 1
+            if evicted:
+                with self._lock:
+                    self.stats.disk_evictions += evicted
 
     # ------------------------------------------------------- introspection
 

@@ -7,8 +7,9 @@ protocol, either on a TCP socket or on stdio::
     -> {"id": 1, "op": "compile", "source": "main = 1 + 2"}
     <- {"id": 1, "ok": true, "result": {"program": "ab12...", ...}}
 
-Operations: ``compile``, ``eval``, ``typeof``, ``info``, ``stats``,
-``ping``, ``shutdown`` (see docs/SERVICE.md for the full schema).
+Operations: ``compile``, ``build``, ``eval``, ``typeof``, ``info``,
+``stats``, ``ping``, ``shutdown`` (see docs/SERVICE.md for the full
+schema).
 
 Design points:
 
@@ -64,8 +65,10 @@ class CompileService:
     def __init__(self, options: Optional[CompilerOptions] = None) -> None:
         self.options = options if options is not None else CompilerOptions()
         self.snapshot = get_default_snapshot(self.options)
-        self.cache = CompileCache(capacity=self.options.cache_size,
-                                  disk_dir=resolve_cache_dir(self.options))
+        self.cache = CompileCache(
+            capacity=self.options.cache_size,
+            disk_dir=resolve_cache_dir(self.options),
+            disk_budget=self.options.cache_disk_budget)
         self.metrics = Metrics()
 
     # ------------------------------------------------------------- programs
@@ -215,6 +218,55 @@ class CompileService:
             raise ProtocolError("'info' needs a 'name' string")
         key, program = self._resolve_program(request)
         return {"program": key, "info": program.info(name)}
+
+    def _op_build(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Build a multi-module program from inline sources: resolve
+        the import DAG, compile each module separately (through the
+        shared artifact cache, so repeated builds are incremental),
+        link, and cache the linked program under a content key the
+        client can hand to ``eval``/``typeof``/``info``."""
+        from repro.modules.build import ModuleBuilder, module_cache_key
+        from repro.modules.resolve import scan_inline_modules
+        modules = request.get("modules")
+        if not isinstance(modules, list) or not modules:
+            raise ProtocolError("'build' needs a non-empty 'modules' list")
+        for spec in modules:
+            if not isinstance(spec, dict) or \
+                    not isinstance(spec.get("source"), str):
+                raise ProtocolError(
+                    "each 'modules' entry needs a 'source' string "
+                    "(plus optional 'name'/'filename')")
+        jobs = request.get("jobs")
+        if jobs is not None:
+            try:
+                jobs = int(jobs)
+            except (TypeError, ValueError):
+                raise ProtocolError("'jobs' must be an integer")
+        graph = scan_inline_modules(
+            modules, max_depth=self.options.max_parse_depth)
+        builder = ModuleBuilder(self.options, self.snapshot,
+                                cache=self.cache)
+        build = builder.build(graph, jobs=jobs)
+        program = build.program
+        # Address the *linked* program by the build's content: the
+        # module interface fingerprints pin every input, so equal
+        # trees share one cached program.
+        key = module_cache_key(
+            "<link>", self.options, self.snapshot.fingerprint,
+            [(name, build.modules[name]["fingerprint"])
+             for name in build.order])
+        self.cache.put(key, program)
+        result: Dict[str, Any] = {
+            "program": key,
+            "build": build.stats(),
+            "warnings": [str(w) for w in program.warnings],
+        }
+        if request.get("schemes", True):
+            result["schemes"] = {
+                name: str(scheme)
+                for name, scheme in sorted(program.schemes.items())
+                if "$" not in name and "@" not in name}
+        return result
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return self.stats()

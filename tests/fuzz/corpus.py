@@ -88,4 +88,23 @@ ADVERSARIAL_CORPUS: List[Tuple[str, str]] = [
     ("keyword_as_name", "let = 3\nmain = let"),
     ("operator_soup", "main = + * - / == =<< >>= @ ~ ::"),
     ("brace_bomb", "main = {" + "{" * 300),
+    # Module syntax (PR 4).  Single-file compilation accepts a module
+    # header but has nothing to resolve imports against, so every
+    # ``import`` must come back as a located module.unknown error —
+    # never a crash and never a silently ignored declaration.
+    ("module_header_ok", "module Main where\nmain = 1 + 1"),
+    ("module_header_exports", "module M (f, main) where\nf = 2\nmain = f"),
+    ("module_header_empty", "module Empty where\n"),
+    ("module_not_first", "f = 1\nmodule M where\nmain = 1"),
+    ("module_header_twice", "module A where\nmodule B where\nmain = 1"),
+    ("import_unresolved", "import Missing\nmain = 1"),
+    ("self_import", "module A where\nimport A\nmain = 1"),
+    ("cyclic_import_single_file", "module A where\nimport B\nmain = 1"),
+    ("import_after_decl", "f = 1\nimport M\nmain = f"),
+    ("import_shadowed_reexport",
+     "module B (f) where\nimport A (f)\nf = 2\nmain = f"),
+    ("import_empty_list", "import M ()\nmain = 1"),
+    ("import_garbage_list", "import M (,)\nmain = 1"),
+    ("module_lowercase_name", "module lower where\nmain = 1"),
+    ("module_header_no_where", "module M\nmain = 1"),
 ]

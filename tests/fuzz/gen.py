@@ -7,8 +7,10 @@ seed fully determines the run:
   language (arithmetic, comparisons, lambdas, ``let``/``in``,
   ``if``/``then``/``else``, tuples, lists, class methods like ``show``
   and ``==``, plus occasional ``data``/``class``/``instance``
-  declarations).  Many of these are type-correct; the rest exercise
-  the inference error paths.
+  declarations and ``module``/``import`` headers, self-imports and
+  shadowed re-exports included).  Many of these are type-correct; the
+  rest exercise the inference, module-resolution and parser error
+  paths.
 * **mutated** programs — a grown program corrupted by a random edit
   (truncation, character insertion/deletion/swap, bracket doubling,
   token duplication).  These exercise the lexer/parser error paths and
@@ -92,6 +94,27 @@ class ProgramGen:
     def grown(self) -> str:
         r = self.rng
         lines: List[str] = []
+        if r.random() < 0.15:
+            # Module syntax: a header (sometimes with an export list,
+            # sometimes malformed via a lowercase name) and sometimes
+            # import declarations — which single-file compilation must
+            # reject with a located module.unknown error, never a
+            # crash.  Self-imports and shadowed re-exports included.
+            name = r.choice(["Main", "M", "A", "main2", "Fuzz"])
+            exports = ""
+            if r.random() < 0.4:
+                exports = " (" + ", ".join(
+                    r.sample(["main", "d0", "size", "f"],
+                             r.randrange(1, 3))) + ")"
+            lines.append(f"module {name}{exports} where")
+            for _ in range(r.randrange(3)):
+                imported = r.choice([name, "Other", "B", "Deep.Nested"])
+                imp_list = ""
+                if r.random() < 0.5:
+                    imp_list = " (" + ", ".join(
+                        r.sample(["f", "g", "main", "(+)"],
+                                 r.randrange(1, 3))) + ")"
+                lines.append(f"import {imported}{imp_list}")
         if r.random() < 0.2:
             lines.append("data Shape = Dot | Box Int Int"
                          + (" deriving (Eq, Text)" if r.random() < 0.5

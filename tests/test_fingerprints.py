@@ -46,10 +46,12 @@ KNOWN_DEFAULT_PRELUDE_FP = (
 SERVICE_OVERRIDES = {
     "cache_size": 3,
     "cache_dir": "/tmp/elsewhere",
+    "cache_disk_budget": 1_000_000,
     "server_host": "0.0.0.0",
     "server_port": 7433,
     "server_workers": 17,
     "request_timeout": 99.5,
+    "build_jobs": 2,
 }
 
 

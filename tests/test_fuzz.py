@@ -95,6 +95,16 @@ class TestAdversarialCorpus:
             "duplicate_instance": "static.duplicate-instance",
             "stray_close_paren": "parse",
             "huge_int_literal": "parse",
+            "import_unresolved": "module.unknown",
+            "self_import": "module.unknown",
+            "cyclic_import_single_file": "module.unknown",
+            "import_shadowed_reexport": "module.unknown",
+            "import_after_decl": "parse",
+            "module_not_first": "parse",
+            "module_header_twice": "parse",
+            "import_garbage_list": "parse",
+            "module_lowercase_name": "parse",
+            "module_header_no_where": "parse",
         }
         by_name = dict(ADVERSARIAL_CORPUS)
         for name, want in expected.items():

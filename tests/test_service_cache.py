@@ -141,6 +141,70 @@ class TestDiskTier:
         assert cache.stats.disk_writes == 0
 
 
+class TestDiskBudget:
+    """The bounded disk tier: a max-bytes budget enforced by an
+    mtime-ordered GC after every write."""
+
+    @staticmethod
+    def _sizes(path):
+        return {f: os.path.getsize(os.path.join(path, f))
+                for f in os.listdir(path) if f.endswith(".pkl")}
+
+    def test_budget_evicts_oldest_first(self, tmp_path):
+        cache = CompileCache(capacity=8, disk_dir=str(tmp_path),
+                             disk_budget=1)  # everything is oversized
+        cache.put("k" * 64, {"payload": "x" * 100})
+        # The newest entry always survives its own write ...
+        assert len(self._sizes(str(tmp_path))) == 1
+        cache.put("j" * 64, {"payload": "y" * 100})
+        # ... and the previous one, now over budget, is collected.
+        files = self._sizes(str(tmp_path))
+        assert list(files) == ["j" * 64 + ".pkl"]
+        assert cache.stats.disk_evictions == 1
+
+    def test_budget_keeps_entries_that_fit(self, tmp_path):
+        cache = CompileCache(capacity=8, disk_dir=str(tmp_path),
+                             disk_budget=10_000_000)
+        for i in range(5):
+            cache.put(f"{i:064d}", {"payload": i})
+        assert len(self._sizes(str(tmp_path))) == 5
+        assert cache.stats.disk_evictions == 0
+
+    def test_zero_budget_means_unbounded(self, tmp_path):
+        cache = CompileCache(capacity=8, disk_dir=str(tmp_path),
+                             disk_budget=0)
+        for i in range(10):
+            cache.put(f"{i:064d}", {"payload": "z" * 1000})
+        assert len(self._sizes(str(tmp_path))) == 10
+        assert cache.stats.disk_evictions == 0
+
+    def test_hit_refreshes_mtime_so_gc_is_lru(self, tmp_path):
+        cache = CompileCache(capacity=1, disk_dir=str(tmp_path),
+                             disk_budget=10_000_000)
+        cache.put("a" * 64, {"v": 1})
+        cache.put("b" * 64, {"v": 2})
+        os.utime(os.path.join(str(tmp_path), "a" * 64 + ".pkl"),
+                 (1, 1))  # make 'a' ancient
+        os.utime(os.path.join(str(tmp_path), "b" * 64 + ".pkl"),
+                 (2, 2))
+        # A disk hit on 'a' (capacity 1 keeps it out of memory)
+        # refreshes its mtime, so the GC now sees 'b' as oldest.
+        assert cache.get("a" * 64) == {"v": 1}
+        assert cache.stats.disk_hits == 1
+        cache.disk_budget = 1
+        cache._disk_gc()
+        survivors = set(self._sizes(str(tmp_path)))
+        assert "a" * 64 + ".pkl" in survivors
+        assert "b" * 64 + ".pkl" not in survivors
+
+    def test_disk_evictions_in_snapshot(self, tmp_path):
+        cache = CompileCache(capacity=8, disk_dir=str(tmp_path),
+                             disk_budget=1)
+        cache.put("c" * 64, {"v": 1})
+        cache.put("d" * 64, {"v": 2})
+        assert cache.snapshot()["disk_evictions"] == 1
+
+
 class TestSnapshotAndResolve:
     def test_stats_snapshot_shape(self):
         cache = CompileCache(capacity=4)
