@@ -1,0 +1,146 @@
+"""S4 — the core lint is cheap enough to leave on.
+
+The lint runs as a pass-manager *verifier*: after every pass from
+translation on it re-walks the whole core program checking scoping,
+arities, dictionary shapes and the typed annotations.  That is several
+extra whole-program walks per compile, so the budget is looser than
+S2's instrumentation bound but still tight: a cold ``compile_source``
+with ``options.lint`` set must stay within **10%** of the same compile
+with the lint off.
+
+Timings are best-of-N over interleaved rounds.  Within a round the two
+flavours run back to back, and the round *order* alternates — whichever
+compile runs second in a round measures consistently faster (warmed
+allocator/GC state), so each flavour takes the favourable slot equally
+often and the minima compare like with like.
+
+Run under pytest (``pytest benchmarks/bench_s4_lint_overhead.py``) for
+the shape assertion, or as a script to (re)write ``BENCH_s4.json`` at
+the repository root::
+
+    PYTHONPATH=src:. python benchmarks/bench_s4_lint_overhead.py
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from typing import Dict
+
+from benchmarks.conftest import record
+from repro import CompilerOptions, compile_source
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: interleaved measurement rounds (minima are reported); even so both
+#: flavours occupy each within-round position equally often
+ROUNDS = int(os.environ.get("BENCH_S4_ROUNDS", "8"))
+REQUIRED_MAX_OVERHEAD = 0.10  # fraction: lint may cost <= 10% extra
+
+#: A class-heavy workload so the lint has dictionaries, selectors and
+#: annotated bindings to chew on — the worst case for its cost, not
+#: the best.
+SOURCE = """
+data Color = Red | Green | Blue deriving (Eq, Ord, Text)
+
+double :: Num a => a -> a
+double x = x + x
+
+dist :: Num a => (a, a) -> (a, a) -> a
+dist (x1, y1) (x2, y2) = double (x2 - x1) + double (y2 - y1)
+
+search :: Ord a => a -> [a] -> Bool
+search x [] = False
+search x (y:ys) = if x == y then True
+                  else if x < y then False else search x ys
+
+main = (member Green [Blue, Red], double 21, show (sort [Blue, Red]),
+        dist (1, 2) (3, 4), search 3 [1, 2, 3, 4])
+"""
+
+
+def measure_overhead(rounds: int = ROUNDS) -> Dict[str, float]:
+    plain = CompilerOptions(constant_dict_reduction=True, specialize=True)
+    plain.lint = False
+    linted = CompilerOptions(constant_dict_reduction=True, specialize=True)
+    linted.lint = True
+
+    # One throwaway compile per flavour so import costs and warmed
+    # caches are off the books for both.
+    compile_source(SOURCE, plain)
+    compile_source(SOURCE, linted)
+
+    plain_best = linted_best = float("inf")
+    lint_seconds = 0.0
+
+    def time_plain() -> None:
+        nonlocal plain_best
+        gc.collect()  # pay outstanding GC debt outside the timed region
+        t0 = time.perf_counter()
+        compile_source(SOURCE, plain)
+        plain_best = min(plain_best, time.perf_counter() - t0)
+
+    def time_linted() -> None:
+        nonlocal linted_best, lint_seconds
+        gc.collect()
+        t0 = time.perf_counter()
+        program = compile_source(SOURCE, linted)
+        elapsed = time.perf_counter() - t0
+        if elapsed < linted_best:
+            linted_best = elapsed
+            lint_seconds = program.compile_stats.phases.seconds("lint")
+
+    for i in range(rounds):
+        if i % 2 == 0:
+            time_plain()
+            time_linted()
+        else:
+            time_linted()
+            time_plain()
+
+    overhead = linted_best / plain_best - 1.0
+    return {
+        "rounds": rounds,
+        "plain_compile_s": round(plain_best, 6),
+        "linted_compile_s": round(linted_best, 6),
+        "lint_pass_s": round(lint_seconds, 6),
+        "overhead_fraction": round(overhead, 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point
+# ---------------------------------------------------------------------------
+
+def test_lint_overhead_under_10_percent():
+    metrics = measure_overhead()
+    record("S4 core-lint overhead", "cold compile, lint off vs on",
+           **metrics)
+    assert metrics["overhead_fraction"] < REQUIRED_MAX_OVERHEAD, metrics
+
+
+# ---------------------------------------------------------------------------
+# script entry point: write BENCH_s4.json
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    metrics = measure_overhead()
+    payload = {
+        "benchmark": "s4_lint_overhead",
+        "compile": metrics,
+        "required_max_overhead": REQUIRED_MAX_OVERHEAD,
+        "passed": metrics["overhead_fraction"] < REQUIRED_MAX_OVERHEAD,
+    }
+    out = os.path.join(REPO_ROOT, "BENCH_s4.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {out}")
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,8 +25,11 @@ from repro.errors import ReproError
 from repro.options import CompilerOptions
 
 
-def build_options(settings: List[str]) -> CompilerOptions:
+def build_options(settings: List[str],
+                  lint: bool = False) -> CompilerOptions:
     options = CompilerOptions()
+    if lint:
+        options.lint = True
     for setting in settings:
         if "=" not in setting:
             raise SystemExit(f"--set expects name=value, got {setting!r}")
@@ -107,7 +110,7 @@ def dump_after_observer(target: str):
         print(f"-- after {name}:")
         if ctx.core is not None:
             from repro.coreir.pretty import pp_program
-            print(pp_program(ctx.core))
+            print(pp_program(ctx.core, annotations=True))
         else:
             from repro.lang.pretty import pp_program
             for unit in ctx.units:
@@ -118,7 +121,7 @@ def dump_after_observer(target: str):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    options = build_options(args.set or [])
+    options = build_options(args.set or [], lint=getattr(args, "lint", False))
     observer = dump_after_observer(args.dump_after) \
         if args.dump_after else None
     program, source = load(args.file, options, observer=observer,
@@ -149,7 +152,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    options = build_options(args.set or [])
+    options = build_options(args.set or [], lint=getattr(args, "lint", False))
     program = load(args.file, options)
     for name, scheme in sorted(program.schemes.items()):
         if "$" in name or "@" in name:
@@ -161,7 +164,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_core(args: argparse.Namespace) -> int:
-    options = build_options(args.set or [])
+    options = build_options(args.set or [], lint=getattr(args, "lint", False))
     program = load(args.file, options)
     names = args.names or None
     print(program.dump_core(names))
@@ -169,7 +172,7 @@ def cmd_core(args: argparse.Namespace) -> int:
 
 
 def cmd_repl(args: argparse.Namespace) -> int:
-    options = build_options(args.set or [])
+    options = build_options(args.set or [], lint=getattr(args, "lint", False))
     preamble = ""
     if args.file:
         with open(args.file, "r", encoding="utf-8") as handle:
@@ -208,7 +211,7 @@ def cmd_repl(args: argparse.Namespace) -> int:
 def cmd_build(args: argparse.Namespace) -> int:
     """Build a module tree: separate compilation, caching, linking."""
     from repro.modules import build_modules
-    options = build_options(args.set or [])
+    options = build_options(args.set or [], lint=getattr(args, "lint", False))
     try:
         result = build_modules(args.paths, options, jobs=args.jobs,
                                out_dir=args.out)
@@ -258,7 +261,7 @@ def _pretty_module_error(exc: ReproError) -> str:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the long-lived compile/eval server (repro.service)."""
     from repro.service.server import CompileServer, CompileService
-    options = build_options(args.set or [])
+    options = build_options(args.set or [], lint=getattr(args, "lint", False))
     if args.host:
         options.server_host = args.host
     if args.port is not None:
@@ -291,7 +294,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_batch(args: argparse.Namespace) -> int:
     """Compile many programs through one shared snapshot + cache."""
     from repro.service.server import CompileService
-    options = build_options(args.set or [])
+    options = build_options(args.set or [], lint=getattr(args, "lint", False))
     service = CompileService(options)
     failures = 0
     for _ in range(max(1, args.repeat)):
@@ -344,6 +347,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--set", action="append", metavar="NAME=VALUE",
                        help="override a CompilerOptions field")
+        p.add_argument("--lint", action="store_true",
+                       help="run the core lint after every pass "
+                            "(equivalent to --set lint=true or "
+                            "REPRO_LINT=1)")
 
     p_run = sub.add_parser("run", help="compile and run a program")
     p_run.add_argument("file")

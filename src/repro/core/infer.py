@@ -169,6 +169,10 @@ class CompiledBinding:
     scheme: Optional[Scheme] = None     # None for generated helpers
     dict_params: List[str] = field(default_factory=list)
     kind: str = "user"                  # user | default | impl | dict | selector
+    #: class constrained by each dictionary parameter, parallel to
+    #: ``dict_params`` — the translator turns these into core binder
+    #: annotations instead of discarding them
+    dict_classes: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -346,7 +350,8 @@ class Inferencer:
         for component in strongly_connected_components(graph):
             group = [by_name[n] for n in component]
             if len(group) == 1 and group[0].name in sigs:
-                self.check_explicit(group[0], sigs[group[0].name])
+                self.check_explicit(group[0], sigs[group[0].name],
+                                    emit=top_level)
             else:
                 # A component is implicit by construction (explicit
                 # nodes have no inbound edges into cycles).
@@ -427,19 +432,29 @@ class Inferencer:
             scheme = generalize_over(quantified, group_preds, monos[b.name])
             self.env.bind(b.name, SchemeEntry(scheme))
             self.schemes[b.name] = scheme
-            self.output.append(CompiledBinding(
-                b.name, b.simple_rhs, scheme, list(dict_params), "user"))
+            # Only top-level groups become top-level compiled bindings.
+            # A local group's (dictionary-converted) definitions stay in
+            # their enclosing let — emitting them here too used to leave
+            # dead top-level duplicates, which shadow each other in the
+            # evaluator's globals and trip the core lint.
+            if top_level:
+                self.output.append(CompiledBinding(
+                    b.name, b.simple_rhs, scheme, list(dict_params), "user",
+                    dict_classes=[cls for (cls, _v) in group_preds]))
 
     # ------------------------------------------------- explicit bindings
 
     def check_explicit(self, bind: ast.FunBind, scheme: Scheme,
                        kind: str = "user",
-                       out_name: Optional[str] = None) -> None:
+                       out_name: Optional[str] = None,
+                       emit: bool = True) -> None:
         """Check a binding against a declared scheme (section 8.6).
 
         The signature is instantiated with read-only variables; the
         declared context, in declared order, determines the dictionary
-        parameters.
+        parameters.  *emit* is False for signed bindings in local lets:
+        they are checked and dictionary-converted in place but stay in
+        their enclosing let rather than becoming top-level output.
         """
         with self.scoped_level() as level:
             scope = self.scope = PlaceholderScope(self.scope)
@@ -461,8 +476,10 @@ class Inferencer:
         name = out_name if out_name is not None else bind.name
         self.env.bind(bind.name, SchemeEntry(scheme))
         self.schemes[name] = scheme
-        self.output.append(CompiledBinding(
-            name, bind.simple_rhs, scheme, list(dict_params), kind))
+        if emit:
+            self.output.append(CompiledBinding(
+                name, bind.simple_rhs, scheme, list(dict_params), kind,
+                dict_classes=[cls for (cls, _v) in sig_preds]))
 
     # =================================================================
     # Expression inference (returns possibly rewritten node)
@@ -1065,5 +1082,6 @@ class Inferencer:
                                ast.Var(this_name, pos=pos), pos=pos)
         if sub_params:
             body = ast.Lam([ast.PVar(p) for p in sub_params], body, pos=pos)
-        return CompiledBinding(info.dict_name, body, None,
-                               list(sub_params), "dict")
+        return CompiledBinding(
+            info.dict_name, body, None, list(sub_params), "dict",
+            dict_classes=[cls for (_i, cls) in info.dict_param_preds()])

@@ -444,6 +444,27 @@ def scheme_str(scheme: Scheme) -> str:
     return "(" + ", ".join(preds) + f") => {body}"
 
 
+def scheme_arg_types(scheme: Scheme) -> List[str]:
+    """The rendered argument types of a scheme's top-level arrow spine.
+
+    ``Eq a => a -> [a] -> Bool`` yields ``["a", "[a]"]``.  Variables are
+    named exactly as :func:`scheme_str` names them, so the strings are
+    stable across processes — the translator uses them to annotate core
+    binders (lambda parameters, case-alternative fields)."""
+    names: Dict[int, str] = {}
+    gen_names = [_var_name(i) for i in range(len(scheme.kinds))]
+    out: List[str] = []
+    ty = prune(scheme.type)
+    while True:
+        head, args = spine(ty)
+        if not (isinstance(head, TyCon) and head.name == "->"
+                and len(args) == 2):
+            break
+        out.append(_scheme_body_str(args[0], 1, names, gen_names))
+        ty = prune(args[1])
+    return out
+
+
 def _scheme_body_str(ty: Type, prec: int, names: Dict[int, str],
                      gen_names: List[str]) -> str:
     ty = prune(ty)

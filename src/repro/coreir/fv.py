@@ -1,0 +1,137 @@
+"""Free-variable and occurrence analysis over core expressions.
+
+One home for the walkers that were duplicated across the transforms:
+dead-code elimination builds its reachability graph from
+:func:`free_vars`, dictionary hoisting asks for the deepest binder of a
+float's free variables, and the specialiser's dead-dictionary sweep
+needs the recursive-let liveness fixpoint in
+:func:`live_let_binders`.  Keeping them here means every transform
+agrees on scoping — and the core lint checks exactly the same rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.coreir.syntax import (
+    CApp,
+    CCase,
+    CDict,
+    CLam,
+    CLet,
+    CoreExpr,
+    CSel,
+    CTuple,
+    CVar,
+)
+
+
+def free_vars(expr: CoreExpr) -> List[str]:
+    """Free variables in first-occurrence order."""
+    out: List[str] = []
+    seen: Set[str] = set()
+
+    def go(e: CoreExpr, bound: frozenset) -> None:
+        if isinstance(e, CVar):
+            if e.name not in bound and e.name not in seen:
+                seen.add(e.name)
+                out.append(e.name)
+        elif isinstance(e, CApp):
+            go(e.fn, bound)
+            go(e.arg, bound)
+        elif isinstance(e, CLam):
+            go(e.body, bound | frozenset(e.params))
+        elif isinstance(e, CLet):
+            names = frozenset(n for n, _ in e.binds)
+            inner = bound | names if e.recursive else bound
+            for _, rhs in e.binds:
+                go(rhs, inner)
+            go(e.body, bound | names)
+        elif isinstance(e, CCase):
+            go(e.scrutinee, bound)
+            for alt in e.alts:
+                go(alt.body, bound | frozenset(alt.binders))
+            for lalt in e.lit_alts:
+                go(lalt.body, bound)
+            if e.default is not None:
+                go(e.default, bound)
+        elif isinstance(e, (CTuple, CDict)):
+            for item in e.items:
+                go(item, bound)
+        elif isinstance(e, CSel):
+            go(e.expr, bound)
+        # CLit, CCon: nothing
+
+    go(expr, frozenset())
+    return out
+
+
+def free_var_set(expr: CoreExpr) -> Set[str]:
+    """Free variables as a set (order-insensitive callers)."""
+    return set(free_vars(expr))
+
+
+def count_occurrences(expr: CoreExpr, name: str) -> int:
+    """Number of *free* occurrences of *name* in *expr*."""
+    count = 0
+
+    def go(e: CoreExpr, bound: frozenset) -> None:
+        nonlocal count
+        if isinstance(e, CVar):
+            if e.name == name and name not in bound:
+                count += 1
+        elif isinstance(e, CApp):
+            go(e.fn, bound)
+            go(e.arg, bound)
+        elif isinstance(e, CLam):
+            go(e.body, bound | frozenset(e.params))
+        elif isinstance(e, CLet):
+            names = frozenset(n for n, _ in e.binds)
+            inner = bound | names if e.recursive else bound
+            for _, rhs in e.binds:
+                go(rhs, inner)
+            go(e.body, bound | names)
+        elif isinstance(e, CCase):
+            go(e.scrutinee, bound)
+            for alt in e.alts:
+                go(alt.body, bound | frozenset(alt.binders))
+            for lalt in e.lit_alts:
+                go(lalt.body, bound)
+            if e.default is not None:
+                go(e.default, bound)
+        elif isinstance(e, (CTuple, CDict)):
+            for item in e.items:
+                go(item, bound)
+        elif isinstance(e, CSel):
+            go(e.expr, bound)
+
+    go(expr, frozenset())
+    return count
+
+
+def live_let_binders(binds: Sequence[Tuple[str, CoreExpr]], body: CoreExpr,
+                     recursive: bool) -> Set[str]:
+    """The binders of a let group that are transitively referenced.
+
+    Liveness starts from the body's free variables; for recursive
+    groups it is a fixpoint, so a self-referential knot (e.g. the
+    ``dict$this`` dictionary) whose external references have all been
+    rewritten away is correctly recognised as dead.
+    """
+    used = free_var_set(body)
+    if recursive:
+        # Only in a recursive group do binder names scope over the
+        # right-hand sides, so only there can one binder keep another
+        # alive.
+        rhs_vars: Dict[str, Set[str]] = {n: free_var_set(rhs)
+                                         for n, rhs in binds}
+        changed = True
+        while changed:
+            changed = False
+            for n in list(rhs_vars):
+                if n in used:
+                    extra = rhs_vars[n] - used
+                    if extra:
+                        used.update(extra)
+                        changed = True
+    return {n for n, _ in binds if n in used}

@@ -1,5 +1,18 @@
 """Pretty printer for core IR — used by ``dump_core``, tests and the
-paper-example goldens."""
+paper-example goldens.
+
+Every core node kind prints distinctly:
+
+* ``dict<tag>[e1, ..]`` — a :class:`CDict` with its provenance tag
+  (``dict[..]`` when untagged);
+* ``e!i`` / ``e.i`` — a :class:`CSel`, ``!`` marking a
+  dictionary-method selection (``from_dict``) and ``.`` a plain tuple
+  selection;
+* ``pp_binding(b, annotations=True)`` additionally renders the typed
+  annotations the translator records — the binding's scheme and its
+  dictionary-parameter classes — as ``--`` comment lines, which is the
+  form ``--dump-after`` uses.
+"""
 
 from __future__ import annotations
 
@@ -57,21 +70,33 @@ def pp_core(expr, prec: int = 0) -> str:
     if isinstance(expr, CTuple):
         return "(" + ", ".join(pp_core(i) for i in expr.items) + ")"
     if isinstance(expr, CDict):
-        return "dict[" + ", ".join(pp_core(i) for i in expr.items) + "]"
+        tag = f"<{expr.tag}>" if expr.tag else ""
+        return f"dict{tag}[" + \
+            ", ".join(pp_core(i) for i in expr.items) + "]"
     if isinstance(expr, CSel):
         mark = "!" if expr.from_dict else "."
         return f"{pp_core(expr.expr, 11)}{mark}{expr.index}"
     return repr(expr)
 
 
-def pp_binding(binding: CoreBinding) -> str:
-    return f"{binding.name} = {pp_core(binding.expr)}"
+def pp_binding(binding: CoreBinding, annotations: bool = False) -> str:
+    line = f"{binding.name} = {pp_core(binding.expr)}"
+    if not annotations:
+        return line
+    notes = []
+    if binding.type_ann is not None:
+        notes.append(f"-- {binding.name} :: {binding.type_ann}")
+    if binding.dict_classes:
+        notes.append(f"-- {binding.name} dicts: "
+                     f"{', '.join(binding.dict_classes)}")
+    return "\n".join(notes + [line])
 
 
 def pp_program(program: CoreProgram,
-               names: Optional[List[str]] = None) -> str:
+               names: Optional[List[str]] = None,
+               annotations: bool = False) -> str:
     lines = []
     for b in program.bindings:
         if names is None or b.name in names:
-            lines.append(pp_binding(b))
+            lines.append(pp_binding(b, annotations))
     return "\n".join(lines)

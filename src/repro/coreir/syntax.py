@@ -14,12 +14,35 @@ Dictionaries are ordinary tuples operationally; the distinct node kinds
 evaluator can count dictionary constructions and method selections —
 the two run-time costs the paper attributes to type classes
 (section 9).
+
+The language stays *operationally* untyped, but binders may carry
+optional annotations (:class:`Ann` on :class:`CLam` parameters and
+:class:`CAlt` binders; a type scheme and dictionary-parameter classes
+on :class:`CoreBinding`).  Translation emits them from the inference
+results instead of discarding them; the transforms preserve or update
+them; ``repro.coreir.lint`` checks them after every pass (see
+docs/CORE.md).  Annotations never change evaluation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
+
+
+@dataclass(slots=True)
+class Ann:
+    """An optional binder annotation.
+
+    ``type`` is a rendered type (stable positional variable names, the
+    same rendering ``scheme_str`` uses), carried for dumps and docs;
+    ``dict_class`` names the class whose dictionary the binder receives
+    when the binder is a dictionary parameter.  Both default to None —
+    an :class:`Ann` records whatever inference knew, no more.
+    """
+
+    type: Optional[str] = None
+    dict_class: Optional[str] = None
 
 
 class CoreExpr:
@@ -60,11 +83,19 @@ class CApp(CoreExpr):
     arg: CoreExpr
 
 
-@dataclass
+@dataclass(slots=True)
 class CLam(CoreExpr):
-    __slots__ = ("params", "body")
+    """``\\x1 .. xn -> body``.
+
+    ``anns``, when present, is parallel to ``params`` (one entry per
+    parameter, entries may be None).  Transforms that split, merge or
+    drop parameters must keep the two lists in step — the lint checks
+    the lengths agree.
+    """
+
     params: List[str]
     body: CoreExpr
+    anns: Optional[List[Optional[Ann]]] = None
 
 
 @dataclass
@@ -75,14 +106,17 @@ class CLet(CoreExpr):
     recursive: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class CAlt:
-    """``K x1 .. xk -> body``"""
+    """``K x1 .. xk -> body``.
 
-    __slots__ = ("con_name", "binders", "body")
+    ``anns``, when present, is parallel to ``binders`` — the translator
+    fills in the constructor's field types."""
+
     con_name: str
     binders: List[str]
     body: CoreExpr
+    anns: Optional[List[Optional[Ann]]] = None
 
 
 @dataclass
@@ -145,6 +179,16 @@ class CoreBinding:
     #: how many leading lambda parameters are dictionary parameters —
     #: the transforms (inner entry points, specialisation) key off this
     dict_arity: int = 0
+    #: the binding's type scheme (a ``repro.core.types.Scheme``), when
+    #: inference produced one; None for generated helpers.  The lint
+    #: checks that the scheme's predicate list agrees with
+    #: ``dict_arity``/``dict_classes``, so transforms that drop
+    #: dictionary parameters must clear (or rewrite) this too.
+    type_ann: Optional[Any] = None
+    #: class constrained by each dictionary parameter, in parameter
+    #: order; None when unannotated.  When present its length must
+    #: equal ``dict_arity``.
+    dict_classes: Optional[Tuple[str, ...]] = None
 
 
 @dataclass
@@ -187,67 +231,70 @@ def app_spine(expr: CoreExpr) -> Tuple[CoreExpr, List[CoreExpr]]:
     return expr, args
 
 
-def free_vars(expr: CoreExpr) -> List[str]:
-    """Free variables in first-occurrence order."""
-    out: List[str] = []
-    seen = set()
-
-    def go(e: CoreExpr, bound: frozenset) -> None:
-        if isinstance(e, CVar):
-            if e.name not in bound and e.name not in seen:
-                seen.add(e.name)
-                out.append(e.name)
-        elif isinstance(e, CApp):
-            go(e.fn, bound)
-            go(e.arg, bound)
-        elif isinstance(e, CLam):
-            go(e.body, bound | frozenset(e.params))
-        elif isinstance(e, CLet):
-            names = frozenset(n for n, _ in e.binds)
-            inner = bound | names if e.recursive else bound
-            for _, rhs in e.binds:
-                go(rhs, inner)
-            go(e.body, bound | names)
-        elif isinstance(e, CCase):
-            go(e.scrutinee, bound)
-            for alt in e.alts:
-                go(alt.body, bound | frozenset(alt.binders))
-            for lalt in e.lit_alts:
-                go(lalt.body, bound)
-            if e.default is not None:
-                go(e.default, bound)
-        elif isinstance(e, (CTuple, CDict)):
-            for item in e.items:
-                go(item, bound)
-        elif isinstance(e, CSel):
-            go(e.expr, bound)
-        # CLit, CCon: nothing
-
-    go(expr, frozenset())
-    return out
+# Free-variable analysis lives in repro.coreir.fv (shared with the
+# transforms and the lint); re-exported here for the many existing
+# importers.  The import sits below the class definitions because fv
+# imports them from this module.
+from repro.coreir.fv import free_vars  # noqa: E402
 
 
 def map_subexprs(expr: CoreExpr, fn) -> CoreExpr:
-    """Rebuild *expr* with *fn* applied to each immediate child."""
+    """Rebuild *expr* with *fn* applied to each immediate child.
+
+    Binder annotations are preserved verbatim — the children change,
+    the binders do not.  When every child maps to itself the original
+    node is returned unchanged: transforms built on this walker
+    preserve object identity for untouched subtrees, which the
+    pass-manager lint cache relies on to skip re-checking them."""
     if isinstance(expr, CApp):
-        return CApp(fn(expr.fn), fn(expr.arg))
+        f, a = fn(expr.fn), fn(expr.arg)
+        if f is expr.fn and a is expr.arg:
+            return expr
+        return CApp(f, a)
     if isinstance(expr, CLam):
-        return CLam(list(expr.params), fn(expr.body))
+        body = fn(expr.body)
+        if body is expr.body:
+            return expr
+        return CLam(list(expr.params), body, expr.anns)
     if isinstance(expr, CLet):
-        return CLet([(n, fn(e)) for n, e in expr.binds], fn(expr.body),
-                    expr.recursive)
+        binds = [(n, fn(e)) for n, e in expr.binds]
+        body = fn(expr.body)
+        if body is expr.body and all(
+                new is old for (_, new), (_, old) in zip(binds, expr.binds)):
+            return expr
+        return CLet(binds, body, expr.recursive)
     if isinstance(expr, CCase):
+        scrut = fn(expr.scrutinee)
+        alt_bodies = [fn(a.body) for a in expr.alts]
+        lit_bodies = [fn(a.body) for a in expr.lit_alts]
+        default = fn(expr.default) if expr.default is not None else None
+        if (scrut is expr.scrutinee and default is expr.default
+                and all(b is a.body for b, a in zip(alt_bodies, expr.alts))
+                and all(b is a.body
+                        for b, a in zip(lit_bodies, expr.lit_alts))):
+            return expr
         return CCase(
-            fn(expr.scrutinee),
-            [CAlt(a.con_name, list(a.binders), fn(a.body)) for a in expr.alts],
-            [CLitAlt(a.value, a.kind, fn(a.body)) for a in expr.lit_alts],
-            fn(expr.default) if expr.default is not None else None)
+            scrut,
+            [CAlt(a.con_name, list(a.binders), b, a.anns)
+             for a, b in zip(expr.alts, alt_bodies)],
+            [CLitAlt(a.value, a.kind, b)
+             for a, b in zip(expr.lit_alts, lit_bodies)],
+            default)
     if isinstance(expr, CTuple):
-        return CTuple([fn(i) for i in expr.items])
+        items = [fn(i) for i in expr.items]
+        if all(n is o for n, o in zip(items, expr.items)):
+            return expr
+        return CTuple(items)
     if isinstance(expr, CDict):
-        return CDict([fn(i) for i in expr.items], expr.tag)
+        items = [fn(i) for i in expr.items]
+        if all(n is o for n, o in zip(items, expr.items)):
+            return expr
+        return CDict(items, expr.tag)
     if isinstance(expr, CSel):
-        return CSel(expr.index, expr.arity, fn(expr.expr), expr.from_dict)
+        sub = fn(expr.expr)
+        if sub is expr.expr:
+            return expr
+        return CSel(expr.index, expr.arity, sub, expr.from_dict)
     return expr
 
 

@@ -19,13 +19,14 @@ made explicit; this pass finishes the job of reaching a runnable form:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StaticError
 from repro.lang import ast
 from repro.limits import DEFAULT_TRANSFORM_DEPTH, DepthGuard
 from repro.util.names import NameSupply
 from repro.coreir.syntax import (
+    Ann,
     CAlt,
     CApp,
     CCase,
@@ -46,21 +47,38 @@ from repro.coreir.syntax import (
 
 class Translator:
     def __init__(self, con_arity: Dict[str, int],
-                 max_depth: int = DEFAULT_TRANSFORM_DEPTH) -> None:
+                 max_depth: int = DEFAULT_TRANSFORM_DEPTH,
+                 data_cons=None) -> None:
         """*con_arity* maps data constructor names to their arities
-        (needed to emit saturation-aware ``CCon`` nodes)."""
+        (needed to emit saturation-aware ``CCon`` nodes).  *data_cons*,
+        when given, maps constructor names to
+        :class:`repro.core.static.DataConInfo`; it lets case binders be
+        annotated with the constructor's field types."""
         self.con_arity = con_arity
+        self.data_cons = data_cons
         self.names = NameSupply()
         self._depth = DepthGuard(max_depth, "max_transform_depth",
                                  "core translation")
+        # Rendered field types per constructor — the rendering is pure
+        # string work on the constructor's scheme, so one computation
+        # per constructor keeps annotation emission off the hot path.
+        self._field_types: Dict[str, Optional[List[str]]] = {}
 
     # ------------------------------------------------------------ programs
 
     def binding(self, name: str, expr: ast.Expr, kind: str,
-                dict_arity: int = 0) -> CoreBinding:
+                dict_arity: int = 0, scheme=None,
+                dict_classes: Optional[Sequence[str]] = None) -> CoreBinding:
+        ann_classes: Optional[Tuple[str, ...]] = None
+        if dict_classes is not None and len(dict_classes) == dict_arity:
+            ann_classes = tuple(dict_classes)
         if kind == "dict":
-            return CoreBinding(name, self.dict_body(expr, name), kind,
-                               dict_arity)
+            body = self.dict_body(expr, name)
+            if (ann_classes and isinstance(body, CLam)
+                    and len(body.params) == dict_arity):
+                body.anns = [Ann(dict_class=c) for c in ann_classes]
+            return CoreBinding(name, body, kind, dict_arity,
+                               type_ann=scheme, dict_classes=ann_classes)
         if dict_arity > 0:
             # Keep the dictionary lambda separate from the value lambda:
             # the boundary is where hoisted dictionary constructions
@@ -70,9 +88,13 @@ class Translator:
             assert isinstance(expr2, ast.Lam) \
                 and len(expr2.params) == dict_arity
             params = [p.name for p in expr2.params]  # type: ignore[union-attr]
-            return CoreBinding(name, CLam(params, self.expr(expr2.body)),
-                               kind, dict_arity)
-        return CoreBinding(name, self.expr(expr), kind, dict_arity)
+            anns = ([Ann(dict_class=c) for c in ann_classes]
+                    if ann_classes else None)
+            return CoreBinding(name, CLam(params, self.expr(expr2.body), anns),
+                               kind, dict_arity,
+                               type_ann=scheme, dict_classes=ann_classes)
+        return CoreBinding(name, self.expr(expr), kind, dict_arity,
+                           type_ann=scheme, dict_classes=ann_classes)
 
     def dict_body(self, expr: ast.Expr, tag: str) -> CoreExpr:
         """Translate a dictionary-constructor binding, marking its
@@ -123,7 +145,9 @@ class Translator:
             body = self.expr(expr.body)
             # Merge directly nested lambdas for cheaper application.
             if isinstance(body, CLam):
-                return CLam(params + body.params, body.body)
+                anns = ([None] * len(params) + body.anns
+                        if body.anns is not None else None)
+                return CLam(params + body.params, body.body, anns)
             return CLam(params, body)
         if isinstance(expr, ast.Let):
             binds = []
@@ -245,16 +269,45 @@ class Translator:
         body = success
         for name, sub in reversed(list(zip(binders, pat.args))):
             body = self.match_pattern(CVar(name), sub, body, fail)
-        return CCase(scrut, [CAlt(pat.name, binders, body)], [], fail)
+        return CCase(scrut,
+                     [CAlt(pat.name, binders, body,
+                           self._alt_anns(pat.name, len(binders)))],
+                     [], fail)
+
+    def _alt_anns(self, con_name: str,
+                  n_binders: int) -> Optional[List[Optional[Ann]]]:
+        """Field-type annotations for a case alternative's binders, from
+        the constructor's declared scheme (None when unavailable)."""
+        if self.data_cons is None or n_binders == 0:
+            return None
+        if con_name not in self._field_types:
+            fields: Optional[List[str]] = None
+            info = self.data_cons.get(con_name)
+            if info is not None and info.scheme is not None:
+                from repro.core.types import scheme_arg_types
+                args = scheme_arg_types(info.scheme)
+                if len(args) >= info.arity:
+                    fields = args[:info.arity]
+            self._field_types[con_name] = fields
+        fields = self._field_types[con_name]
+        if fields is None or len(fields) != n_binders:
+            return None
+        return [Ann(type=t) for t in fields]
 
 
-def translate_bindings(compiled, con_arity: Dict[str, int]) -> CoreProgram:
-    """Translate a list of :class:`CompiledBinding` into a core program."""
-    tr = Translator(con_arity)
+def translate_bindings(compiled, con_arity: Dict[str, int],
+                       data_cons=None) -> CoreProgram:
+    """Translate a list of :class:`CompiledBinding` into a core program.
+
+    With *data_cons* (constructor name -> ``DataConInfo``), case binders
+    are annotated with field types; binding schemes and dictionary
+    classes carry over from inference either way."""
+    tr = Translator(con_arity, data_cons=data_cons)
     out = CoreProgram()
     for b in compiled:
-        out.bindings.append(tr.binding(b.name, b.expr, b.kind,
-                                       len(b.dict_params)))
+        out.bindings.append(tr.binding(
+            b.name, b.expr, b.kind, len(b.dict_params),
+            scheme=b.scheme, dict_classes=getattr(b, "dict_classes", None)))
     return out
 
 

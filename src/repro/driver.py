@@ -226,6 +226,10 @@ class CompiledProgram:
         import copy
         clone = copy.copy(self)
         clone.core = shake(self.core, roots)
+        if getattr(self.options, "lint", False):
+            from repro.coreir.lint import lint_program
+            lint_program(clone.core, con_arity=self._arity_map(),
+                         class_env=self.class_env, pass_name="shake")
         return clone
 
     def _arity_map(self) -> Dict[str, int]:

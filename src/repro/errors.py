@@ -269,6 +269,98 @@ class TagDispatchError(ReproError):
     code = "tags"
 
 
+class CoreLintError(ReproError):
+    """The core lint found an ill-formed program after a pipeline pass.
+
+    A lint failure means a compiler bug — some pass broke scoping, an
+    arity, a dictionary shape or an annotation invariant — never a user
+    error, so the message names the offending pass and binding.  The
+    concrete checks are subclasses with stable ``lint.*`` codes (see
+    docs/CORE.md for the full table)."""
+
+    code = "lint"
+
+    def __init__(self, message: str, pos: Optional[SourcePos] = None,
+                 pass_name: Optional[str] = None,
+                 binding: Optional[str] = None) -> None:
+        where = []
+        if binding is not None:
+            where.append(f"in binding '{binding}'")
+        if pass_name is not None:
+            where.append(f"after pass '{pass_name}'")
+        if where:
+            message = f"core lint {' '.join(where)}: {message}"
+        else:
+            message = f"core lint: {message}"
+        super().__init__(message, pos)
+        #: the pipeline pass whose output failed the lint, when known
+        self.pass_name = pass_name
+        #: the top-level binding the failure was found in, when known
+        self.binding = binding
+
+    def to_json(self) -> Dict[str, Any]:
+        out = super().to_json()
+        out["pass"] = self.pass_name
+        out["binding"] = self.binding
+        return out
+
+
+class LintScopeError(CoreLintError):
+    """A variable occurrence has no enclosing binder or top-level
+    definition (and is not a primitive)."""
+
+    code = "lint.scope"
+
+
+class LintShadowError(CoreLintError):
+    """Duplicate binders inside one binding group (lambda parameter
+    list, let group, case alternative) or duplicate top-level names —
+    ordinary nested shadowing is legal, ambiguity within a single group
+    is not."""
+
+    code = "lint.shadow"
+
+
+class LintConArityError(CoreLintError):
+    """A constructor value or case alternative disagrees with the
+    constructor's declared arity."""
+
+    code = "lint.con-arity"
+
+
+class LintSelError(CoreLintError):
+    """A tuple/dictionary selection is out of bounds: index outside
+    ``[0, arity)`` or arity disagreeing with a literal tuple or
+    dictionary operand."""
+
+    code = "lint.sel"
+
+
+class LintDictShapeError(CoreLintError):
+    """A dictionary tuple has the wrong number of slots for the class
+    its tag names (layout-aware; see ClassEnv.dict_slots)."""
+
+    code = "lint.dict-shape"
+
+
+class LintAnnotationError(CoreLintError):
+    """A binder annotation is inconsistent: annotation list not
+    parallel to the binder list, ``dict_classes`` length disagreeing
+    with ``dict_arity``, or a dictionary-parameter annotation naming a
+    different class than the binding declares."""
+
+    code = "lint.annotation"
+
+
+class LintTypeError(CoreLintError):
+    """An annotated type is violated where the lint can check it: a
+    binding's scheme predicates disagree with its dictionary
+    parameters, or a dictionary-arity binding is not the lambda its
+    arity promises."""
+
+    code = "lint.type"
+
+
 class ResourceLimitError(ReproError):
     """A compiler or evaluator resource budget was exhausted: parser or
     type-checker depth guard, evaluator depth budget, or a Python

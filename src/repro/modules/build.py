@@ -187,6 +187,34 @@ def _in_module(owner: str) -> str:
     return owner if owner == "the prelude" else f"module '{owner}'"
 
 
+def _extern_names(dep_interfaces: Sequence[ModuleInterface],
+                  visible: Dict[str, Tuple[Any, str]],
+                  class_env: Any) -> Tuple[str, ...]:
+    """Every name a module's core may reference that lives in another
+    module's core: the imported values, plus the generated bindings
+    behind imported classes and instances — dictionary constructors,
+    per-method implementations, and compiled default methods.  The
+    core lint treats these as in scope (they are bound at link time)."""
+    from repro.util.names import (
+        default_method_name,
+        dict_var_name,
+        method_impl_name,
+    )
+    names = set(visible)
+    for iface in dep_interfaces:
+        for cls_name, cinfo in iface.classes.items():
+            for m in cinfo.methods:
+                names.add(default_method_name(cls_name, m.name))
+        for inst in iface.instances:
+            names.add(dict_var_name(inst.class_name, inst.tycon_name))
+            cinfo = class_env.classes.get(inst.class_name)
+            if cinfo is not None:
+                for m in cinfo.methods:
+                    names.add(method_impl_name(
+                        inst.class_name, inst.tycon_name, m.name))
+    return tuple(sorted(names))
+
+
 def _visible_values(msrc: ModuleSource,
                     ifaces: Dict[str, ModuleInterface]
                     ) -> Dict[str, Tuple[Any, str]]:
@@ -293,6 +321,8 @@ def compile_module(msrc: ModuleSource,
                                 n_prefix_bindings=snapshot.n_bindings)
     ctx.fixities = fixities or None
     ctx.imports_resolved = True
+    ctx.extern_names = _extern_names(dep_interfaces, visible,
+                                     static_env.class_env)
     default_pass_manager().run(ctx, stop_after=TRANSLATE)
 
     program = ctx.units[0].program

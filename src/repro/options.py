@@ -26,12 +26,17 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 
 #: Fields of :class:`CompilerOptions` that configure the compilation
-#: *service* (cache sizing, server transport) rather than the compiler
-#: itself.  They are excluded from :func:`options_fingerprint` so that,
-#: e.g., resizing the cache does not invalidate every cached program.
+#: *service* (cache sizing, server transport) or the development
+#: harness rather than the compiler's output.  They are excluded from
+#: :func:`options_fingerprint` so that, e.g., resizing the cache — or
+#: turning the core lint on — does not invalidate every cached
+#: program.  (``lint`` belongs here precisely because it never changes
+#: what is compiled, only whether the result is verified; note the
+#: corollary that a compile-cache hit skips the lint.)
 SERVICE_OPTION_FIELDS = (
     "cache_size",
     "cache_dir",
@@ -41,7 +46,16 @@ SERVICE_OPTION_FIELDS = (
     "server_workers",
     "request_timeout",
     "build_jobs",
+    "lint",
 )
+
+
+def _lint_default() -> bool:
+    """Core lint defaults off; ``REPRO_LINT=1`` in the environment turns
+    it on for every compilation in the process — that is how CI runs
+    the whole tier-1 suite under the lint without threading a flag
+    through every test."""
+    return os.environ.get("REPRO_LINT", "") not in ("", "0")
 
 
 @dataclass
@@ -82,6 +96,11 @@ class CompilerOptions:
     server_port: int = 0          # 0 = pick an ephemeral port
     server_workers: int = 4       # thread-pool width for request handling
     request_timeout: float = 10.0  # per-request budget, seconds (0 = none)
+
+    # ---- development harness
+    #: run the core lint (repro.coreir.lint) on the output of every
+    #: pipeline pass; CLI --lint / env REPRO_LINT=1
+    lint: bool = field(default_factory=_lint_default)
 
     def with_(self, **kwargs) -> "CompilerOptions":
         """A copy with some fields replaced (ablation helper)."""

@@ -151,6 +151,16 @@ class CompileContext:
     #: interfaces; a plain single-file compile rejects ``import`` decls
     #: with a located error (there is nothing to resolve them against)
     imports_resolved: bool = False
+    #: names defined outside this compilation unit but legitimately
+    #: referenced by its core — values (and generated dictionary/impl/
+    #: default bindings) provided by imported module interfaces.  The
+    #: core lint treats these as in scope.
+    extern_names: Tuple[str, ...] = ()
+    #: scratch state for the core-lint verifier: remembers which binding
+    #: objects already linted clean this compile (transforms preserve
+    #: object identity for untouched bindings, so most re-lints are
+    #: incremental).  Owned entirely by repro.coreir.lint.lint_program.
+    lint_cache: Dict = field(default_factory=dict, repr=False)
 
     # -------------------------------------------------------- constructors
 

@@ -29,6 +29,15 @@ Entry points choose how much of the sequence to run:
 An *observer* — ``callable(pass_name, ctx)`` — fires after each pass
 completes (after its last unit, for per-unit passes); the CLI's
 ``--dump-after`` hangs off it.
+
+A *verifier* — also ``callable(pass_name, ctx)``, but installed on the
+manager at construction — runs at the same points, *before* any
+observer, and is expected to raise when a pass has broken an
+invariant.  The core lint (``repro.coreir.lint``) is installed this
+way by :func:`repro.pipeline.passes.default_pass_manager`, so with
+``options.lint`` every pass boundary in every compilation (driver,
+snapshot fork, server, module build) is checked.  Verifier time is
+recorded in the trace under ``"lint"``, keeping pass timings honest.
 """
 
 from __future__ import annotations
@@ -77,12 +86,15 @@ class Pass:
 class PassManager:
     """Executes a pass sequence over a context, recording a trace."""
 
-    def __init__(self, passes: Sequence[Pass]) -> None:
+    def __init__(self, passes: Sequence[Pass],
+                 verifier: Optional[
+                     Callable[[str, CompileContext], object]] = None) -> None:
         names = [p.name for p in passes]
         dupes = {n for n in names if names.count(n) > 1}
         if dupes:
             raise ValueError(f"duplicate pass names: {sorted(dupes)}")
         self.passes: List[Pass] = list(passes)
+        self.verifier = verifier
 
     # -------------------------------------------------------- introspection
 
@@ -116,11 +128,14 @@ class PassManager:
                     last = i == len(ctx.units) - 1
                     for p in enabled:
                         self._run_pass(p, ctx, unit)
-                        if observer is not None and last:
-                            observer(p.name, ctx)
+                        if last:
+                            self._verify(p.name, ctx)
+                            if observer is not None:
+                                observer(p.name, ctx)
             else:
                 for p in enabled:
                     self._run_pass(p, ctx, None)
+                    self._verify(p.name, ctx)
                     if observer is not None:
                         observer(p.name, ctx)
             if stop_here:
@@ -154,3 +169,15 @@ class PassManager:
                     p.run(ctx)
         finally:
             ctx.trace.record(p.name, time.perf_counter() - t0)
+
+    def _verify(self, pass_name: str, ctx: CompileContext) -> None:
+        # The verifier returns truthy when it actually checked
+        # something; a disabled or not-yet-applicable verifier leaves
+        # no "lint" row in the trace.
+        if self.verifier is None:
+            return
+        t0 = time.perf_counter()
+        with recursion_fence(f"verifying the '{pass_name}' pass"):
+            ran = self.verifier(pass_name, ctx)
+        if ran:
+            ctx.trace.record("lint", time.perf_counter() - t0)

@@ -73,7 +73,8 @@ def _infer(ctx: CompileContext, unit: SourceUnit) -> None:
 
 def _translate(ctx: CompileContext) -> None:
     fresh = ctx.compiled[ctx.n_prefix_bindings:]
-    core = translate_bindings(fresh, ctx.con_arity())
+    core = translate_bindings(fresh, ctx.con_arity(),
+                              data_cons=ctx.static_env.data_cons)
     if ctx.prefix_core:
         core = CoreProgram(list(ctx.prefix_core) + core.bindings)
     ctx.core = core
@@ -147,10 +148,37 @@ DEFAULT_PASSES = (
 )
 
 
+def _lint_verifier(pass_name: str, ctx: CompileContext) -> bool:
+    """Pass-manager verifier: with ``options.lint``, lint the core
+    program after every pass that has one (i.e. translate onward —
+    the front-end passes have nothing to check yet).  Returns True
+    when a lint actually ran, so the manager can time it."""
+    if not getattr(ctx.options, "lint", False) or ctx.core is None:
+        return False
+    from repro.coreir.lint import lint_program
+    # Right after translation the selector bindings do not exist yet,
+    # but placeholder resolution already references them — they are
+    # in-scope-by-promise until the selectors pass delivers them.
+    # Module compiles reference names supplied by imported interfaces
+    # (values plus generated dictionary/impl/default bindings) that are
+    # not bindings of this unit's core.
+    extra = list(ctx.extern_names)
+    if pass_name == TRANSLATE:
+        extra.extend(b.name for b in
+                     generate_selectors(ctx.static_env.class_env))
+    lint_program(ctx.core, extra_globals=extra,
+                 con_arity=ctx.con_arity(),
+                 class_env=ctx.static_env.class_env,
+                 pass_name=pass_name,
+                 cache=ctx.lint_cache)
+    return True
+
+
 def default_pass_manager() -> PassManager:
     """The shared pipeline: driver, snapshot builder and server all run
-    through this exact sequence."""
-    return PassManager(DEFAULT_PASSES)
+    through this exact sequence — and, when ``options.lint`` is set,
+    the core lint checks the output of every pass from translation on."""
+    return PassManager(DEFAULT_PASSES, verifier=_lint_verifier)
 
 
 def pass_names() -> list:

@@ -20,6 +20,7 @@ uses, so no code grows.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Set
 
 from repro.coreir.syntax import (
@@ -107,7 +108,9 @@ def reduce_constant_dictionaries(program: CoreProgram) -> CoreProgram:
     out: List[CoreBinding] = []
     for b in program.bindings:
         expr = strip_calls(b.expr, b.name)
-        out.append(CoreBinding(b.name, expr, b.kind, b.dict_arity))
+        # Identity-preserving: a binding with no reducible call sites
+        # passes through as the same object (the lint cache skips it).
+        out.append(b if expr is b.expr else replace(b, expr=expr))
 
     by_name = {b.name: b for b in program.bindings}
     final: List[CoreBinding] = []
@@ -118,13 +121,17 @@ def reduce_constant_dictionaries(program: CoreProgram) -> CoreProgram:
             k = b.dict_arity
             body: CoreExpr
             if len(lam.params) > k:
-                body = CLam(lam.params[k:], lam.body)
+                body = CLam(lam.params[k:], lam.body,
+                            lam.anns[k:] if lam.anns is not None else None)
             else:
                 body = lam.body
             body = substitute(body, dict(zip(lam.params[:k],
                                              dict_args_of[b.name])))
             body = simplify(body, by_name, SIMPLIFY_FUEL)
-            final.append(CoreBinding(b.name, body, b.kind, 0))
+            # The reduced function is no longer overloaded: its scheme
+            # and dictionary-class annotations no longer apply.
+            final.append(replace(b, expr=body, dict_arity=0,
+                                 type_ann=None, dict_classes=None))
         else:
             final.append(b)
     return CoreProgram(final)

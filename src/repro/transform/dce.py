@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Iterable, Set
 
-from repro.coreir.syntax import CoreProgram, free_vars
+from repro.coreir.fv import free_vars
+from repro.coreir.syntax import CoreProgram
 from repro.util.graph import Digraph, reachable_from
 
 

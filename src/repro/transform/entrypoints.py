@@ -21,8 +21,10 @@ polymorphic recursion through a signature) are left untouched.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional
 
+from repro.coreir.fv import free_vars
 from repro.coreir.syntax import (
     CApp,
     CLam,
@@ -32,7 +34,6 @@ from repro.coreir.syntax import (
     CoreProgram,
     CVar,
     app_spine,
-    free_vars,
     map_subexprs,
 )
 
@@ -87,9 +88,15 @@ def _transform_binding(b: CoreBinding) -> Optional[CoreBinding]:
     new_body = rewrite(body)
     if not ok:
         return None
+    # The original lambda's annotations split at the dictionary/value
+    # boundary: the entry lambda keeps the dictionary-parameter
+    # annotations, the inner entry point the rest.
+    anns = b.expr.anns
+    dict_anns = anns[:b.dict_arity] if anns is not None else None
+    rest_anns = anns[b.dict_arity:] if anns is not None else None
     inner: CoreExpr
     if rest_params:
-        inner = CLam(list(rest_params), new_body)
+        inner = CLam(list(rest_params), new_body, rest_anns)
     else:
         inner = new_body
         if b.name in free_vars(new_body):
@@ -97,5 +104,6 @@ def _transform_binding(b: CoreBinding) -> Optional[CoreBinding]:
             return None
     entry = CLam(list(dict_params),
                  CLet([(inner_name, inner)], CVar(inner_name),
-                      recursive=True))
-    return CoreBinding(b.name, entry, b.kind, b.dict_arity)
+                      recursive=True),
+                 dict_anns)
+    return replace(b, expr=entry)

@@ -18,24 +18,23 @@ the full-laziness transformation the paper cites.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Set, Tuple
 
+from repro.coreir.fv import free_vars
 from repro.coreir.syntax import (
     CAlt,
     CApp,
     CCase,
-    CDict,
     CLam,
     CLet,
     CLitAlt,
     CoreBinding,
     CoreExpr,
     CoreProgram,
-    CSel,
-    CTuple,
     CVar,
     app_spine,
-    free_vars,
+    map_subexprs,
 )
 from repro.util.names import NameSupply
 
@@ -67,7 +66,12 @@ class _Hoister:
         body = self.expr(b.expr)
         if self.top_floats:
             body = CLet(self.top_floats, body, recursive=True)
-        return CoreBinding(b.name, body, b.kind, b.dict_arity)
+        if body is b.expr:
+            return b
+        # replace() keeps the scheme and dict-class annotations: the
+        # binding's type and dictionary parameters are unchanged, only
+        # the body moved.
+        return replace(b, expr=body)
 
     # ------------------------------------------------------------- helpers
 
@@ -115,11 +119,18 @@ class _Hoister:
     # ---------------------------------------------------------------- walk
 
     def expr(self, expr: CoreExpr) -> CoreExpr:
+        # Untouched subtrees come back as the same objects (see
+        # map_subexprs), so a binding with nothing to hoist survives the
+        # pass identically.
         if self._is_dict_construction(expr):
             head, args = app_spine(expr)
-            rebuilt: CoreExpr = head
-            for a in args:
-                rebuilt = CApp(rebuilt, self.expr(a))
+            new_args = [self.expr(a) for a in args]
+            if all(n is o for n, o in zip(new_args, args)):
+                rebuilt: CoreExpr = expr
+            else:
+                rebuilt = head
+                for a in new_args:
+                    rebuilt = CApp(rebuilt, a)
             replacement = self._float(rebuilt)
             return replacement if replacement is not None else rebuilt
         if isinstance(expr, CLam):
@@ -131,7 +142,9 @@ class _Hoister:
                 # recursive=True: floated dictionaries may reference
                 # each other (nested constructions), in either order.
                 body = CLet(frame.floats, body, recursive=True)
-            return CLam(list(expr.params), body)
+            elif body is expr.body:
+                return expr
+            return CLam(list(expr.params), body, expr.anns)
         if isinstance(expr, CLet):
             frame = _Frame({n for n, _ in expr.binds}, False)
             self.frames.append(frame)
@@ -144,9 +157,14 @@ class _Hoister:
                 # scope for the right-hand sides as well as the body.
                 binds = binds + frame.floats
                 recursive = True
+            elif body is expr.body and all(
+                    new is old
+                    for (_, new), (_, old) in zip(binds, expr.binds)):
+                return expr
             return CLet(binds, body, recursive)
         if isinstance(expr, CCase):
             scrut = self.expr(expr.scrutinee)
+            changed = scrut is not expr.scrutinee
             alts = []
             for alt in expr.alts:
                 frame = _Frame(set(alt.binders), False)
@@ -155,22 +173,20 @@ class _Hoister:
                 self.frames.pop()
                 if frame.floats:
                     body = CLet(frame.floats, body, recursive=True)
-                alts.append(CAlt(alt.con_name, list(alt.binders), body))
+                if body is not alt.body:
+                    changed = True
+                alts.append(CAlt(alt.con_name, list(alt.binders), body,
+                                 alt.anns))
             lit_alts = [CLitAlt(a.value, a.kind, self.expr(a.body))
                         for a in expr.lit_alts]
+            changed = changed or any(
+                n.body is not o.body for n, o in zip(lit_alts, expr.lit_alts))
             default = (self.expr(expr.default)
                        if expr.default is not None else None)
+            if not changed and default is expr.default:
+                return expr
             return CCase(scrut, alts, lit_alts, default)
-        if isinstance(expr, CApp):
-            return CApp(self.expr(expr.fn), self.expr(expr.arg))
-        if isinstance(expr, CTuple):
-            return CTuple([self.expr(i) for i in expr.items])
-        if isinstance(expr, CDict):
-            return CDict([self.expr(i) for i in expr.items], expr.tag)
-        if isinstance(expr, CSel):
-            return CSel(expr.index, expr.arity, self.expr(expr.expr),
-                        expr.from_dict)
-        return expr
+        return map_subexprs(expr, self.expr)
 
 
 def hoist_dictionaries(program: CoreProgram) -> CoreProgram:

@@ -23,8 +23,10 @@ clone budget guarantees termination even under polymorphic recursion.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.coreir.fv import live_let_binders
 from repro.coreir.syntax import (
     CApp,
     CDict,
@@ -90,13 +92,14 @@ class _Specializer:
             if b.kind in ("selector", "dict"):
                 out.append(b)
                 continue
-            out.append(CoreBinding(b.name, self.rewrite(b.expr), b.kind,
-                                   b.dict_arity))
+            expr = self.rewrite(b.expr)
+            # Identity-preserving when no call site was specialised —
+            # the lint cache skips bindings that pass through unchanged.
+            out.append(b if expr is b.expr else replace(b, expr=expr))
         # Clone generation may enqueue further clones.
         while self.new_bindings:
             clone = self.new_bindings.pop(0)
-            clone = CoreBinding(clone.name, self.rewrite(clone.expr),
-                                clone.kind, clone.dict_arity)
+            clone = replace(clone, expr=self.rewrite(clone.expr))
             out.append(clone)
             self.by_name[clone.name] = clone
         return CoreProgram(out)
@@ -135,9 +138,14 @@ class _Specializer:
         clone_name = specialized_name(fname, _short_key(key))
         self.clones[cache_key] = clone_name
         params = original.expr.params
+        anns = original.expr.anns
         body: CoreExpr
         if len(params) > original.dict_arity:
-            body = CLam(params[original.dict_arity:], original.expr.body)
+            # The clone sheds the dictionary parameters, so its lambda
+            # keeps only the value-parameter annotations.
+            body = CLam(params[original.dict_arity:], original.expr.body,
+                        anns[original.dict_arity:] if anns is not None
+                        else None)
         else:
             body = original.expr.body
         subst = {p: d for p, d in zip(params[:original.dict_arity],
@@ -146,6 +154,8 @@ class _Specializer:
         body = simplify(body, self.by_name, SIMPLIFY_FUEL)
         # Self-calls at the same dictionaries become self-calls of the
         # clone (handled by the rewrite pass when the clone is emitted).
+        # A clone is monomorphic in its dictionaries: dict_arity 0 and
+        # no scheme/dict-class annotations (the original's would lie).
         self.new_bindings.append(
             CoreBinding(clone_name, body, original.kind, 0))
         return clone_name
@@ -204,7 +214,7 @@ def simplify(expr: CoreExpr, by_name: Dict[str, CoreBinding],
             inner = dict(env)
             for p in e.params:
                 inner.pop(p, None)
-            return CLam(list(e.params), go(e.body, inner))
+            return CLam(list(e.params), go(e.body, inner), e.anns)
         e = map_subexprs(e, lambda sub: go(sub, env))
         changed = True
         while changed and state["fuel"] > 0:
@@ -262,23 +272,12 @@ def simplify(expr: CoreExpr, by_name: Dict[str, CoreBinding],
 def _drop_dead_dict_binds(let: CLet) -> CoreExpr:
     """Remove let-bound dictionaries that are no longer referenced.
 
-    For recursive lets, usefulness is computed as a fixpoint from the
-    body, so a self-referential dictionary knot (``dict$this``) whose
-    selections have all been reduced away is recognised as dead.
+    Liveness (including the recursive fixpoint that lets a
+    self-referential ``dict$this`` knot die once its selections are
+    reduced away) is :func:`repro.coreir.fv.live_let_binders` — the
+    same analysis the lint and the other transforms use.
     """
-    from repro.coreir.syntax import free_vars
-    rhs_vars = {n: set(free_vars(rhs)) for n, rhs in let.binds}
-    used = set(free_vars(let.body))
-    if let.recursive:
-        changed = True
-        while changed:
-            changed = False
-            for n in list(rhs_vars):
-                if n in used:
-                    extra = rhs_vars[n] - used
-                    if extra:
-                        used.update(extra)
-                        changed = True
+    used = live_let_binders(let.binds, let.body, let.recursive)
     binds = [(n, rhs) for n, rhs in let.binds
              if n in used or not isinstance(rhs, CDict)]
     if not binds:

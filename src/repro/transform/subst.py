@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
+from repro.coreir.fv import free_vars
 from repro.coreir.syntax import (
     CAlt,
     CCase,
@@ -17,7 +18,6 @@ from repro.coreir.syntax import (
     CLitAlt,
     CoreExpr,
     CVar,
-    free_vars,
     map_subexprs,
 )
 from repro.util.names import NameSupply
@@ -42,9 +42,11 @@ def _subst(expr: CoreExpr, subst: Dict[str, CoreExpr],
     if isinstance(expr, CLam):
         params, inner_subst, renames = _protect(expr.params, subst, avoid)
         body = expr.body if renames is None else _rename(expr.body, renames)
+        # Renaming a binder keeps its position, so the annotation list
+        # stays parallel as-is.
         if not inner_subst:
-            return CLam(params, body)
-        return CLam(params, _subst(body, inner_subst, avoid))
+            return CLam(params, body, expr.anns)
+        return CLam(params, _subst(body, inner_subst, avoid), expr.anns)
     if isinstance(expr, CLet):
         names = [n for n, _ in expr.binds]
         new_names, inner_subst, renames = _protect(names, subst, avoid)
@@ -69,7 +71,7 @@ def _subst(expr: CoreExpr, subst: Dict[str, CoreExpr],
             body = alt.body if renames is None else _rename(alt.body, renames)
             if inner_subst:
                 body = _subst(body, inner_subst, avoid)
-            alts.append(CAlt(alt.con_name, binders, body))
+            alts.append(CAlt(alt.con_name, binders, body, alt.anns))
         lit_alts = [CLitAlt(a.value, a.kind, _subst(a.body, subst, avoid))
                     for a in expr.lit_alts]
         default = (_subst(expr.default, subst, avoid)

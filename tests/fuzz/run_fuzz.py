@@ -26,7 +26,7 @@ from collections import Counter
 from typing import Optional, Tuple
 
 from repro.driver import compile_source
-from repro.errors import ReproError
+from repro.errors import CoreLintError, ReproError
 from repro.options import CompilerOptions
 from repro.service.snapshot import PreludeSnapshot
 
@@ -53,6 +53,11 @@ def check_one(source: str, snapshot: PreludeSnapshot,
         if "main" in program.schemes:
             program.run("main", step_limit=EVAL_STEP_LIMIT)
         return "ok", None
+    except CoreLintError:
+        # A lint failure is never a legitimate rejection of the input:
+        # it means a pipeline pass produced ill-formed core.  Treat it
+        # like a crash — propagate so the run fails loudly.
+        raise
     except ReproError as exc:
         # The error must also survive its own reporting paths.
         exc.to_json()
@@ -65,10 +70,16 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--count", type=int, default=1000,
                     help="number of generated programs (after the corpus)")
+    ap.add_argument("--lint", action="store_true",
+                    help="run the core lint after every pipeline pass as "
+                         "an extra oracle: any program that compiles must "
+                         "also lint clean (a CoreLintError fails the run)")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args(argv)
 
     options = CompilerOptions()
+    if args.lint:
+        options.lint = True
     snapshot = PreludeSnapshot.build(options)
     gen = ProgramGen(args.seed)
 

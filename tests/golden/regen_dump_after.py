@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate dump_after_translate.txt (run from the repo root with
+PYTHONPATH=src) after an intentional translator or pretty-printer
+change.  Keep the source and filter in sync with
+tests/test_pretty.py::TestDumpAfterGolden."""
+
+import io
+import pathlib
+import sys
+import tempfile
+from contextlib import redirect_stdout
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from test_pretty import TestDumpAfterGolden  # noqa: E402
+
+from repro.cli import main  # noqa: E402
+
+
+def regen() -> None:
+    here = pathlib.Path(__file__).parent
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "golden_input.mhs"
+        path.write_text(TestDumpAfterGolden.SOURCE, encoding="utf-8")
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = main(["run", str(path), "--dump-after", "translate",
+                       "-e", "zzqMain"])
+        assert rc == 0, rc
+    lines = [line for line in buf.getvalue().splitlines()
+             if line.startswith(TestDumpAfterGolden.PREFIXES)]
+    target = here / "dump_after_translate.txt"
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {target} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    regen()

@@ -52,6 +52,7 @@ SERVICE_OVERRIDES = {
     "server_workers": 17,
     "request_timeout": 99.5,
     "build_jobs": 2,
+    "lint": True,
 }
 
 

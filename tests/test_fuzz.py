@@ -130,6 +130,49 @@ class TestGeneratedPrograms:
         assert outcomes == {"ok", "error"}
 
 
+class TestLintOracle:
+    """The core lint as a fuzzing oracle: every program that compiles
+    must also lint clean after every pipeline pass.  ``check_one``
+    re-raises :class:`~repro.errors.CoreLintError` (it is a compiler
+    bug, never a legitimate rejection of the input), so a lint failure
+    here fails the test with the offending pass in the message."""
+
+    @pytest.fixture(scope="class")
+    def lint_snapshot(self):
+        return PreludeSnapshot.build(CompilerOptions(lint=True))
+
+    @pytest.mark.parametrize(
+        "name,source", ADVERSARIAL_CORPUS,
+        ids=[name for name, _ in ADVERSARIAL_CORPUS])
+    def test_corpus_lints_clean(self, name, source, lint_snapshot):
+        outcome, code = check_one(source, lint_snapshot,
+                                  CompilerOptions(lint=True))
+        assert outcome in ("ok", "error")
+        if code is not None:
+            assert not code.startswith("lint")
+
+    def test_generated_programs_lint_clean(self, lint_snapshot):
+        gen = ProgramGen(3)
+        options = CompilerOptions(lint=True)
+        for _ in range(100):
+            outcome, code = check_one(gen.program(), lint_snapshot,
+                                      options)
+            if code is not None:
+                assert not code.startswith("lint")
+
+    def test_optimized_pipeline_lints_clean(self):
+        # The full transform stack (constant-dict-reduction and
+        # specialize included) under the oracle; those options change
+        # the prelude core, so this needs its own snapshot.
+        options = CompilerOptions(lint=True,
+                                  constant_dict_reduction=True,
+                                  specialize=True)
+        snapshot = PreludeSnapshot.build(options)
+        gen = ProgramGen(4)
+        for _ in range(60):
+            check_one(gen.program(), snapshot, options)
+
+
 class TestServerSurvival:
     """Adversarial inputs through the service: structured errors out,
     worker alive afterwards."""

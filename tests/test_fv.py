@@ -1,0 +1,108 @@
+"""Direct unit tests for the shared free-variable/occurrence walkers
+in :mod:`repro.coreir.fv` — the single scoping analysis the transforms
+and the core lint agree on."""
+
+from repro.coreir.fv import (
+    count_occurrences,
+    free_var_set,
+    free_vars,
+    live_let_binders,
+)
+from repro.coreir.syntax import (
+    CAlt,
+    CCase,
+    CDict,
+    CLam,
+    CLet,
+    CLit,
+    CLitAlt,
+    CSel,
+    CTuple,
+    CVar,
+    capp,
+)
+
+
+class TestFreeVars:
+    def test_order_is_first_occurrence(self):
+        e = capp(CVar("f"), CVar("x"), CVar("f"), CVar("y"))
+        assert free_vars(e) == ["f", "x", "y"]
+
+    def test_lambda_binds(self):
+        e = CLam(["x"], capp(CVar("f"), CVar("x")))
+        assert free_vars(e) == ["f"]
+
+    def test_shadowing_is_per_scope(self):
+        # x free in the argument, bound under the inner lambda.
+        e = capp(CLam(["x"], CVar("x")), CVar("x"))
+        assert free_vars(e) == ["x"]
+
+    def test_nonrecursive_let_rhs_sees_outer(self):
+        # let x = x in x — non-recursive: the RHS x is free.
+        e = CLet([("x", CVar("x"))], CVar("x"), recursive=False)
+        assert free_vars(e) == ["x"]
+
+    def test_recursive_let_rhs_sees_binders(self):
+        e = CLet([("x", CVar("x"))], CVar("x"), recursive=True)
+        assert free_vars(e) == []
+
+    def test_case_binders_scope_over_alt_body_only(self):
+        e = CCase(CVar("xs"),
+                  [CAlt(":", ["y", "ys"], capp(CVar("g"), CVar("y")))],
+                  [CLitAlt(0, "int", CVar("z"))],
+                  CVar("y"))
+        # y is bound only inside the alternative; the default's y is
+        # free.
+        assert free_vars(e) == ["xs", "g", "z", "y"]
+
+    def test_tuple_dict_sel_walked(self):
+        e = CSel(0, 2, CDict([CTuple([CVar("a")]), CVar("b")], "t"),
+                 from_dict=True)
+        assert free_var_set(e) == {"a", "b"}
+
+    def test_literals_and_cons_have_no_free_vars(self):
+        assert free_vars(CLit(1, "int")) == []
+
+
+class TestCountOccurrences:
+    def test_counts_every_free_occurrence(self):
+        e = capp(CVar("x"), CVar("x"), CVar("y"))
+        assert count_occurrences(e, "x") == 2
+        assert count_occurrences(e, "y") == 1
+        assert count_occurrences(e, "z") == 0
+
+    def test_bound_occurrences_not_counted(self):
+        e = CLam(["x"], capp(CVar("x"), CVar("x")))
+        assert count_occurrences(e, "x") == 0
+
+    def test_mixed_scopes(self):
+        # One free x (the argument), the lambda body's x is bound.
+        e = capp(CLam(["x"], CVar("x")), CVar("x"))
+        assert count_occurrences(e, "x") == 1
+
+
+class TestLiveLetBinders:
+    def test_body_reference_is_live(self):
+        binds = [("a", CLit(1, "int")), ("b", CLit(2, "int"))]
+        assert live_let_binders(binds, CVar("a"), False) == {"a"}
+
+    def test_recursive_chain_is_live(self):
+        # body -> a -> b: both live in a recursive group.
+        binds = [("a", CVar("b")), ("b", CLit(1, "int"))]
+        assert live_let_binders(binds, CVar("a"), True) == {"a", "b"}
+
+    def test_nonrecursive_group_has_no_chaining(self):
+        # Non-recursive: 'a' referencing 'b' refers to an *outer* b,
+        # so b's binder stays dead.
+        binds = [("a", CVar("b")), ("b", CLit(1, "int"))]
+        assert live_let_binders(binds, CVar("a"), False) == {"a"}
+
+    def test_self_referential_knot_dies_without_external_use(self):
+        # The dict$this pattern: a self-referential binding nothing
+        # else uses must be recognised as dead.
+        binds = [("knot", CDict([CVar("knot")], "t"))]
+        assert live_let_binders(binds, CVar("other"), True) == set()
+
+    def test_self_referential_knot_live_when_body_uses_it(self):
+        binds = [("knot", CDict([CVar("knot")], "t"))]
+        assert live_let_binders(binds, CVar("knot"), True) == {"knot"}

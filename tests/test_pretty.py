@@ -5,15 +5,17 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import compile_source
-from repro.coreir.pretty import pp_core, pp_program
+from repro.coreir.pretty import pp_binding, pp_core, pp_program
 from repro.coreir.syntax import (
     CAlt,
     CApp,
     CCase,
+    CCon,
     CDict,
     CLam,
     CLet,
     CLit,
+    CLitAlt,
     CoreBinding,
     CoreProgram,
     CSel,
@@ -58,11 +60,41 @@ class TestCorePrinting:
     def test_dict_and_selection(self):
         e = CSel(1, 2, CDict([CVar("m1"), CVar("m2")], "Eq@Int"),
                  from_dict=True)
-        assert pp_core(e) == "dict[m1, m2]!1"
+        assert pp_core(e) == "dict<Eq@Int>[m1, m2]!1"
+
+    def test_tuple_selection_uses_dot(self):
+        e = CSel(0, 2, CVar("p"), from_dict=False)
+        assert pp_core(e) == "p.0"
+
+    def test_untagged_dict_has_no_marker(self):
+        assert pp_core(CDict([CVar("a")], "")) == "dict[a]"
 
     def test_tuple_vs_dict_distinguished(self):
         assert pp_core(CTuple([CVar("a")])) == "(a)"
-        assert pp_core(CDict([CVar("a")], "t")) == "dict[a]"
+        assert pp_core(CDict([CVar("a")], "t")) == "dict<t>[a]"
+
+    def test_case_with_literal_alts_and_default(self):
+        e = CCase(CVar("c"), [],
+                  [CLitAlt("x", "char", CLit(1, "int"))],
+                  CLit(0, "int"))
+        out = pp_core(e)
+        assert "'x' -> 1" in out and "_ -> 0" in out
+
+    def test_constructor_and_cons_spelling(self):
+        assert pp_core(CCon(":", 2)) == "(:)"
+        assert pp_core(CCon("Just", 1)) == "Just"
+
+    def test_annotated_binding(self):
+        b = CoreBinding("f", CLam(["d", "x"], CVar("x")),
+                        kind="user", dict_arity=1,
+                        type_ann="Eq a => a -> a",
+                        dict_classes=("Eq",))
+        plain = pp_binding(b)
+        assert plain == "f = \\d x -> x"
+        noted = pp_binding(b, annotations=True)
+        assert "-- f :: Eq a => a -> a" in noted
+        assert "-- f dicts: Eq" in noted
+        assert noted.endswith("f = \\d x -> x")
 
     def test_program_filtering(self):
         program = CoreProgram([
@@ -107,6 +139,59 @@ class TestSurfaceRoundTrip:
         assert pp_expr(parse_expr(once)) == once
 
 
+class TestDumpAfterGolden:
+    """``--dump-after=translate`` output is part of the tool's surface:
+    the golden pins the dump of a small class-using program (only its
+    own bindings — the prelude prefix is filtered out, so prelude edits
+    do not invalidate the golden).  Regenerate with
+    ``tests/golden/regen_dump_after.py`` after an intentional change to
+    the translator or the pretty printer."""
+
+    SOURCE = ("class ZzEq a where\n"
+              "  zzeq :: a -> a -> Bool\n"
+              "  zzne :: a -> a -> Bool\n"
+              "  zzne x y = if zzeq x y then False else True\n"
+              "instance ZzEq Int where\n"
+              "  zzeq = primEqInt\n"
+              "zzqElem :: ZzEq a => a -> [a] -> Bool\n"
+              "zzqElem x [] = False\n"
+              "zzqElem x (y:ys) = if zzeq x y then True\n"
+              "                   else zzqElem x ys\n"
+              "zzqMain :: Bool\n"
+              "zzqMain = zzqElem (3 :: Int) [1, 2, 3]\n")
+
+    PREFIXES = ("zzq", "-- zzq", "d$ZzEq", "-- d$ZzEq",
+                "impl$ZzEq", "-- impl$ZzEq",
+                "dflt$ZzEq", "-- dflt$ZzEq")
+
+    @classmethod
+    def dump_lines(cls, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "golden_input.mhs"
+        path.write_text(cls.SOURCE, encoding="utf-8")
+        rc = main(["run", str(path), "--dump-after", "translate",
+                   "-e", "zzqMain"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        return [line for line in out.splitlines()
+                if line.startswith(cls.PREFIXES)]
+
+    def test_dump_after_translate_matches_golden(self, tmp_path, capsys):
+        import pathlib
+        golden = pathlib.Path(__file__).parent / "golden" / \
+            "dump_after_translate.txt"
+        lines = self.dump_lines(tmp_path, capsys)
+        assert lines, "dump produced no user bindings"
+        assert "\n".join(lines) + "\n" == golden.read_text(encoding="utf-8")
+
+    def test_dump_carries_annotations(self, tmp_path, capsys):
+        lines = self.dump_lines(tmp_path, capsys)
+        text = "\n".join(lines)
+        assert "-- zzqElem :: ZzEq a => a -> [a] -> Bool" in text
+        assert "-- zzqElem dicts: ZzEq" in text
+        assert "dict<d$ZzEq$Int>[" in text
+
+
 class TestDumpCore:
     def test_dump_core_api(self):
         program = compile_source("inc x = x + (1 :: Int)")
@@ -118,5 +203,5 @@ class TestDumpCore:
     def test_dump_is_informative_for_dictionaries(self):
         program = compile_source("")
         dump = program.dump_core(["d$Eq$Int"])
-        assert "dict[" in dump
+        assert "dict<d$Eq$Int>[" in dump
         assert "impl$Eq$Int" in dump

@@ -151,14 +151,24 @@ class TestGeneratedSource:
         import time
         src = "main = sum (map (\\x -> x * x) (enumFromTo 1 800))"
         program = compile_source(src)
-        t0 = time.perf_counter()
-        r1 = program.run("main")
-        t1 = time.perf_counter()
-        py = program.to_python()
-        t2 = time.perf_counter()
-        r2 = py.run("main")
-        t3 = time.perf_counter()
+
+        # Best-of-3 for both sides: a single timing of either run can
+        # eat a GC pause or a scheduler slice and blow the margin.
+        # Each compiled measurement runs on a fresh translation — a
+        # generated module caches forced globals, so re-running the
+        # same instance would time a dictionary lookup, not the work.
+        interp_s = compiled_s = float("inf")
+        r1 = r2 = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            r1 = program.run("main")
+            interp_s = min(interp_s, time.perf_counter() - t0)
+        for _ in range(3):
+            py = program.to_python()
+            t0 = time.perf_counter()
+            r2 = py.run("main")
+            compiled_s = min(compiled_s, time.perf_counter() - t0)
         assert r1 == r2
         # Compiled should not be slower; usually it is several times
         # faster.  Allow generous noise headroom.
-        assert (t3 - t2) < (t1 - t0) * 1.5
+        assert compiled_s < interp_s * 1.5

@@ -126,7 +126,7 @@ class TestDictionaryMarking:
     def test_user_tuples_not_dicts(self):
         b = core_of("f x = (x, x)", "f")
         text = pp_binding(b)
-        assert "dict[" not in text
+        assert "dict[" not in text and "dict<" not in text
 
 
 class TestLambdas:
