@@ -232,8 +232,27 @@ def cmd_build(args: argparse.Namespace) -> int:
         import json
         with open(args.stats_json, "w", encoding="utf-8") as handle:
             json.dump(result.stats(), handle, indent=2, sort_keys=True)
+    backend = getattr(args, "backend", "interp")
+    emit_py = getattr(args, "emit_py", None)
+    if backend == "py" and args.expr:
+        print("repro build: --backend=py evaluates a compiled binding; "
+              "use --run/--entry, not -e", file=sys.stderr)
+        return 2
     try:
-        if args.expr:
+        if backend == "py" or emit_py:
+            # The compiled backend: tree-shake the linked core to the
+            # entry point and generate Python (repro.coreir.pygen).
+            compiled = program.to_python([args.entry])
+            if emit_py:
+                with open(emit_py, "w", encoding="utf-8") as handle:
+                    handle.write(compiled.source + "\n")
+                print(f"-- wrote {emit_py}", file=sys.stderr)
+            if args.run and backend == "py":
+                print(render(compiled.run(args.entry)))
+                c = compiled.counters
+                print(f"-- backend=py dicts={c.dict_constructions} "
+                      f"selections={c.dict_selections}", file=sys.stderr)
+        elif args.expr:
             print(render(program.eval(args.expr)))
         elif args.run:
             print(render(program.run(args.entry)))
@@ -404,6 +423,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="binding for --run (default main)")
     p_build.add_argument("-e", "--expr",
                          help="evaluate this expression after linking")
+    p_build.add_argument("--backend", choices=("interp", "py"),
+                         default="interp",
+                         help="how --run evaluates: the core interpreter "
+                              "(default) or compiled Python "
+                              "(repro.coreir.pygen)")
+    p_build.add_argument("--emit-py", metavar="FILE",
+                         help="write the generated Python for the linked "
+                              "program (tree-shaken to --entry) to FILE")
     p_build.add_argument("--stats-json", metavar="FILE",
                          help="write per-module build stats to FILE")
     add_common(p_build)

@@ -84,6 +84,8 @@ def pp_binding(binding: CoreBinding, annotations: bool = False) -> str:
     if not annotations:
         return line
     notes = []
+    if binding.provenance:
+        notes.append(f"-- {binding.name}: {binding.provenance}")
     if binding.type_ann is not None:
         notes.append(f"-- {binding.name} :: {binding.type_ann}")
     if binding.dict_classes:

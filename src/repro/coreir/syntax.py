@@ -189,6 +189,11 @@ class CoreBinding:
     #: order; None when unannotated.  When present its length must
     #: equal ``dict_arity``.
     dict_classes: Optional[Tuple[str, ...]] = None
+    #: where a generated binding came from — the specializer records
+    #: "clone of f at <dict vector> ..." here; the pretty-printer shows
+    #: it as a comment (``--dump-after=specialize``).  None for
+    #: ordinary bindings.
+    provenance: Optional[str] = None
 
 
 @dataclass

@@ -136,6 +136,16 @@ class ModuleCycleError(ModuleError):
         self.modules = list(modules)
 
 
+class StaleInterfaceError(ModuleError):
+    """A ``.ri`` interface file on disk has the wrong magic, an older
+    format version, or an unreadable payload.  Callers that can rebuild
+    the module treat the file as absent instead
+    (``load_interface(..., stale_ok=True)``); this error surfaces only
+    when a fresh interface cannot be produced."""
+
+    code = "module.interface.stale"
+
+
 class LinkError(ModuleError):
     """Merging module interfaces failed: the same top-level name, class
     or type is defined in two modules."""
@@ -252,6 +262,33 @@ class MonomorphismWarning:
 
     def __repr__(self) -> str:
         return f"MonomorphismWarning({self.name!r}, {self.missing!r})"
+
+
+class SpecializeBudgetWarning:
+    """Not an error: a specialisation pass ran out of its clone budget
+    (``options.specialize_budget``) and stopped creating clones; the
+    program is still correct, just less specialised.  Collected, not
+    raised.  Carries a stable machine-readable ``code`` like the error
+    classes so the server can expose it structurally."""
+
+    code = "spec.budget-exhausted"
+
+    def __init__(self, pass_name: str, budget: int) -> None:
+        self.pass_name = pass_name
+        self.budget = budget
+
+    def to_json(self) -> dict:
+        return {"code": self.code, "pass": self.pass_name,
+                "budget": self.budget, "message": str(self)}
+
+    def __str__(self) -> str:
+        return (f"warning: {self.pass_name} exhausted its clone budget "
+                f"({self.budget}); some overloaded calls keep dictionary "
+                f"dispatch (raise --set specialize_budget=N to clone more)")
+
+    def __repr__(self) -> str:
+        return (f"SpecializeBudgetWarning({self.pass_name!r}, "
+                f"{self.budget!r})")
 
 
 class EvalError(ReproError):

@@ -48,6 +48,7 @@ from repro.lang.parser import Fixity
 from repro.modules.interface import (
     ModuleInterface,
     interface_path,
+    load_interface,
     save_interface,
 )
 from repro.modules.resolve import ModuleGraph, ModuleSource, discover_modules
@@ -356,6 +357,7 @@ def compile_module(msrc: ModuleSource,
 
     exported = _exported_schemes(msrc, program, own_schemes, visible,
                                  data_types, data_cons, classes, synonyms)
+    from repro.specialize.unfold import collect_unfoldings
     iface = ModuleInterface(
         module=msrc.name,
         source_sha=source_hash(msrc.source),
@@ -369,6 +371,7 @@ def compile_module(msrc: ModuleSource,
         classes=classes,
         instances=instances,
         fixities=dict(program.fixities) if program is not None else {},
+        unfoldings=collect_unfoldings(own_core),
     )
     return ModuleArtifact(
         interface=iface,
@@ -457,6 +460,10 @@ def link_modules(artifacts: Sequence[ModuleArtifact],
     value_origin: Dict[str, str] = {}
     warnings: List[Any] = []
     core: List[CoreBinding] = list(snapshot.core_bindings)
+    #: top-level binding -> defining module, for the cross-module
+    #: specializer (names not in the map belong to the prelude)
+    origins: Dict[str, str] = {}
+    unfoldings: Dict[str, Any] = {}
     for art in artifacts:
         iface = art.interface
         _apply_interface(static_env, inferencer, iface, prov)
@@ -477,12 +484,17 @@ def link_modules(artifacts: Sequence[ModuleArtifact],
                     inst.class_name, inst.tycon_name, iface.module))
         warnings.extend(art.warnings)
         core.extend(art.core)
+        for binding in art.core:
+            origins[binding.name] = iface.module
+        unfoldings.update(iface.unfoldings)
     inferencer.install_methods()
     inferencer.warnings.extend(warnings)
     ctx = CompileContext.forked(options, [], static_env, inferencer,
                                 prefix_core=tuple(core),
                                 n_prefix_bindings=snapshot.n_bindings)
     ctx.imports_resolved = True
+    ctx.module_origins = origins
+    ctx.unfoldings = unfoldings
     default_pass_manager().run(ctx)
     from repro.driver import program_from_context
     return program_from_context(ctx)
@@ -595,13 +607,24 @@ class ModuleBuilder:
                 "cached": cached,
                 "ms": round((time.perf_counter() - t) * 1e3, 3),
                 "fingerprint": art.interface.fingerprint,
+                "source_sha": art.interface.source_sha,
+                "unfold_fp": art.interface.unfold_fp,
             }
             if not cached:
                 info["phases"] = art.phases
             stats[name] = info
             if out_dir:
-                save_interface(art.interface,
-                               interface_path(out_dir, name))
+                path = interface_path(out_dir, name)
+                # A stale file (older format version, corruption) loads
+                # as None and is overwritten — never a pickle error; an
+                # identical up-to-date one is left alone (stable mtimes
+                # for downstream build tools).
+                existing = load_interface(path, stale_ok=True)
+                if existing is None or \
+                        existing.fingerprint != art.interface.fingerprint \
+                        or existing.unfold_fp != art.interface.unfold_fp \
+                        or existing.source_sha != art.interface.source_sha:
+                    save_interface(art.interface, path)
 
         if jobs == 1 or len(graph.order) <= 1:
             for name in graph.order:

@@ -14,6 +14,16 @@ comments, whitespace — so an edit that does not change a module's
 exported surface leaves its fingerprint unchanged and rebuilds of its
 dependents are *cut off* (they hit the compile cache, whose key is the
 dep-interface fingerprints, not the dep sources).
+
+Since format version 2 an interface also ships **unfoldings** — the
+core bodies of its specialisable bindings
+(:mod:`repro.specialize.unfold`) — so the link-time cross-module
+specializer can clone imported overloaded functions.  Unfoldings stay
+out of the surface fingerprint (body edits must not trigger dependent
+recompiles); they carry their own digest, ``unfold_fp``, which the
+link-level caches key on.  Older ``.ri`` files on disk are handled by
+:func:`load_interface`'s ``stale_ok`` mode: treated as absent, never a
+pickle or shape error, so a build simply regenerates them.
 """
 
 from __future__ import annotations
@@ -29,12 +39,13 @@ from repro.core.classes import ClassInfo, InstanceInfo
 from repro.core.kinds import kind_str
 from repro.core.static import DataConInfo, DataTypeInfo
 from repro.core.types import Scheme
-from repro.errors import ModuleError
+from repro.errors import ModuleError, StaleInterfaceError
 from repro.lang import ast
 
 #: bumped whenever the pickled payload layout changes; a version-skewed
-#: file on disk is treated as absent and rebuilt
-INTERFACE_VERSION = 1
+#: file on disk is treated as absent and rebuilt.
+#: v1: surface only; v2: + unfoldings (cross-module specialisation).
+INTERFACE_VERSION = 2
 
 _MAGIC = b"repro-ri"
 
@@ -63,10 +74,19 @@ class ModuleInterface:
     instances: List[InstanceInfo]
     fixities: Dict[str, Tuple[int, str]] = field(default_factory=dict)
     fingerprint: str = ""
+    #: serialized bodies of the module's specialisable bindings
+    #: (``name -> repro.specialize.unfold.Unfolding``); NOT part of the
+    #: surface fingerprint — see the module docstring
+    unfoldings: Dict[str, Any] = field(default_factory=dict)
+    #: digest of the unfoldings (repro.specialize.unfold_fingerprint)
+    unfold_fp: str = ""
 
     def __post_init__(self) -> None:
         if not self.fingerprint:
             self.fingerprint = self._compute_fingerprint()
+        if not self.unfold_fp and self.unfoldings:
+            from repro.specialize.unfold import unfold_fingerprint
+            self.unfold_fp = unfold_fingerprint(self.unfoldings)
 
     # ------------------------------------------------------- fingerprint
 
@@ -146,18 +166,41 @@ def save_interface(iface: ModuleInterface, path: str) -> None:
         raise
 
 
-def load_interface(path: str) -> ModuleInterface:
-    """Read an interface file, checking magic and version."""
-    with open(path, "rb") as handle:
-        blob = handle.read()
+def load_interface(path: str,
+                   stale_ok: bool = False) -> Optional[ModuleInterface]:
+    """Read an interface file, checking magic and version.
+
+    With ``stale_ok`` (the builder's mode — it can always recompile),
+    anything unusable — wrong magic, an older or newer format version,
+    a truncated or unpicklable payload — returns None so the caller
+    treats the file as absent and regenerates it.  Without it, the
+    same conditions raise :class:`~repro.errors.StaleInterfaceError`
+    (a :class:`~repro.errors.ModuleError`)."""
+
+    def unusable(message: str) -> Optional[ModuleInterface]:
+        if stale_ok:
+            return None
+        raise StaleInterfaceError(message)
+
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        if stale_ok:
+            return None
+        raise StaleInterfaceError(f"cannot read '{path}': {exc}")
     if not blob.startswith(_MAGIC) or len(blob) <= len(_MAGIC):
-        raise ModuleError(f"'{path}' is not an interface file")
+        return unusable(f"'{path}' is not an interface file")
     version = blob[len(_MAGIC)]
     if version != INTERFACE_VERSION:
-        raise ModuleError(
+        return unusable(
             f"interface file '{path}' has version {version}, expected "
             f"{INTERFACE_VERSION}; rebuild it")
-    iface = pickle.loads(blob[len(_MAGIC) + 1:])
+    try:
+        iface = pickle.loads(blob[len(_MAGIC) + 1:])
+    except Exception as exc:  # noqa: BLE001 — any pickle failure is staleness
+        return unusable(f"interface file '{path}' is unreadable "
+                        f"({type(exc).__name__}: {exc}); rebuild it")
     if not isinstance(iface, ModuleInterface):
-        raise ModuleError(f"'{path}' does not contain a module interface")
+        return unusable(f"'{path}' does not contain a module interface")
     return iface

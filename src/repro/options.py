@@ -73,6 +73,15 @@ class CompilerOptions:
     hoist_dictionaries: bool = True       # section 8.8
     inner_entry_points: bool = True       # sections 6.3 / 7
     specialize: bool = False              # section 9
+    #: §9 at link time: clone overloaded calls that cross a module
+    #: boundary, using the unfoldings shipped in ``.ri`` interfaces.
+    #: Fires only in linked (multi-module) builds; single-file
+    #: compilation is unaffected.
+    specialize_xmodule: bool = True
+    #: maximum number of clones one specialisation pass may create
+    #: (was the module constant CLONE_BUDGET); exhaustion emits a
+    #: structured ``spec.budget-exhausted`` warning
+    specialize_budget: int = 400
     constant_dict_reduction: bool = False  # section 8.4
 
     # ---- evaluator

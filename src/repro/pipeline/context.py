@@ -57,6 +57,9 @@ class PhaseTrace:
 
     def __init__(self) -> None:
         self._timings: Dict[str, PassTiming] = {}
+        #: per-pass work counters beyond wall time, e.g. how many
+        #: clones a specialisation pass created: ``{pass: {key: n}}``
+        self._counters: Dict[str, Dict[str, int]] = {}
         self.unify_count = 0
         self.context_reductions = 0
         self.constraint_propagations = 0
@@ -69,6 +72,12 @@ class PhaseTrace:
             timing = self._timings[name] = PassTiming(name)
         timing.seconds += seconds
         timing.calls += 1
+
+    def add_counter(self, pass_name: str, key: str, n: int = 1) -> None:
+        """Accumulate a named work counter for *pass_name* (shows up
+        next to its timing in ``as_dict()`` and the server stats)."""
+        bucket = self._counters.setdefault(pass_name, {})
+        bucket[key] = bucket.get(key, 0) + n
 
     def finish(self, unifier: Any) -> None:
         """Copy the unifier counters into the trace (called once, when
@@ -94,12 +103,21 @@ class PhaseTrace:
     def total_seconds(self) -> float:
         return sum(t.seconds for t in self._timings.values())
 
+    def counters(self, name: str) -> Dict[str, int]:
+        return dict(self._counters.get(name, {}))
+
+    def all_counters(self) -> Dict[str, Dict[str, int]]:
+        return {name: dict(bucket)
+                for name, bucket in self._counters.items()}
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """JSON-ready summary: ``{pass: {ms, calls}}`` plus totals."""
+        """JSON-ready summary: ``{pass: {ms, calls, **counters}}``."""
         out: Dict[str, Dict[str, float]] = {}
         for timing in self._timings.values():
             out[timing.name] = {"ms": round(timing.seconds * 1e3, 3),
                                 "calls": timing.calls}
+        for pass_name, bucket in self._counters.items():
+            out.setdefault(pass_name, {}).update(bucket)
         return out
 
     def pretty(self) -> str:
@@ -156,6 +174,13 @@ class CompileContext:
     #: default bindings) provided by imported module interfaces.  The
     #: core lint treats these as in scope.
     extern_names: Tuple[str, ...] = ()
+    #: which module each top-level core binding came from (the prelude's
+    #: map to "<prelude>").  Set only by ``link_modules``; its presence
+    #: is what arms the link-time ``specialize-xmodule`` pass.
+    module_origins: Optional[Dict[str, str]] = None
+    #: merged ``name -> Unfolding`` from the linked interfaces — the
+    #: serialized bodies the cross-module specializer clones from
+    unfoldings: Optional[Dict[str, Any]] = None
     #: scratch state for the core-lint verifier: remembers which binding
     #: objects already linted clean this compile (transforms preserve
     #: object identity for untouched bindings, so most re-lints are

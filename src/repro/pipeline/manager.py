@@ -55,6 +55,10 @@ def _always(_options: CompilerOptions) -> bool:
     return True
 
 
+def _any_context(_ctx: CompileContext) -> bool:
+    return True
+
+
 class UnknownPassError(ValueError):
     """A pass name that is not in the registered sequence."""
 
@@ -71,15 +75,18 @@ class Pass:
 
     ``run`` receives ``(ctx)`` for whole-program passes and
     ``(ctx, unit)`` for per-unit passes.  ``enabled`` gates the pass on
-    the compilation options (disabled passes are skipped entirely and
-    never appear in the trace).  ``doc`` names the paper section the
-    pass realises, for ``--time-passes`` readers.
+    the compilation options; ``applies`` additionally gates it on the
+    live context (e.g. the link-time specializer only applies when the
+    linker armed it with module origins).  Passes failing either gate
+    are skipped entirely and never appear in the trace.  ``doc`` names
+    the paper section the pass realises, for ``--time-passes`` readers.
     """
 
     name: str
     run: Callable[..., None]
     per_unit: bool = False
     enabled: Callable[[CompilerOptions], bool] = field(default=_always)
+    applies: Callable[[CompileContext], bool] = field(default=_any_context)
     doc: str = ""
 
 
@@ -122,7 +129,8 @@ class PassManager:
                 if stop_after in group_names:
                     group = group[:group_names.index(stop_after) + 1]
                     stop_here = True
-            enabled = [p for p in group if p.enabled(ctx.options)]
+            enabled = [p for p in group
+                       if p.enabled(ctx.options) and p.applies(ctx)]
             if group and group[0].per_unit:
                 for i, unit in enumerate(ctx.units):
                     last = i == len(ctx.units) - 1

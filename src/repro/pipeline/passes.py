@@ -105,9 +105,38 @@ def _constant_dict_reduction(ctx: CompileContext) -> None:
     ctx.core = reduce_constant_dictionaries(ctx.core)
 
 
+def _note_specialization(ctx: CompileContext, pass_name: str,
+                         report) -> None:
+    """Fold a :class:`~repro.transform.specialize.SpecializeReport`
+    into the phase trace (clone counters land in
+    ``compile_stats.phases`` and the server stats) and the warning
+    list when the clone budget ran dry."""
+    if report.clones_created:
+        ctx.trace.add_counter(pass_name, "clones", report.clones_created)
+    if report.from_unfoldings:
+        ctx.trace.add_counter(pass_name, "from_unfoldings",
+                              report.from_unfoldings)
+    if report.budget_exhausted:
+        ctx.trace.add_counter(pass_name, "budget_exhausted", 1)
+        from repro.errors import SpecializeBudgetWarning
+        ctx.inferencer.warnings.append(SpecializeBudgetWarning(
+            pass_name, getattr(ctx.options, "specialize_budget", 400)))
+
+
 def _specialize(ctx: CompileContext) -> None:
-    from repro.transform.specialize import specialize_program
-    ctx.core = specialize_program(ctx.core)
+    from repro.transform.specialize import Specializer
+    spec = Specializer(ctx.core,
+                       budget=getattr(ctx.options, "specialize_budget", 400))
+    ctx.core = spec.run()
+    _note_specialization(ctx, "specialize", spec.report)
+
+
+def _specialize_xmodule(ctx: CompileContext) -> None:
+    from repro.specialize.xlink import xmodule_specialize
+    ctx.core, report = xmodule_specialize(
+        ctx.core, ctx.module_origins, ctx.unfoldings,
+        budget=getattr(ctx.options, "specialize_budget", 400))
+    _note_specialization(ctx, "specialize-xmodule", report)
 
 
 # --------------------------------------------------------------------------
@@ -145,6 +174,13 @@ DEFAULT_PASSES = (
     Pass("specialize", _specialize,
          enabled=lambda o: o.specialize,
          doc="§9 type-specific clones at constant dictionaries"),
+    Pass("specialize-xmodule", _specialize_xmodule,
+         enabled=lambda o: getattr(o, "specialize_xmodule", True),
+         # Armed only by link_modules (it alone knows binding origins);
+         # single-file and per-module compiles skip it entirely.
+         applies=lambda ctx: ctx.module_origins is not None,
+         doc="§9 at link time: clone overloaded calls crossing module "
+             "boundaries from interface unfoldings"),
 )
 
 

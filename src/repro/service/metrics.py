@@ -101,9 +101,16 @@ class Metrics:
     def record_phases(self, trace: Any) -> None:
         """Fold one compilation's :class:`~repro.pipeline.PhaseTrace`
         into the per-pass histograms (one sample per pass per
-        compile)."""
+        compile).  Per-pass work counters (e.g. the specializer's
+        clone count) aggregate into ``phase.<pass>.<counter>``
+        counters (older pickled traces may predate them)."""
         for timing in trace.timings:
             self.observe(f"{PHASE_PREFIX}{timing.name}", timing.seconds)
+        all_counters = getattr(trace, "all_counters", None)
+        if all_counters is not None:
+            for pass_name, bucket in all_counters().items():
+                for key, n in bucket.items():
+                    self.incr(f"{PHASE_PREFIX}{pass_name}.{key}", n)
 
     # -------------------------------------------------------- introspection
 

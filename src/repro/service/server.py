@@ -248,19 +248,33 @@ class CompileService:
                                 cache=self.cache)
         build = builder.build(graph, jobs=jobs)
         program = build.program
-        # Address the *linked* program by the build's content: the
-        # module interface fingerprints pin every input, so equal
-        # trees share one cached program.
+        # Address the *linked* program by the build's content.  The
+        # surface fingerprint alone is NOT enough: a body-only edit
+        # keeps it stable (by design — that is the rebuild cut-off) but
+        # changes the linked program, so the key also pins each
+        # module's source digest and unfolding digest.
         key = module_cache_key(
             "<link>", self.options, self.snapshot.fingerprint,
-            [(name, build.modules[name]["fingerprint"])
+            [(name, "{fingerprint}:{source_sha}:{unfold_fp}".format(
+                **{field: build.modules[name].get(field, "")
+                   for field in ("fingerprint", "source_sha",
+                                 "unfold_fp")}))
              for name in build.order])
         self.cache.put(key, program)
+        trace = getattr(program.compile_stats, "phases", None)
+        if trace is not None:
+            self.metrics.record_phases(trace)
         result: Dict[str, Any] = {
             "program": key,
             "build": build.stats(),
             "warnings": [str(w) for w in program.warnings],
         }
+        if trace is not None and hasattr(trace, "all_counters"):
+            specialization = {name: dict(bucket)
+                             for name, bucket in trace.all_counters().items()
+                             if name.startswith("specialize")}
+            if specialization:
+                result["specialization"] = specialization
         if request.get("schemes", True):
             result["schemes"] = {
                 name: str(scheme)

@@ -1,0 +1,28 @@
+"""Cross-module specialisation (§9 across separate compilation).
+
+Two layers:
+
+* :mod:`repro.specialize.unfold` — **unfoldings**: the serialized core
+  bodies of a module's specialisable bindings, shipped inside its
+  ``.ri`` interface so importers can clone them without the source;
+* :mod:`repro.specialize.xlink` — the **link-time specializer**: after
+  :func:`repro.modules.build.link_modules` merges the module cores, it
+  clones overloaded calls at constant dictionary vectors that cross a
+  module boundary, taking callee bodies from the imported unfoldings.
+
+See docs/SPECIALIZE.md for the format and semantics.
+"""
+
+from repro.specialize.unfold import (
+    Unfolding,
+    collect_unfoldings,
+    unfold_fingerprint,
+)
+from repro.specialize.xlink import xmodule_specialize
+
+__all__ = [
+    "Unfolding",
+    "collect_unfoldings",
+    "unfold_fingerprint",
+    "xmodule_specialize",
+]

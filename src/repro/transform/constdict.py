@@ -33,12 +33,12 @@ from repro.coreir.syntax import (
     capp,
     map_subexprs,
 )
-from repro.transform.specialize import _Specializer, simplify, SIMPLIFY_FUEL
+from repro.transform.specialize import Specializer, simplify, SIMPLIFY_FUEL
 from repro.transform.subst import substitute
 
 
 def reduce_constant_dictionaries(program: CoreProgram) -> CoreProgram:
-    helper = _Specializer(program)  # reuse const_dict_key machinery
+    helper = Specializer(program)  # reuse const_dict_key machinery
     usage: Dict[str, Set[str]] = {}
     escaped: Set[str] = set()
     candidates = {b.name: b for b in program.bindings

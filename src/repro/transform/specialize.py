@@ -17,14 +17,27 @@ clone, the now-known dictionaries are simplified away:
   become calls to the clone itself.
 
 Method implementations are themselves overloaded functions (over the
-instance context), so specialisation cascades through them; a global
-clone budget guarantees termination even under polymorphic recursion.
+instance context), so specialisation cascades through them; a clone
+budget (``options.specialize_budget``) guarantees termination even
+under polymorphic recursion.
+
+The :class:`Specializer` runs in two configurations:
+
+* **whole-program** (the classic ``specialize`` pass): every constant-
+  dictionary call site is a candidate;
+* **cross-module** (the link-time ``specialize-xmodule`` pass): only
+  call sites whose caller and callee live in *different* modules are
+  roots, and the body of a callee from another user module comes from
+  the **unfolding** its interface shipped (see
+  :mod:`repro.specialize.unfold`) — exactly what a build against
+  ``.ri`` files alone could see.  Cascades inside generated clones are
+  unrestricted; the filter applies to original bindings only.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.coreir.fv import live_let_binders
 from repro.coreir.syntax import (
@@ -44,27 +57,120 @@ from repro.coreir.syntax import (
 from repro.transform.subst import substitute
 from repro.util.names import specialized_name
 
-#: Safety valve: the maximum number of clones one run may create.
+#: Default clone budget — the :class:`~repro.options.CompilerOptions`
+#: field ``specialize_budget`` starts here; kept as a module constant
+#: for callers that drive the specializer directly.
 CLONE_BUDGET = 400
 
 #: Fuel for the local simplifier (nodes rewritten per clone body).
 SIMPLIFY_FUEL = 10_000
 
+#: Origin-map value for bindings that predate every module (the
+#: prelude core and link-generated selectors).
+PRELUDE_ORIGIN = "<prelude>"
 
-class _Specializer:
-    def __init__(self, program: CoreProgram) -> None:
+#: Composite dictionary keys wider than this are interned to a short
+#: alias while still being built — under polymorphic recursion the
+#: textual key doubles per clone level, so an unbounded key is
+#: exponential in the clone depth.
+_MAX_KEY_WIDTH = 64
+
+#: Deepest dictionary nesting still treated as a specialisation
+#: candidate.  Polymorphic recursion manufactures a *new, deeper*
+#: constant dictionary per clone level ad infinitum; past this depth
+#: the call keeps its dictionary arguments (always correct — just
+#: unspecialised), cutting the cascade off long before the clone
+#: budget burns down and before the shared dictionary DAGs grow
+#: exponential path counts in the body walks.
+_MAX_DICT_DEPTH = 8
+
+#: Missing-entry sentinel for the key memo (None is a real value
+#: there: "not a constant dictionary, or too deep").
+_key_memo_missing = object()
+
+
+@dataclass
+class SpecializeReport:
+    """What one specializer run did — feeds ``compile_stats.phases``
+    counters and the budget-exhaustion warning."""
+
+    clones_created: int = 0
+    budget_exhausted: bool = False
+    #: names of the clones created, in creation order
+    clone_names: List[str] = field(default_factory=list)
+    #: clones whose body came from an imported unfolding
+    from_unfoldings: int = 0
+
+
+class Specializer:
+    """One specialisation run over *program*.
+
+    *origin* maps top-level binding names to the module that defined
+    them (:data:`PRELUDE_ORIGIN` for prelude bindings).  When
+    *xmodule_only* is set, a call site in an original binding is a
+    specialisation root only if its callee's origin differs from the
+    caller's — the cross-module calls that separate compilation left
+    dispatching through dictionaries.  *unfoldings* maps names to
+    :class:`~repro.specialize.unfold.Unfolding` objects; in
+    cross-module mode the body of a callee defined in another user
+    module is taken from there (no unfolding ⇒ no clone), so the
+    interface file really is the only channel for cross-module bodies.
+    """
+
+    def __init__(self, program: CoreProgram,
+                 budget: int = CLONE_BUDGET,
+                 origin: Optional[Mapping[str, str]] = None,
+                 unfoldings: Optional[Mapping[str, object]] = None,
+                 xmodule_only: bool = False) -> None:
         self.by_name: Dict[str, CoreBinding] = {
             b.name: b for b in program.bindings}
         self.order = [b.name for b in program.bindings]
         self.clones: Dict[Tuple[str, str], str] = {}
         self.new_bindings: List[CoreBinding] = []
-        self.budget = CLONE_BUDGET
+        self.budget = budget
+        self.origin: Mapping[str, str] = origin or {}
+        self.unfoldings: Mapping[str, object] = unfoldings or {}
+        self.xmodule_only = xmodule_only
+        self.report = SpecializeReport()
+        #: origin of the binding currently being rewritten; None inside
+        #: clone bodies (cascades are never origin-filtered)
+        self._caller_origin: Optional[str] = None
+        self._in_clone = False
+        #: per-run memo for const_dict_key, keyed by expression
+        #: identity.  Substitution shares dictionary subexpressions, so
+        #: under polymorphic recursion the dict argument at clone depth
+        #: k is a DAG with 2^k *paths* — without the memo the key walk
+        #: re-renders every path and the budget never gets a say.
+        self._key_memo: Dict[int, Optional[Tuple[str, int]]] = {}
 
     # --------------------------------------------------- dictionary forms
 
     def const_dict_key(self, expr: CoreExpr) -> Optional[str]:
         """A canonical key when *expr* is a compile-time-constant
-        dictionary expression, else None."""
+        dictionary expression of bounded nesting depth, else None.
+
+        Memoised by expression identity (substitution shares
+        dictionary subexpressions, so the naive walk revisits every
+        *path* through the DAG), keys wider than
+        :data:`_MAX_KEY_WIDTH` are interned to a short alias, and
+        nesting deeper than :data:`_MAX_DICT_DEPTH` disqualifies the
+        site — the three bounds that keep polymorphic recursion from
+        driving the specializer exponential.
+        """
+        info = self._key_info(expr)
+        return None if info is None else info[0]
+
+    def _key_info(self, expr: CoreExpr) -> Optional[Tuple[str, int]]:
+        """(key, nesting depth) for a constant dictionary, memoised."""
+        cached = self._key_memo.get(id(expr), _key_memo_missing)
+        if cached is not _key_memo_missing:
+            return cached
+        info = self._key_info_uncached(expr)
+        self._key_memo[id(expr)] = info
+        return info
+
+    def _key_info_uncached(self, expr: CoreExpr
+                           ) -> Optional[Tuple[str, int]]:
         head, args = app_spine(expr)
         if not isinstance(head, CVar):
             return None
@@ -74,14 +180,21 @@ class _Specializer:
         if len(args) != binding.dict_arity:
             return None
         keys = []
+        depth = 1
         for a in args:
-            k = self.const_dict_key(a)
-            if k is None:
+            child = self._key_info(a)
+            if child is None:
                 return None
-            keys.append(k)
-        if keys:
-            return f"{head.name}({','.join(keys)})"
-        return head.name
+            keys.append(child[0])
+            depth = max(depth, child[1] + 1)
+        if depth > _MAX_DICT_DEPTH:
+            return None
+        if not keys:
+            return head.name, depth
+        key = f"{head.name}({','.join(keys)})"
+        if len(key) > _MAX_KEY_WIDTH:
+            key = _short_key(key)
+        return key, depth
 
     # ------------------------------------------------------------ rewrite
 
@@ -92,11 +205,15 @@ class _Specializer:
             if b.kind in ("selector", "dict"):
                 out.append(b)
                 continue
+            self._caller_origin = self.origin.get(name, PRELUDE_ORIGIN)
+            self._in_clone = False
             expr = self.rewrite(b.expr)
             # Identity-preserving when no call site was specialised —
             # the lint cache skips bindings that pass through unchanged.
             out.append(b if expr is b.expr else replace(b, expr=expr))
         # Clone generation may enqueue further clones.
+        self._in_clone = True
+        self._caller_origin = None
         while self.new_bindings:
             clone = self.new_bindings.pop(0)
             clone = replace(clone, expr=self.rewrite(clone.expr))
@@ -104,13 +221,25 @@ class _Specializer:
             self.by_name[clone.name] = clone
         return CoreProgram(out)
 
+    def _is_root(self, callee: str) -> bool:
+        """In cross-module mode, only calls that leave the caller's
+        module start a specialisation (cascades inside clones always
+        qualify — they inherit the cross-module root's justification)."""
+        if not self.xmodule_only:
+            return True
+        if self._in_clone:
+            return True
+        callee_origin = self.origin.get(callee, PRELUDE_ORIGIN)
+        return callee_origin != self._caller_origin
+
     def rewrite(self, expr: CoreExpr) -> CoreExpr:
         head, args = app_spine(expr)
         if isinstance(head, CVar) and args:
             target = self.by_name.get(head.name)
             if (target is not None and target.dict_arity > 0
                     and target.kind in ("user", "impl", "default")
-                    and len(args) >= target.dict_arity):
+                    and len(args) >= target.dict_arity
+                    and self._is_root(head.name)):
                 dict_args = args[:target.dict_arity]
                 keys = [self.const_dict_key(a) for a in dict_args]
                 if all(k is not None for k in keys):
@@ -122,6 +251,24 @@ class _Specializer:
                         return capp(CVar(clone_name), *rest)
         return map_subexprs(expr, self.rewrite)
 
+    def _clone_source(self, fname: str) -> Optional[Tuple[CoreExpr, int]]:
+        """The lambda to clone from and its dictionary arity.
+
+        Cross-module mode takes the body of a callee defined in a user
+        module from its interface's unfolding — the merged core is off
+        limits (a real separate linker would not have it); without an
+        unfolding the call keeps its dictionaries.  Prelude bodies are
+        always at hand (every build embeds the prelude core)."""
+        original = self.by_name[fname]
+        if self.xmodule_only and \
+                self.origin.get(fname, PRELUDE_ORIGIN) != PRELUDE_ORIGIN:
+            unfolding = self.unfoldings.get(fname)
+            if unfolding is None:
+                return None
+            self.report.from_unfoldings += 1
+            return unfolding.expr, unfolding.dict_arity
+        return original.expr, original.dict_arity
+
     def clone_of(self, fname: str, dict_args: List[CoreExpr],
                  key: str) -> Optional[str]:
         cache_key = (fname, key)
@@ -129,36 +276,52 @@ class _Specializer:
         if existing is not None:
             return existing
         if self.budget <= 0:
+            self.report.budget_exhausted = True
             return None
         original = self.by_name[fname]
-        if not isinstance(original.expr, CLam) or \
-                len(original.expr.params) < original.dict_arity:
+        source = self._clone_source(fname)
+        if source is None:
+            return None
+        expr, dict_arity = source
+        if not isinstance(expr, CLam) or len(expr.params) < dict_arity:
             return None
         self.budget -= 1
-        clone_name = specialized_name(fname, _short_key(key))
+        short = _short_key(key)
+        clone_name = specialized_name(fname, short)
         self.clones[cache_key] = clone_name
-        params = original.expr.params
-        anns = original.expr.anns
+        params = expr.params
+        anns = expr.anns
         body: CoreExpr
-        if len(params) > original.dict_arity:
+        if len(params) > dict_arity:
             # The clone sheds the dictionary parameters, so its lambda
             # keeps only the value-parameter annotations.
-            body = CLam(params[original.dict_arity:], original.expr.body,
-                        anns[original.dict_arity:] if anns is not None
-                        else None)
+            body = CLam(params[dict_arity:], expr.body,
+                        anns[dict_arity:] if anns is not None else None)
         else:
-            body = original.expr.body
-        subst = {p: d for p, d in zip(params[:original.dict_arity],
-                                      dict_args)}
+            body = expr.body
+        subst = {p: d for p, d in zip(params[:dict_arity], dict_args)}
         body = substitute(body, subst)
         body = simplify(body, self.by_name, SIMPLIFY_FUEL)
         # Self-calls at the same dictionaries become self-calls of the
         # clone (handled by the rewrite pass when the clone is emitted).
         # A clone is monomorphic in its dictionaries: dict_arity 0 and
         # no scheme/dict-class annotations (the original's would lie).
+        self.report.clones_created += 1
+        self.report.clone_names.append(clone_name)
         self.new_bindings.append(
-            CoreBinding(clone_name, body, original.kind, 0))
+            CoreBinding(clone_name, body, original.kind, 0,
+                        provenance=self._provenance(fname, short)))
         return clone_name
+
+    def _provenance(self, fname: str, short: str) -> str:
+        origin = self.origin.get(fname, PRELUDE_ORIGIN) if self.origin \
+            else None
+        where = ""
+        if origin == PRELUDE_ORIGIN:
+            where = ", body from the prelude"
+        elif origin is not None:
+            where = f", unfolding from module '{origin}'"
+        return f"clone of {fname} at <{short}>{where}"
 
 
 _KEY_CACHE: Dict[str, str] = {}
@@ -304,7 +467,8 @@ def _inline_dict(expr: CoreExpr,
     return body
 
 
-def specialize_program(program: CoreProgram) -> CoreProgram:
+def specialize_program(program: CoreProgram,
+                       budget: int = CLONE_BUDGET) -> CoreProgram:
     """Create clones for every overloaded call at constant dictionaries
     and rewrite call sites (section 9)."""
-    return _Specializer(program).run()
+    return Specializer(program, budget=budget).run()

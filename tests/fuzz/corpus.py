@@ -108,3 +108,119 @@ ADVERSARIAL_CORPUS: List[Tuple[str, str]] = [
     ("module_lowercase_name", "module lower where\nmain = 1"),
     ("module_header_no_where", "module M\nmain = 1"),
 ]
+
+
+# Multi-module overloaded shapes (PR 6) --------------------------------
+#
+# Each entry is (name, [(module-name, source), ...]) built through the
+# module pipeline twice — link-time specialization on and off — by the
+# differential check in ``tests/fuzz/run_fuzz.py``: both builds must
+# agree on the entry value, or both/either must fail with a located
+# ReproError.  The shapes target the link-time specializer: overloaded
+# calls crossing module boundaries, clone cascades through helper and
+# default-method bodies, multiple instantiations of one export, and
+# the polymorphic-recursion pattern that must exhaust the clone budget
+# gracefully instead of diverging.
+
+XMODULE_CORPUS: List[Tuple[str, List[Tuple[str, str]]]] = [
+    ("xm_basic", [
+        ("Lib", "module Lib where\n"
+                "total :: Num a => [a] -> a\n"
+                "total [] = 0\n"
+                "total (x:xs) = x + total xs\n"),
+        ("Main", "module Main where\nimport Lib\n"
+                 "main = total [1, 2, 3 :: Int]\n"),
+    ]),
+    ("xm_two_instantiations", [
+        ("Lib", "module Lib where\n"
+                "class Meas a where\n"
+                "  meas :: a -> Int\n"
+                "data P = P Int\n"
+                "data Q = Q Int Int\n"
+                "instance Meas P where\n"
+                "  meas (P n) = n\n"
+                "instance Meas Q where\n"
+                "  meas (Q a b) = a + b\n"
+                "total :: Meas a => [a] -> Int\n"
+                "total [] = 0\n"
+                "total (x:xs) = meas x + total xs\n"),
+        ("Main", "module Main where\nimport Lib\n"
+                 "main = total [P 1, P 2] + total [Q 3 4]\n"),
+    ]),
+    ("xm_cascade", [
+        # The root clone's body calls another overloaded import; the
+        # cascade must clone that too, from its own unfolding.
+        ("A", "module A where\n"
+              "scale :: Num a => a -> [a] -> [a]\n"
+              "scale k [] = []\n"
+              "scale k (x:xs) = k * x : scale k xs\n"),
+        ("B", "module B where\nimport A\n"
+              "scaledSum :: Num a => a -> [a] -> a\n"
+              "scaledSum k xs = go (scale k xs)\n"
+              "  where go [] = 0\n"
+              "        go (y:ys) = y + go ys\n"),
+        ("Main", "module Main where\nimport B\n"
+                 "main = scaledSum (2 :: Int) [1, 2, 3]\n"),
+    ]),
+    ("xm_default_method", [
+        ("Lib", "module Lib where\n"
+                "class Meas a where\n"
+                "  meas :: a -> Int\n"
+                "  twice :: a -> Int\n"
+                "  twice x = meas x + meas x\n"
+                "data P = P Int\n"
+                "instance Meas P where\n"
+                "  meas (P n) = n\n"),
+        ("Main", "module Main where\nimport Lib\n"
+                 "main = twice (P 21)\n"),
+    ]),
+    ("xm_diamond", [
+        ("Base", "module Base where\n"
+                 "class Meas a where\n"
+                 "  meas :: a -> Int\n"
+                 "data P = P Int\n"
+                 "instance Meas P where\n"
+                 "  meas (P n) = n\n"),
+        ("L", "module L where\nimport Base\n"
+              "viaL :: Meas a => a -> Int\n"
+              "viaL x = meas x + 1\n"),
+        ("R", "module R where\nimport Base\n"
+              "viaR :: Meas a => a -> Int\n"
+              "viaR x = meas x * 2\n"),
+        ("Main", "module Main where\nimport Base\nimport L\nimport R\n"
+                 "main = viaL (P 3) + viaR (P 4)\n"),
+    ]),
+    ("xm_poly_recursion_budget", [
+        # Polymorphic recursion: every unrolling wants a clone at a
+        # deeper pair type.  The clone budget must cut the cascade off
+        # (dictionary fallback), never loop or crash.
+        ("Lib", "module Lib where\n"
+                "nest :: Text a => Int -> a -> String\n"
+                "nest n x = if n <= 0 then show x\n"
+                "           else nest (n - 1) (x, x)\n"),
+        ("Main", "module Main where\nimport Lib\n"
+                 "main = length (nest 6 (1 :: Int))\n"),
+    ]),
+    ("xm_no_instance", [
+        # The cross-module call is ill-typed: a located type error,
+        # under either configuration, never a crash.
+        ("Lib", "module Lib where\n"
+                "class Meas a where\n"
+                "  meas :: a -> Int\n"
+                "total :: Meas a => [a] -> Int\n"
+                "total [] = 0\n"
+                "total (x:xs) = meas x + total xs\n"),
+        ("Main", "module Main where\nimport Lib\n"
+                 "main = total [True, False]\n"),
+    ]),
+    ("xm_reexport_chain", [
+        ("A", "module A where\n"
+              "bump :: Num a => a -> a\n"
+              "bump x = x + 1\n"),
+        ("B", "module B (bump2) where\nimport A\n"
+              "bump2 :: Num a => a -> a\n"
+              "bump2 x = bump (bump x)\n"),
+        ("Main", "module Main where\nimport B\n"
+                 "main = bump2 (40 :: Int)\n"),
+    ]),
+]

@@ -173,3 +173,66 @@ class ProgramGen:
     def program(self) -> str:
         """One fuzz input: 60% grown, 40% mutated."""
         return self.grown() if self.rng.random() < 0.6 else self.mutated()
+
+    # ---------------------------------------------------------- module trees
+
+    def multi_module(self) -> List[tuple]:
+        """One multi-module fuzz input: ``[(name, source), ...]``.
+
+        A library module exporting an overloaded class surface, an
+        optional middle module re-wrapping it, and a Main calling
+        across the boundary at concrete types — the shapes the
+        link-time specializer clones from interface unfoldings.  A
+        fraction of outputs is deliberately broken (missing imports,
+        missing instances) to exercise the error paths of the module
+        pipeline under both specializer configurations.
+        """
+        r = self.rng
+        lib = ["module Lib where",
+               "class Meas a where",
+               "  meas :: a -> Int"]
+        has_default = r.random() < 0.5
+        if has_default:
+            lib += ["  twice :: a -> Int",
+                    "  twice x = meas x + meas x"]
+        lib += ["data P = P Int",
+                "instance Meas P where",
+                "  meas (P n) = n"]
+        two_instances = r.random() < 0.6
+        if two_instances:
+            lib += ["data Q = Q Int Int",
+                    "instance Meas Q where",
+                    "  meas (Q a b) = a + b"]
+        lib += ["total :: Meas a => [a] -> Int",
+                "total [] = 0",
+                "total (x:xs) = meas x + total xs"]
+        modules = [("Lib", "\n".join(lib) + "\n")]
+
+        has_mid = r.random() < 0.4
+        if has_mid:
+            mid = ["module Mid where", "import Lib",
+                   "viaMid :: Meas a => [a] -> Int",
+                   f"viaMid xs = total xs + {r.randrange(5)}"]
+            modules.append(("Mid", "\n".join(mid) + "\n"))
+
+        main = ["module Main where", "import Lib"]
+        if has_mid:
+            main.append("import Mid")
+        if r.random() < 0.1:
+            main.append("import Missing")        # module.unknown
+        fn = "viaMid" if has_mid and r.random() < 0.7 else "total"
+        ps = "[" + ", ".join(f"P {r.randrange(9)}"
+                             for _ in range(r.randrange(1, 4))) + "]"
+        call = f"{fn} {ps}"
+        if two_instances and r.random() < 0.5:
+            qs = "[" + ", ".join(
+                f"Q {r.randrange(5)} {r.randrange(5)}"
+                for _ in range(r.randrange(1, 3))) + "]"
+            call = f"{call} + {fn} {qs}"
+        if has_default and r.random() < 0.4:
+            call = f"{call} + twice (P {r.randrange(9)})"
+        if r.random() < 0.1:
+            call = f"{fn} [True]"                # type.no-instance
+        main.append(f"main = {call}")
+        modules.append(("Main", "\n".join(main) + "\n"))
+        return modules

@@ -30,7 +30,7 @@ from repro.errors import CoreLintError, ReproError
 from repro.options import CompilerOptions
 from repro.service.snapshot import PreludeSnapshot
 
-from tests.fuzz.corpus import ADVERSARIAL_CORPUS
+from tests.fuzz.corpus import ADVERSARIAL_CORPUS, XMODULE_CORPUS
 from tests.fuzz.gen import ProgramGen
 
 #: Step budget for evaluating a fuzzed ``main`` — plenty for the tiny
@@ -65,6 +65,44 @@ def check_one(source: str, snapshot: PreludeSnapshot,
         return "error", type(exc).code
 
 
+def check_modules(specs, snapshot: PreludeSnapshot,
+                  options: CompilerOptions) -> Tuple[str, Optional[str]]:
+    """The differential invariant for multi-module inputs.
+
+    Builds the module list twice — link-time specialization on and
+    off.  Each build either links (and evaluates ``main`` under the
+    step limit) or raises a located ReproError; when *both* succeed
+    they must agree on the entry value, since the §9 clone rewrite may
+    change the core but never the meaning.  Returns the specialized
+    build's ``(outcome, error_code)``.
+    """
+    from repro.modules import ModuleBuilder
+    from repro.modules.resolve import scan_inline_modules
+
+    def attempt(opts):
+        try:
+            graph = scan_inline_modules(list(specs))
+            builder = ModuleBuilder(opts, snapshot=snapshot)
+            program = builder.build(graph).program
+            value = None
+            if "main" in program.schemes:
+                value = program.run("main", step_limit=EVAL_STEP_LIMIT)
+            return "ok", value, None
+        except CoreLintError:
+            raise  # ill-formed core is a bug, not a rejected input
+        except ReproError as exc:
+            exc.to_json()
+            return "error", None, type(exc).code
+
+    fast = attempt(options.with_(specialize_xmodule=True))
+    slow = attempt(options.with_(specialize_xmodule=False))
+    if fast[0] == "ok" and slow[0] == "ok" and fast[1] != slow[1]:
+        raise AssertionError(
+            f"specialized/dictionary builds disagree: "
+            f"{fast[1]!r} != {slow[1]!r}")
+    return fast[0], fast[2]
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--seed", type=int, default=0)
@@ -86,6 +124,13 @@ def main(argv=None) -> int:
     inputs = [(f"corpus:{name}", src) for name, src in ADVERSARIAL_CORPUS]
     inputs += [(f"gen:{i}", gen.program()) for i in range(args.count)]
 
+    # Multi-module inputs go through the differential module check:
+    # the hand-written xmodule corpus plus a slice of generated trees.
+    module_inputs = [(f"xmodule:{name}", specs)
+                     for name, specs in XMODULE_CORPUS]
+    module_inputs += [(f"gen-modules:{i}", gen.multi_module())
+                      for i in range(max(1, args.count // 10))]
+
     outcomes: Counter = Counter()
     codes: Counter = Counter()
     started = time.monotonic()
@@ -97,6 +142,23 @@ def main(argv=None) -> int:
                   f"{type(exc).__name__}: {exc}", file=sys.stderr)
             print("--- program ---", file=sys.stderr)
             print(source, file=sys.stderr)
+            print("---------------", file=sys.stderr)
+            raise
+        outcomes[outcome] += 1
+        if code:
+            codes[code] += 1
+        if args.verbose:
+            print(f"{label}: {outcome}" + (f" ({code})" if code else ""))
+
+    for label, specs in module_inputs:
+        try:
+            outcome, code = check_modules(specs, snapshot, options)
+        except BaseException as exc:  # noqa: BLE001 — the invariant itself
+            print(f"FUZZ INVARIANT VIOLATED at {label}: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            for name, source in specs:
+                print(f"--- module {name} ---", file=sys.stderr)
+                print(source, file=sys.stderr)
             print("---------------", file=sys.stderr)
             raise
         outcomes[outcome] += 1

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""Regenerate dump_after_translate.txt (run from the repo root with
-PYTHONPATH=src) after an intentional translator or pretty-printer
-change.  Keep the source and filter in sync with
-tests/test_pretty.py::TestDumpAfterGolden."""
+"""Regenerate the --dump-after goldens (run from the repo root with
+PYTHONPATH=src) after an intentional translator, specializer or
+pretty-printer change.  Keep the sources and filters in sync with
+tests/test_pretty.py::TestDumpAfterGolden and
+::TestDumpAfterSpecializeGolden."""
 
 import io
 import pathlib
@@ -12,26 +13,37 @@ from contextlib import redirect_stdout
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
 
-from test_pretty import TestDumpAfterGolden  # noqa: E402
+from test_pretty import (  # noqa: E402
+    TestDumpAfterGolden,
+    TestDumpAfterSpecializeGolden,
+)
 
 from repro.cli import main  # noqa: E402
+
+#: (golden file, owning test class, extra CLI args, dumped pass)
+TARGETS = [
+    ("dump_after_translate.txt", TestDumpAfterGolden, [], "translate"),
+    ("dump_after_specialize.txt", TestDumpAfterSpecializeGolden,
+     ["--set", "specialize=true"], "specialize"),
+]
 
 
 def regen() -> None:
     here = pathlib.Path(__file__).parent
-    with tempfile.TemporaryDirectory() as tmp:
-        path = pathlib.Path(tmp) / "golden_input.mhs"
-        path.write_text(TestDumpAfterGolden.SOURCE, encoding="utf-8")
-        buf = io.StringIO()
-        with redirect_stdout(buf):
-            rc = main(["run", str(path), "--dump-after", "translate",
-                       "-e", "zzqMain"])
-        assert rc == 0, rc
-    lines = [line for line in buf.getvalue().splitlines()
-             if line.startswith(TestDumpAfterGolden.PREFIXES)]
-    target = here / "dump_after_translate.txt"
-    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
-    print(f"wrote {target} ({len(lines)} lines)")
+    for filename, cls, extra, after in TARGETS:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "golden_input.mhs"
+            path.write_text(cls.SOURCE, encoding="utf-8")
+            buf = io.StringIO()
+            with redirect_stdout(buf):
+                rc = main(["run", str(path)] + extra
+                          + ["--dump-after", after, "-e", "zzqMain"])
+            assert rc == 0, rc
+        lines = [line for line in buf.getvalue().splitlines()
+                 if line.startswith(cls.PREFIXES)]
+        target = here / filename
+        target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"wrote {target} ({len(lines)} lines)")
 
 
 if __name__ == "__main__":

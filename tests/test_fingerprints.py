@@ -32,15 +32,17 @@ from repro.service.snapshot import prelude_fingerprint
 #: on every user's disk — never update it casually.  (Last moved
 #: deliberately when the resource-limit fields — max_parse_depth,
 #: max_type_depth, eval_depth_limit — joined CompilerOptions: they
-#: change compilation outcomes, so they belong in the key.)
+#: change compilation outcomes, so they belong in the key.  Last moved
+#: when the specialization fields — specialize_xmodule,
+#: specialize_budget — joined: both change the linked core.)
 KNOWN_DEFAULT_OPTIONS_FP = (
-    "780fbfc5f5adc889d72f07f9ab99c560510d1d120c5e82b00cb037dd300a448e")
+    "84df0fd21eedbaf5a5c38d327e0074d77759217bff781829bdcd65193da6dee3")
 
 #: prelude_fingerprint(CompilerOptions()) for the current prelude text.
 #: Moves when the prelude source changes (expected) or when
 #: options_fingerprint moves (see above).
 KNOWN_DEFAULT_PRELUDE_FP = (
-    "7ad7fa8836f34c0cfc8e8bb47453accee4bd76d6343ccee66d791e89774fc06c")
+    "30df4d8a8fa4fc09aee99e28ca8c09411f4faf4d75d6fd82774f9352f7fbd60d")
 
 #: a value, different from the default, for each service-only field
 SERVICE_OVERRIDES = {

@@ -20,9 +20,10 @@ from tests.fuzz.corpus import (
     DEEP_PARENS_UNCLOSED,
     DEEP_RECURSION_OK,
     DEEP_RECURSION_OVER_BUDGET,
+    XMODULE_CORPUS,
 )
 from tests.fuzz.gen import ProgramGen
-from tests.fuzz.run_fuzz import EVAL_STEP_LIMIT, check_one
+from tests.fuzz.run_fuzz import EVAL_STEP_LIMIT, check_modules, check_one
 
 
 @pytest.fixture(scope="module")
@@ -171,6 +172,55 @@ class TestLintOracle:
         gen = ProgramGen(4)
         for _ in range(60):
             check_one(gen.program(), snapshot, options)
+
+
+class TestXModuleFuzz:
+    """The differential invariant for multi-module inputs: building
+    with and without link-time specialization must agree on the entry
+    value (or both fail structurally), with the core lint as an
+    oracle — ``check_modules`` raises on disagreement and re-raises
+    CoreLintError."""
+
+    @pytest.fixture(scope="class")
+    def lint_snapshot(self):
+        return PreludeSnapshot.build(CompilerOptions(lint=True))
+
+    @pytest.mark.parametrize(
+        "name,specs", XMODULE_CORPUS,
+        ids=[name for name, _ in XMODULE_CORPUS])
+    def test_corpus_differential(self, name, specs, lint_snapshot):
+        outcome, code = check_modules(specs, lint_snapshot,
+                                      CompilerOptions(lint=True))
+        assert outcome in ("ok", "error")
+        if code is not None:
+            assert not code.startswith("lint")
+
+    def test_expected_codes(self, lint_snapshot):
+        by_name = dict(XMODULE_CORPUS)
+        options = CompilerOptions(lint=True)
+        _, code = check_modules(by_name["xm_no_instance"],
+                                lint_snapshot, options)
+        assert code == "type.no-instance"
+        outcome, _ = check_modules(by_name["xm_poly_recursion_budget"],
+                                   lint_snapshot, options)
+        assert outcome == "ok"  # budget cut the cascade, value intact
+
+    def test_generator_is_deterministic(self):
+        a = [ProgramGen(11).multi_module() for _ in range(20)]
+        b = [ProgramGen(11).multi_module() for _ in range(20)]
+        assert a == b
+
+    def test_generated_module_trees_never_crash(self, lint_snapshot):
+        gen = ProgramGen(5)
+        options = CompilerOptions(lint=True)
+        outcomes = set()
+        for _ in range(25):
+            outcome, code = check_modules(gen.multi_module(),
+                                          lint_snapshot, options)
+            outcomes.add(outcome)
+            if code is not None:
+                assert not code.startswith("lint")
+        assert "ok" in outcomes  # the generator mostly builds trees
 
 
 class TestServerSurvival:

@@ -141,12 +141,12 @@ class TestSeedEquivalence:
         # disk-cached program would silently be invalidated.  If one of
         # these fails, a compilation-relevant input changed — make sure
         # that was intentional before updating the constant.  (Last
-        # moved when the resource-limit options — max_parse_depth,
-        # max_type_depth, eval_depth_limit — joined CompilerOptions.)
+        # moved when the specialization options — specialize_xmodule,
+        # specialize_budget — joined CompilerOptions.)
         assert options_fingerprint(CompilerOptions()) == (
-            "780fbfc5f5adc889d72f07f9ab99c560510d1d120c5e82b00cb037dd300a448e")
+            "84df0fd21eedbaf5a5c38d327e0074d77759217bff781829bdcd65193da6dee3")
         assert prelude_fingerprint(CompilerOptions()) == (
-            "7ad7fa8836f34c0cfc8e8bb47453accee4bd76d6343ccee66d791e89774fc06c")
+            "30df4d8a8fa4fc09aee99e28ca8c09411f4faf4d75d6fd82774f9352f7fbd60d")
 
 
 class TestPassManager:
@@ -154,7 +154,8 @@ class TestPassManager:
         assert pass_names() == [
             "parse", "desugar", "static", "install-methods", "infer",
             "translate", "selectors", "hoist-dictionaries",
-            "inner-entry-points", "constant-dict-reduction", "specialize"]
+            "inner-entry-points", "constant-dict-reduction", "specialize",
+            "specialize-xmodule"]
 
     def test_trace_records_every_enabled_pass(self):
         program = compile_source("main = 1")

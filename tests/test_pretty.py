@@ -192,6 +192,44 @@ class TestDumpAfterGolden:
         assert "dict<d$ZzEq$Int>[" in text
 
 
+class TestDumpAfterSpecializeGolden:
+    """``--dump-after=specialize`` pins the §9 output shape: the clone
+    bindings (``f@key`` names) and their provenance comments are part
+    of the tool's surface.  Same harness and regen script as the
+    translate golden; the source is shared so one program covers both
+    pins."""
+
+    SOURCE = TestDumpAfterGolden.SOURCE
+    PREFIXES = TestDumpAfterGolden.PREFIXES
+
+    @classmethod
+    def dump_lines(cls, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "golden_input.mhs"
+        path.write_text(cls.SOURCE, encoding="utf-8")
+        rc = main(["run", str(path), "--set", "specialize=true",
+                   "--dump-after", "specialize", "-e", "zzqMain"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        return [line for line in out.splitlines()
+                if line.startswith(cls.PREFIXES)]
+
+    def test_dump_after_specialize_matches_golden(self, tmp_path, capsys):
+        import pathlib
+        golden = pathlib.Path(__file__).parent / "golden" / \
+            "dump_after_specialize.txt"
+        lines = self.dump_lines(tmp_path, capsys)
+        assert lines, "dump produced no user bindings"
+        assert "\n".join(lines) + "\n" == golden.read_text(encoding="utf-8")
+
+    def test_dump_carries_clone_provenance(self, tmp_path, capsys):
+        text = "\n".join(self.dump_lines(tmp_path, capsys))
+        assert "-- zzqElem@ZzEq$Int: clone of zzqElem at <ZzEq$Int>" in text
+        assert "zzqElem@ZzEq$Int =" in text
+        # The call site dispatches to the clone, dictionary-free.
+        assert "zzqMain = zzqElem@ZzEq$Int " in text
+
+
 class TestDumpCore:
     def test_dump_core_api(self):
         program = compile_source("inc x = x + (1 :: Int)")
