@@ -242,12 +242,15 @@ def cmd_build(args: argparse.Namespace) -> int:
         if backend == "py" or emit_py:
             # The compiled backend: tree-shake the linked core to the
             # entry point and generate Python (repro.coreir.pygen).
+            # --emit-py is a side effect — with the default interp
+            # backend, --run/-e below still evaluate as requested.
             compiled = program.to_python([args.entry])
             if emit_py:
                 with open(emit_py, "w", encoding="utf-8") as handle:
                     handle.write(compiled.source + "\n")
                 print(f"-- wrote {emit_py}", file=sys.stderr)
-            if args.run and backend == "py":
+        if backend == "py":
+            if args.run:
                 print(render(compiled.run(args.entry)))
                 c = compiled.counters
                 print(f"-- backend=py dicts={c.dict_constructions} "

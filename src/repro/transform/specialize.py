@@ -36,6 +36,7 @@ The :class:`Specializer` runs in two configurations:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -83,11 +84,6 @@ _MAX_KEY_WIDTH = 64
 #: budget burns down and before the shared dictionary DAGs grow
 #: exponential path counts in the body walks.
 _MAX_DICT_DEPTH = 8
-
-#: Missing-entry sentinel for the key memo (None is a real value
-#: there: "not a constant dictionary, or too deep").
-_key_memo_missing = object()
-
 
 @dataclass
 class SpecializeReport:
@@ -140,8 +136,13 @@ class Specializer:
         #: identity.  Substitution shares dictionary subexpressions, so
         #: under polymorphic recursion the dict argument at clone depth
         #: k is a DAG with 2^k *paths* — without the memo the key walk
-        #: re-renders every path and the budget never gets a say.
-        self._key_memo: Dict[int, Optional[Tuple[str, int]]] = {}
+        #: re-renders every path and the budget never gets a say.  The
+        #: value stores the keyed expression itself: id() alone is only
+        #: unique among live objects, so the entry must pin its key
+        #: object (and lookups re-check identity) or a freed
+        #: expression's recycled id would serve a stale answer.
+        self._key_memo: Dict[
+            int, Tuple[CoreExpr, Optional[Tuple[str, int]]]] = {}
 
     # --------------------------------------------------- dictionary forms
 
@@ -162,11 +163,11 @@ class Specializer:
 
     def _key_info(self, expr: CoreExpr) -> Optional[Tuple[str, int]]:
         """(key, nesting depth) for a constant dictionary, memoised."""
-        cached = self._key_memo.get(id(expr), _key_memo_missing)
-        if cached is not _key_memo_missing:
-            return cached
+        cached = self._key_memo.get(id(expr))
+        if cached is not None and cached[0] is expr:
+            return cached[1]
         info = self._key_info_uncached(expr)
-        self._key_memo[id(expr)] = info
+        self._key_memo[id(expr)] = (expr, info)
         return info
 
     def _key_info_uncached(self, expr: CoreExpr
@@ -324,18 +325,19 @@ class Specializer:
         return f"clone of {fname} at <{short}>{where}"
 
 
-_KEY_CACHE: Dict[str, str] = {}
-
-
 def _short_key(key: str) -> str:
-    """Human-readable but bounded clone suffix."""
+    """Human-readable but bounded clone suffix.
+
+    Wide composite keys collapse to ``k<hash>`` where the hash is a
+    content digest of the key — the alias is a pure function of the
+    dictionary vector, so clone names and provenance are identical
+    across processes and build orders (reproducible emitted Python and
+    dumps), and the long-lived compile server carries no alias table.
+    """
     if len(key) <= 48:
         return key.replace("d$", "")
-    short = _KEY_CACHE.get(key)
-    if short is None:
-        short = f"k{len(_KEY_CACHE) + 1}"
-        _KEY_CACHE[key] = short
-    return short
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+    return f"k{digest}"
 
 
 # --------------------------------------------------------------------------

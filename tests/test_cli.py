@@ -111,6 +111,43 @@ class TestCore:
         assert "double =" in out and "member =" in out
 
 
+class TestBuild:
+    @pytest.fixture
+    def module_file(self, tmp_path):
+        path = tmp_path / "Main.mhs"
+        path.write_text("module Main where\n"
+                        "main :: Int\n"
+                        "main = 41 + 1\n")
+        return str(path)
+
+    def test_emit_py_is_a_side_effect_of_run(self, module_file, tmp_path,
+                                             capsys):
+        # --emit-py with the default interp backend must still evaluate
+        # --run, not silently exit after writing the file.
+        out = tmp_path / "out.py"
+        assert main(["build", module_file,
+                     "--emit-py", str(out), "--run"]) == 0
+        captured = capsys.readouterr()
+        assert out.exists()
+        assert captured.out.strip() == "42"
+
+    def test_emit_py_is_a_side_effect_of_expr(self, module_file, tmp_path,
+                                              capsys):
+        out = tmp_path / "out.py"
+        assert main(["build", module_file,
+                     "--emit-py", str(out), "-e", "main + 1"]) == 0
+        captured = capsys.readouterr()
+        assert out.exists()
+        assert captured.out.strip() == "43"
+
+    def test_backend_py_run(self, module_file, capsys):
+        assert main(["build", module_file, "--backend", "py",
+                     "--run"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "42"
+        assert "backend=py" in captured.err
+
+
 class TestOptions:
     def test_set_boolean(self, program_file, capsys):
         assert main(["run", program_file, "--set",

@@ -183,6 +183,47 @@ class TestBudget:
 
 
 # ---------------------------------------------------------------------------
+# Key hygiene: deterministic clone names, identity-safe memoisation
+# ---------------------------------------------------------------------------
+
+class TestKeyHygiene:
+    WIDE = "d$C$T(" + ",".join(["d$Num$Int"] * 12) + ")"
+    OTHER = "d$D$T(" + ",".join(["d$Ord$Int"] * 12) + ")"
+
+    def test_short_keys_pass_through(self):
+        from repro.transform.specialize import _short_key
+        assert _short_key("d$Num$Int") == "Num$Int"
+
+    def test_wide_key_alias_is_a_content_hash(self):
+        # The alias must be a pure function of the key — no process-
+        # global counter — so clone names and provenance are identical
+        # across processes and build orders.
+        import re
+        from repro.transform.specialize import _short_key
+        assert len(self.WIDE) > 48
+        alias = _short_key(self.WIDE)
+        assert re.fullmatch(r"k[0-9a-f]{10}", alias)
+        assert _short_key(self.WIDE) == alias
+        assert _short_key(self.OTHER) != alias
+        # ...and first-seen order does not leak into the alias.
+        assert _short_key(self.WIDE) == alias
+
+    def test_key_memo_rejects_recycled_ids(self):
+        # The memo is keyed by id(), which CPython reuses once an
+        # expression is freed; an entry must pin its key object and a
+        # lookup must re-check identity, or a different expression
+        # landing on a recycled id would be served a stale key (a
+        # silent miscompilation).  Simulate the id collision directly.
+        from repro.coreir.syntax import CoreProgram, CVar
+        from repro.transform.specialize import Specializer
+        spec = Specializer(CoreProgram([]))
+        stale_owner, probe = CVar("x"), CVar("y")
+        spec._key_memo[id(probe)] = (stale_owner, ("stale$key", 1))
+        assert spec._key_info(probe) is None  # a CVar is no const dict
+        assert spec._key_memo[id(probe)][0] is probe
+
+
+# ---------------------------------------------------------------------------
 # Stale interface files
 # ---------------------------------------------------------------------------
 
