@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from typing import List, Optional
 
 from repro.driver import CompiledProgram, compile_source
@@ -212,12 +213,20 @@ def cmd_build(args: argparse.Namespace) -> int:
     """Build a module tree: separate compilation, caching, linking."""
     from repro.modules import build_modules
     options = build_options(args.set or [], lint=getattr(args, "lint", False))
+    pool = None
+    shards = getattr(args, "distributed", 0) or 0
+    if shards > 0:
+        from repro.service.worker import WorkerPool
+        pool = WorkerPool(options, shards=shards)
     try:
         result = build_modules(args.paths, options, jobs=args.jobs,
-                               out_dir=args.out)
+                               out_dir=args.out, pool=pool)
     except ReproError as exc:
         print(_pretty_module_error(exc), file=sys.stderr)
         return 1
+    finally:
+        if pool is not None:
+            pool.stop()
     for name in result.order:
         info = result.modules[name]
         tag = "cached" if info["cached"] else "compiled"
@@ -282,14 +291,28 @@ def _pretty_module_error(exc: ReproError) -> str:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the long-lived compile/eval server (repro.service)."""
-    from repro.service.server import CompileServer, CompileService
+    import signal
+
+    from repro.service.server import CompileServer
     options = build_options(args.set or [], lint=getattr(args, "lint", False))
     if args.host:
         options.server_host = args.host
     if args.port is not None:
         options.server_port = args.port
-    service = CompileService(options)
-    server = CompileServer(service=service)
+    if getattr(args, "shards", None) is not None:
+        options.server_shards = max(0, args.shards)
+    server = CompileServer(options=options)
+
+    def on_sigterm(_signum, _frame):
+        # Graceful drain: stop accepting, let in-flight requests
+        # finish within server_drain_grace, then exit.
+        print("repro serve: SIGTERM — draining", file=sys.stderr)
+        threading.Thread(target=server.drain, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, on_sigterm)
+    except (ValueError, OSError):
+        pass  # not the main thread, or an exotic platform
     try:
         if args.stdio:
             server.serve_stdio()
@@ -301,15 +324,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       f"{options.server_host}:{options.server_port}: {exc}",
                       file=sys.stderr)
                 return 1
+            backend = (f"shards={options.server_shards}"
+                       if options.server_shards > 0
+                       else f"workers={options.server_workers}")
             print(f"repro serve: listening on {server.host}:{port} "
-                  f"(cache={options.cache_size}, "
-                  f"workers={options.server_workers})", file=sys.stderr)
+                  f"(cache={options.cache_size}, {backend})",
+                  file=sys.stderr)
             server.wait()
     except KeyboardInterrupt:
         server.stop()
-    if args.stats_json:
-        service.metrics.dump_json(args.stats_json,
-                                  extra={"cache": service.cache.snapshot()})
+    if args.stats_json and server.service is not None:
+        server.service.metrics.dump_json(
+            args.stats_json,
+            extra={"cache": server.service.cache.snapshot()})
     return 0
 
 
@@ -418,6 +445,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_build.add_argument("-j", "--jobs", type=int,
                          help="parallel module compiles "
                               "(default CompilerOptions.build_jobs)")
+    p_build.add_argument("--distributed", type=int, metavar="N", default=0,
+                         help="compile modules on N worker processes "
+                              "(the compile-server worker pool) instead "
+                              "of local threads")
     p_build.add_argument("--out", metavar="DIR",
                          help="write .ri interface files here")
     p_build.add_argument("--run", action="store_true",
@@ -447,6 +478,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="TCP port (0 = ephemeral; prints the choice)")
     p_serve.add_argument("--stdio", action="store_true",
                          help="serve on stdin/stdout instead of TCP")
+    p_serve.add_argument("--shards", type=int, metavar="N",
+                         help="route requests by content hash to N worker "
+                              "processes (default "
+                              "CompilerOptions.server_shards; 0 = "
+                              "in-process threads)")
     p_serve.add_argument("--stats-json", metavar="FILE",
                          help="write request metrics to FILE on shutdown")
     add_common(p_serve)

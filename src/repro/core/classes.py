@@ -74,6 +74,18 @@ class ClassInfo:
         return None
 
 
+class MethodSet(frozenset):
+    """A frozenset of method names that pickles its elements sorted.
+
+    Plain sets pickle in hash-iteration order, which varies with the
+    per-process hash seed — that order would leak into ``.ri`` interface
+    files and make otherwise-identical builds byte-unstable across
+    processes.  Equality and membership are inherited unchanged."""
+
+    def __reduce__(self):
+        return (self.__class__, (sorted(self),))
+
+
 @dataclass
 class InstanceInfo:
     """The paper's ``(data type, class, dictionary, context)`` 4-tuple."""
@@ -85,7 +97,7 @@ class InstanceInfo:
     pos: Optional[SourcePos] = None
     #: methods the instance declaration itself binds (others fall back
     #: to the class default, section 8.2)
-    defined_methods: frozenset = frozenset()
+    defined_methods: frozenset = MethodSet()
 
     @property
     def n_dict_params(self) -> int:

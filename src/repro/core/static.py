@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import KindError, SourcePos, StaticError
-from repro.core.classes import ClassEnv, ClassInfo, InstanceInfo, MethodInfo
+from repro.core.classes import (ClassEnv, ClassInfo, InstanceInfo, MethodInfo,
+                                MethodSet)
 from repro.core.kinds import (
     STAR,
     KFun,
@@ -540,7 +541,7 @@ def _process_instance_decl(env: StaticEnv, decl: ast.InstanceDecl) -> None:
         dict_name=dict_var_name(decl.class_name, tycon_name),
         context=per_arg,
         pos=decl.pos,
-        defined_methods=frozenset(b.name for b in decl.bindings),
+        defined_methods=MethodSet(b.name for b in decl.bindings),
     )
     env.class_env.add_instance(info)
     env.instance_bodies.append((info, decl))

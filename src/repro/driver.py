@@ -27,8 +27,9 @@ from repro.limits import ensure_recursion_headroom, recursion_fence
 from repro.core.infer import Inferencer, InferResult
 from repro.core.static import StaticEnv
 from repro.core.types import Scheme, qual_type_str
-from repro.coreir.eval import Evaluator, EvalStats, value_to_python, with_big_stack
-from repro.coreir.syntax import CoreProgram
+from repro.coreir.eval import (Evaluator, EvalStats, Thunk, value_to_python,
+                               with_big_stack)
+from repro.coreir.syntax import CoreBinding, CoreExpr, CoreProgram
 from repro.coreir.translate import Translator
 from repro.lang.desugar import desugar_expr
 from repro.lang.parser import parse_expr
@@ -53,6 +54,23 @@ class CompileStats:
     phases: Optional[PhaseTrace] = None
 
 
+@dataclass(frozen=True)
+class CompiledExpr:
+    """An expression compiled against a program's scope, ready to be
+    evaluated repeatedly (see :meth:`CompiledProgram.compile_expr`).
+
+    ``core_extra`` holds the helper bindings (hoisted dictionaries,
+    local lets) the inferencer generated for this expression; they are
+    installed into an evaluator's globals on first use.  All fields are
+    immutable after construction, so instances are safe to share across
+    threads and to memoise.
+    """
+
+    source: str
+    core_expr: "CoreExpr"
+    core_extra: "tuple"  # of CoreBinding
+
+
 class CompiledProgram:
     """A fully compiled program, ready to run."""
 
@@ -68,6 +86,7 @@ class CompiledProgram:
         self.warnings: List[MonomorphismWarning] = result.warnings
         self._inferencer = inferencer
         self._lock = threading.RLock()
+        self._eval_pool: List[Evaluator] = []
         self.last_stats: Optional[EvalStats] = None
         self.compile_stats = CompileStats(
             unify_count=result.unifier.unify_count,
@@ -85,11 +104,15 @@ class CompiledProgram:
     def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         del state["_lock"]
+        # Warm evaluators hold closures over live frames — process-local
+        # state that must not ride into the disk cache.
+        state.pop("_eval_pool", None)
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._lock = threading.RLock()
+        self._eval_pool = []
 
     # ------------------------------------------------------------- running
 
@@ -130,13 +153,14 @@ class CompiledProgram:
             self.last_stats = evaluator.stats
         return result
 
-    def eval(self, source: str, deep: bool = True, big_stack: bool = True,
-             **overrides: Any) -> Any:
-        """Type check and evaluate an expression in this program's
-        scope (e.g. ``program.eval("member 2 [1,2,3]")``).
+    def compile_expr(self, source: str) -> "CompiledExpr":
+        """Parse, type check and translate an expression against this
+        program's scope, without evaluating it.
 
-        As with :meth:`run`, evaluation uses a big-stack thread by
-        default instead of mutating the caller's recursion limit.
+        The result is immutable and reusable: compilation is
+        deterministic, so a :class:`CompiledExpr` may be cached (the
+        compile service memoises them per program) and evaluated any
+        number of times via :meth:`eval_compiled`.
         """
         ensure_recursion_headroom()
         with recursion_fence("expression compilation"):
@@ -160,27 +184,95 @@ class CompiledProgram:
                 core_extra = [translator.binding(b.name, b.expr, b.kind)
                               for b in extra]
                 core_expr = translator.expr(resolved)
-        evaluator = Evaluator(self.core.extend(core_extra), PRIMITIVES(),
-                              call_by_need=overrides.get(
-                                  "call_by_need", self.options.call_by_need),
-                              step_limit=overrides.get(
-                                  "step_limit", self.options.eval_step_limit),
-                              max_depth=overrides.get(
-                                  "max_depth",
-                                  getattr(self.options, "eval_depth_limit",
-                                          200_000)))
+        return CompiledExpr(source=source, core_expr=core_expr,
+                            core_extra=tuple(core_extra))
+
+    def eval(self, source: str, deep: bool = True, big_stack: bool = True,
+             **overrides: Any) -> Any:
+        """Type check and evaluate an expression in this program's
+        scope (e.g. ``program.eval("member 2 [1,2,3]")``).
+
+        As with :meth:`run`, evaluation uses a big-stack thread by
+        default instead of mutating the caller's recursion limit.
+        """
+        return self.eval_compiled(self.compile_expr(source), deep=deep,
+                                  big_stack=big_stack, **overrides)
+
+    # Cap on generated-name bindings a pooled evaluator may accumulate
+    # (each distinct expression binds its helpers once) before it is
+    # retired instead of returned to the pool.
+    _EVAL_POOL_EXTRAS = 8192
+    _EVAL_POOL_SIZE = 4
+
+    def _acquire_evaluator(self, reuse: bool) -> Evaluator:
+        if reuse:
+            with self._lock:
+                if self._eval_pool:
+                    return self._eval_pool.pop()
+        return self.evaluator()
+
+    def _release_evaluator(self, evaluator: Evaluator) -> None:
+        baseline = len(self.core.bindings) + self._EVAL_POOL_EXTRAS
+        if len(evaluator.globals.vars) > baseline:
+            return  # retired: too many per-expression helper bindings
+        with self._lock:
+            if len(self._eval_pool) < self._EVAL_POOL_SIZE:
+                self._eval_pool.append(evaluator)
+
+    def eval_compiled(self, compiled: "CompiledExpr", deep: bool = True,
+                      big_stack: bool = True, reuse: bool = False,
+                      **overrides: Any) -> Any:
+        """Evaluate a :class:`CompiledExpr` produced by
+        :meth:`compile_expr`.
+
+        With ``reuse=True`` (and no evaluator overrides) the evaluation
+        runs on a pooled warm evaluator: constructing an evaluator
+        costs more than running a small expression, and under
+        call-by-need the memoised top-level thunks are deterministic
+        values, so sharing them across requests is observationally
+        sound.  An evaluator that raises is discarded, never returned
+        to the pool — a partially forced thunk left by an aborted
+        evaluation (step/depth budget) must not leak into the next
+        request.  ``last_stats`` always reports this evaluation alone.
+        """
+        reuse = reuse and not overrides
+        evaluator = self._acquire_evaluator(reuse)
+        for binding in compiled.core_extra:
+            if binding.name not in evaluator.globals.vars:
+                evaluator.globals.vars[binding.name] = \
+                    Thunk(binding.expr, evaluator.globals)
+        if overrides:
+            evaluator.call_by_need = overrides.get(
+                "call_by_need", self.options.call_by_need)
+            evaluator.step_limit = overrides.get(
+                "step_limit", self.options.eval_step_limit)
+            evaluator.max_depth = overrides.get(
+                "max_depth",
+                getattr(self.options, "eval_depth_limit", 200_000))
+        before = evaluator.stats.snapshot() if reuse else None
 
         def go() -> Any:
             with recursion_fence("expression evaluation"):
-                value = evaluator.run_expr(core_expr)
+                value = evaluator.run_expr(compiled.core_expr)
                 if deep:
                     return value_to_python(evaluator, value)
                 return value
 
+        ok = False
         try:
             result = with_big_stack(go) if big_stack else go()
+            ok = True
         finally:
-            self.last_stats = evaluator.stats
+            stats = evaluator.stats
+            if before is not None:
+                delta = EvalStats(**{name: value - before.get(name, 0)
+                                     for name, value in
+                                     stats.snapshot().items()})
+                delta.max_stack = stats.max_stack
+                stats = delta
+            self.last_stats = stats
+            if ok and reuse:
+                self._release_evaluator(evaluator)
         return result
 
     def type_of(self, source: str) -> str:

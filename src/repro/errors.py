@@ -413,3 +413,24 @@ class ResourceLimitError(ReproError):
         #: Name of the exhausted budget (e.g. ``"max_parse_depth"``),
         #: when known — lets callers tell users which knob to raise.
         self.limit = limit
+
+
+class ServiceLimitError(ReproError):
+    """A client-supplied per-request limit (``timeout``, ``max_depth``,
+    ``step_limit``) exceeds the server-configured ceiling.  The service
+    rejects the request rather than trusting the envelope — a
+    misbehaving client must not be able to grant itself a bigger
+    resource budget than the operator allowed."""
+
+    code = "service.limit-exceeded"
+
+    def __init__(self, param: str, given: Any, ceiling: Any) -> None:
+        super().__init__(
+            f"request {param}={given!r} exceeds the server ceiling "
+            f"{ceiling!r}")
+        self.param = param
+        self.given = given
+        self.ceiling = ceiling
+        #: mirrors ResourceLimitError.limit so the server envelope's
+        #: ``limit`` field names the offending knob uniformly
+        self.limit = param

@@ -574,15 +574,30 @@ class ModuleBuilder:
     # ------------------------------------------------------------- building
 
     def build(self, graph: ModuleGraph, jobs: Optional[int] = None,
-              out_dir: Optional[str] = None, link: bool = True
-              ) -> BuildResult:
+              out_dir: Optional[str] = None, link: bool = True,
+              pool: Optional[Any] = None) -> BuildResult:
         """Compile every module in *graph* (cache permitting), then
         link.  *jobs* > 1 runs independent modules on a thread pool;
-        *out_dir* receives ``.ri`` interface files as modules finish."""
+        *out_dir* receives ``.ri`` interface files as modules finish.
+
+        With *pool* (a :class:`repro.service.worker.WorkerPool`) the
+        build is **distributed**: the same indegree scheduler runs, but
+        each cache-miss compile is submitted to a worker process as a
+        ``compile_module`` request instead of running on a local
+        thread.  Cache consults, ``.ri`` writes and the link stay in
+        this process, so the observable outputs — interface bytes,
+        linked program, coherence errors — are identical to a local
+        build (workers fork from this process and inherit its snapshot
+        and hash seed; a test pins the byte equality).
+        """
         t0 = time.perf_counter()
         if jobs is None:
             jobs = self.options.build_jobs
         jobs = max(1, int(jobs))
+        if pool is not None:
+            # One submitter thread per shard keeps every worker busy;
+            # fewer would idle shards, the scheduler threads only block.
+            jobs = max(jobs, len(pool))
         interfaces: Dict[str, ModuleInterface] = {}
         artifacts: Dict[str, ModuleArtifact] = {}
         stats: Dict[str, Dict[str, Any]] = {}
@@ -597,9 +612,8 @@ class ModuleBuilder:
             art = self.cache.get(key)
             cached = art is not None
             if not cached:
-                art = compile_module(msrc, [interfaces[dep]
-                                            for dep in closure],
-                                     self.options, self.snapshot)
+                art = self._compile_one(msrc, [interfaces[dep]
+                                               for dep in closure], pool)
                 self.cache.put(key, art)
             interfaces[name] = art.interface
             artifacts[name] = art
@@ -641,6 +655,32 @@ class ModuleBuilder:
                            order=list(graph.order),
                            cache=self.cache.snapshot(),
                            seconds=time.perf_counter() - t0, jobs=jobs)
+
+    #: ceiling on one distributed module compile (it covers a worker
+    #: respawn after a crash; local compiles are unbounded as before)
+    _DISTRIBUTED_COMPILE_TIMEOUT = 600.0
+
+    def _compile_one(self, msrc: ModuleSource,
+                     dep_interfaces: List[ModuleInterface],
+                     pool: Optional[Any]) -> ModuleArtifact:
+        """One module compile, local or on a pool worker.  The
+        ``compile_module`` op carries the live :class:`ModuleSource`
+        and dependency interfaces over the worker pipe and returns the
+        artifact object; a structured worker error (compile error,
+        worker crash) is re-raised here as a :class:`ModuleError`."""
+        if pool is None:
+            return compile_module(msrc, dep_interfaces, self.options,
+                                  self.snapshot)
+        future = pool.submit_any({"op": "compile_module", "module": msrc,
+                                  "interfaces": list(dep_interfaces)})
+        response = future.result(timeout=self._DISTRIBUTED_COMPILE_TIMEOUT)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ModuleError(
+                f"distributed compile of module '{msrc.name}' failed "
+                f"[{error.get('code', 'error')}]: "
+                f"{error.get('message', 'unknown error')}")
+        return response["result"]["artifact"]
 
     @staticmethod
     def _build_parallel(graph: ModuleGraph, jobs: int, build_one) -> None:
@@ -694,13 +734,17 @@ def build_modules(paths: Sequence[str],
                   out_dir: Optional[str] = None,
                   snapshot: Optional[PreludeSnapshot] = None,
                   cache: Optional[CompileCache] = None,
-                  link: bool = True) -> BuildResult:
+                  link: bool = True,
+                  pool: Optional[Any] = None) -> BuildResult:
     """Discover, build and link the modules under *paths* — the one
     call behind ``repro build``.  Raises :class:`ReproError` subclasses
-    for every user-facing failure (resolution, compilation, linking)."""
+    for every user-facing failure (resolution, compilation, linking).
+    *pool* switches per-module compiles to worker processes (see
+    :meth:`ModuleBuilder.build`)."""
     graph = discover_modules(paths)
     builder = ModuleBuilder(options=options, snapshot=snapshot, cache=cache)
-    return builder.build(graph, jobs=jobs, out_dir=out_dir, link=link)
+    return builder.build(graph, jobs=jobs, out_dir=out_dir, link=link,
+                         pool=pool)
 
 
 __all__ = [

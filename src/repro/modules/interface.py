@@ -147,12 +147,38 @@ def interface_path(out_dir: str, module: str) -> str:
     return os.path.join(out_dir, module + INTERFACE_SUFFIX)
 
 
+class _CanonicalPickler(pickle._Pickler):
+    """A pickler with object memoization disabled, so every occurrence
+    of a sub-object serializes by value and the output bytes are a pure
+    function of interface *content*.
+
+    The default pickler emits back-references for objects it has seen,
+    making the bytes depend on which sub-objects happen to be shared in
+    memory — and sharing differs between a local compile (schemes built
+    against live canonical env objects) and a distributed one (dep
+    interfaces unpickled from a worker pipe are copies).  Distributed
+    builds promise byte-identical ``.ri`` files, so the on-disk format
+    must not see the difference.  Interfaces are acyclic trees; the
+    cost of dropping the memo is a little duplication, not safety."""
+
+    def memoize(self, obj) -> None:  # noqa: D102 — see class docstring
+        pass
+
+
+def _canonical_dumps(obj: Any) -> bytes:
+    import io
+    buf = io.BytesIO()
+    _CanonicalPickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()
+
+
 def save_interface(iface: ModuleInterface, path: str) -> None:
-    """Write *iface* to *path* atomically (magic + version + pickle)."""
+    """Write *iface* to *path* atomically (magic + version + canonical
+    pickle — see :class:`_CanonicalPickler` for why the bytes must be a
+    function of content alone)."""
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
-    payload = _MAGIC + bytes([INTERFACE_VERSION]) + pickle.dumps(
-        iface, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = _MAGIC + bytes([INTERFACE_VERSION]) + _canonical_dumps(iface)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:

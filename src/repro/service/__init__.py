@@ -6,18 +6,32 @@ compiler into a system that can serve sustained traffic.
   cheaply under every user compile;
 * :mod:`repro.service.cache` — a content-addressed compile cache keyed
   by ``(source, options, prelude)`` digests, with LRU eviction and an
-  optional on-disk tier;
-* :mod:`repro.service.server` — a long-lived compile/eval server
-  speaking line-delimited JSON over stdio or TCP;
-* :mod:`repro.service.metrics` — request counters and latency
-  histograms behind the server's ``stats`` request.
+  optional on-disk tier shared across processes;
+* :mod:`repro.service.server` — the asyncio front door: rate limits,
+  limit ceilings, an event-loop fast path and admission control ahead
+  of an inline thread-pool backend or a sharded process fleet;
+* :mod:`repro.service.worker` — the worker-process pool behind the
+  sharded backend and distributed module builds: content-hash
+  routing, crash detection, respawn and resubmission;
+* :mod:`repro.service.metrics` — counters, gauges and latency
+  histograms, with count-weighted cross-process merging behind the
+  server's ``stats`` request.
 """
 
 from repro.service.cache import CacheStats, CompileCache, cache_key
-from repro.service.metrics import LatencyHistogram, Metrics
+from repro.service.metrics import (
+    LatencyHistogram,
+    Metrics,
+    merge_cache_snapshots,
+    merge_metric_snapshots,
+    merge_summaries,
+)
 from repro.service.server import (
+    PROTOCOL_VERSION,
+    SERVER_VERSION,
     CompileServer,
     CompileService,
+    PipelinedClient,
     ServiceClient,
 )
 from repro.service.snapshot import (
@@ -27,6 +41,7 @@ from repro.service.snapshot import (
     get_default_snapshot,
     prelude_fingerprint,
 )
+from repro.service.worker import WorkerPool
 
 __all__ = [
     "CacheStats",
@@ -34,12 +49,19 @@ __all__ = [
     "cache_key",
     "LatencyHistogram",
     "Metrics",
+    "merge_cache_snapshots",
+    "merge_metric_snapshots",
+    "merge_summaries",
+    "PROTOCOL_VERSION",
+    "SERVER_VERSION",
     "CompileServer",
     "CompileService",
+    "PipelinedClient",
     "ServiceClient",
     "PreludeSnapshot",
     "clear_default_snapshots",
     "compile_with_snapshot",
     "get_default_snapshot",
     "prelude_fingerprint",
+    "WorkerPool",
 ]

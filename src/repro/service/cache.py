@@ -20,6 +20,7 @@ restarts.  Hit/miss/eviction counters are kept for the server's
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
@@ -27,7 +28,12 @@ import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
+
+try:  # POSIX advisory file locks for the cross-process GC mutex
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from repro.options import CompilerOptions, options_fingerprint
 
@@ -62,6 +68,9 @@ class CacheStats:
     disk_writes: int = 0
     disk_errors: int = 0
     disk_evictions: int = 0
+    #: GC passes skipped because another process held the advisory
+    #: lock (that process is already collecting on our behalf)
+    disk_gc_skipped: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -192,41 +201,93 @@ class CompileCache:
             return
         self._disk_gc()
 
+    @contextlib.contextmanager
+    def _gc_process_lock(self) -> Iterator[bool]:
+        """A *cross-process* advisory mutex over the cache directory.
+
+        Exactly one process GCs the shared tier at a time: the lock is
+        a non-blocking ``flock`` on ``<dir>/.gc.lock``, so two workers
+        publishing simultaneously cannot both walk the directory,
+        double-count ``disk_evictions``, or race each other's unlinks.
+        A contended lock yields ``False`` — the loser skips its pass
+        (the holder is already collecting the same directory).  On
+        platforms without ``fcntl`` the in-process ``_gc_lock`` is the
+        only mutex, as before.
+        """
+        if fcntl is None:
+            yield True
+            return
+        lock_path = os.path.join(self.disk_dir, ".gc.lock")
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:
+            yield True  # cannot lock — proceed, as the pre-lock code did
+            return
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                yield False
+                return
+            try:
+                yield True
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
     def _disk_gc(self) -> None:
         """Evict oldest-mtime entries until the disk tier fits the
         budget.  The newest entry always survives, so one oversized
-        program cannot empty the cache it was just written to."""
+        program cannot empty the cache it was just written to.
+
+        Safe under concurrent multi-process eviction: the pass runs
+        under :meth:`_gc_process_lock`, and every candidate is
+        re-stat'ed immediately before its unlink — an entry republished
+        (or freshened by a disk hit) after the directory walk is
+        spared rather than deleted with its new contents."""
         if not self.disk_dir or self.disk_budget <= 0:
             return
         with self._gc_lock:
-            entries = []
-            total = 0
-            for name in os.listdir(self.disk_dir):
-                if not name.endswith(".pkl"):
-                    continue
-                path = os.path.join(self.disk_dir, name)
-                try:
-                    st = os.stat(path)
-                except OSError:
-                    continue
-                entries.append((st.st_mtime, st.st_size, path))
-                total += st.st_size
+            with self._gc_process_lock() as acquired:
+                if not acquired:
+                    with self._lock:
+                        self.stats.disk_gc_skipped += 1
+                    return
+                self._disk_gc_locked()
+
+    def _disk_gc_locked(self) -> None:
+        entries = []
+        total = 0
+        for name in os.listdir(self.disk_dir):
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.disk_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        if total <= self.disk_budget:
+            return
+        entries.sort()  # oldest mtime first
+        evicted = 0
+        for mtime, size, path in entries[:-1]:  # keep the newest
             if total <= self.disk_budget:
-                return
-            entries.sort()  # oldest mtime first
-            evicted = 0
-            for mtime, size, path in entries[:-1]:  # keep the newest
-                if total <= self.disk_budget:
-                    break
-                try:
-                    os.unlink(path)
-                except OSError:
-                    continue
-                total -= size
-                evicted += 1
-            if evicted:
-                with self._lock:
-                    self.stats.disk_evictions += evicted
+                break
+            try:
+                st = os.stat(path)
+                if st.st_mtime != mtime:
+                    continue  # republished since the walk — spare it
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            with self._lock:
+                self.stats.disk_evictions += evicted
 
     # ------------------------------------------------------- introspection
 

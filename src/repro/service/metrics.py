@@ -71,12 +71,14 @@ class LatencyHistogram:
 
 
 class Metrics:
-    """Thread-safe counters plus per-operation latency histograms."""
+    """Thread-safe counters, gauges and per-operation latency
+    histograms."""
 
     def __init__(self, window: int = 4096) -> None:
         self._lock = threading.Lock()
         self._window = window
         self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
         self.started_at = time.time()
 
@@ -85,6 +87,11 @@ class Metrics:
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (queue depth, pool occupancy)."""
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, op: str, seconds: float) -> None:
         with self._lock:
@@ -127,12 +134,15 @@ class Metrics:
                     phases[op[len(PHASE_PREFIX):]] = hist.summary()
                 else:
                     latency[op] = hist.summary()
-            return {
+            out: Dict[str, Any] = {
                 "uptime_s": round(time.time() - self.started_at, 3),
                 "counters": dict(self._counters),
                 "latency": latency,
                 "phases": phases,
             }
+            if self._gauges:
+                out["gauges"] = dict(self._gauges)
+            return out
 
     def dump_json(self, path: str,
                   extra: Optional[Dict[str, Any]] = None) -> None:
@@ -155,3 +165,86 @@ class _Timer:
 
     def __exit__(self, *_exc: Any) -> None:
         self._metrics.observe(self._op, time.perf_counter() - self._t0)
+
+
+# ---------------------------------------------------------------------------
+# Cross-worker aggregation
+# ---------------------------------------------------------------------------
+#
+# The sharded front door holds one Metrics per *process* — its own plus
+# one inside every worker.  ``stats`` must present a fleet-wide view, so
+# worker snapshots are merged: counters add, histogram summaries merge
+# count-weighted.  Percentiles of percentiles are not exact; the merged
+# p50/p95/p99 are count-weighted means of the per-worker values (the
+# max is exact).  That is the standard approximation for pre-aggregated
+# histograms and is documented in docs/SERVICE.md.
+
+def merge_summaries(summaries: "List[Dict[str, float]]") -> Dict[str, float]:
+    """Merge per-worker :meth:`LatencyHistogram.summary` dicts."""
+    total = sum(s.get("count", 0) for s in summaries)
+    if not total:
+        return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+    out: Dict[str, float] = {"count": total}
+    for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+        weighted = sum(s.get(key, 0.0) * s.get("count", 0)
+                       for s in summaries)
+        out[key] = round(weighted / total, 3)
+    out["max_ms"] = round(max(s.get("max_ms", 0.0) for s in summaries), 3)
+    return out
+
+
+def merge_metric_snapshots(snapshots: "List[Dict[str, Any]]"
+                           ) -> Dict[str, Any]:
+    """Merge :meth:`Metrics.snapshot` dicts from several workers into
+    one fleet-wide view (counters summed, histograms count-weighted,
+    gauges summed — every gauge the workers export is additive)."""
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    latency_parts: Dict[str, List[Dict[str, float]]] = {}
+    phase_parts: Dict[str, List[Dict[str, float]]] = {}
+    uptime = 0.0
+    for snap in snapshots:
+        uptime = max(uptime, snap.get("uptime_s", 0.0))
+        for name, n in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + n
+        for name, v in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + v
+        for name, summary in snap.get("latency", {}).items():
+            latency_parts.setdefault(name, []).append(summary)
+        for name, summary in snap.get("phases", {}).items():
+            phase_parts.setdefault(name, []).append(summary)
+    out: Dict[str, Any] = {
+        "uptime_s": round(uptime, 3),
+        "counters": counters,
+        "latency": {name: merge_summaries(parts)
+                    for name, parts in sorted(latency_parts.items())},
+        "phases": {name: merge_summaries(parts)
+                   for name, parts in sorted(phase_parts.items())},
+    }
+    if gauges:
+        out["gauges"] = gauges
+    return out
+
+
+def merge_cache_snapshots(snapshots: "List[Dict[str, Any]]"
+                          ) -> Dict[str, Any]:
+    """Merge per-worker :meth:`CompileCache.snapshot` dicts: counters
+    and occupancy add; capacity is per worker (reported as the max);
+    the hit rate is recomputed from the merged counters."""
+    if not snapshots:
+        return {}
+    out: Dict[str, Any] = {}
+    for snap in snapshots:
+        for key, value in snap.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                out.setdefault(key, value)
+            elif key in ("capacity",):
+                out[key] = max(out.get(key, 0), value)
+            elif key == "hit_rate":
+                continue
+            else:
+                out[key] = out.get(key, 0) + value
+    total = out.get("hits", 0) + out.get("misses", 0)
+    out["hit_rate"] = round(out.get("hits", 0) / total, 4) if total else 0.0
+    return out

@@ -1,8 +1,7 @@
-"""A long-lived compile/eval server.
+"""A long-lived compile/eval server: async front door, sharded workers.
 
-The server keeps one prelude snapshot and one content-addressed compile
-cache in memory and answers requests over a line-delimited JSON
-protocol, either on a TCP socket or on stdio::
+The server answers requests over a line-delimited JSON protocol, either
+on a TCP socket or on stdio::
 
     -> {"id": 1, "op": "compile", "source": "main = 1 + 2"}
     <- {"id": 1, "ok": true, "result": {"program": "ab12...", ...}}
@@ -11,34 +10,63 @@ Operations: ``compile``, ``build``, ``eval``, ``typeof``, ``info``,
 ``stats``, ``ping``, ``shutdown`` (see docs/SERVICE.md for the full
 schema).
 
-Design points:
+Architecture — an **asyncio front door** plus one of two backends:
 
-* every request is handled on a thread pool; a per-request timeout
-  (``request_timeout`` option, overridable per request) produces a
-  structured ``timeout`` error while the server keeps running;
-* errors never kill the process: compiler errors, malformed JSON and
-  unknown operations all come back as ``{"ok": false, "error": ...}``;
-* concurrent requests against one cached program are safe — a program
-  serialises its expression *compilation* internally while evaluation
-  itself runs concurrently (each request gets its own evaluator).
+* *inline* (``server_shards = 0``, the default): one in-process
+  :class:`CompileService` — prelude snapshot, compile cache, metrics —
+  with requests handled on a pool of big-stack threads;
+* *sharded* (``server_shards = N``): N worker *processes*
+  (:mod:`repro.service.worker`), each a full ``CompileService``,
+  routed by **content hash** — the same source or program handle always
+  lands on the same worker, whose in-memory caches stay hot, while the
+  shared on-disk cache tier makes any worker's compile a disk hit for
+  all the others.
+
+The front door applies, in order, per request: per-connection
+token-bucket **rate limiting** (``server_rate_limit``), the
+client-supplied limit **ceilings** (``request_timeout_ceiling`` etc. —
+out-of-range values are rejected with ``service.limit-exceeded``), an
+event-loop **fast path** for cached sub-millisecond evals
+(``server_fastpath_ms``), and per-shard **admission control**
+(``server_queue_depth`` outstanding requests per shard; excess is shed
+with ``service.overloaded``).  A per-request timeout produces a
+structured ``timeout`` error while the server keeps running — in
+sharded mode the stuck worker is killed and respawned, and the
+requests queued behind it are resubmitted.  ``drain()`` (and SIGTERM
+under ``repro serve``) stops accepting, lets in-flight work finish
+within ``server_drain_grace`` seconds, then stops.
+
+Errors never kill the process: compiler errors, malformed JSON and
+unknown operations all come back as ``{"ok": false, "error": ...}``.
 """
 
 from __future__ import annotations
 
+import asyncio
+import hashlib
 import json
 import socket
 import sys
 import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
-from repro.options import CompilerOptions
+from repro.errors import ReproError, ServiceLimitError
+from repro.options import CompilerOptions, options_fingerprint
 from repro.service.cache import CompileCache, cache_key, resolve_cache_dir
-from repro.service.metrics import Metrics
+from repro.service.metrics import (
+    Metrics,
+    merge_cache_snapshots,
+    merge_metric_snapshots,
+)
 from repro.service.snapshot import get_default_snapshot
 
 PROTOCOL_VERSION = 1
+#: serving-stack version, reported by ``ping`` (bumped with the
+#: sharded front door; the *protocol* is unchanged)
+SERVER_VERSION = "2.0"
 
 
 def _error(kind: str, message: str, code: Optional[str] = None,
@@ -52,6 +80,16 @@ def _error(kind: str, message: str, code: Optional[str] = None,
     return out
 
 
+def _repro_error_envelope(exc: ReproError) -> Dict[str, Any]:
+    """``{code, message, pos}`` from the error itself; ``type`` (the
+    class name) is kept for older clients."""
+    error = exc.to_json()
+    error["type"] = type(exc).__name__
+    if getattr(exc, "limit", None):
+        error["limit"] = exc.limit
+    return error
+
+
 class ProtocolError(Exception):
     """A malformed request (bad JSON, missing field, unknown op)."""
 
@@ -59,8 +97,9 @@ class ProtocolError(Exception):
 class CompileService:
     """Transport-independent request handling: snapshot + cache + ops.
 
-    Shared by the TCP and stdio servers and usable directly in-process
-    (``repro batch`` drives it without any socket)."""
+    Shared by the TCP/stdio front doors, the sharded worker processes
+    and direct in-process use (``repro batch`` drives it without any
+    socket)."""
 
     def __init__(self, options: Optional[CompilerOptions] = None) -> None:
         self.options = options if options is not None else CompilerOptions()
@@ -70,6 +109,21 @@ class CompileService:
             disk_dir=resolve_cache_dir(self.options),
             disk_budget=self.options.cache_disk_budget)
         self.metrics = Metrics()
+        #: which shard this service is, inside a worker process
+        self.shard_index: Optional[int] = None
+        #: ``(program key, expr) -> [CompiledExpr, ema_seconds]`` —
+        #: repeated evals of one expression skip the ~0.3ms
+        #: parse/infer/translate entirely and reuse a warm evaluator
+        self._expr_cache: "OrderedDict[Tuple[str, str], List[Any]]" = \
+            OrderedDict()
+        #: ``(program key, expr) -> printed type`` — ``typeof`` is pure
+        #: per program, so repeats skip inference entirely
+        self._typeof_cache: "OrderedDict[Tuple[str, str], str]" = \
+            OrderedDict()
+        self._expr_lock = threading.Lock()
+        #: the fingerprints are pure functions of the options/prelude;
+        #: computing them per ping would put a sha256 on the hot path
+        self._options_fp = options_fingerprint(self.options)
 
     # ------------------------------------------------------------- programs
 
@@ -115,6 +169,109 @@ class CompileService:
         key, program, _ = self.compile(source)
         return key, program
 
+    # ------------------------------------------- expression compilation memo
+
+    def _compiled_entry(self, key: str, program: Any,
+                        expr: str) -> Optional[List[Any]]:
+        """The memoised ``[CompiledExpr, ema_seconds]`` entry for
+        ``(key, expr)``, compiling on a miss; None when the memo is
+        disabled.  ``ema_seconds`` (None until the first run) feeds the
+        fast-path decision in :meth:`try_handle_fast`."""
+        capacity = self.options.server_expr_cache
+        if capacity <= 0:
+            return None
+        memo_key = (key, expr)
+        with self._expr_lock:
+            entry = self._expr_cache.get(memo_key)
+            if entry is not None:
+                self._expr_cache.move_to_end(memo_key)
+                self.metrics.incr("expr_cache_hits")
+                return entry
+        compiled = program.compile_expr(expr)
+        entry = [compiled, None]
+        with self._expr_lock:
+            existing = self._expr_cache.get(memo_key)
+            if existing is not None:
+                return existing
+            self._expr_cache[memo_key] = entry
+            while len(self._expr_cache) > capacity:
+                self._expr_cache.popitem(last=False)
+        self.metrics.incr("expr_cache_misses")
+        return entry
+
+    def _memoized_type(self, key: str, program: Any, expr: str) -> str:
+        """``typeof`` through the memo — inference is pure per
+        program, so one expression infers once."""
+        capacity = self.options.server_expr_cache
+        if capacity <= 0:
+            return program.type_of(expr)
+        memo_key = (key, expr)
+        with self._expr_lock:
+            printed = self._typeof_cache.get(memo_key)
+            if printed is not None:
+                self._typeof_cache.move_to_end(memo_key)
+                self.metrics.incr("expr_cache_hits")
+                return printed
+        printed = program.type_of(expr)
+        with self._expr_lock:
+            self._typeof_cache[memo_key] = printed
+            while len(self._typeof_cache) > capacity:
+                self._typeof_cache.popitem(last=False)
+        self.metrics.incr("expr_cache_misses")
+        return printed
+
+    def try_handle_fast(self, request: Any) -> Optional[Dict[str, Any]]:
+        """Handle *request* synchronously if it is provably cheap: a
+        ``ping``, a memoized ``typeof``, or an ``eval`` by program
+        handle whose expression is already in the memo and whose
+        running average completed under ``server_fastpath_ms``.  The
+        front door calls this on the event loop itself, skipping the
+        executor hop for the hot path.  Returns None when the request
+        must take the slow path."""
+        if not isinstance(request, dict):
+            return None
+        op = request.get("op")
+        if op == "ping":
+            self.metrics.incr("fastpath_hits")
+            return self.handle(request)
+        if op not in ("eval", "typeof", "type_of"):
+            return None
+        threshold = self.options.server_fastpath_ms / 1e3
+        if threshold <= 0 or self.options.server_expr_cache <= 0:
+            return None
+        handle = request.get("program")
+        expr = request.get("expr")
+        if not isinstance(expr, str):
+            return None
+        if handle is not None and not isinstance(handle, str):
+            return None
+        if op in ("typeof", "type_of"):
+            if handle is None:
+                return None
+            with self._expr_lock:
+                memoized = (handle, expr) in self._typeof_cache
+            if not memoized:
+                return None
+            self.metrics.incr("fastpath_hits")
+            return self.handle(request)
+        if "step_limit" in request or "max_depth" in request:
+            return None
+        if handle is None:
+            # eval by source: the content address is a hash away, and
+            # with the program and expression both already cached the
+            # request is as cheap as a handle-addressed one.
+            source = request.get("source")
+            if not isinstance(source, str):
+                return None
+            handle = cache_key(source, self.options,
+                               self.snapshot.fingerprint)
+        with self._expr_lock:
+            entry = self._expr_cache.get((handle, expr))
+        if entry is None or entry[1] is None or entry[1] > threshold:
+            return None
+        self.metrics.incr("fastpath_hits")
+        return self.handle(request)
+
     # ------------------------------------------------------------- requests
 
     def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -137,13 +294,7 @@ class CompileService:
         except ProtocolError as exc:
             return self._failure(request_id, _error("protocol", str(exc)))
         except ReproError as exc:
-            # {code, message, pos} from the error itself; "type" (the
-            # class name) is kept for older clients.
-            error = exc.to_json()
-            error["type"] = type(exc).__name__
-            if getattr(exc, "limit", None):
-                error["limit"] = exc.limit
-            return self._failure(request_id, error)
+            return self._failure(request_id, _repro_error_envelope(exc))
         except Exception as exc:  # never let a request kill the server
             return self._failure(
                 request_id, _error("internal", f"{type(exc).__name__}: {exc}"))
@@ -161,7 +312,17 @@ class CompileService:
     # ------------------------------------------------------------------ ops
 
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return {"pong": True, "protocol": PROTOCOL_VERSION}
+        """Health check: cheap enough for load balancers and the
+        distributed build scheduler to probe; the fingerprints let a
+        router confirm two servers are interchangeable."""
+        return {
+            "pong": True,
+            "protocol": PROTOCOL_VERSION,
+            "version": SERVER_VERSION,
+            "shards": self.options.server_shards,
+            "options_fingerprint": self._options_fp,
+            "prelude_fingerprint": self.snapshot.fingerprint,
+        }
 
     def _op_compile(self, request: Dict[str, Any]) -> Dict[str, Any]:
         source = request.get("source")
@@ -181,24 +342,48 @@ class CompileService:
                 if "$" not in name and "@" not in name}
         return result
 
+    def _eval_overrides(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Client-supplied evaluator limits, validated against the
+        server's configured ceilings.  A request may *lower* its
+        budgets freely; asking for more than the operator allowed is a
+        ``service.limit-exceeded`` rejection, not a silent clamp — the
+        client must know its request did not run under the limits it
+        asked for."""
+        overrides: Dict[str, Any] = {}
+        for name, ceiling in (("step_limit", self.options.eval_step_limit),
+                              ("max_depth",
+                               getattr(self.options, "eval_depth_limit",
+                                       200_000))):
+            if name not in request:
+                continue
+            try:
+                value = int(request[name])
+            except (TypeError, ValueError):
+                raise ProtocolError(f"'{name}' must be an integer")
+            if ceiling and value > ceiling:
+                raise ServiceLimitError(name, value, ceiling)
+            overrides[name] = value
+        return overrides
+
     def _op_eval(self, request: Dict[str, Any]) -> Dict[str, Any]:
         expr = request.get("expr")
         if not isinstance(expr, str):
             raise ProtocolError("'eval' needs an 'expr' string")
+        overrides = self._eval_overrides(request)
         key, program = self._resolve_program(request)
         from repro.cli import render
-        overrides: Dict[str, Any] = {}
-        if "step_limit" in request:
-            try:
-                overrides["step_limit"] = int(request["step_limit"])
-            except (TypeError, ValueError):
-                raise ProtocolError("'step_limit' must be an integer")
-        if "max_depth" in request:
-            try:
-                overrides["max_depth"] = int(request["max_depth"])
-            except (TypeError, ValueError):
-                raise ProtocolError("'max_depth' must be an integer")
-        value = program.eval(expr, big_stack=False, **overrides)
+        entry = self._compiled_entry(key, program, expr)
+        t0 = time.perf_counter()
+        if entry is None:
+            value = program.eval(expr, big_stack=False, **overrides)
+        else:
+            value = program.eval_compiled(entry[0], big_stack=False,
+                                          reuse=not overrides, **overrides)
+            elapsed = time.perf_counter() - t0
+            # Exponential moving average of this expression's latency;
+            # the fast path trusts it to run cheap requests inline.
+            entry[1] = elapsed if entry[1] is None \
+                else 0.8 * entry[1] + 0.2 * elapsed
         result: Dict[str, Any] = {"program": key, "value": render(value)}
         stats = program.last_stats
         if stats is not None:
@@ -210,7 +395,8 @@ class CompileService:
         if not isinstance(expr, str):
             raise ProtocolError("'typeof' needs an 'expr' string")
         key, program = self._resolve_program(request)
-        return {"program": key, "type": program.type_of(expr)}
+        return {"program": key,
+                "type": self._memoized_type(key, program, expr)}
 
     def _op_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
         name = request.get("name")
@@ -282,6 +468,23 @@ class CompileService:
                 if "$" not in name and "@" not in name}
         return result
 
+    def _op_compile_module(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Compile one module against its imports' interfaces — the
+        distributed-build op (:mod:`repro.modules.build` with a worker
+        pool).  It carries live :class:`ModuleSource` /
+        :class:`ModuleInterface` objects, so it is served only over the
+        worker-pool pipe transport, never parsed from JSON."""
+        from repro.modules.build import compile_module as compile_one
+        from repro.modules.resolve import ModuleSource
+        msrc = request.get("module")
+        interfaces = request.get("interfaces") or []
+        if not isinstance(msrc, ModuleSource):
+            raise ProtocolError(
+                "'compile_module' carries live module objects and is only "
+                "available over the worker-pool transport")
+        artifact = compile_one(msrc, interfaces, self.options, self.snapshot)
+        return {"module": msrc.name, "artifact": artifact}
+
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return self.stats()
 
@@ -289,8 +492,9 @@ class CompileService:
         return {"shutting_down": True}
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "protocol": PROTOCOL_VERSION,
+            "version": SERVER_VERSION,
             "server": self.metrics.snapshot(),
             "cache": self.cache.snapshot(),
             "snapshot": {
@@ -298,45 +502,89 @@ class CompileService:
                 "prelude_bindings": self.snapshot.n_bindings,
             },
         }
+        if self.shard_index is not None:
+            out["shard"] = self.shard_index
+        return out
 
 
 # ---------------------------------------------------------------------------
-# Transports
+# Front door
 # ---------------------------------------------------------------------------
 
-class _Once:
-    """First-writer-wins guard so a timed-out request that later
-    completes does not emit a second response."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._done = False
+class _TokenBucket:
+    """Per-connection request rate limiter (classic token bucket)."""
 
-    def claim(self) -> bool:
-        with self._lock:
-            if self._done:
-                return False
-            self._done = True
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.capacity = burst if burst > 0 else max(1.0, 2.0 * rate)
+        self.tokens = self.capacity
+        self._t = time.monotonic()
+
+    def take(self) -> bool:
+        now = time.monotonic()
+        self.tokens = min(self.capacity,
+                          self.tokens + (now - self._t) * self.rate)
+        self._t = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
             return True
+        return False
 
 
 class CompileServer:
-    """Line-delimited JSON over TCP (or stdio via :meth:`serve_stdio`)."""
+    """Line-delimited JSON over TCP (or stdio via :meth:`serve_stdio`).
+
+    The TCP transport is an asyncio event loop on a dedicated
+    background thread: connections are cheap coroutines, requests on
+    one connection pipeline freely (responses match by ``id``), and
+    the loop applies rate limiting, the limit ceilings, the fast path
+    and admission control before any thread or process is involved.
+
+    ``server_shards = 0`` (default) handles requests on an in-process
+    big-stack thread pool; ``server_shards = N`` routes them by content
+    hash to N worker processes (see module docstring).  Passing an
+    explicit *service* always selects the inline backend.
+    """
 
     def __init__(self, options: Optional[CompilerOptions] = None,
                  service: Optional[CompileService] = None,
                  host: Optional[str] = None,
                  port: Optional[int] = None) -> None:
-        self.service = service if service is not None \
-            else CompileService(options)
-        opts = self.service.options
-        self.host = host if host is not None else opts.server_host
-        self.port = port if port is not None else opts.server_port
-        self._pool = self._make_pool(max(1, opts.server_workers))
+        if service is not None:
+            self.options = service.options
+        else:
+            self.options = options if options is not None else \
+                CompilerOptions()
+        self.sharded = service is None and self.options.server_shards > 0
+        self.pool = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if self.sharded:
+            from repro.service.worker import WorkerPool
+            self.pool = WorkerPool(self.options)
+            self.service: Optional[CompileService] = None
+            self.snapshot_fp = self.pool.snapshot.fingerprint
+            self.prelude_bindings = self.pool.snapshot.n_bindings
+            self.metrics = Metrics()
+        else:
+            self.service = service if service is not None \
+                else CompileService(self.options)
+            self.snapshot_fp = self.service.snapshot.fingerprint
+            self.prelude_bindings = self.service.snapshot.n_bindings
+            self.metrics = self.service.metrics
+            self._executor = self._make_pool(
+                max(1, self.options.server_workers))
+        self._options_fp = options_fingerprint(self.options)
+        self.host = host if host is not None else self.options.server_host
+        self.port = port if port is not None else self.options.server_port
         self._shutdown = threading.Event()
-        self._listener: Optional[socket.socket] = None
-        self._acceptor: Optional[threading.Thread] = None
-        self._threads: list = []
+        self._stopping = threading.Lock()
+        self._stopped = False
+        self._draining = False
+        self._outstanding = 0  # inline admission counter (loop thread only)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._aserver: Optional[asyncio.AbstractServer] = None
 
     @staticmethod
     def _make_pool(workers: int, stack_mb: int = 512) -> ThreadPoolExecutor:
@@ -368,168 +616,421 @@ class CompileServer:
     # --------------------------------------------------------------- life
 
     def start(self) -> int:
-        """Bind and start accepting in a background thread; returns the
-        bound port (useful with ``server_port = 0``)."""
+        """Bind and start accepting on a background event loop; returns
+        the bound port (useful with ``server_port = 0``)."""
         listener = socket.create_server((self.host, self.port))
-        listener.settimeout(0.2)
-        self._listener = listener
         self.port = listener.getsockname()[1]
-        acceptor = threading.Thread(target=self._accept_loop,
-                                    name="repro-acceptor", daemon=True)
-        acceptor.start()
-        self._acceptor = acceptor
-        self._threads.append(acceptor)
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        # The loop thread gets a big stack too: fast-path evals run
+        # directly on it.
+        old = threading.stack_size(512 * 1024 * 1024)
+        try:
+            thread = threading.Thread(target=self._loop_main,
+                                      name="repro-front", daemon=True)
+            thread.start()
+        finally:
+            threading.stack_size(old)
+        self._loop_thread = thread
+        ready = asyncio.run_coroutine_threadsafe(
+            self._start_async(listener), loop)
+        try:
+            ready.result(timeout=30)
+        except BaseException:
+            listener.close()
+            self.stop()
+            raise
         return self.port
 
+    def _loop_main(self) -> None:
+        if sys.getrecursionlimit() < 1_000_000:
+            sys.setrecursionlimit(1_000_000)
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    #: per-line read limit — request lines carry whole module sources
+    _READ_LIMIT = 32 * 1024 * 1024
+
+    async def _start_async(self, listener: socket.socket) -> None:
+        self._aserver = await asyncio.start_server(self._on_client,
+                                                   sock=listener,
+                                                   limit=self._READ_LIMIT)
+
     def stop(self) -> None:
-        # Tear the listener down before signalling: anyone woken by
-        # ``wait()`` may immediately probe the port and must find it
-        # closed.  ``close()`` alone is not enough — the acceptor
-        # thread blocked in ``accept()`` keeps the kernel socket alive
-        # (and accepting!) until its poll window expires, so shut the
-        # socket down to wake it and join it out.
-        listener, self._listener = self._listener, None
-        if listener is not None:
-            for teardown in (lambda: listener.shutdown(socket.SHUT_RDWR),
-                             listener.close):
-                try:
-                    teardown()
-                except OSError:
-                    pass
-        acceptor = self._acceptor
-        if acceptor is not None and acceptor is not threading.current_thread():
-            acceptor.join(timeout=2.0)
+        with self._stopping:
+            if self._stopped:
+                return
+            self._stopped = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            if threading.current_thread() is self._loop_thread:
+                # Called from a request handler (shutdown op): finish
+                # teardown on a plain thread so the loop can unwind.
+                threading.Thread(target=self._teardown, name="repro-stop",
+                                 daemon=True).start()
+                return
+            self._teardown()
+            return
+        self._finalize()
+
+    def _teardown(self) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            closed = asyncio.run_coroutine_threadsafe(
+                self._close_listener(), loop)
+            try:
+                closed.result(timeout=5)
+            except BaseException:
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+            thread = self._loop_thread
+            if thread is not None and \
+                    thread is not threading.current_thread():
+                thread.join(timeout=5)
+        self._finalize()
+
+    def _finalize(self) -> None:
         self._shutdown.set()
-        self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.pool is not None:
+            self.pool.stop()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def _close_listener(self) -> None:
+        server, self._aserver = self._aserver, None
+        if server is not None:
+            server.close()
+            try:
+                await asyncio.wait_for(server.wait_closed(), timeout=2.0)
+            except (asyncio.TimeoutError, Exception):
+                pass
+
+    def drain(self, grace: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting connections, give
+        in-flight requests up to *grace* seconds
+        (``server_drain_grace``) to finish, then stop.  ``repro
+        serve`` wires SIGTERM to this."""
+        if grace is None:
+            grace = self.options.server_drain_grace
+        self._draining = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            closed = asyncio.run_coroutine_threadsafe(
+                self._close_listener(), loop)
+            try:
+                closed.result(timeout=5)
+            except BaseException:
+                pass
+            deadline = time.monotonic() + max(0.0, grace)
+            while time.monotonic() < deadline:
+                busy = self.pool.total_outstanding() if self.sharded \
+                    else self._outstanding
+                if not busy:
+                    break
+                time.sleep(0.05)
+        self.stop()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the server shuts down; True if it did."""
         return self._shutdown.wait(timeout)
 
-    # ------------------------------------------------------------- accept
+    # --------------------------------------------------------- connections
 
-    def _accept_loop(self) -> None:
-        listener = self._listener
-        assert listener is not None
-        while not self._shutdown.is_set():
-            try:
-                conn, _addr = listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
-            thread = threading.Thread(target=self._client_loop, args=(conn,),
-                                      name="repro-client", daemon=True)
-            thread.start()
-            self._threads.append(thread)
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        if self._draining or self._shutdown.is_set():
+            writer.close()
+            return
+        rate = self.options.server_rate_limit
+        bucket = _TokenBucket(rate, self.options.server_rate_burst) \
+            if rate > 0 else None
+        tasks: set = set()
+        write_lock = asyncio.Lock()
 
-    def _client_loop(self, conn: socket.socket) -> None:
-        write_lock = threading.Lock()
-        waiters: list = []
+        async def write(response: Dict[str, Any]) -> None:
+            data = (json.dumps(response) + "\n").encode("utf-8")
+            async with write_lock:
+                try:
+                    writer.write(data)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+
         try:
-            reader = conn.makefile("rb")
-
-            def write(response: Dict[str, Any]) -> None:
-                data = (json.dumps(response) + "\n").encode("utf-8")
-                with write_lock:
-                    try:
-                        conn.sendall(data)
-                    except OSError:
-                        pass
-
-            for raw in reader:
-                if self._shutdown.is_set():
+            while not self._shutdown.is_set():
+                try:
+                    raw = await reader.readline()
+                except (ConnectionError, OSError, ValueError):
+                    break  # ValueError: line over the read limit
+                if not raw:
                     break
                 if not raw.strip():
                     continue
-                if not self._dispatch_line(raw, write, waiters):
+                try:
+                    keep_going = await self._dispatch(raw, write, tasks,
+                                                      bucket)
+                except Exception as exc:  # front-door bug containment
+                    await write({"id": None, "ok": False,
+                                 "error": _error(
+                                     "internal",
+                                     f"{type(exc).__name__}: {exc}")})
+                    keep_going = True
+                if not keep_going:
                     break
         finally:
-            # Requests still in flight get to write their responses
-            # before the connection goes away; each waiter is bounded
-            # by its request timeout.
-            for waiter in waiters:
-                waiter.join()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
             try:
-                conn.close()
-            except OSError:
+                writer.close()
+            except Exception:
                 pass
 
-    # ------------------------------------------------------------ requests
-
-    def _dispatch_line(self, raw: bytes, write,
-                       waiters: Optional[list] = None) -> bool:
-        """Parse and run one request line; False stops the connection
-        loop (shutdown was requested).  Spawned waiter threads are
-        appended to *waiters* so the caller can drain them."""
+    async def _dispatch(self, raw: bytes, write, tasks: set,
+                        bucket: Optional[_TokenBucket]) -> bool:
+        """Admit and launch one request line; False ends the
+        connection loop (shutdown)."""
         try:
             request = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self.service.metrics.incr("requests_total")
-            self.service.metrics.incr("errors_total")
-            self.service.metrics.incr("errors.protocol")
-            write({"id": None, "ok": False,
-                   "error": _error("protocol", f"malformed JSON: {exc}")})
+            self.metrics.incr("requests_total")
+            self.metrics.incr("errors_total")
+            self.metrics.incr("errors.protocol")
+            await write({"id": None, "ok": False,
+                         "error": _error("protocol",
+                                         f"malformed JSON: {exc}")})
             return True
+        request_id = request.get("id") if isinstance(request, dict) else None
         is_shutdown = isinstance(request, dict) \
             and request.get("op") == "shutdown"
-        if is_shutdown and waiters:
+        if is_shutdown:
             # Graceful: earlier requests on this connection respond
-            # before the shutdown does (stop() cancels queued work).
-            for waiter in waiters:
-                waiter.join()
-        timeout = self._request_timeout(request)
-        future = self._pool.submit(self.service.handle, request)
-        once = _Once()
-        request_id = request.get("id") if isinstance(request, dict) else None
-
-        def deliver() -> None:
-            try:
-                response = future.result(timeout=timeout)
-            except FutureTimeout:
-                if once.claim():
-                    self.service.metrics.incr("timeouts_total")
-                    self.service.metrics.incr("errors.timeout")
-                    write({"id": request_id, "ok": False,
-                           "error": _error(
-                               "timeout",
-                               f"request exceeded {timeout}s budget")})
-                # Discard the eventual result: the response slot is used.
-                future.add_done_callback(lambda f: f.exception())
-                return
-            except Exception as exc:  # pool shutdown races, etc.
-                if once.claim():
-                    write({"id": request_id, "ok": False,
-                           "error": _error("internal", str(exc))})
-                return
-            if once.claim():
-                write(response)
-                if is_shutdown and response.get("ok"):
-                    self.stop()
-
-        if is_shutdown or timeout is None:
-            deliver()  # nothing to time out; keep ordering simple
+            # before the shutdown does.
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            if self.sharded:
+                self.metrics.incr("requests_total")
+                response = {"id": request_id, "ok": True,
+                            "result": {"shutting_down": True}}
+            else:
+                response = self.service.handle(request)
+            await write(response)
+            if response.get("ok"):
+                self.stop()
+            return False
+        if bucket is not None and not bucket.take():
+            self.metrics.incr("requests_total")
+            self.metrics.incr("rate_limited_total")
+            self.metrics.incr("errors_total")
+            self.metrics.incr("errors.service.rate-limited")
+            await write({"id": request_id, "ok": False,
+                         "error": _error(
+                             "rate-limited",
+                             f"per-connection rate limit "
+                             f"({self.options.server_rate_limit:g} req/s) "
+                             f"exceeded", code="service.rate-limited")})
+            return True
+        try:
+            timeout = self._request_timeout(request)
+        except ServiceLimitError as exc:
+            self.metrics.incr("requests_total")
+            self.metrics.incr("errors_total")
+            self.metrics.incr(f"errors.{exc.code}")
+            await write({"id": request_id, "ok": False,
+                         "error": _repro_error_envelope(exc)})
+            return True
+        if not self.sharded:
+            fast = self.service.try_handle_fast(request)
+            if fast is not None:
+                await write(fast)
+                return True
+        shard = self._route(request) if self.sharded else None
+        if self.sharded:
+            queued = self.pool.outstanding(shard) if shard is not None \
+                else min(self.pool.outstanding(i)
+                         for i in range(len(self.pool)))
         else:
-            waiter = threading.Thread(target=deliver, name="repro-waiter",
-                                      daemon=True)
-            waiter.start()
-            if waiters is not None:
-                waiters.append(waiter)
-        return not (is_shutdown and self._shutdown.is_set())
+            queued = self._outstanding
+        if queued >= max(1, self.options.server_queue_depth):
+            self.metrics.incr("requests_total")
+            self.metrics.incr("shed_total")
+            self.metrics.incr("errors_total")
+            self.metrics.incr("errors.service.overloaded")
+            where = f"shard {shard}" if self.sharded else "the server"
+            await write({"id": request_id, "ok": False,
+                         "error": _error(
+                             "overloaded",
+                             f"{where} has {queued} requests outstanding "
+                             f"(queue depth "
+                             f"{self.options.server_queue_depth}); "
+                             f"retry with backoff",
+                             code="service.overloaded")})
+            return True
+        # Count the request *now*, before yielding back to the read
+        # loop: a burst of pipelined lines must see each other in the
+        # queue-depth check, not all slip in before the first task runs.
+        self._outstanding += 1
+        task = asyncio.ensure_future(
+            self._run_request(request, write, timeout, shard))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+        return True
+
+    def _route(self, request: Any) -> Optional[int]:
+        """The home shard of a request: by the content address of its
+        source, program handle, or module set — so one program's
+        traffic always finds the worker whose caches hold it.  None
+        (management ops, no content) means least-loaded."""
+        if not isinstance(request, dict):
+            return None
+        source = request.get("source")
+        if isinstance(source, str):
+            return self.pool.shard_of(
+                cache_key(source, self.options, self.snapshot_fp))
+        handle = request.get("program")
+        if isinstance(handle, str):
+            return self.pool.shard_of(handle)
+        modules = request.get("modules")
+        if isinstance(modules, list):
+            digest = hashlib.sha256()
+            for spec in modules:
+                if isinstance(spec, dict):
+                    digest.update(
+                        str(spec.get("source", "")).encode("utf-8",
+                                                           "replace"))
+                    digest.update(b"\x00")
+            return self.pool.shard_of(digest.hexdigest())
+        return None
+
+    async def _run_request(self, request: Dict[str, Any], write,
+                           timeout: Optional[float],
+                           shard: Optional[int]) -> None:
+        op = request.get("op") if isinstance(request, dict) else None
+        request_id = request.get("id") if isinstance(request, dict) else None
+        t0 = time.perf_counter()
+        try:  # admission already counted this request in _dispatch
+            if self.sharded:
+                response = await self._run_sharded(request, request_id,
+                                                   timeout, shard, op)
+            else:
+                loop = asyncio.get_event_loop()
+                future = loop.run_in_executor(
+                    self._executor, self.service.handle, request)
+                try:
+                    response = await asyncio.wait_for(future, timeout)
+                except asyncio.TimeoutError:
+                    self.metrics.incr("timeouts_total")
+                    self.metrics.incr("errors.timeout")
+                    response = {"id": request_id, "ok": False,
+                                "error": _error(
+                                    "timeout",
+                                    f"request exceeded {timeout}s budget")}
+        finally:
+            self._outstanding -= 1
+        if self.sharded and isinstance(op, str):
+            elapsed = time.perf_counter() - t0
+            self.metrics.observe(op, elapsed)
+            if shard is not None:
+                self.metrics.observe(f"shard{shard}.{op}", elapsed)
+        await write(response)
+
+    async def _run_sharded(self, request: Dict[str, Any], request_id: Any,
+                           timeout: Optional[float], shard: Optional[int],
+                           op: Optional[str]) -> Dict[str, Any]:
+        if op == "ping":
+            self.metrics.incr("requests_total")
+            return {"id": request_id, "ok": True, "result": {
+                "pong": True,
+                "protocol": PROTOCOL_VERSION,
+                "version": SERVER_VERSION,
+                "shards": len(self.pool),
+                "options_fingerprint": self._options_fp,
+                "prelude_fingerprint": self.snapshot_fp,
+            }}
+        if op == "stats":
+            self.metrics.incr("requests_total")
+            return await self._sharded_stats(request_id)
+        if shard is None:
+            shard = min(range(len(self.pool)),
+                        key=lambda i: self.pool.outstanding(i))
+        future = asyncio.wrap_future(self.pool.submit(request, shard=shard))
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self.metrics.incr("timeouts_total")
+            self.metrics.incr("errors.timeout")
+            # No portable way to interrupt a compute-bound worker:
+            # kill it.  The pool respawns it and resubmits the
+            # requests queued behind the runaway one.
+            self.pool.kill_shard(shard)
+            return {"id": request_id, "ok": False,
+                    "error": _error("timeout",
+                                    f"request exceeded {timeout}s budget; "
+                                    f"shard {shard} was recycled")}
+
+    async def _sharded_stats(self, request_id: Any) -> Dict[str, Any]:
+        """Fleet-wide ``stats``: every worker's snapshot merged with
+        the front door's own metrics (counters add; merged percentiles
+        are count-weighted approximations — see docs/SERVICE.md)."""
+        for i in range(len(self.pool)):
+            self.metrics.gauge(f"queue_depth.shard{i}",
+                               self.pool.outstanding(i))
+        futures = [asyncio.wrap_future(s.submit({"op": "stats"}))
+                   for s in self.pool.shards]
+        gathered = await asyncio.gather(
+            *(asyncio.wait_for(f, timeout=30.0) for f in futures),
+            return_exceptions=True)
+        server_snaps = [self.metrics.snapshot()]
+        cache_snaps = []
+        for item in gathered:
+            if isinstance(item, dict) and item.get("ok"):
+                result = item["result"]
+                server_snaps.append(result.get("server", {}))
+                cache_snaps.append(result.get("cache", {}))
+        result = {
+            "protocol": PROTOCOL_VERSION,
+            "version": SERVER_VERSION,
+            "server": merge_metric_snapshots(server_snaps),
+            "cache": merge_cache_snapshots(cache_snaps),
+            "snapshot": {
+                "fingerprint": self.snapshot_fp,
+                "prelude_bindings": self.prelude_bindings,
+            },
+            "shards": self.pool.info(),
+        }
+        return {"id": request_id, "ok": True, "result": result}
 
     def _request_timeout(self, request: Any) -> Optional[float]:
-        timeout = self.service.options.request_timeout
+        """The request's time budget, honouring the client's
+        ``timeout`` field up to ``request_timeout_ceiling`` (beyond it:
+        ``service.limit-exceeded``)."""
+        timeout = self.options.request_timeout
         if isinstance(request, dict) and "timeout" in request:
             try:
-                timeout = float(request["timeout"])
+                requested: Optional[float] = float(request["timeout"])
             except (TypeError, ValueError):
-                pass
+                requested = None
+            if requested is not None:
+                ceiling = self.options.request_timeout_ceiling
+                if ceiling and requested > ceiling:
+                    raise ServiceLimitError("timeout", requested, ceiling)
+                timeout = requested
         return timeout if timeout and timeout > 0 else None
 
     # -------------------------------------------------------------- stdio
 
+    def _submit_blocking(self, request: Dict[str, Any]):
+        """Backend-neutral submission for the thread-based stdio
+        transport; returns a concurrent future of the response."""
+        if self.sharded:
+            return self.pool.submit(request, shard=self._route(request))
+        return self._executor.submit(self.service.handle, request)
+
     def serve_stdio(self, stdin=None, stdout=None) -> None:
-        """Serve line-delimited JSON on stdio until EOF or shutdown."""
+        """Serve line-delimited JSON on stdio until EOF or shutdown.
+
+        Thread-based rather than asyncio: it must work against plain
+        file objects (tests drive it with in-memory streams), which
+        the event loop cannot poll portably."""
         stdin = stdin if stdin is not None else sys.stdin.buffer
         stdout = stdout if stdout is not None else sys.stdout
         write_lock = threading.Lock()
@@ -557,9 +1058,81 @@ class CompileServer:
             waiter.join()
         self._shutdown.set()
 
+    def _dispatch_line(self, raw: bytes, write,
+                       waiters: Optional[list] = None) -> bool:
+        """Parse and run one request line (stdio transport); False
+        stops the loop (shutdown was requested).  Spawned waiter
+        threads are appended to *waiters* so the caller can drain
+        them."""
+        try:
+            request = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.metrics.incr("requests_total")
+            self.metrics.incr("errors_total")
+            self.metrics.incr("errors.protocol")
+            write({"id": None, "ok": False,
+                   "error": _error("protocol", f"malformed JSON: {exc}")})
+            return True
+        request_id = request.get("id") if isinstance(request, dict) else None
+        is_shutdown = isinstance(request, dict) \
+            and request.get("op") == "shutdown"
+        if is_shutdown and waiters:
+            # Graceful: earlier requests on this connection respond
+            # before the shutdown does.
+            for waiter in waiters:
+                waiter.join()
+        try:
+            timeout = self._request_timeout(request)
+        except ServiceLimitError as exc:
+            self.metrics.incr("requests_total")
+            self.metrics.incr("errors_total")
+            self.metrics.incr(f"errors.{exc.code}")
+            write({"id": request_id, "ok": False,
+                   "error": _repro_error_envelope(exc)})
+            return True
+        if is_shutdown and self.sharded:
+            self.metrics.incr("requests_total")
+            write({"id": request_id, "ok": True,
+                   "result": {"shutting_down": True}})
+            self.stop()
+            return False
+        future = self._submit_blocking(request)
+
+        def deliver() -> None:
+            try:
+                response = future.result(timeout=timeout)
+            except FutureTimeout:
+                self.metrics.incr("timeouts_total")
+                self.metrics.incr("errors.timeout")
+                write({"id": request_id, "ok": False,
+                       "error": _error(
+                           "timeout",
+                           f"request exceeded {timeout}s budget")})
+                future.cancel()
+                if not future.cancelled():
+                    future.add_done_callback(lambda f: f.exception())
+                return
+            except Exception as exc:  # pool shutdown races, etc.
+                write({"id": request_id, "ok": False,
+                       "error": _error("internal", str(exc))})
+                return
+            write(response)
+            if is_shutdown and response.get("ok"):
+                self.stop()
+
+        if is_shutdown or timeout is None:
+            deliver()  # nothing to time out; keep ordering simple
+        else:
+            waiter = threading.Thread(target=deliver, name="repro-waiter",
+                                      daemon=True)
+            waiter.start()
+            if waiters is not None:
+                waiters.append(waiter)
+        return not is_shutdown
+
 
 # ---------------------------------------------------------------------------
-# Client (tests, benchmarks, simple tooling)
+# Clients (tests, benchmarks, simple tooling)
 # ---------------------------------------------------------------------------
 
 class ServiceClient:
@@ -592,6 +1165,66 @@ class ServiceClient:
             self._sock.close()
 
     def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+class PipelinedClient:
+    """A load-generation client: many requests in flight on one
+    connection, responses collected out of band and matched by ``id``.
+    This is how the protocol is meant to be driven at rate — the
+    synchronous :class:`ServiceClient` serialises on round trips."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        self._buffer: List[bytes] = []
+
+    def send(self, op: str, **fields: Any) -> int:
+        """Queue one request locally; returns its id.  Call
+        :meth:`flush` to put queued requests on the wire."""
+        self._next_id += 1
+        payload: Dict[str, Any] = {"id": self._next_id, "op": op}
+        payload.update(fields)
+        self._buffer.append((json.dumps(payload) + "\n").encode("utf-8"))
+        return self._next_id
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._sock.sendall(b"".join(self._buffer))
+            self._buffer.clear()
+
+    def recv(self) -> Dict[str, Any]:
+        """The next response on the wire (any id)."""
+        raw = self._reader.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return json.loads(raw.decode("utf-8"))
+
+    def collect(self, n: int) -> List[Dict[str, Any]]:
+        self.flush()
+        return [self.recv() for _ in range(n)]
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Synchronous convenience for setup traffic."""
+        request_id = self.send(op, **fields)
+        self.flush()
+        while True:
+            response = self.recv()
+            if response.get("id") == request_id:
+                return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PipelinedClient":
         return self
 
     def __exit__(self, *_exc: Any) -> None:

@@ -55,6 +55,14 @@ SERVICE_OVERRIDES = {
     "request_timeout": 99.5,
     "build_jobs": 2,
     "lint": True,
+    "server_shards": 4,
+    "server_queue_depth": 7,
+    "server_rate_limit": 250.0,
+    "server_rate_burst": 50.0,
+    "server_expr_cache": 64,
+    "server_fastpath_ms": 0.5,
+    "server_drain_grace": 11.0,
+    "request_timeout_ceiling": 30.0,
 }
 
 

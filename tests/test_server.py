@@ -18,6 +18,7 @@ from repro.service.server import (
     PROTOCOL_VERSION,
     CompileServer,
     CompileService,
+    PipelinedClient,
     ServiceClient,
 )
 
@@ -232,6 +233,131 @@ class TestConcurrency:
             t.join(timeout=120)
         assert not errors, errors
         assert results == {n: str(n * 2) for n in range(8)}
+
+
+class TestAdmissionControl:
+    """Backpressure, per-connection rate limits, and server-side
+    ceilings on client-supplied budgets."""
+
+    def test_overload_sheds_with_structured_error(self):
+        options = CompilerOptions(server_workers=1, server_queue_depth=1,
+                                  request_timeout=60.0)
+        srv = CompileServer(service=CompileService(options))
+        port = srv.start()
+        try:
+            with PipelinedClient("127.0.0.1", port, timeout=120.0) as c:
+                # One slow request occupies the single worker; a burst
+                # of never-seen programs behind it (each takes the slow
+                # path — nothing is memoized) exceeds queue depth 1 and
+                # is shed rather than buffered without bound.  (Pings
+                # would not do: the fast path answers them inline, by
+                # design, even during overload.)
+                c.send("eval", source="main = 1",
+                       expr="length (enumFromTo 1 200000)")
+                for i in range(8):
+                    c.send("eval", source=f"main = {i + 2}", expr="main")
+                c.flush()
+                responses = c.collect(9)
+            shed = [r for r in responses
+                    if not r["ok"]
+                    and r["error"].get("code") == "service.overloaded"]
+            assert shed, responses
+            for r in shed:
+                assert "retry" in r["error"]["message"]
+            # Shedding is load protection, not failure: once the queue
+            # drains, the same server serves again.
+            with ServiceClient("127.0.0.1", port) as c2:
+                assert c2.request("ping")["ok"]
+        finally:
+            srv.stop()
+
+    def test_rate_limit_rejects_excess_requests(self):
+        options = CompilerOptions(server_workers=2, server_rate_limit=5.0,
+                                  server_rate_burst=5.0)
+        srv = CompileServer(service=CompileService(options))
+        port = srv.start()
+        try:
+            with PipelinedClient("127.0.0.1", port, timeout=60.0) as c:
+                for _ in range(25):
+                    c.send("ping")
+                c.flush()
+                responses = c.collect(25)
+            limited = [r for r in responses
+                       if not r["ok"]
+                       and r["error"].get("code") == "service.rate-limited"]
+            assert len([r for r in responses if r["ok"]]) >= 5
+            assert limited, responses
+            # A fresh connection gets a fresh bucket.
+            with ServiceClient("127.0.0.1", port) as c2:
+                assert c2.request("ping")["ok"]
+        finally:
+            srv.stop()
+
+    @pytest.fixture(scope="class")
+    def ceiling_server(self):
+        options = CompilerOptions(server_workers=2,
+                                  eval_step_limit=100_000,
+                                  request_timeout_ceiling=30.0)
+        srv = CompileServer(service=CompileService(options))
+        port = srv.start()
+        yield port
+        srv.stop()
+
+    def test_step_limit_over_ceiling_is_rejected(self, ceiling_server):
+        with ServiceClient("127.0.0.1", ceiling_server) as c:
+            r = c.request("eval", source="main = 1", expr="1 + 1",
+                          step_limit=10_000_000)
+            assert not r["ok"]
+            assert r["error"]["code"] == "service.limit-exceeded"
+            assert r["error"]["limit"] == "step_limit"
+            assert "100000" in r["error"]["message"]
+
+    def test_max_depth_over_ceiling_is_rejected(self, ceiling_server):
+        with ServiceClient("127.0.0.1", ceiling_server) as c:
+            r = c.request("eval", source="main = 1", expr="1 + 1",
+                          max_depth=100_000_000)
+            assert not r["ok"]
+            assert r["error"]["code"] == "service.limit-exceeded"
+            assert r["error"]["limit"] == "max_depth"
+
+    def test_timeout_over_ceiling_is_rejected(self, ceiling_server):
+        with ServiceClient("127.0.0.1", ceiling_server) as c:
+            r = c.request("ping", timeout=3600.0)
+            assert not r["ok"]
+            assert r["error"]["code"] == "service.limit-exceeded"
+            assert r["error"]["limit"] == "timeout"
+
+    def test_budgets_under_the_ceiling_still_apply(self, ceiling_server):
+        with ServiceClient("127.0.0.1", ceiling_server) as c:
+            r = c.request("eval", source="main = 1",
+                          expr="length (enumFromTo 1 50000)",
+                          step_limit=50)
+            assert not r["ok"]  # the *request's own* budget ran out
+            assert r["error"]["code"] != "service.limit-exceeded"
+            r = c.request("eval", source="main = 1", expr="2 + 2",
+                          step_limit=50_000, timeout=15.0)
+            assert r["ok"] and r["result"]["value"] == "4"
+
+
+class TestExpressionMemo:
+    def test_repeated_expression_hits_the_memo(self):
+        options = CompilerOptions(server_workers=2)
+        srv = CompileServer(service=CompileService(options))
+        port = srv.start()
+        try:
+            with ServiceClient("127.0.0.1", port) as c:
+                key = c.request("compile",
+                                source=PROGRAM)["result"]["program"]
+                for _ in range(3):
+                    r = c.request("eval", program=key,
+                                  expr="size (Box 5)")
+                    assert r["ok"] and r["result"]["value"] == "5"
+                counters = c.request(
+                    "stats")["result"]["server"]["counters"]
+                assert counters["expr_cache_misses"] >= 1
+                assert counters["expr_cache_hits"] >= 2
+        finally:
+            srv.stop()
 
 
 class TestLifecycle:

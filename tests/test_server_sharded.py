@@ -1,0 +1,224 @@
+"""Sharded-backend server tests.
+
+These drive the asyncio front door with ``server_shards > 0``: real
+worker *processes* behind a real TCP listener — shard routing, merged
+fleet stats, and crash recovery — plus direct :class:`WorkerPool`
+tests for the failure semantics that need precise control over which
+worker dies when.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import CompilerOptions
+from repro.service.cache import cache_key
+from repro.service.server import (
+    PROTOCOL_VERSION,
+    SERVER_VERSION,
+    CompileServer,
+    ServiceClient,
+)
+from repro.service.worker import WorkerPool
+
+PROGRAM = """
+class Sized a where
+  size :: a -> Int
+
+data Box = Box Int
+
+instance Sized Box where
+  size (Box n) = n
+
+main = size (Box 42)
+"""
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    options = CompilerOptions(server_shards=2, request_timeout=60.0)
+    srv = CompileServer(options=options)
+    port = srv.start()
+    yield srv, port
+    srv.stop()
+
+
+@pytest.fixture()
+def client(sharded):
+    _srv, port = sharded
+    with ServiceClient("127.0.0.1", port, timeout=120.0) as c:
+        yield c
+
+
+class TestShardedProtocol:
+    def test_ping_reports_fleet_identity(self, client):
+        r = client.request("ping")
+        assert r["ok"]
+        result = r["result"]
+        assert result["pong"]
+        assert result["protocol"] == PROTOCOL_VERSION
+        assert result["version"] == SERVER_VERSION
+        assert result["shards"] == 2
+        int(result["options_fingerprint"], 16)
+        int(result["prelude_fingerprint"], 16)
+        assert len(result["options_fingerprint"]) == 64
+        assert len(result["prelude_fingerprint"]) == 64
+
+    def test_eval_by_source(self, client):
+        r = client.request("eval", source="triple x = 3 * x",
+                           expr="triple 14")
+        assert r["ok"] and r["result"]["value"] == "42"
+
+    def test_compile_then_eval_by_handle(self, client):
+        r1 = client.request("compile", source=PROGRAM)
+        assert r1["ok"], r1
+        key = r1["result"]["program"]
+        r2 = client.request("eval", program=key, expr="size (Box 7) + 1")
+        assert r2["ok"] and r2["result"]["value"] == "8"
+
+    def test_source_and_handle_route_to_same_shard(self, sharded):
+        # The compile handle *is* the source's content address, so
+        # handle-addressed follow-ups land on the worker whose
+        # in-memory caches hold the program.
+        srv, _port = sharded
+        key = cache_key(PROGRAM, srv.options, srv.snapshot_fp)
+        assert srv._route({"op": "compile", "source": PROGRAM}) \
+            == srv._route({"op": "eval", "program": key, "expr": "main"})
+
+    def test_repeat_eval_is_a_worker_cache_hit(self, client):
+        for _ in range(2):
+            r = client.request("eval", source=PROGRAM, expr="size (Box 3)")
+            assert r["ok"] and r["result"]["value"] == "3"
+        # Stable routing: the second request hit the first's shard.
+        stats = client.request("stats")["result"]
+        assert stats["cache"]["hits"] >= 1
+
+    def test_errors_stay_structured_across_the_pipe(self, client):
+        r = client.request("eval", source="main = 1", expr="head []")
+        assert not r["ok"]
+        assert r["error"]["type"]
+        assert r["error"]["message"]
+
+    def test_stats_merges_front_and_workers(self, client):
+        client.request("compile", source=PROGRAM)
+        r = client.request("stats")
+        assert r["ok"]
+        result = r["result"]
+        assert result["version"] == SERVER_VERSION
+        assert result["server"]["counters"]["requests_total"] > 0
+        assert len(result["snapshot"]["fingerprint"]) == 64
+        shards = result["shards"]
+        assert len(shards) == 2
+        assert all(s["alive"] for s in shards)
+        assert sum(s["requests"] for s in shards) > 0
+        gauges = result["server"].get("gauges", {})
+        assert "queue_depth.shard0" in gauges
+        assert "queue_depth.shard1" in gauges
+
+    def test_per_shard_latency_histograms(self, client):
+        client.request("eval", source=PROGRAM, expr="size (Box 1)")
+        latency = client.request("stats")["result"]["server"]["latency"]
+        assert any(name.startswith("shard") and name.endswith(".eval")
+                   for name in latency), latency
+
+
+class TestShardedCrashRecovery:
+    def test_killed_workers_are_backfilled(self, sharded):
+        srv, port = sharded
+        with ServiceClient("127.0.0.1", port, timeout=120.0) as c:
+            assert c.request("eval", source="main = 1",
+                             expr="1 + 1")["ok"]
+            old_pids = [s["pid"] for s in srv.pool.info()]
+            for i in range(len(srv.pool)):
+                srv.pool.kill_shard(i)
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                info = srv.pool.info()
+                if all(s["alive"] and s["pid"] not in old_pids
+                       for s in info):
+                    break
+                time.sleep(0.05)
+            info = srv.pool.info()
+            assert all(s["alive"] for s in info), info
+            assert all(s["crashes"] >= 1 for s in info), info
+            # The fleet serves again — on the same connection.
+            r = c.request("eval", source="main = 1", expr="2 + 3")
+            assert r["ok"] and r["result"]["value"] == "5"
+
+
+SLOW_EXPR = "length (enumFromTo 1 50000000)"
+
+
+class TestWorkerPool:
+    def test_in_flight_request_fails_structured_on_crash(self, tmp_path):
+        options = CompilerOptions(eval_step_limit=2_000_000_000,
+                                  cache_dir=str(tmp_path))
+        pool = WorkerPool(options, shards=1)
+        try:
+            slow = pool.submit({"op": "eval", "source": "main = 1",
+                                "expr": SLOW_EXPR}, shard=0)
+            quick = pool.submit({"op": "eval", "source": "main = 1",
+                                 "expr": "20 + 22", "id": 7}, shard=0)
+            time.sleep(0.5)  # let the worker get stuck into SLOW_EXPR
+            pool.kill_shard(0)
+            crashed = slow.result(timeout=60)
+            assert crashed["ok"] is False
+            assert crashed["error"]["code"] == "service.worker-crashed"
+            assert "respawned" in crashed["error"]["message"]
+            # The request queued *behind* the poison pill was
+            # resubmitted to the respawned worker and still answers.
+            survived = quick.result(timeout=120)
+            assert survived["ok"], survived
+            assert survived["result"]["value"] == "42"
+            assert survived["id"] == 7
+            assert pool.info()[0]["crashes"] == 1
+        finally:
+            pool.stop(grace=1.0)
+
+    def test_crash_leaves_no_corrupt_cache_entries(self, tmp_path):
+        options = CompilerOptions(eval_step_limit=2_000_000_000,
+                                  cache_dir=str(tmp_path))
+        pool = WorkerPool(options, shards=1)
+        try:
+            pool.submit({"op": "compile", "source": PROGRAM},
+                        shard=0).result(timeout=120)
+            pool.submit({"op": "eval", "source": "main = 1",
+                         "expr": SLOW_EXPR}, shard=0)
+            time.sleep(0.5)
+            pool.kill_shard(0)
+            # Publishes are atomic renames: a killed worker can leave a
+            # half-written temp file at worst, never a half-written
+            # entry a later read would trust.
+            entries = [f for f in os.listdir(str(tmp_path))
+                       if f.endswith(".pkl")]
+            import pickle
+            for name in entries:
+                with open(os.path.join(str(tmp_path), name), "rb") as fh:
+                    pickle.load(fh)  # must not raise
+            # And the respawned worker reads the shared tier fine.
+            r = pool.submit({"op": "compile", "source": PROGRAM},
+                            shard=0).result(timeout=120)
+            assert r["ok"], r
+        finally:
+            pool.stop(grace=1.0)
+
+    def test_stopped_pool_answers_instead_of_hanging(self):
+        pool = WorkerPool(CompilerOptions(), shards=1)
+        pool.stop(grace=1.0)
+        r = pool.submit({"op": "ping", "id": 3}, shard=0).result(timeout=5)
+        assert r["ok"] is False
+        assert r["error"]["code"] == "service.worker-crashed"
+        assert r["id"] == 3
+
+    def test_shard_of_is_stable_and_in_range(self):
+        pool = WorkerPool(CompilerOptions(), shards=2)
+        try:
+            for key in ("deadbeef" * 8, "0" * 64, "f" * 64):
+                shard = pool.shard_of(key)
+                assert 0 <= shard < 2
+                assert pool.shard_of(key) == shard
+        finally:
+            pool.stop(grace=0.5)

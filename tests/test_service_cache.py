@@ -205,6 +205,69 @@ class TestDiskBudget:
         assert cache.snapshot()["disk_evictions"] == 1
 
 
+class TestConcurrentGC:
+    """The disk GC under multi-process contention: one collector at a
+    time (advisory lock), and no entry deleted out from under a
+    concurrent republish."""
+
+    def test_contended_lock_skips_the_pass(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        d = str(tmp_path)
+        cache = CompileCache(capacity=8, disk_dir=d, disk_budget=1)
+        fd = os.open(os.path.join(d, ".gc.lock"),
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            # "Another process" holds the directory: our write still
+            # publishes, but the GC pass yields instead of racing.
+            cache.put("e" * 64, {"v": 1})
+            cache.put("f" * 64, {"v": 2})
+            assert cache.stats.disk_gc_skipped == 2
+            assert cache.stats.disk_evictions == 0
+            assert len([f for f in os.listdir(d)
+                        if f.endswith(".pkl")]) == 2
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        # Lock released: the next write's GC collects the backlog.
+        cache.put("9" * 64, {"v": 3})
+        assert cache.stats.disk_gc_skipped == 2
+        assert cache.stats.disk_evictions >= 1
+
+    def test_gc_skips_are_in_snapshot(self, tmp_path):
+        cache = CompileCache(capacity=8, disk_dir=str(tmp_path))
+        assert cache.snapshot()["disk_gc_skipped"] == 0
+
+    def test_entry_republished_mid_pass_is_spared(self, tmp_path,
+                                                  monkeypatch):
+        # Simulate the cross-process race the re-stat guards against:
+        # the walk records an old mtime, then the entry is freshened
+        # (a disk hit or republish elsewhere) before the unlink.
+        d = str(tmp_path)
+        cache = CompileCache(capacity=8, disk_dir=d, disk_budget=1)
+        old = os.path.join(d, "a" * 64 + ".pkl")
+        new = os.path.join(d, "b" * 64 + ".pkl")
+        for path, stamp in ((old, 100), (new, 200)):
+            with open(path, "wb") as handle:
+                handle.write(b"x" * 50)
+            os.utime(path, (stamp, stamp))
+        real_stat = os.stat
+        calls = {"old": 0}
+
+        def stat(path, *args, **kwargs):
+            if path == old:
+                calls["old"] += 1
+                if calls["old"] == 2:  # the pre-unlink re-stat
+                    os.utime(old, (300, 300))
+            return real_stat(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "stat", stat)
+        cache._disk_gc()
+        assert os.path.exists(old)  # spared, not deleted
+        assert os.path.exists(new)
+        assert cache.stats.disk_evictions == 0
+
+
 class TestSnapshotAndResolve:
     def test_stats_snapshot_shape(self):
         cache = CompileCache(capacity=4)
