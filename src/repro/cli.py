@@ -154,7 +154,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     options = build_options(args.set or [], lint=getattr(args, "lint", False))
-    program = load(args.file, options)
+    import os
+    module_mode = len(args.files) > 1 or args.out or args.stats_json \
+        or any(os.path.isdir(path) for path in args.files)
+    if module_mode:
+        return _check_modules(args, options)
+    program = load(args.files[0], options)
     for name, scheme in sorted(program.schemes.items()):
         if "$" in name or "@" in name:
             continue  # generated
@@ -162,6 +167,40 @@ def cmd_check(args: argparse.Namespace) -> int:
     for warning in program.warnings:
         print(str(warning), file=sys.stderr)
     return 0
+
+
+def _check_modules(args: argparse.Namespace,
+                   options: CompilerOptions) -> int:
+    """``repro check`` over a module tree: type-check every module
+    without linking or evaluating.  Tolerant — all independent errors
+    are reported in one run, each with its multi-position rendering —
+    and incremental through the same artifact cache as ``repro build``
+    (a warm re-check after a body edit re-infers one module)."""
+    from repro.modules.build import check_modules
+    try:
+        result = check_modules(args.files, options, out_dir=args.out)
+    except ReproError as exc:
+        print(_pretty_module_error(exc), file=sys.stderr)
+        return 1
+    for name in result.order:
+        info = result.modules[name]
+        status = info["status"]
+        ms = f"{info['ms']:>9.1f} ms" if "ms" in info else ""
+        print(f"{name:<24} {status:>8} {ms}", file=sys.stderr)
+    for _name, exc in result.diagnostics:
+        print(_pretty_module_error(exc), file=sys.stderr)
+    stats = result.stats()
+    print(f"-- {stats['n_modules']} modules: {stats['n_checked']} checked, "
+          f"{stats['n_cached']} cached, {stats['n_errors']} errors, "
+          f"{stats['n_skipped']} skipped; {stats['ms']:.1f} ms",
+          file=sys.stderr)
+    if args.stats_json:
+        import json
+        stats["diagnostics"] = [dict(exc.to_json(), module=name)
+                                for name, exc in result.diagnostics]
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+    return 0 if result.ok else 1
 
 
 def cmd_core(args: argparse.Namespace) -> int:
@@ -418,8 +457,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_common(p_run)
     p_run.set_defaults(fn=cmd_run)
 
-    p_check = sub.add_parser("check", help="type check; print schemes")
-    p_check.add_argument("file")
+    p_check = sub.add_parser(
+        "check", help="type check; print schemes (single file) or "
+                      "check a module tree without linking")
+    p_check.add_argument("files", nargs="+",
+                         help="a program file, or module files/"
+                              "directories (module mode: no link, "
+                              "tolerant per-module diagnostics)")
+    p_check.add_argument("--out", metavar="DIR",
+                         help="write .ri interface files here "
+                              "(module mode)")
+    p_check.add_argument("--stats-json", metavar="FILE",
+                         help="write per-module check stats + "
+                              "diagnostics to FILE (module mode)")
     add_common(p_check)
     p_check.set_defaults(fn=cmd_check)
 

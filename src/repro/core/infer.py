@@ -206,7 +206,8 @@ class Inferencer:
         self.options = options if options is not None else CompilerOptions()
         self.unifier = Unifier(
             self.class_env,
-            max_depth=getattr(self.options, "max_type_depth", 10_000))
+            max_depth=getattr(self.options, "max_type_depth", 10_000),
+            provenance=getattr(self.options, "constraint_provenance", True))
         self.names = NameSupply()
         self.level = 0
         self.env = global_env if global_env is not None else TypeEnv()
@@ -256,8 +257,9 @@ class Inferencer:
     def fresh_read_only(self, kind: Kind, level: int) -> TyVar:
         return TyVar(kind, level, "s", read_only=True)
 
-    def unify(self, a: Type, b: Type, pos: Optional[SourcePos] = None) -> None:
-        self.unifier.unify(a, b, pos)
+    def unify(self, a: Type, b: Type, pos: Optional[SourcePos] = None,
+              reason: str = "unification") -> None:
+        self.unifier.unify(a, b, pos, reason)
 
     # =================================================================
     # Program entry points
@@ -278,19 +280,26 @@ class Inferencer:
     def infer_expression(self, expr: ast.Expr) -> Tuple[Type, ast.Expr]:
         """Check one expression against the current environment (the
         public ``eval``-style API); dictionaries resolve against
-        concrete types or defaults."""
-        with self.scoped_level():
+        concrete types or defaults.  Runs as one provenance episode: a
+        failure is explained (minimal unsatisfiable core), then rolled
+        back, so a shared long-lived inferencer is left exactly as it
+        was before the request."""
+        with self.unifier.episode():
             scope = self.scope = PlaceholderScope(self.scope)
-            ty, expr2 = self.infer_expr(expr, self.env)
-        self.resolve_scope(scope, param_env={}, group=None)
-        self.scope = scope.parent
-        self.finish_top_level()
+            try:
+                with self.scoped_level():
+                    ty, expr2 = self.infer_expr(expr, self.env)
+                self.resolve_scope(scope, param_env={}, group=None)
+            finally:
+                self.scope = scope.parent
+            self.finish_top_level()
         return ty, expr2
 
     def finish_top_level(self) -> None:
         """Resolve anything deferred to the very top: defaulting or
         ambiguity errors (placeholder case 4 at level 0)."""
-        self.resolve_scope(self.scope, param_env={}, group=None)
+        with self.unifier.episode():
+            self.resolve_scope(self.scope, param_env={}, group=None)
 
     # =================================================================
     # Declaration blocks and binding groups
@@ -362,8 +371,48 @@ class Inferencer:
     def check_implicit_group(self, binds: List[ast.FunBind],
                              top_level: bool = False) -> None:
         outer_level = self.level
-        with self.scoped_level():
+        with self.unifier.episode():
             scope = self.scope = PlaceholderScope(self.scope)
+            try:
+                group, monos, gen_vars_per, group_preds, dict_params = \
+                    self._check_implicit_group_body(binds, scope, outer_level)
+            finally:
+                self.scope = scope.parent
+        group.resolved = True
+        # ----- wrap with dictionary lambdas, build schemes -----
+        for b in binds:
+            if dict_params:
+                b.set_simple_rhs(ast.Lam(
+                    [ast.PVar(p) for p in dict_params], b.simple_rhs,
+                    pos=b.pos))
+            own_vars = gen_vars_per[b.name]
+            own_ids = {v.id for v in own_vars}
+            missing = [cls for (cls, v) in group_preds if v.id not in own_ids]
+            if missing:
+                self.warnings.append(MonomorphismWarning(b.name, missing))
+            quantified = list(own_vars)
+            for (_cls, v) in group_preds:
+                if v.id not in {q.id for q in quantified}:
+                    quantified.append(v)
+            scheme = generalize_over(quantified, group_preds, monos[b.name])
+            self.env.bind(b.name, SchemeEntry(scheme))
+            self.schemes[b.name] = scheme
+            # Only top-level groups become top-level compiled bindings.
+            # A local group's (dictionary-converted) definitions stay in
+            # their enclosing let — emitting them here too used to leave
+            # dead top-level duplicates, which shadow each other in the
+            # evaluator's globals and trip the core lint.
+            if top_level:
+                self.output.append(CompiledBinding(
+                    b.name, b.simple_rhs, scheme, list(dict_params), "user",
+                    dict_classes=[cls for (cls, _v) in group_preds]))
+
+    def _check_implicit_group_body(self, binds: List[ast.FunBind],
+                                   scope: PlaceholderScope, outer_level: int):
+        """Inference + generalization + resolution of one implicit
+        group (the part of :meth:`check_implicit_group` that runs
+        inside the provenance episode)."""
+        with self.scoped_level():
             group = GroupState([b.name for b in binds])
             monos: Dict[str, TyVar] = {}
             for b in binds:
@@ -373,7 +422,7 @@ class Inferencer:
             for b in binds:
                 ty, rhs = self.infer_expr(b.simple_rhs, self.env)
                 b.set_simple_rhs(rhs)
-                self.unify(ty, monos[b.name], b.pos)
+                self.unify(ty, monos[b.name], b.pos, reason="definition")
         # ----- generalization (section 6.2) -----
         # Collect the group's quantifiable variables and its context.
         gen_vars_per: Dict[str, List[TyVar]] = {}
@@ -412,35 +461,7 @@ class Inferencer:
         param_env = {(cls, v.id): name
                      for (cls, v), name in zip(group_preds, dict_params)}
         self.resolve_scope(scope, param_env, group)
-        self.scope = scope.parent
-        group.resolved = True
-        # ----- wrap with dictionary lambdas, build schemes -----
-        for b in binds:
-            if dict_params:
-                b.set_simple_rhs(ast.Lam(
-                    [ast.PVar(p) for p in dict_params], b.simple_rhs,
-                    pos=b.pos))
-            own_vars = gen_vars_per[b.name]
-            own_ids = {v.id for v in own_vars}
-            missing = [cls for (cls, v) in group_preds if v.id not in own_ids]
-            if missing:
-                self.warnings.append(MonomorphismWarning(b.name, missing))
-            quantified = list(own_vars)
-            for (_cls, v) in group_preds:
-                if v.id not in {q.id for q in quantified}:
-                    quantified.append(v)
-            scheme = generalize_over(quantified, group_preds, monos[b.name])
-            self.env.bind(b.name, SchemeEntry(scheme))
-            self.schemes[b.name] = scheme
-            # Only top-level groups become top-level compiled bindings.
-            # A local group's (dictionary-converted) definitions stay in
-            # their enclosing let — emitting them here too used to leave
-            # dead top-level duplicates, which shadow each other in the
-            # evaluator's globals and trip the core lint.
-            if top_level:
-                self.output.append(CompiledBinding(
-                    b.name, b.simple_rhs, scheme, list(dict_params), "user",
-                    dict_classes=[cls for (cls, _v) in group_preds]))
+        return group, monos, gen_vars_per, group_preds, dict_params
 
     # ------------------------------------------------- explicit bindings
 
@@ -456,19 +477,25 @@ class Inferencer:
         they are checked and dictionary-converted in place but stay in
         their enclosing let rather than becoming top-level output.
         """
-        with self.scoped_level() as level:
+        reason = {"default": "class-default",
+                  "impl": "instance-method"}.get(kind, "annotation")
+        with self.unifier.episode():
             scope = self.scope = PlaceholderScope(self.scope)
-            sig_ty, sig_preds, _ro_vars = scheme.instantiate(
-                level,
-                fresh=lambda kind_, lvl: self.fresh_read_only(kind_, lvl))
-            ty, rhs = self.infer_expr(bind.simple_rhs, self.env)
-            bind.set_simple_rhs(rhs)
-            self.unify(ty, sig_ty, bind.pos)
-        dict_params = [self.names.fresh("d") for _ in sig_preds]
-        param_env = {(cls, v.id): name
-                     for (cls, v), name in zip(sig_preds, dict_params)}
-        self.resolve_scope(scope, param_env, None)
-        self.scope = scope.parent
+            try:
+                with self.scoped_level() as level:
+                    sig_ty, sig_preds, _ro_vars = scheme.instantiate(
+                        level,
+                        fresh=lambda kind_, lvl: self.fresh_read_only(kind_,
+                                                                      lvl))
+                    ty, rhs = self.infer_expr(bind.simple_rhs, self.env)
+                    bind.set_simple_rhs(rhs)
+                    self.unify(ty, sig_ty, bind.pos, reason=reason)
+                dict_params = [self.names.fresh("d") for _ in sig_preds]
+                param_env = {(cls, v.id): name
+                             for (cls, v), name in zip(sig_preds, dict_params)}
+                self.resolve_scope(scope, param_env, None)
+            finally:
+                self.scope = scope.parent
         if dict_params:
             bind.set_simple_rhs(ast.Lam(
                 [ast.PVar(p) for p in dict_params], bind.simple_rhs,
@@ -500,7 +527,8 @@ class Inferencer:
             fn_ty, fn2 = self.infer_expr(expr.fn, env)
             arg_ty, arg2 = self.infer_expr(expr.arg, env)
             res = self.fresh()
-            self.unify(fn_ty, fn_type(arg_ty, res), expr.pos)
+            self.unify(fn_ty, fn_type(arg_ty, res), expr.pos,
+                       reason="application")
             expr.fn, expr.arg = fn2, arg2
             return res, expr
         if isinstance(expr, ast.Lam):
@@ -527,10 +555,10 @@ class Inferencer:
             return body_ty, expr
         if isinstance(expr, ast.If):
             cond_ty, cond2 = self.infer_expr(expr.cond, env)
-            self.unify(cond_ty, T_BOOL, expr.pos)
+            self.unify(cond_ty, T_BOOL, expr.pos, reason="condition")
             then_ty, then2 = self.infer_expr(expr.then_branch, env)
             else_ty, else2 = self.infer_expr(expr.else_branch, env)
-            self.unify(then_ty, else_ty, expr.pos)
+            self.unify(then_ty, else_ty, expr.pos, reason="if-branches")
             expr.cond, expr.then_branch, expr.else_branch = cond2, then2, else2
             return then_ty, expr
         if isinstance(expr, ast.Case):
@@ -546,7 +574,7 @@ class Inferencer:
             scheme = convert_signature(self.static, expr.signature)
             sig_ty, _preds, _vars = scheme.instantiate(self.level)
             body_ty, body2 = self.infer_expr(expr.expr, env)
-            self.unify(body_ty, sig_ty, expr.pos)
+            self.unify(body_ty, sig_ty, expr.pos, reason="annotation")
             # The annotation node itself disappears from the output.
             return sig_ty, body2
         raise TypeCheckError(
@@ -612,7 +640,7 @@ class Inferencer:
         for alt in expr.alts:
             bindings: Dict[str, Type] = {}
             pat_ty = self.infer_pattern(alt.pat, bindings)
-            self.unify(pat_ty, scrut_ty, alt.pos)
+            self.unify(pat_ty, scrut_ty, alt.pos, reason="pattern")
             inner = env.child()
             for name, ty in bindings.items():
                 inner.bind(name, MonoEntry(ty))
@@ -626,10 +654,10 @@ class Inferencer:
             for rhs in alt.rhss:
                 if rhs.guard is not None:
                     g_ty, g2 = self.infer_expr(rhs.guard, inner)
-                    self.unify(g_ty, T_BOOL, rhs.pos)
+                    self.unify(g_ty, T_BOOL, rhs.pos, reason="guard")
                     rhs.guard = g2
                 b_ty, b2 = self.infer_expr(rhs.body, inner)
-                self.unify(b_ty, result, rhs.pos)
+                self.unify(b_ty, result, rhs.pos, reason="case-branches")
                 rhs.body = b2
         return result, expr
 
@@ -676,7 +704,8 @@ class Inferencer:
             parts = fn_parts(con_ty)
             assert parts is not None
             arg_ty, con_ty = parts
-            self.unify(self.infer_pattern(arg, bindings), arg_ty, pat.pos)
+            self.unify(self.infer_pattern(arg, bindings), arg_ty, pat.pos,
+                       reason="pattern")
         return con_ty
 
     # =================================================================
@@ -735,7 +764,7 @@ class Inferencer:
                 scope.defer(entry)
                 return
             # Case 4: ambiguity; try defaulting, else error.
-            if self.try_default(ty):
+            if self.try_default(ty, ph.pos):
                 scope.pending.append(entry)  # re-resolve at the new type
                 return
             raise AmbiguityError(list(ty.context) or [ph.class_name],
@@ -883,9 +912,14 @@ class Inferencer:
 
     # ------------------------------------------------------- defaulting
 
-    def try_default(self, ty: TyVar) -> bool:
+    def try_default(self, ty: TyVar,
+                    pos: Optional[SourcePos] = None) -> bool:
         """Section 6.3 case 4: "the ambiguity may be resolved by some
         language specific mechanism" — Haskell-style numeric defaulting.
+
+        *pos* is the placeholder's source span, so a conflict with the
+        defaulted type is reported where the overloading was used
+        rather than with no position at all.
         """
         if not self.options.defaulting or not ty.context:
             return False
@@ -902,11 +936,9 @@ class Inferencer:
                      for cls in ty.context)
             if not ok:
                 continue
-            try:
-                self.unify(ty, candidate)
+            if self.unifier.try_unify(ty, candidate, pos,
+                                      reason="defaulting"):
                 return True
-            except TypeCheckError:
-                continue
         return False
 
     def _is_numeric_class(self, cls: str) -> bool:
@@ -1066,9 +1098,10 @@ class Inferencer:
             scope.add(ph, node)
             return node
 
-        slots = [slot_expr(kind, owner, name)
-                 for (kind, owner, name) in env.dict_slots(info.class_name)]
-        self.resolve_scope(scope, param_env, None)
+        with self.unifier.episode():
+            slots = [slot_expr(kind, owner, name)
+                     for (kind, owner, name) in env.dict_slots(info.class_name)]
+            self.resolve_scope(scope, param_env, None)
         if env.uses_bare_dict(info.class_name):
             body: ast.Expr = slots[0]
         else:

@@ -26,10 +26,52 @@ order so long as the same ordering is used consistently").
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.kinds import STAR, Kind, KFun, kfun
 from repro.util.orderedset import OrderedSet
+
+# --------------------------------------------------------------------------
+# Mutation trail
+#
+# Type variables are mutable cells, so a failed inference leaves real
+# substitutions behind.  The unifier's provenance machinery (see
+# repro.core.unify) installs a *trail* — a per-thread undo log — for the
+# duration of an inference episode; every destructive update below
+# records its old value so the episode can be rolled back and its
+# constraint set replayed during minimization.  The trail is
+# thread-local because a process may run several inferencers on
+# different threads (the compile server's executor).  When no trail is
+# installed (the common case for any code outside an episode) the hooks
+# cost one attribute check on the slow paths only.
+# --------------------------------------------------------------------------
+
+_TLS = threading.local()
+
+
+def set_trail(trail: Optional[list]) -> Optional[list]:
+    """Install *trail* as this thread's mutation trail; returns the
+    previously installed one (so callers can nest and restore)."""
+    prev = getattr(_TLS, "trail", None)
+    _TLS.trail = trail
+    return prev
+
+
+def undo_trail(trail: list, mark: int = 0) -> None:
+    """Pop trail entries down to *mark*, restoring each mutation in
+    reverse order.  Entries are ``(kind, target, old)`` with kind one of
+    ``"value"`` (TyVar.value), ``"level"`` (TyVar.level) or
+    ``"context"`` (an OrderedSet's former items, as a tuple — restored
+    *in place* because contexts may be aliased)."""
+    while len(trail) > mark:
+        kind, target, old = trail.pop()
+        if kind == "value":
+            target.value = old
+        elif kind == "level":
+            target.level = old
+        else:  # "context"
+            target.replace_with(old)
 
 
 class Type:
@@ -159,8 +201,17 @@ def prune(ty: Type) -> Type:
     while isinstance(ty, TyVar) and ty.value is not None:
         chain.append(ty)
         ty = ty.value
-    for var in chain:
-        var.value = ty
+    if len(chain) > 1:
+        # Path compression is a real mutation: a variable bound before
+        # the current episode may be re-pointed at a type bound during
+        # it, so the trail must remember the old link (a single-link
+        # chain — the common case — changes nothing and records
+        # nothing).
+        trail = getattr(_TLS, "trail", None)
+        for var in chain[:-1]:
+            if trail is not None:
+                trail.append(("value", var, var.value))
+            var.value = ty
     return ty
 
 
@@ -231,6 +282,9 @@ def adjust_levels(var_level: int, ty: Type) -> None:
         t = prune(stack.pop())
         if isinstance(t, TyVar):
             if t.level > var_level:
+                trail = getattr(_TLS, "trail", None)
+                if trail is not None:
+                    trail.append(("level", t, t.level))
                 t.level = var_level
         elif isinstance(t, TyApp):
             stack.append(t.fn)

@@ -40,6 +40,25 @@ class SourcePos:
                 "column": self.column}
 
 
+@dataclass(frozen=True)
+class Provenance:
+    """One source span that contributed to a diagnostic, with the
+    *reason* the constraint at that span exists (``application``,
+    ``annotation``, ``instance``, ``superclass``, ``defaulting``, ...).
+
+    A type error's :attr:`ReproError.positions` is a list of these —
+    ideally the minimal unsatisfiable subset of the constraints the
+    inferencer recorded, so every listed span is actually needed to
+    reproduce the conflict."""
+
+    pos: SourcePos
+    reason: str = "constraint"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"filename": self.pos.filename, "line": self.pos.line,
+                "column": self.pos.column, "reason": self.reason}
+
+
 class ReproError(Exception):
     """Base class for every error raised by the compiler."""
 
@@ -50,6 +69,11 @@ class ReproError(Exception):
         super().__init__(message)
         self.message = message
         self.pos = pos
+        #: Secondary source spans with reasons (:class:`Provenance`),
+        #: e.g. the minimal unsatisfiable constraint set of a type
+        #: error.  The primary ``pos`` stays authoritative for callers
+        #: that predate multi-location diagnostics.
+        self.positions: List[Provenance] = []
 
     def __str__(self) -> str:
         if self.pos is not None:
@@ -57,30 +81,53 @@ class ReproError(Exception):
         return self.message
 
     def to_json(self) -> Dict[str, Any]:
-        """A JSON-able rendering: ``{code, message, pos}`` with ``pos``
-        either ``{filename, line, column}`` or ``None``.  The compile
-        server sends exactly this shape in its error envelope."""
+        """A JSON-able rendering: ``{code, message, pos, positions}``
+        with ``pos`` either ``{filename, line, column}`` or ``None`` and
+        ``positions`` a list of ``{filename, line, column, reason}``.
+        The compile server sends exactly this shape in its error
+        envelope."""
         return {
             "code": self.code,
             "message": str(self),
             "pos": self.pos.to_json() if self.pos is not None else None,
+            "positions": [p.to_json() for p in self.positions],
         }
 
-    def pretty(self, source: Optional[str] = None) -> str:
-        """Render the error, quoting the offending line when available."""
-        header = str(self)
-        if source is None or self.pos is None:
-            return header
-        lines = source.splitlines()
-        if not 1 <= self.pos.line <= len(lines):
-            return header
-        src_line = lines[self.pos.line - 1]
+    @staticmethod
+    def _caret_block(src_line: str, column: int, indent: str) -> str:
         # Expand tabs in both the quoted line and the caret pad with the
         # same tab stops, so the caret lands under the offending column
         # even when the line mixes tabs and spaces.
-        prefix = src_line[:self.pos.column - 1].expandtabs(TAB_WIDTH)
+        prefix = src_line[:column - 1].expandtabs(TAB_WIDTH)
         caret = " " * len(prefix) + "^"
-        return f"{header}\n  {src_line.expandtabs(TAB_WIDTH)}\n  {caret}"
+        return (f"{indent}{src_line.expandtabs(TAB_WIDTH)}\n"
+                f"{indent}{caret}")
+
+    def pretty(self, source: Optional[str] = None) -> str:
+        """Render the error, quoting the offending line when available.
+
+        When :attr:`positions` is non-empty, each secondary span is
+        rendered after the primary one as a ``note:`` with its own
+        quoted line and caret (multi-caret output), provided *source*
+        holds the file it points into."""
+        header = str(self)
+        lines = source.splitlines() if source is not None else []
+        out = [header]
+        if lines and self.pos is not None \
+                and 1 <= self.pos.line <= len(lines):
+            out.append(self._caret_block(lines[self.pos.line - 1],
+                                         self.pos.column, "  "))
+        primary_file = self.pos.filename if self.pos is not None else None
+        for prov in self.positions:
+            p = prov.pos
+            if self.pos is not None and p == self.pos:
+                continue  # the primary caret already shows this span
+            out.append(f"  note: {p}: {prov.reason}")
+            same_file = primary_file is None or p.filename == primary_file
+            if lines and same_file and 1 <= p.line <= len(lines):
+                out.append(self._caret_block(lines[p.line - 1],
+                                             p.column, "    "))
+        return "\n".join(out)
 
 
 class LexError(ReproError):

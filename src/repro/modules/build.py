@@ -544,6 +544,49 @@ class BuildResult:
         }
 
 
+@dataclass
+class CheckResult:
+    """Outcome of one :meth:`ModuleBuilder.check` — type-checking
+    without a linked program, tolerant of per-module failures."""
+
+    graph: ModuleGraph
+    #: per-module stats: ``{status, ms, ...}`` where status is one of
+    #: ``checked`` (fresh compile), ``cached`` (artifact cache hit),
+    #: ``error`` (diagnostic recorded) or ``skipped`` (an import
+    #: failed, so the module could not be checked)
+    modules: Dict[str, Dict[str, Any]]
+    order: List[str]
+    #: ``(module name, error)`` for every module that failed
+    diagnostics: List[Tuple[str, ReproError]]
+    cache: Dict[str, Any]
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def _count(self, status: str) -> int:
+        return sum(1 for s in self.modules.values()
+                   if s["status"] == status)
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready summary (the CLI's ``--stats-json`` and the
+        server's ``check`` reply)."""
+        return {
+            "ok": self.ok,
+            "modules": {name: dict(info)
+                        for name, info in self.modules.items()},
+            "order": list(self.order),
+            "n_modules": len(self.order),
+            "n_checked": self._count("checked"),
+            "n_cached": self._count("cached"),
+            "n_errors": self._count("error"),
+            "n_skipped": self._count("skipped"),
+            "ms": round(self.seconds * 1e3, 3),
+            "cache": dict(self.cache),
+        }
+
+
 class ModuleBuilder:
     """Builds module graphs: schedules per-module compiles over the
     import DAG (independent modules in parallel), consults the
@@ -628,17 +671,7 @@ class ModuleBuilder:
                 info["phases"] = art.phases
             stats[name] = info
             if out_dir:
-                path = interface_path(out_dir, name)
-                # A stale file (older format version, corruption) loads
-                # as None and is overwritten — never a pickle error; an
-                # identical up-to-date one is left alone (stable mtimes
-                # for downstream build tools).
-                existing = load_interface(path, stale_ok=True)
-                if existing is None or \
-                        existing.fingerprint != art.interface.fingerprint \
-                        or existing.unfold_fp != art.interface.unfold_fp \
-                        or existing.source_sha != art.interface.source_sha:
-                    save_interface(art.interface, path)
+                self._write_interface(out_dir, name, art.interface)
 
         if jobs == 1 or len(graph.order) <= 1:
             for name in graph.order:
@@ -655,6 +688,97 @@ class ModuleBuilder:
                            order=list(graph.order),
                            cache=self.cache.snapshot(),
                            seconds=time.perf_counter() - t0, jobs=jobs)
+
+    @staticmethod
+    def _write_interface(out_dir: str, name: str,
+                         interface: ModuleInterface) -> None:
+        path = interface_path(out_dir, name)
+        # A stale file (older format version, corruption) loads as
+        # None and is overwritten — never a pickle error; an identical
+        # up-to-date one is left alone (stable mtimes for downstream
+        # build tools).
+        existing = load_interface(path, stale_ok=True)
+        if existing is None or \
+                existing.fingerprint != interface.fingerprint \
+                or existing.unfold_fp != interface.unfold_fp \
+                or existing.source_sha != interface.source_sha:
+            save_interface(interface, path)
+
+    # ------------------------------------------------------------- checking
+
+    def check(self, graph: ModuleGraph,
+              out_dir: Optional[str] = None) -> CheckResult:
+        """Type-check every module in *graph* without linking or
+        evaluating anything.
+
+        Unlike :meth:`build` (fail-fast: the first error aborts the
+        whole build) the check loop is *tolerant*: a module that fails
+        to compile is recorded as a diagnostic, its dependents are
+        marked ``skipped`` (their imports have no interface to apply),
+        and every module whose imports are intact is still checked —
+        one request reports all independent errors at once.
+
+        Cache reuse is exactly :meth:`build`'s: the artifact key
+        covers the source, the options, the prelude and the transitive
+        interface fingerprints, so a warm re-check after a body-only
+        edit re-infers the edited module alone — its dependents' keys
+        are cut off at the unchanged interface fingerprint and hit the
+        cache.
+        """
+        t0 = time.perf_counter()
+        interfaces: Dict[str, ModuleInterface] = {}
+        stats: Dict[str, Dict[str, Any]] = {}
+        diagnostics: List[Tuple[str, ReproError]] = []
+        broken: set = set()  # failed or skipped modules
+
+        for name in graph.order:
+            blocked_on = sorted(dep for dep in graph.closure(name)
+                                if dep in broken)
+            if blocked_on:
+                broken.add(name)
+                stats[name] = {"status": "skipped",
+                               "blocked_on": blocked_on}
+                continue
+            msrc = graph.modules[name]
+            closure = graph.closure(name)
+            key = module_cache_key(
+                msrc.source, self.options, self.snapshot.fingerprint,
+                [(dep, interfaces[dep].fingerprint) for dep in closure])
+            t = time.perf_counter()
+            art = self.cache.get(key)
+            cached = art is not None
+            if not cached:
+                try:
+                    art = compile_module(
+                        msrc, [interfaces[dep] for dep in closure],
+                        self.options, self.snapshot)
+                except ReproError as exc:
+                    broken.add(name)
+                    diagnostics.append((name, exc))
+                    stats[name] = {
+                        "status": "error",
+                        "code": exc.code,
+                        "ms": round((time.perf_counter() - t) * 1e3, 3),
+                    }
+                    continue
+                self.cache.put(key, art)
+            interfaces[name] = art.interface
+            stats[name] = {
+                "status": "cached" if cached else "checked",
+                "cached": cached,
+                "ms": round((time.perf_counter() - t) * 1e3, 3),
+                "fingerprint": art.interface.fingerprint,
+                "source_sha": art.interface.source_sha,
+                "unfold_fp": art.interface.unfold_fp,
+            }
+            if out_dir:
+                self._write_interface(out_dir, name, art.interface)
+
+        return CheckResult(graph=graph, modules=stats,
+                           order=list(graph.order),
+                           diagnostics=diagnostics,
+                           cache=self.cache.snapshot(),
+                           seconds=time.perf_counter() - t0)
 
     #: ceiling on one distributed module compile (it covers a worker
     #: respawn after a crash; local compiles are unbounded as before)
@@ -747,8 +871,25 @@ def build_modules(paths: Sequence[str],
                          pool=pool)
 
 
+def check_modules(paths: Sequence[str],
+                  options: Optional[CompilerOptions] = None,
+                  out_dir: Optional[str] = None,
+                  snapshot: Optional[PreludeSnapshot] = None,
+                  cache: Optional[CompileCache] = None) -> CheckResult:
+    """Discover and type-check the modules under *paths* without
+    linking — the call behind ``repro check`` in module mode and the
+    server's ``check`` verb.  Per-module compile errors are collected
+    in the result, not raised; only *resolution* failures (unreadable
+    path, import cycle, missing module) raise."""
+    graph = discover_modules(paths)
+    builder = ModuleBuilder(options=options, snapshot=snapshot, cache=cache)
+    return builder.check(graph, out_dir=out_dir)
+
+
 __all__ = [
     "BuildResult",
+    "CheckResult",
+    "check_modules",
     "ModuleArtifact",
     "ModuleBuilder",
     "OrphanInstanceWarning",

@@ -55,6 +55,10 @@ SERVICE_OPTION_FIELDS = (
     "request_timeout_ceiling",
     "build_jobs",
     "lint",
+    # Provenance only changes how *failures* are reported (positions on
+    # diagnostics), never what a successful compile produces, so it must
+    # not invalidate cached programs.
+    "constraint_provenance",
 )
 
 
@@ -141,6 +145,11 @@ class CompilerOptions:
     #: run the core lint (repro.coreir.lint) on the output of every
     #: pipeline pass; CLI --lint / env REPRO_LINT=1
     lint: bool = field(default_factory=_lint_default)
+    #: track constraint origins during inference and, on a type error,
+    #: minimize the recorded constraint set into a multi-location
+    #: ``positions`` diagnostic (docs/SERVICE.md); also rolls failed
+    #: inference episodes back, keeping shared inferencers clean
+    constraint_provenance: bool = True
 
     def with_(self, **kwargs) -> "CompilerOptions":
         """A copy with some fields replaced (ablation helper)."""

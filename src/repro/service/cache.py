@@ -130,6 +130,19 @@ class CompileCache:
             self.stats.misses += 1
         return None
 
+    def contains(self, key: str) -> bool:
+        """Whether *key* would resolve via :meth:`get` — memory first,
+        then a disk-tier existence check (a stat, no unpickle).  Unlike
+        ``get`` it neither promotes the entry nor counts a hit or miss,
+        so probes (the server's fast-path key resolution) do not skew
+        the LRU order or the cache statistics."""
+        with self._lock:
+            if key in self._entries:
+                return True
+        if not self.disk_dir:
+            return False
+        return os.path.exists(self._disk_path(key))
+
     def put(self, key: str, program: Any) -> None:
         with self._lock:
             self._insert(key, program)

@@ -169,6 +169,29 @@ class CompileService:
         key, program, _ = self.compile(source)
         return key, program
 
+    def _resolve_key(self, request: Any) -> Optional[str]:
+        """The cache key :meth:`_resolve_program` would resolve the
+        request to, computed *without* compiling anything.
+
+        Mirrors ``_resolve_program``'s precedence: a ``program`` handle
+        wins only while it is still cached — an evicted handle falls
+        back to the ``source`` content address (the key a recompile
+        would produce).  The fast path keys its memo probes off this,
+        so its decision always matches the key the slow-path op will
+        use; probing with the raw request handle used to count a
+        ``fastpath_hits`` and then miss the memo whenever the handle
+        had been evicted but the request carried a source.  Returns
+        None when the key cannot be known without compiling."""
+        handle = request.get("program")
+        if isinstance(handle, str) and self.cache.contains(handle):
+            return handle
+        source = request.get("source")
+        if isinstance(source, str):
+            return cache_key(source, self.options, self.snapshot.fingerprint)
+        # Evicted handle, no source: the slow path will reject this
+        # request with the canonical "unknown program" error.
+        return None
+
     # ------------------------------------------- expression compilation memo
 
     def _compiled_entry(self, key: str, program: Any,
@@ -245,29 +268,33 @@ class CompileService:
             return None
         if handle is not None and not isinstance(handle, str):
             return None
+        # Probe the memos with the key the slow-path op will actually
+        # use (_resolve_program's precedence), not the raw request
+        # handle — a stale handle plus a source resolves to the source's
+        # content address, and probing with the handle would claim a
+        # fast-path hit only to miss the memo (and run inference or
+        # compilation on the event loop).  Computing it is a hash at
+        # worst, and a cache membership stat when a handle is given.
+        key = self._resolve_key(request)
+        if key is None:
+            return None
         if op in ("typeof", "type_of"):
-            if handle is None:
-                return None
             with self._expr_lock:
-                memoized = (handle, expr) in self._typeof_cache
-            if not memoized:
+                memoized = (key, expr) in self._typeof_cache
+            # The memo can outlive the program itself (separate LRUs):
+            # with the program gone the slow-path op would recompile,
+            # which must not happen on the event loop.
+            if not memoized or not self.cache.contains(key):
                 return None
             self.metrics.incr("fastpath_hits")
             return self.handle(request)
         if "step_limit" in request or "max_depth" in request:
             return None
-        if handle is None:
-            # eval by source: the content address is a hash away, and
-            # with the program and expression both already cached the
-            # request is as cheap as a handle-addressed one.
-            source = request.get("source")
-            if not isinstance(source, str):
-                return None
-            handle = cache_key(source, self.options,
-                               self.snapshot.fingerprint)
         with self._expr_lock:
-            entry = self._expr_cache.get((handle, expr))
+            entry = self._expr_cache.get((key, expr))
         if entry is None or entry[1] is None or entry[1] > threshold:
+            return None
+        if not self.cache.contains(key):
             return None
         self.metrics.incr("fastpath_hits")
         return self.handle(request)
@@ -379,9 +406,14 @@ class CompileService:
         else:
             value = program.eval_compiled(entry[0], big_stack=False,
                                           reuse=not overrides, **overrides)
-            elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        if entry is not None:
             # Exponential moving average of this expression's latency;
             # the fast path trusts it to run cheap requests inline.
+            # Timed across *either* branch: when eval falls back to
+            # ``program.eval`` the estimate must still age, or one slow
+            # fallback-path expression could keep a stale "fast"
+            # verdict forever.
             entry[1] = elapsed if entry[1] is None \
                 else 0.8 * entry[1] + 0.2 * elapsed
         result: Dict[str, Any] = {"program": key, "value": render(value)}
@@ -467,6 +499,46 @@ class CompileService:
                 for name, scheme in sorted(program.schemes.items())
                 if "$" not in name and "@" not in name}
         return result
+
+    def _op_check(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Type-check a module set without linking or evaluating.
+
+        Shares :meth:`_op_build`'s artifact cache, so a warm re-check
+        after editing one module body re-infers that module alone —
+        every dependent's closure key is cut off at the unchanged
+        interface fingerprint.  Unlike ``build`` the reply is *never*
+        an error envelope for a per-module compile failure: the check
+        loop is tolerant, and each failed module contributes one entry
+        to ``diagnostics`` (the standard error envelope — including
+        the multi-position ``positions`` list — plus the module name),
+        so a client sees every independent error in one round trip.
+        """
+        from repro.modules.build import ModuleBuilder
+        from repro.modules.resolve import scan_inline_modules
+        modules = request.get("modules")
+        if not isinstance(modules, list) or not modules:
+            raise ProtocolError("'check' needs a non-empty 'modules' list")
+        for spec in modules:
+            if not isinstance(spec, dict) or \
+                    not isinstance(spec.get("source"), str):
+                raise ProtocolError(
+                    "each 'modules' entry needs a 'source' string "
+                    "(plus optional 'name'/'filename')")
+        graph = scan_inline_modules(
+            modules, max_depth=self.options.max_parse_depth)
+        builder = ModuleBuilder(self.options, self.snapshot,
+                                cache=self.cache)
+        checked = builder.check(graph)
+        diagnostics = [dict(_repro_error_envelope(exc), module=name)
+                       for name, exc in checked.diagnostics]
+        # Fleet visibility: how many diagnostics this server is
+        # producing, alongside the per-verb ``check`` latency histogram
+        # recorded by handle()'s timer.
+        self.metrics.incr("check.requests")
+        self.metrics.incr("check.diagnostics", len(diagnostics))
+        return {"ok": checked.ok,
+                "check": checked.stats(),
+                "diagnostics": diagnostics}
 
     def _op_compile_module(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Compile one module against its imports' interfaces — the
@@ -1217,6 +1289,22 @@ class PipelinedClient:
             response = self.recv()
             if response.get("id") == request_id:
                 return response
+
+    def check(self, modules: List[Dict[str, Any]],
+              **fields: Any) -> Dict[str, Any]:
+        """Type-check *modules* (``[{source, name?, filename?}, ...]``)
+        without linking or evaluating.  Returns the ``check`` result —
+        per-module status plus a ``diagnostics`` list whose entries are
+        full error envelopes (code, message, ``positions``) tagged with
+        the failing module's name.  Raises on transport or protocol
+        failure; per-module compile errors do NOT raise."""
+        response = self.request("check", modules=modules, **fields)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RuntimeError(
+                f"check failed [{error.get('code', 'error')}]: "
+                f"{error.get('message', 'unknown error')}")
+        return response["result"]
 
     def close(self) -> None:
         try:

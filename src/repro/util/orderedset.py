@@ -66,3 +66,14 @@ class OrderedSet(Generic[T]):
 
     def copy(self) -> "OrderedSet[T]":
         return OrderedSet(self)
+
+    def replace_with(self, items: Iterable[T]) -> None:
+        """Replace the contents *in place* (same object identity).
+
+        Used by the type-variable mutation trail to restore a context
+        snapshot: contexts can be aliased from several places, so the
+        restore must mutate the existing set rather than rebind it.
+        """
+        self._items.clear()
+        for item in items:
+            self._items[item] = None

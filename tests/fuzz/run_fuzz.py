@@ -39,17 +39,58 @@ from tests.fuzz.gen import ProgramGen
 EVAL_STEP_LIMIT = 200_000
 
 
+def _assert_positions(exc: ReproError) -> None:
+    """The provenance oracle: every type-error diagnostic must name at
+    least one source location in its ``positions`` list."""
+    if type(exc).code.startswith("type") and not exc.to_json()["positions"]:
+        raise AssertionError(
+            f"type-error diagnostic carries no positions: "
+            f"[{type(exc).code}] {exc}")
+
+
+def _compile_verdict(source: str, snapshot: PreludeSnapshot,
+                     options: CompilerOptions):
+    """Compile one program: ``("ok", None, program)`` or
+    ``("error", code, exc)``.  CoreLintError propagates (a pipeline
+    bug, not a rejected input)."""
+    try:
+        program = compile_source(source, options=options,
+                                 snapshot=snapshot)
+        return "ok", None, program
+    except CoreLintError:
+        raise
+    except ReproError as exc:
+        # The error must also survive its own reporting paths.
+        exc.to_json()
+        exc.pretty(source)
+        return "error", type(exc).code, exc
+
+
 def check_one(source: str, snapshot: PreludeSnapshot,
-              options: CompilerOptions) -> Tuple[str, Optional[str]]:
+              options: CompilerOptions, positions: bool = False,
+              provenance_diff: bool = False) -> Tuple[str, Optional[str]]:
     """Run one program through the invariant.
 
     Returns ``(outcome, error_code)`` where outcome is ``"ok"`` or
     ``"error"``; any non-ReproError exception propagates (and fails
-    the run).
+    the run).  *positions* asserts every type-error diagnostic carries
+    source locations; *provenance_diff* recompiles with provenance
+    disabled and asserts the accept/reject verdict is unchanged.
     """
+    outcome, code, result = _compile_verdict(source, snapshot, options)
+    if provenance_diff:
+        off = options.with_(constraint_provenance=False)
+        outcome2, code2, _ = _compile_verdict(source, snapshot, off)
+        if (outcome, code) != (outcome2, code2):
+            raise AssertionError(
+                f"provenance flipped the compile verdict: "
+                f"on={(outcome, code)} off={(outcome2, code2)}")
+    if outcome == "error":
+        if positions:
+            _assert_positions(result)
+        return outcome, code
+    program = result
     try:
-        program = compile_source(source, options=options,
-                                 snapshot=snapshot)
         if "main" in program.schemes:
             program.run("main", step_limit=EVAL_STEP_LIMIT)
         return "ok", None
@@ -59,14 +100,14 @@ def check_one(source: str, snapshot: PreludeSnapshot,
         # like a crash — propagate so the run fails loudly.
         raise
     except ReproError as exc:
-        # The error must also survive its own reporting paths.
         exc.to_json()
         exc.pretty(source)
         return "error", type(exc).code
 
 
 def check_modules(specs, snapshot: PreludeSnapshot,
-                  options: CompilerOptions) -> Tuple[str, Optional[str]]:
+                  options: CompilerOptions,
+                  positions: bool = False) -> Tuple[str, Optional[str]]:
     """The differential invariant for multi-module inputs.
 
     Builds the module list twice — link-time specialization on and
@@ -92,6 +133,8 @@ def check_modules(specs, snapshot: PreludeSnapshot,
             raise  # ill-formed core is a bug, not a rejected input
         except ReproError as exc:
             exc.to_json()
+            if positions:
+                _assert_positions(exc)
             return "error", None, type(exc).code
 
     fast = attempt(options.with_(specialize_xmodule=True))
@@ -112,6 +155,13 @@ def main(argv=None) -> int:
                     help="run the core lint after every pipeline pass as "
                          "an extra oracle: any program that compiles must "
                          "also lint clean (a CoreLintError fails the run)")
+    ap.add_argument("--positions", action="store_true",
+                    help="provenance oracle: any type-error diagnostic "
+                         "whose positions list is empty fails the run")
+    ap.add_argument("--provenance-diff", action="store_true",
+                    help="differential oracle: recompile each single-file "
+                         "input with constraint_provenance=false; a changed "
+                         "accept/reject verdict fails the run")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args(argv)
 
@@ -136,7 +186,9 @@ def main(argv=None) -> int:
     started = time.monotonic()
     for label, source in inputs:
         try:
-            outcome, code = check_one(source, snapshot, options)
+            outcome, code = check_one(source, snapshot, options,
+                                      positions=args.positions,
+                                      provenance_diff=args.provenance_diff)
         except BaseException as exc:  # noqa: BLE001 — the invariant itself
             print(f"FUZZ INVARIANT VIOLATED at {label}: "
                   f"{type(exc).__name__}: {exc}", file=sys.stderr)
@@ -152,7 +204,8 @@ def main(argv=None) -> int:
 
     for label, specs in module_inputs:
         try:
-            outcome, code = check_modules(specs, snapshot, options)
+            outcome, code = check_modules(specs, snapshot, options,
+                                          positions=args.positions)
         except BaseException as exc:  # noqa: BLE001 — the invariant itself
             print(f"FUZZ INVARIANT VIOLATED at {label}: "
                   f"{type(exc).__name__}: {exc}", file=sys.stderr)

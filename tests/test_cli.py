@@ -98,6 +98,53 @@ class TestCheck:
         assert "dflt$" not in out
 
 
+class TestCheckModules:
+    @pytest.fixture
+    def module_tree(self, tmp_path):
+        tree = tmp_path / "mods"
+        tree.mkdir()
+        (tree / "A.mhs").write_text(
+            "module A (inc) where\ninc :: Int -> Int\ninc x = x + 1\n")
+        (tree / "B.mhs").write_text(
+            "module B (f) where\nimport A\nf = inc 'c'\n")
+        (tree / "C.mhs").write_text(
+            "module C (g) where\nimport A\ng = inc 2\n")
+        return tree
+
+    def test_directory_triggers_module_mode(self, module_tree, capsys):
+        assert main(["check", str(module_tree),
+                     "--set", "cache_dir="]) == 1
+        err = capsys.readouterr().err
+        # the tolerant loop reports B's error AND still checks C
+        assert "error" in err and "checked" in err
+        assert "cannot unify" in err
+        assert "^" in err  # caret rendering with the module's source
+        assert "3 modules" in err
+
+    def test_stats_json_reports_diagnostics(self, module_tree, tmp_path,
+                                            capsys):
+        import json
+        stats_file = tmp_path / "check.json"
+        main(["check", str(module_tree), "--stats-json", str(stats_file),
+              "--set", "cache_dir="])
+        capsys.readouterr()
+        stats = json.loads(stats_file.read_text())
+        assert stats["ok"] is False
+        assert stats["n_errors"] == 1
+        assert stats["modules"]["B"]["status"] == "error"
+        (diag,) = stats["diagnostics"]
+        assert diag["module"] == "B"
+        assert diag["positions"], "diagnostic lost its positions"
+
+    def test_clean_tree_exits_zero(self, module_tree, capsys):
+        (module_tree / "B.mhs").write_text(
+            "module B (f) where\nimport A\nf = inc 3\n")
+        assert main(["check", str(module_tree),
+                     "--set", "cache_dir="]) == 0
+        err = capsys.readouterr().err
+        assert "0 errors" in err
+
+
 class TestCore:
     def test_dumps_requested_binding(self, program_file, capsys):
         assert main(["core", program_file, "double"]) == 0

@@ -1,5 +1,7 @@
 """Diagnostics: positions, messages, the pretty renderer."""
 
+import os
+
 import pytest
 
 from repro import (
@@ -9,7 +11,9 @@ from repro import (
     ReproError,
     compile_source,
 )
-from repro.errors import LexError, SourcePos
+from repro.errors import LexError, Provenance, SourcePos
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
 
 class TestSourcePositions:
@@ -84,6 +88,50 @@ class TestPrettyRendering:
         assert caret.index("^") == quoted.index(expanded) + expanded.index("x")
 
 
+class TestMultiPositionRendering:
+    """One caret per recorded provenance span — the minimal
+    unsatisfiable core rendered as ``note:`` blocks after the primary
+    diagnostic."""
+
+    def capture(self, source, filename="conflict.mhs"):
+        try:
+            compile_source(source, filename=filename)
+        except ReproError as exc:
+            return exc
+        pytest.fail("expected a compile error")
+
+    def test_multi_caret_matches_golden(self):
+        source = "f x = (x && True, x + 1, f, f, f)"
+        rendered = self.capture(source).pretty(source) + "\n"
+        with open(os.path.join(GOLDEN_DIR, "multi_caret.txt"),
+                  encoding="utf-8") as handle:
+            assert rendered == handle.read()
+
+    def test_one_caret_per_span(self):
+        source = "f x = (x && True, x + 1, f, f, f)"
+        exc = self.capture(source)
+        rendered = exc.pretty(source)
+        distinct = {(p.pos.line, p.pos.column) for p in exc.positions}
+        assert rendered.count("^") == len(distinct) == 2
+
+    def test_primary_span_not_repeated_as_note(self):
+        # The primary position renders once at the top; a provenance
+        # entry for the same span must not produce a duplicate note.
+        source = "main = (True :: Int)"
+        exc = self.capture(source)
+        assert any(p.pos == exc.pos for p in exc.positions)
+        assert exc.pretty(source).count("note:") \
+            == len([p for p in exc.positions if p.pos != exc.pos])
+
+    def test_notes_skip_other_files(self):
+        exc = ReproError("boom", SourcePos(1, 1, "a.mhs"))
+        exc.positions = [Provenance(SourcePos(1, 1, "b.mhs"), "application")]
+        rendered = exc.pretty("line one")
+        # the note still names the foreign span, but quotes no source
+        assert "b.mhs:1:1" in rendered
+        assert rendered.count("^") == 1  # primary caret only
+
+
 class TestErrorProtocol:
     """Stable machine-readable codes and the JSON rendering — the
     compile server's error envelope is built from these."""
@@ -126,11 +174,26 @@ class TestErrorProtocol:
             "code": "parse",
             "message": "m.mhs:3:7: unexpected thing",
             "pos": {"filename": "m.mhs", "line": 3, "column": 7},
+            "positions": [],
         }
 
     def test_to_json_without_position(self):
         data = ReproError("boom").to_json()
-        assert data == {"code": "error", "message": "boom", "pos": None}
+        assert data == {"code": "error", "message": "boom", "pos": None,
+                        "positions": []}
+
+    def test_to_json_positions_round_trip(self):
+        import json
+        exc = ReproError("boom", SourcePos(3, 7, "m.mhs"))
+        exc.positions = [Provenance(SourcePos(3, 7, "m.mhs"), "annotation"),
+                         Provenance(SourcePos(5, 2, "m.mhs"), "application")]
+        data = json.loads(json.dumps(exc.to_json()))
+        assert data["positions"] == [
+            {"filename": "m.mhs", "line": 3, "column": 7,
+             "reason": "annotation"},
+            {"filename": "m.mhs", "line": 5, "column": 2,
+             "reason": "application"},
+        ]
 
     def test_to_json_is_json_serialisable(self):
         import json

@@ -63,6 +63,7 @@ SERVICE_OVERRIDES = {
     "server_fastpath_ms": 0.5,
     "server_drain_grace": 11.0,
     "request_timeout_ceiling": 30.0,
+    "constraint_provenance": False,
 }
 
 
