@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
     DuplicateInstanceError,
+    MultiParamError,
     NoInstanceError,
     SourcePos,
     StaticError,
@@ -66,6 +67,9 @@ class ClassInfo:
     tyvar_kind: Kind = STAR
     methods: List[MethodInfo] = field(default_factory=list)
     pos: Optional[SourcePos] = None
+    #: number of class parameters; > 1 only for multi-parameter classes,
+    #: which require the CHR solver (docs/SOLVER.md)
+    arity: int = 1
 
     def method(self, name: str) -> Optional[MethodInfo]:
         for m in self.methods:
@@ -113,6 +117,37 @@ class InstanceInfo:
         return out
 
 
+@dataclass
+class MPInstanceInfo:
+    """One instance of a multi-parameter class.
+
+    ``patterns`` holds one depth-1 pattern per class parameter:
+    ``(tycon_name, var_indices)`` where ``tycon_name`` is ``None`` for a
+    bare-variable position (then ``var_indices`` is the single variable)
+    and otherwise names a constructor applied to the listed instance
+    variables.  Variables are numbered 0..n_vars-1 in order of first
+    occurrence across the head; ``var_kinds`` records their kinds.
+
+    ``context`` lists the instance's dictionary parameters in
+    declaration order: ``("sp", cls, var_idx)`` for a single-parameter
+    constraint on one head variable, ``("mp", cls, (i1, ..., ik))`` for
+    a multi-parameter constraint over several.
+    """
+
+    class_name: str
+    patterns: List[Tuple[Optional[str], Tuple[int, ...]]]
+    n_vars: int
+    var_kinds: List[Kind]
+    context: List[Tuple]
+    dict_name: str
+    pos: Optional[SourcePos] = None
+    defined_methods: frozenset = MethodSet()
+
+    @property
+    def n_dict_params(self) -> int:
+        return len(self.context)
+
+
 #: Dictionary layout selector for :class:`ClassEnv`.
 NESTED = "nested"
 FLAT = "flat"
@@ -121,22 +156,40 @@ FLAT = "flat"
 class ClassEnv:
     """All classes and instances of a program, plus layout decisions."""
 
-    def __init__(self, layout: str = NESTED, single_slot_opt: bool = True) -> None:
+    def __init__(self, layout: str = NESTED, single_slot_opt: bool = True,
+                 solver: str = "reduce") -> None:
         if layout not in (NESTED, FLAT):
             raise ValueError(f"unknown dictionary layout {layout!r}")
         self.layout = layout
         self.single_slot_opt = single_slot_opt
+        #: which constraint solver the compilation uses; multi-parameter
+        #: classes are only accepted under "chr" (docs/SOLVER.md)
+        self.solver = solver
         self.classes: Dict[str, ClassInfo] = {}
         self.instances: Dict[Tuple[str, str], InstanceInfo] = {}
+        #: instances of multi-parameter classes, by class name — kept
+        #: apart from the paper's per-tycon table because their heads
+        #: are pattern tuples, not a single constructor
+        self.mp_instances: Dict[str, List[MPInstanceInfo]] = {}
         self.method_owner: Dict[str, str] = {}
         #: default types for ambiguity resolution (section 6.3 case 4)
         self.default_types: List[str] = ["Int", "Float"]
+        #: memoized transitive-superclass sets; safe without
+        #: invalidation because superclasses must be declared before
+        #: use, so a class's ancestor set is fixed at declaration time
+        self._supers_cache: Dict[str, Tuple[List[str], frozenset]] = {}
 
     # ------------------------------------------------------------- classes
 
     def add_class(self, info: ClassInfo) -> None:
         if info.name in self.classes:
             raise StaticError(f"class {info.name} declared twice", info.pos)
+        if info.arity > 1 and self.solver != "chr":
+            raise MultiParamError(
+                f"class {info.name} has {info.arity} parameters, but the "
+                f"'{self.solver}' solver only resolves single-parameter "
+                f"classes; compile with --set solver=chr (or "
+                f"REPRO_SOLVER=chr)", info.pos)
         for sup in info.superclasses:
             if sup not in self.classes:
                 raise StaticError(
@@ -163,9 +216,14 @@ class ClassEnv:
     def owner_of_method(self, method: str) -> Optional[str]:
         return self.method_owner.get(method)
 
-    def supers_transitive(self, name: str) -> List[str]:
-        """Every (transitive) superclass of *name*, excluding *name*,
-        in deterministic BFS order."""
+    def _ancestors(self, name: str) -> Tuple[List[str], frozenset]:
+        """Memoized ``(bfs_order, member_set)`` of *name*'s transitive
+        superclasses.  Computed once per class: superclasses must be
+        declared before their subclasses, so the set can never change
+        after *name* itself is declared."""
+        cached = self._supers_cache.get(name)
+        if cached is not None:
+            return cached
         out: List[str] = []
         seen = {name}
         frontier = list(self.class_info(name).superclasses)
@@ -176,12 +234,19 @@ class ClassEnv:
             seen.add(sup)
             out.append(sup)
             frontier.extend(self.class_info(sup).superclasses)
-        return out
+        cached = (out, frozenset(out))
+        self._supers_cache[name] = cached
+        return cached
+
+    def supers_transitive(self, name: str) -> List[str]:
+        """Every (transitive) superclass of *name*, excluding *name*,
+        in deterministic BFS order."""
+        return list(self._ancestors(name)[0])
 
     def implies(self, cls: str, target: str) -> bool:
         """True when a ``cls`` constraint makes a ``target`` constraint
         redundant (equal, or ``target`` is a superclass of ``cls``)."""
-        return cls == target or target in self.supers_transitive(cls)
+        return cls == target or target in self._ancestors(cls)[1]
 
     def superclass_path(self, have: str, need: str) -> Optional[List[Tuple[str, str]]]:
         """A chain of direct-superclass hops from *have* to *need*.
@@ -264,6 +329,15 @@ class ClassEnv:
     def instances_of_class(self, class_name: str) -> List[InstanceInfo]:
         return [info for (_, cls), info in self.instances.items()
                 if cls == class_name]
+
+    def add_mp_instance(self, info: MPInstanceInfo) -> None:
+        """Register a multi-parameter instance.  Overlap/termination
+        checks run before registration (repro.solver.rules); this only
+        stores the validated rule."""
+        self.mp_instances.setdefault(info.class_name, []).append(info)
+
+    def mp_instances_of(self, class_name: str) -> List[MPInstanceInfo]:
+        return self.mp_instances.get(class_name, [])
 
     # -------------------------------------------------------------- layout
 

@@ -47,7 +47,12 @@ from repro.errors import (
     StaticError,
     TypeCheckError,
 )
-from repro.core.classes import ClassEnv, InstanceInfo, MethodInfo
+from repro.core.classes import (
+    ClassEnv,
+    InstanceInfo,
+    MethodInfo,
+    MPInstanceInfo,
+)
 from repro.core.kinds import STAR, Kind, kind_arity, prune_kind
 from repro.core.placeholders import (
     ClassPlaceholder,
@@ -84,11 +89,15 @@ from repro.core.types import (
 )
 from repro.core.unify import Unifier
 from repro.lang import ast
+from repro.solver import make_solver
+from repro.solver.rules import match_mp_instance
 from repro.util.graph import Digraph, strongly_connected_components
 from repro.util.names import (
     NameSupply,
     default_method_name,
     method_impl_name,
+    mp_head_key,
+    mp_method_impl_name,
     selector_name,
     superclass_selector_name,
 )
@@ -207,7 +216,10 @@ class Inferencer:
         self.unifier = Unifier(
             self.class_env,
             max_depth=getattr(self.options, "max_type_depth", 10_000),
-            provenance=getattr(self.options, "constraint_provenance", True))
+            provenance=getattr(self.options, "constraint_provenance", True),
+            solver=make_solver(getattr(self.options, "solver", "reduce")),
+            minimize_cap=getattr(self.options, "provenance_minimize_cap",
+                                 300))
         self.names = NameSupply()
         self.level = 0
         self.env = global_env if global_env is not None else TypeEnv()
@@ -491,8 +503,17 @@ class Inferencer:
                     bind.set_simple_rhs(rhs)
                     self.unify(ty, sig_ty, bind.pos, reason=reason)
                 dict_params = [self.names.fresh("d") for _ in sig_preds]
-                param_env = {(cls, v.id): name
-                             for (cls, v), name in zip(sig_preds, dict_params)}
+                param_env: Dict[Tuple[str, object], str] = {}
+                for (cls, v), pname in zip(sig_preds, dict_params):
+                    if isinstance(v, tuple):
+                        # Multi-parameter predicate: key on the tuple of
+                        # (read-only) variable ids, in declared order.
+                        # Predicates with concrete positions resolve
+                        # structurally (match_mp_instance), not here.
+                        if all(isinstance(t, TyVar) for t in v):
+                            param_env[(cls, tuple(t.id for t in v))] = pname
+                    else:
+                        param_env[(cls, v.id)] = pname
                 self.resolve_scope(scope, param_env, None)
             finally:
                 self.scope = scope.parent
@@ -600,7 +621,13 @@ class Inferencer:
             ty, preds, _ = entry.scheme.instantiate(self.level)
             out: ast.Expr = expr
             for cls, var in preds:
-                ph = ClassPlaceholder(var, expr.pos, class_name=cls)
+                # A multi-parameter predicate instantiates to a *tuple*
+                # of types; its placeholder carries them all.
+                if isinstance(var, tuple):
+                    ph = ClassPlaceholder(var[0], expr.pos, class_name=cls,
+                                          arg_types=list(var))
+                else:
+                    ph = ClassPlaceholder(var, expr.pos, class_name=cls)
                 node = make_placeholder_expr(ph)
                 self.scope.add(ph, node)
                 out = ast.App(out, node, pos=expr.pos)
@@ -608,13 +635,22 @@ class Inferencer:
         if isinstance(entry, MethodEntry):
             ty, preds, _ = entry.method.scheme.instantiate(self.level)
             cls0, class_var = preds[0]
-            ph = MethodPlaceholder(class_var, expr.pos,
-                                   method_name=expr.name, class_name=cls0)
+            if isinstance(class_var, tuple):
+                ph = MethodPlaceholder(class_var[0], expr.pos,
+                                       method_name=expr.name, class_name=cls0,
+                                       arg_types=list(class_var))
+            else:
+                ph = MethodPlaceholder(class_var, expr.pos,
+                                       method_name=expr.name, class_name=cls0)
             node = make_placeholder_expr(ph)
             self.scope.add(ph, node)
             out = node
             for cls, var in preds[1:]:  # extra overloading, section 8.5
-                extra = ClassPlaceholder(var, expr.pos, class_name=cls)
+                if isinstance(var, tuple):
+                    extra = ClassPlaceholder(var[0], expr.pos, class_name=cls,
+                                             arg_types=list(var))
+                else:
+                    extra = ClassPlaceholder(var, expr.pos, class_name=cls)
                 extra_node = make_placeholder_expr(extra)
                 self.scope.add(extra, extra_node)
                 out = ast.App(out, extra_node, pos=expr.pos)
@@ -752,6 +788,9 @@ class Inferencer:
             node.resolved = out
             return
         assert isinstance(ph, (ClassPlaceholder, MethodPlaceholder))
+        if ph.arg_types is not None:
+            self.resolve_mp(entry, scope, param_env, group)
+            return
         ty = prune(ph.type)
         if isinstance(ty, TyVar):
             # Case 1: the variable is in the parameter environment.
@@ -779,6 +818,53 @@ class Inferencer:
                                                  ty, scope, ph.pos)
         else:
             node.resolved = self.method_expr(ph, head, args, ty, scope)
+
+    def resolve_mp(self, entry: PendingPlaceholder, scope: PlaceholderScope,
+                   param_env: Dict[Tuple[str, int], str],
+                   group: Optional[GroupState]) -> None:
+        """Resolution of a multi-parameter placeholder ``C t1 ... tn``.
+
+        The same four-case analysis as :meth:`resolve_one`, adapted to a
+        tuple of types: an all-variable constraint looks up the tuple of
+        variable ids in the parameter environment (case 1); a constraint
+        with constructor heads matches the (non-overlapping) instance
+        patterns structurally (case 2); leftover variables defer to the
+        enclosing group (case 3) or — since multi-parameter constraints
+        are never generalized implicitly and never defaulted — report an
+        ambiguity asking for a type signature (case 4).
+        """
+        ph = entry.placeholder
+        node = entry.node
+        tys = [prune(t) for t in ph.arg_types]
+        ph.arg_types = tys
+        if all(isinstance(t, TyVar) for t in tys):
+            name = param_env.get((ph.class_name, tuple(t.id for t in tys)))
+            if name is not None:
+                base: ast.Expr = ast.Var(name, pos=ph.pos)
+                if isinstance(ph, MethodPlaceholder):
+                    node.resolved = self.method_access(
+                        ph.class_name, ph.method_name, base, ph.pos)
+                else:
+                    node.resolved = base
+                return
+        matched = match_mp_instance(self.class_env, ph.class_name, tys)
+        if matched is not None:
+            info, bindings = matched
+            if isinstance(ph, MethodPlaceholder):
+                node.resolved = self.mp_method_expr(ph, info, bindings, scope)
+            else:
+                node.resolved = self.mp_dictionary_expr(info, bindings,
+                                                        scope, ph.pos)
+            return
+        tyvars = [t for t in tys if isinstance(t, TyVar)]
+        rendered = " ".join(type_str(t, 2) for t in tys)
+        if tyvars:
+            if any(v.level <= self.level for v in tyvars) \
+                    and scope.parent is not None:
+                scope.defer(entry)
+                return
+            raise AmbiguityError([ph.class_name], rendered, ph.pos)
+        raise NoInstanceError(ph.class_name, rendered, ph.pos)
 
     def resolve_from_params(self, ph: Placeholder, ty: TyVar,
                             param_env: Dict[Tuple[str, int], str]
@@ -856,6 +942,57 @@ class Inferencer:
                 f"default", ph.pos)
         dict_expr = self.dictionary_expr(owner, head, args, full_ty,
                                          scope, ph.pos)
+        return ast.App(ast.Var(default_method_name(owner, ph.method_name),
+                               pos=ph.pos), dict_expr, pos=ph.pos)
+
+    # ------------------------------------- multi-parameter dictionaries
+
+    def _mp_context_args(self, info: MPInstanceInfo, bindings: List[Type],
+                         scope: PlaceholderScope, out: ast.Expr,
+                         pos: Optional[SourcePos]) -> ast.Expr:
+        """Apply *out* to one placeholder per entry of the instance's
+        context, with the matched head types substituted in."""
+        for centry in info.context:
+            if centry[0] == "sp":
+                _, cls, var_idx = centry
+                sub = ClassPlaceholder(bindings[var_idx], pos, class_name=cls)
+            else:
+                _, cls, var_idxs = centry
+                tys = [bindings[i] for i in var_idxs]
+                sub = ClassPlaceholder(tys[0], pos, class_name=cls,
+                                       arg_types=tys)
+            sub_node = make_placeholder_expr(sub)
+            scope.add(sub, sub_node)
+            out = ast.App(out, sub_node, pos=pos)
+        return out
+
+    def mp_dictionary_expr(self, info: MPInstanceInfo, bindings: List[Type],
+                           scope: PlaceholderScope,
+                           pos: Optional[SourcePos]) -> ast.Expr:
+        """A dictionary for a matched multi-parameter instance: its
+        dictionary constructor applied to the context's dictionaries."""
+        return self._mp_context_args(info, bindings, scope,
+                                     ast.Var(info.dict_name, pos=pos), pos)
+
+    def mp_method_expr(self, ph: MethodPlaceholder, info: MPInstanceInfo,
+                       bindings: List[Type],
+                       scope: PlaceholderScope) -> ast.Expr:
+        """A multi-parameter class method at fully known types — direct
+        call of the instance implementation, like :meth:`method_expr`."""
+        owner = ph.class_name
+        head_key = mp_head_key(info.patterns)
+        if ph.method_name in info.defined_methods:
+            out: ast.Expr = ast.Var(
+                mp_method_impl_name(owner, head_key, ph.method_name),
+                pos=ph.pos)
+            return self._mp_context_args(info, bindings, scope, out, ph.pos)
+        method = self.class_env.class_info(owner).method(ph.method_name)
+        if method is None or not method.has_default:
+            raise TypeCheckError(
+                f"instance {owner} {head_key} gives no definition of "
+                f"method {ph.method_name} and the class declares no "
+                f"default", ph.pos)
+        dict_expr = self.mp_dictionary_expr(info, bindings, scope, ph.pos)
         return ast.App(ast.Var(default_method_name(owner, ph.method_name),
                                pos=ph.pos), dict_expr, pos=ph.pos)
 
@@ -977,6 +1114,14 @@ class Inferencer:
                 continue
             self._compiled_instances.add(key)
             self.compile_instance(info, decl)
+        # Multi-parameter instances: keyed by head signature (contains a
+        # ``$`` or ``_``, so the keys never clash with tycon names).
+        for info, decl in getattr(self.static, "mp_instance_bodies", []):
+            key = (info.class_name, mp_head_key(info.patterns))
+            if key in self._compiled_instances:
+                continue
+            self._compiled_instances.add(key)
+            self.compile_mp_instance(info, decl)
 
     def instance_method_scheme(self, info: InstanceInfo,
                                method: MethodInfo) -> Scheme:
@@ -1118,3 +1263,124 @@ class Inferencer:
         return CompiledBinding(
             info.dict_name, body, None, list(sub_params), "dict",
             dict_classes=[cls for (_i, cls) in info.dict_param_preds()])
+
+    # ------------------------------------- multi-parameter instances
+
+    def mp_instance_method_scheme(self, info: MPInstanceInfo,
+                                  method: MethodInfo) -> Scheme:
+        """The method's scheme specialised to a multi-parameter instance
+        head: the class's parameters (``TyGen 0 .. arity-1`` in the
+        method scheme) are replaced by the instance's head patterns over
+        the instance variables, and the instance context becomes the
+        leading predicates."""
+        arity = len(info.patterns)
+        heads: List[Type] = []
+        for tycon_name, var_idxs in info.patterns:
+            if tycon_name is None:
+                heads.append(TyGen(var_idxs[0]))
+            else:
+                h: Type = self.static.tycon(tycon_name)
+                for j in var_idxs:
+                    h = TyApp(h, TyGen(j))
+                heads.append(h)
+
+        def shift(t: Type) -> Type:
+            t = prune(t)
+            if isinstance(t, TyGen):
+                if t.index < arity:
+                    return heads[t.index]
+                return TyGen(info.n_vars + t.index - arity)
+            if isinstance(t, TyApp):
+                return TyApp(shift(t.fn), shift(t.arg))
+            return t
+
+        kinds = list(info.var_kinds) + method.scheme.kinds[arity:]
+        preds: List[Pred] = []
+        for centry in info.context:
+            if centry[0] == "sp":
+                _, cls, var_idx = centry
+                preds.append(Pred(cls, TyGen(var_idx)))
+            else:
+                _, cls, var_idxs = centry
+                preds.append(Pred(cls, types=[TyGen(i) for i in var_idxs]))
+        for extra in method.scheme.preds[1:]:
+            emp = getattr(extra, "types", None)
+            if emp is not None:
+                preds.append(Pred(extra.class_name,
+                                  types=[shift(t) for t in emp]))
+            else:
+                preds.append(Pred(extra.class_name, shift(extra.type)))
+        return Scheme(kinds, preds, shift(method.scheme.type))
+
+    def compile_mp_instance(self, info: MPInstanceInfo,
+                            decl: ast.InstanceDecl) -> None:
+        class_info = self.class_env.class_info(info.class_name)
+        bound = {b.name: b for b in decl.bindings}
+        head_key = mp_head_key(info.patterns)
+        for method in class_info.methods:
+            binding = bound.get(method.name)
+            if binding is None:
+                continue
+            scheme = self.mp_instance_method_scheme(info, method)
+            impl = ast.simple_bind(
+                mp_method_impl_name(info.class_name, head_key, method.name),
+                binding.simple_rhs, pos=binding.pos)
+            self.check_explicit(impl, scheme, kind="impl")
+        self.output.append(self.build_mp_dictionary_binding(info, class_info,
+                                                            bound))
+
+    def build_mp_dictionary_binding(self, info: MPInstanceInfo, class_info,
+                                    bound: Dict[str, ast.FunBind]
+                                    ) -> CompiledBinding:
+        """The dictionary constructor for a multi-parameter instance.
+
+        Simpler than :meth:`build_dictionary_binding`: multi-parameter
+        classes have no superclasses, so every slot is a method of the
+        class itself — a bound implementation, a default, or an error
+        thunk.  No placeholder resolution is needed.
+        """
+        pos = info.pos
+        head_key = mp_head_key(info.patterns)
+        sub_params = [f"d$i{i + 1}" for i in range(info.n_dict_params)]
+        this_name = info.dict_name if not sub_params else "dict$this"
+
+        def sub_dict_args(target: ast.Expr) -> ast.Expr:
+            out = target
+            for p in sub_params:
+                out = ast.App(out, ast.Var(p, pos=pos), pos=pos)
+            return out
+
+        slots: List[ast.Expr] = []
+        for (kind, owner, name) in self.class_env.dict_slots(info.class_name):
+            assert kind != "super" and owner == info.class_name, \
+                "multi-parameter classes have no superclasses"
+            if name in bound:
+                slots.append(sub_dict_args(ast.Var(
+                    mp_method_impl_name(info.class_name, head_key, name),
+                    pos=pos)))
+                continue
+            method = class_info.method(name)
+            if method is not None and method.has_default:
+                slots.append(ast.App(
+                    ast.Var(default_method_name(info.class_name, name),
+                            pos=pos),
+                    ast.Var(this_name, pos=pos), pos=pos))
+                continue
+            slots.append(ast.App(
+                ast.Var("error", pos=pos),
+                ast.Lit(f"no definition of method {name} in instance "
+                        f"{info.class_name} {head_key}", "string",
+                        pos=pos), pos=pos))
+        if self.class_env.uses_bare_dict(info.class_name):
+            body: ast.Expr = slots[0]
+        else:
+            body = ast.TupleExpr(slots, pos=pos)
+        if sub_params:
+            uses_this = any(this_name in ast.expr_free_vars(s) for s in slots)
+            if uses_this:
+                body = ast.Let([ast.simple_bind(this_name, body)],
+                               ast.Var(this_name, pos=pos), pos=pos)
+            body = ast.Lam([ast.PVar(p) for p in sub_params], body, pos=pos)
+        return CompiledBinding(
+            info.dict_name, body, None, list(sub_params), "dict",
+            dict_classes=[centry[1] for centry in info.context])

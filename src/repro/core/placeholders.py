@@ -49,8 +49,15 @@ class Placeholder:
 @dataclass
 class ClassPlaceholder(Placeholder):
     class_name: str = ""
+    #: multi-parameter constraint ``C t1 ... tn``: all constrained types
+    #: (``type`` aliases the first).  ``None`` for the ordinary
+    #: single-parameter case.
+    arg_types: Optional[List[Type]] = None
 
     def __str__(self) -> str:
+        if self.arg_types is not None:
+            args = ", ".join(type_str(prune(t)) for t in self.arg_types)
+            return f"{self.class_name}, {args}"
         return f"{self.class_name}, {type_str(self.pruned_type)}"
 
 
@@ -58,6 +65,8 @@ class ClassPlaceholder(Placeholder):
 class MethodPlaceholder(Placeholder):
     method_name: str = ""
     class_name: str = ""
+    #: see :attr:`ClassPlaceholder.arg_types`
+    arg_types: Optional[List[Type]] = None
 
     def __str__(self) -> str:
         return f"{self.method_name}, {type_str(self.pruned_type)}"

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import KindError, SourcePos, StaticError
 from repro.core.classes import (ClassEnv, ClassInfo, InstanceInfo, MethodInfo,
-                                MethodSet)
+                                MethodSet, MPInstanceInfo)
 from repro.core.kinds import (
     STAR,
     KFun,
@@ -51,7 +51,8 @@ from repro.core.types import (
     fn_types,
 )
 from repro.lang import ast
-from repro.util.names import dict_var_name, method_impl_name
+from repro.util.names import (dict_var_name, method_impl_name,
+                              mp_dict_var_name, mp_head_key)
 
 
 @dataclass
@@ -85,6 +86,9 @@ class StaticEnv:
         self._tycons: Dict[str, TyCon] = {}
         #: instance bodies awaiting compilation: (InstanceInfo, decl AST)
         self.instance_bodies: List[Tuple[InstanceInfo, ast.InstanceDecl]] = []
+        #: multi-parameter instance bodies awaiting compilation
+        self.mp_instance_bodies: List[
+            Tuple[MPInstanceInfo, ast.InstanceDecl]] = []
         #: class declaration ASTs (for default method compilation)
         self.class_bodies: Dict[str, ast.ClassDecl] = {}
         #: type synonyms: name -> (parameters, right-hand side syntax)
@@ -270,23 +274,37 @@ def convert_signature(env: StaticEnv, sig: ast.SQualType) -> Scheme:
     unify_kinds(body_kind, STAR, sig.pos)
     preds: List[Pred] = []
     for pred in sig.context:
-        if not isinstance(pred.type, ast.STyVar):
-            raise StaticError(
-                f"context {pred.class_name} must constrain a type variable "
-                f"in this system", pred.pos)
+        ptypes = pred.all_types
+        for pt in ptypes:
+            if not isinstance(pt, ast.STyVar):
+                raise StaticError(
+                    f"context {pred.class_name} must constrain a type "
+                    f"variable in this system", pred.pos)
         if not env.class_env.is_class(pred.class_name):
             raise StaticError(f"unknown class {pred.class_name}", pred.pos)
-        name = pred.type.name
-        if name not in var_map:
-            # A context variable not mentioned in the body: ambiguous,
-            # but permitted in Haskell; quantify it anyway and let use
-            # sites trip the ambiguity rule.
-            var_map[name] = TyGen(len(var_map))
-            var_kinds[name] = KVar()
-        target = var_map[name]
-        assert isinstance(target, TyGen)
-        unify_kinds(var_kinds[name], STAR, pred.pos)
-        preds.append(Pred(pred.class_name, target))
+        cinfo = env.class_env.classes.get(pred.class_name)
+        if cinfo is not None and cinfo.arity != len(ptypes):
+            raise StaticError(
+                f"class {pred.class_name} has {cinfo.arity} parameter(s), "
+                f"but the constraint supplies {len(ptypes)} type(s)",
+                pred.pos)
+        targets: List[Type] = []
+        for pt in ptypes:
+            name = pt.name
+            if name not in var_map:
+                # A context variable not mentioned in the body: ambiguous,
+                # but permitted in Haskell; quantify it anyway and let use
+                # sites trip the ambiguity rule.
+                var_map[name] = TyGen(len(var_map))
+                var_kinds[name] = KVar()
+            target = var_map[name]
+            assert isinstance(target, TyGen)
+            unify_kinds(var_kinds[name], STAR, pred.pos)
+            targets.append(target)
+        if len(targets) > 1:
+            preds.append(Pred(pred.class_name, types=targets))
+        else:
+            preds.append(Pred(pred.class_name, targets[0]))
     kinds = [default_kind(var_kinds[name])
              for name in sorted(var_map, key=lambda n: var_map[n].index)]  # type: ignore[union-attr]
     return Scheme(kinds, preds, body)
@@ -413,41 +431,59 @@ def _process_class_decl(env: StaticEnv, decl: ast.ClassDecl) -> None:
                 f"default binding for {d.name} which is not a method of "
                 f"class {decl.name}", d.pos)
     info = ClassInfo(decl.name, list(decl.superclasses),
-                     tyvar_kind=STAR, methods=methods, pos=decl.pos)
+                     tyvar_kind=STAR, methods=methods, pos=decl.pos,
+                     arity=len(decl.all_tyvars))
     env.class_env.add_class(info)
     env.class_bodies[decl.name] = decl
 
 
 def _method_scheme(env: StaticEnv, decl: ast.ClassDecl,
                    sig: ast.TypeSig) -> Scheme:
-    """The full scheme of a method: quantified variable 0 is the class
-    variable, predicate 0 is the class constraint, and any extra
-    context declared on the method (section 8.5) follows."""
-    var_map: Dict[str, Type] = {decl.tyvar: TyGen(0)}
-    var_kinds: Dict[str, Kind] = {decl.tyvar: STAR}
+    """The full scheme of a method: quantified variables 0..arity-1 are
+    the class variables, predicate 0 is the class constraint, and any
+    extra context declared on the method (section 8.5) follows."""
+    tyvars = decl.all_tyvars
+    var_map: Dict[str, Type] = {name: TyGen(i)
+                                for i, name in enumerate(tyvars)}
+    var_kinds: Dict[str, Kind] = {name: STAR for name in tyvars}
     body, body_kind = convert_type(env, sig.signature.type, var_map,
                                    var_kinds, implicit_vars=True)
     unify_kinds(body_kind, STAR, sig.pos)
-    preds: List[Pred] = [Pred(decl.name, TyGen(0))]
+    if len(tyvars) > 1:
+        preds: List[Pred] = [Pred(decl.name,
+                                  types=[TyGen(i)
+                                         for i in range(len(tyvars))])]
+    else:
+        preds = [Pred(decl.name, TyGen(0))]
     for pred in sig.signature.context:
-        if not isinstance(pred.type, ast.STyVar):
-            raise StaticError(
-                "method contexts must constrain type variables", pred.pos)
-        if pred.type.name == decl.tyvar:
+        ptypes = pred.all_types
+        for pt in ptypes:
+            if not isinstance(pt, ast.STyVar):
+                raise StaticError(
+                    "method contexts must constrain type variables", pred.pos)
+        if len(ptypes) == 1 and ptypes[0].name in tyvars:
             raise StaticError(
                 f"method signature must not re-constrain the class "
-                f"variable {decl.tyvar}", pred.pos)
-        if pred.type.name not in var_map:
-            var_map[pred.type.name] = TyGen(len(var_map))
-            var_kinds[pred.type.name] = KVar()
-        target = var_map[pred.type.name]
-        assert isinstance(target, TyGen)
-        unify_kinds(var_kinds[pred.type.name], STAR, pred.pos)
-        preds.append(Pred(pred.class_name, target))
-    if decl.tyvar not in _stype_vars(sig.signature.type):
-        raise StaticError(
-            f"method type must mention the class variable {decl.tyvar}",
-            sig.pos)
+                f"variable {ptypes[0].name}", pred.pos)
+        targets: List[Type] = []
+        for pt in ptypes:
+            if pt.name not in var_map:
+                var_map[pt.name] = TyGen(len(var_map))
+                var_kinds[pt.name] = KVar()
+            target = var_map[pt.name]
+            assert isinstance(target, TyGen)
+            unify_kinds(var_kinds[pt.name], STAR, pred.pos)
+            targets.append(target)
+        if len(targets) > 1:
+            preds.append(Pred(pred.class_name, types=targets))
+        else:
+            preds.append(Pred(pred.class_name, targets[0]))
+    mentioned = _stype_vars(sig.signature.type)
+    for tv in tyvars:
+        if tv not in mentioned:
+            raise StaticError(
+                f"method type must mention the class variable {tv}",
+                sig.pos)
     kinds = [default_kind(var_kinds[name])
              for name in sorted(var_map, key=lambda n: var_map[n].index)]  # type: ignore[union-attr]
     return Scheme(kinds, preds, body)
@@ -497,6 +533,10 @@ def decompose_instance_head(head: ast.SType) -> Tuple[str, List[str]]:
 
 
 def _process_instance_decl(env: StaticEnv, decl: ast.InstanceDecl) -> None:
+    cinfo = env.class_env.classes.get(decl.class_name)
+    if decl.heads is not None or (cinfo is not None and cinfo.arity > 1):
+        _process_mp_instance_decl(env, decl)
+        return
     tycon_name, var_names = decompose_instance_head(decl.head)
     kind = env.kind_env.lookup(tycon_name)
     if kind is None and tycon_name.startswith("(,"):
@@ -545,6 +585,130 @@ def _process_instance_decl(env: StaticEnv, decl: ast.InstanceDecl) -> None:
     )
     env.class_env.add_instance(info)
     env.instance_bodies.append((info, decl))
+
+
+def _process_mp_instance_decl(env: StaticEnv,
+                              decl: ast.InstanceDecl) -> None:
+    """Process ``instance ctx => C p1 ... pn`` for a multi-parameter
+    class: each head pattern is a bare type variable or a depth-1
+    constructor application over variables, with the variables distinct
+    across the *whole* head (so matching is pure binding, never
+    unification).  The CHR confluence/termination checks run before the
+    instance is registered."""
+    class_info = env.class_env.class_info(decl.class_name)
+    heads = decl.all_heads
+    if class_info.arity != len(heads):
+        raise StaticError(
+            f"class {decl.class_name} has {class_info.arity} parameter(s), "
+            f"but the instance head supplies {len(heads)} type(s)", decl.pos)
+    var_names: List[str] = []
+    var_kinds: List[Kind] = []
+    patterns: List[Tuple[Optional[str], Tuple[int, ...]]] = []
+    for head in heads:
+        if isinstance(head, ast.STyVar):
+            if head.name in var_names:
+                raise StaticError(
+                    "instance head variables must be distinct across the "
+                    "whole head", head.pos or decl.pos)
+            var_names.append(head.name)
+            var_kinds.append(STAR)
+            patterns.append((None, (len(var_names) - 1,)))
+            continue
+        args: List[ast.SType] = []
+        sty = head
+        while isinstance(sty, ast.STyApp):
+            args.append(sty.arg)
+            sty = sty.fn
+        args.reverse()
+        if not isinstance(sty, ast.STyCon):
+            raise StaticError(
+                "instance head must be a type constructor applied to type "
+                "variables", head.pos or decl.pos)
+        kind = env.kind_env.lookup(sty.name)
+        if kind is None and sty.name.startswith("(,"):
+            kind = env.tycon(sty.name).kind
+        if kind is None:
+            raise StaticError(f"unknown type constructor {sty.name}",
+                              head.pos or decl.pos)
+        if kind_arity(kind) != len(args):
+            raise KindError(
+                f"instance head {sty.name} expects {kind_arity(kind)} type "
+                f"argument(s), got {len(args)}", decl.pos)
+        arg_kinds: List[Kind] = []
+        k = kind
+        while isinstance(k, KFun):
+            arg_kinds.append(k.arg)
+            k = k.res
+        idxs: List[int] = []
+        for arg, ak in zip(args, arg_kinds):
+            if not isinstance(arg, ast.STyVar):
+                raise StaticError(
+                    "instance head arguments must be plain type variables "
+                    "(e.g. 'instance Convert a b => Convert [a] [b]')",
+                    head.pos or decl.pos)
+            if arg.name in var_names:
+                raise StaticError(
+                    "instance head variables must be distinct across the "
+                    "whole head", head.pos or decl.pos)
+            var_names.append(arg.name)
+            var_kinds.append(default_kind(ak))
+            idxs.append(len(var_names) - 1)
+        patterns.append((sty.name, tuple(idxs)))
+    context: List[Tuple] = []
+    seen_context: set = set()
+    for pred in decl.context:
+        if not env.class_env.is_class(pred.class_name):
+            raise StaticError(f"unknown class {pred.class_name}", pred.pos)
+        ptypes = pred.all_types
+        pinfo = env.class_env.classes.get(pred.class_name)
+        if pinfo is not None and pinfo.arity != len(ptypes):
+            raise StaticError(
+                f"class {pred.class_name} has {pinfo.arity} parameter(s), "
+                f"but the constraint supplies {len(ptypes)} type(s)",
+                pred.pos)
+        idxs = []
+        for pt in ptypes:
+            if not isinstance(pt, ast.STyVar) or pt.name not in var_names:
+                raise StaticError(
+                    "instance context must constrain the head's type "
+                    "variables", pred.pos)
+            idxs.append(var_names.index(pt.name))
+        key = (pred.class_name, tuple(idxs))
+        if key in seen_context:
+            raise StaticError(
+                f"duplicate constraint {pred.class_name} in instance "
+                f"context", pred.pos)
+        seen_context.add(key)
+        if len(idxs) > 1:
+            context.append(("mp", pred.class_name, tuple(idxs)))
+        else:
+            context.append(("sp", pred.class_name, idxs[0]))
+    method_names = {m.name for m in class_info.methods}
+    seen_bindings: set = set()
+    for binding in decl.bindings:
+        if binding.name not in method_names:
+            raise StaticError(
+                f"'{binding.name}' is not a method of class "
+                f"{decl.class_name}", binding.pos)
+        if binding.name in seen_bindings:
+            raise StaticError(
+                f"method {binding.name} bound twice in instance",
+                binding.pos)
+        seen_bindings.add(binding.name)
+    info = MPInstanceInfo(
+        class_name=decl.class_name,
+        patterns=patterns,
+        n_vars=len(var_names),
+        var_kinds=var_kinds,
+        context=context,
+        dict_name=mp_dict_var_name(decl.class_name, mp_head_key(patterns)),
+        pos=decl.pos,
+        defined_methods=MethodSet(b.name for b in decl.bindings),
+    )
+    from repro.solver.rules import check_mp_instance  # cycle avoidance
+    check_mp_instance(env.class_env, info)
+    env.class_env.add_mp_instance(info)
+    env.mp_instance_bodies.append((info, decl))
 
 
 def _process_default_decl(env: StaticEnv, decl: ast.DefaultDecl) -> None:

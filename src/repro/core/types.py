@@ -312,15 +312,33 @@ def kind_of(ty: Type) -> Kind:
 # --------------------------------------------------------------------------
 
 class Pred:
-    """A class constraint ``C t`` (in schemes, ``t`` is a ``TyGen``)."""
+    """A class constraint ``C t`` (in schemes, ``t`` is a ``TyGen``).
 
-    __slots__ = ("class_name", "type")
+    A multi-parameter constraint ``C t1 ... tn`` carries all its types
+    in ``types`` (and ``type`` aliases ``types[0]`` so single-parameter
+    consumers keep working); ``types`` is ``None`` for the ordinary
+    single-parameter case.  Read it via ``getattr(pred, "types", None)``
+    — slot classes round-trip through pickle without ``__init__``, so
+    predicates from older interface files may lack the slot.
+    """
 
-    def __init__(self, class_name: str, ty: Type) -> None:
+    __slots__ = ("class_name", "type", "types")
+
+    def __init__(self, class_name: str, ty: Optional[Type] = None,
+                 types: Optional[List[Type]] = None) -> None:
         self.class_name = class_name
-        self.type = ty
+        if types is not None and len(types) > 1:
+            self.types: Optional[List[Type]] = list(types)
+            self.type = self.types[0]
+        else:
+            self.type = types[0] if types else ty
+            assert self.type is not None
+            self.types = None
 
     def __repr__(self) -> str:
+        if self.types is not None:
+            args = " ".join(type_str(t, 2) for t in self.types)
+            return f"{self.class_name} {args}"
         return f"{self.class_name} {type_str(self.type, 2)}"
 
 
@@ -360,6 +378,15 @@ class Scheme:
         new_vars = [fresh(k, level) for k in self.kinds]
         preds_out: List[Tuple[str, TyVar]] = []
         for pred in self.preds:
+            mp = getattr(pred, "types", None)
+            if mp is not None:
+                # Multi-parameter constraint: the types ride on the
+                # placeholder (never on a variable's context — the §5
+                # context machinery is single-parameter by design) and
+                # resolve structurally against the instance patterns.
+                targets = tuple(prune(_subst_gens(t, new_vars)) for t in mp)
+                preds_out.append((pred.class_name, targets))
+                continue
             target = prune(_subst_gens(pred.type, new_vars))
             assert isinstance(target, TyVar), \
                 "scheme predicates must constrain quantified variables"
@@ -489,7 +516,12 @@ def scheme_str(scheme: Scheme) -> str:
 
     preds = []
     for pred in scheme.preds:
-        preds.append(f"{pred.class_name} {go(pred.type, 2)}")
+        mp = getattr(pred, "types", None)
+        if mp is not None:
+            args = " ".join(go(t, 2) for t in mp)
+            preds.append(f"{pred.class_name} {args}")
+        else:
+            preds.append(f"{pred.class_name} {go(pred.type, 2)}")
     body = _scheme_body_str(scheme.type, 0, names, gen_names)
     if not preds:
         return body

@@ -82,10 +82,11 @@ from repro.core.types import (
     undo_trail,
 )
 
-#: Constraint sets larger than this are not minimized (deletion-based
-#: minimization is quadratic in replays); the failing constraint's own
-#: origin is reported instead.
-MINIMIZE_CAP = 300
+#: Default for constraint-set minimization: sets larger than this are
+#: not minimized (deletion-based minimization is quadratic in replays);
+#: the failing constraint's own origin is reported instead.  Per-
+#: compilation configurable as ``Options.provenance_minimize_cap``.
+DEFAULT_MINIMIZE_CAP = 300
 
 
 @dataclass(frozen=True)
@@ -117,9 +118,21 @@ class Unifier:
 
     def __init__(self, class_env: ClassEnv,
                  max_depth: int = DEFAULT_TYPE_DEPTH,
-                 provenance: bool = True) -> None:
+                 provenance: bool = True,
+                 solver=None,
+                 minimize_cap: int = DEFAULT_MINIMIZE_CAP) -> None:
         self.class_env = class_env
         self.max_depth = max_depth
+        if solver is None:
+            from repro.solver import ReduceSolver
+            solver = ReduceSolver()
+        #: the ConstraintSolver behind propagate_classes (repro.solver)
+        self.solver = solver
+        #: minimization budget (Options.provenance_minimize_cap)
+        self.minimize_cap = minimize_cap
+        #: how often a type error's constraint set exceeded the cap and
+        #: skipped minimization (the provenance.minimize-capped counter)
+        self.minimize_capped_count = 0
         self.unify_count = 0
         self.context_reduction_count = 0
         self.constraint_propagations = 0
@@ -332,30 +345,47 @@ class Unifier:
 
     def propagate_classes(self, classes: Iterable[str], ty: Type,
                           pos: Optional[SourcePos] = None) -> None:
-        """The paper's ``propagateClasses``."""
+        """The paper's ``propagateClasses`` — dispatched to the
+        configured :class:`~repro.solver.ConstraintSolver` (the §5
+        recursive reduce path by default, the CHR engine under
+        ``--set solver=chr``)."""
+        if pos is None:
+            pos = self._nearest_pos
+        self.solver.solve(self, list(classes), ty, pos)
+
+    def reduce_classes(self, classes: Iterable[str], ty: Type,
+                       pos: Optional[SourcePos] = None) -> None:
+        """The recursive §5 reduction body (the "reduce" solver)."""
         if pos is None:
             pos = self._nearest_pos
         ty = prune(ty)
         if isinstance(ty, TyVar):
-            if ty.read_only:
-                for cls in classes:
-                    self.constraint_propagations += 1
-                    if self.class_env.context_implied_by(ty.context, cls) is None:
-                        raise SignatureError(
-                            f"the inferred context requires {cls} "
-                            f"{ty.name}, which the type signature does "
-                            f"not provide", pos)
-                return
-            # Snapshot the context once before superclass compaction
-            # mutates it (add_constraint both removes and adds).
-            if self._trail is not None:
-                self._trail.append(("context", ty.context, tuple(ty.context)))
             for cls in classes:
-                self.constraint_propagations += 1
-                self.class_env.add_constraint(ty.context, cls)
+                self.attach_var_constraint(cls, ty, pos)
             return
         for cls in classes:
             self.propagate_class_tycon(cls, ty, pos)
+
+    def attach_var_constraint(self, cls: str, ty: TyVar,
+                              pos: Optional[SourcePos]) -> None:
+        """Attach one class constraint to an unbound type variable —
+        the shared variable case of both solvers.  Read-only variables
+        (section 8.6) may not grow their context; flexible ones take
+        the constraint with superclass compaction, trail-snapshotted so
+        a failing episode rolls it back."""
+        self.constraint_propagations += 1
+        if ty.read_only:
+            if self.class_env.context_implied_by(ty.context, cls) is None:
+                raise SignatureError(
+                    f"the inferred context requires {cls} "
+                    f"{ty.name}, which the type signature does "
+                    f"not provide", pos)
+            return
+        # Snapshot the context before superclass compaction mutates it
+        # (add_constraint both removes and adds).
+        if self._trail is not None:
+            self._trail.append(("context", ty.context, tuple(ty.context)))
+        self.class_env.add_constraint(ty.context, cls)
 
     def propagate_class_tycon(self, cls: str, ty: Type,
                               pos: Optional[SourcePos] = None) -> None:
@@ -436,7 +466,8 @@ class Unifier:
             return [failing] if failing is not None else []
         undo_trail(trail, trail_mark)
         fallback = [failing] if failing is not None else constraints[-1:]
-        if len(constraints) > MINIMIZE_CAP:
+        if len(constraints) > self.minimize_cap:
+            self.minimize_capped_count += 1
             return fallback
         self._minimizing = True
         if not self._unsat(constraints, trail_mark):

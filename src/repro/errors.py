@@ -156,6 +156,34 @@ class DuplicateInstanceError(StaticError):
     code = "static.duplicate-instance"
 
 
+class MultiParamError(StaticError):
+    """A multi-parameter class declaration under a solver that cannot
+    resolve it.  The paper's §5 reduce path is inherently one-parameter;
+    MPTCs require ``--set solver=chr`` (docs/SOLVER.md)."""
+
+    code = "static.multi-param"
+
+
+class SolverOverlapError(StaticError):
+    """Two instance simplification rules for the same class overlap:
+    some constraint would match both, so CHR resolution loses confluence
+    (Bottu et al.).  Single-parameter overlap is caught earlier as
+    :class:`DuplicateInstanceError`; this covers the multi-parameter
+    head space."""
+
+    code = "solver.overlap"
+
+
+class SolverNonterminatingError(StaticError):
+    """An instance simplification rule does not shrink its goal: every
+    head position is a bare variable while the context is non-empty, so
+    repeated application of the rule can run forever.  Rejected
+    statically so the CHR solver's fuel budget is a backstop, not a
+    semantics."""
+
+    code = "solver.nonterminating"
+
+
 class ModuleError(ReproError):
     """Base class for module-system errors: unresolved imports, name
     conflicts between modules, export-list problems."""

@@ -81,11 +81,19 @@ def tuple_con_name(arity: int) -> str:
 
 @dataclass
 class SPred:
-    """A class constraint ``C t`` in source syntax."""
+    """A class constraint ``C t`` (or multi-parameter ``C t1 ... tn``)
+    in source syntax.  ``types`` lists all the constrained types when
+    there is more than one (``type`` stays the first); it is ``None``
+    for the ordinary single-parameter form."""
 
     class_name: str
     type: SType
     pos: Optional[SourcePos] = None
+    types: Optional[List[SType]] = None
+
+    @property
+    def all_types(self) -> List[SType]:
+        return self.types if self.types is not None else [self.type]
 
 
 @dataclass
@@ -405,7 +413,12 @@ class TypeSynDecl(Decl):
 
 @dataclass
 class ClassDecl(Decl):
-    """``class supers => C a where { sigs ; default bindings }``."""
+    """``class supers => C a where { sigs ; default bindings }``.
+
+    A multi-parameter class ``class C a b where ...`` carries all its
+    variables in ``tyvars`` (``tyvar`` stays the first); ``tyvars`` is
+    ``None`` for the single-parameter form.
+    """
 
     superclasses: List[str]
     name: str
@@ -413,17 +426,32 @@ class ClassDecl(Decl):
     signatures: List[TypeSig]
     defaults: List[FunBind]
     pos: Optional[SourcePos] = None
+    tyvars: Optional[List[str]] = None
+
+    @property
+    def all_tyvars(self) -> List[str]:
+        return self.tyvars if self.tyvars is not None else [self.tyvar]
 
 
 @dataclass
 class InstanceDecl(Decl):
-    """``instance context => C (T a1 ... an) where { bindings }``."""
+    """``instance context => C (T a1 ... an) where { bindings }``.
+
+    A multi-parameter instance ``instance C p1 ... pn`` carries all its
+    head patterns in ``heads`` (``head`` stays the first); ``heads`` is
+    ``None`` for the single-parameter form.
+    """
 
     context: List[SPred]
     class_name: str
     head: SType
     bindings: List[FunBind]
     pos: Optional[SourcePos] = None
+    heads: Optional[List[SType]] = None
+
+    @property
+    def all_heads(self) -> List[SType]:
+        return self.heads if self.heads is not None else [self.head]
 
 
 @dataclass

@@ -62,11 +62,13 @@ class Desugarer:
         if isinstance(decl, ast.ClassDecl):
             return ast.ClassDecl(
                 decl.superclasses, decl.name, decl.tyvar, decl.signatures,
-                [self.fun_bind(d) for d in decl.defaults], pos=decl.pos)
+                [self.fun_bind(d) for d in decl.defaults], pos=decl.pos,
+                tyvars=decl.tyvars)
         if isinstance(decl, ast.InstanceDecl):
             return ast.InstanceDecl(
                 decl.context, decl.class_name, decl.head,
-                [self.fun_bind(b) for b in decl.bindings], pos=decl.pos)
+                [self.fun_bind(b) for b in decl.bindings], pos=decl.pos,
+                heads=decl.heads)
         return decl
 
     # ------------------------------------------------------------- bindings

@@ -334,9 +334,21 @@ class Parser:
         context = self.parse_optional_context()
         name = self.expect_conid("as class name").value
         tyvar = self.expect_varid("as class type variable").value
+        tyvars = [tyvar]
+        while self.at_varid():  # multi-parameter class: C a b ...
+            tyvars.append(self.advance().value)
+        if len(set(tyvars)) != len(tyvars):
+            raise ParseError(
+                f"class {name} repeats a type variable in its header", start)
+        if len(tyvars) > 1 and context:
+            raise ParseError(
+                f"multi-parameter class {name} may not have superclass "
+                f"constraints", start)
         superclasses: List[str] = []
         for pred in context:
-            if not isinstance(pred.type, ast.STyVar) or pred.type.name != tyvar:
+            if pred.types is not None \
+                    or not isinstance(pred.type, ast.STyVar) \
+                    or pred.type.name != tyvar:
                 raise ParseError(
                     f"superclass constraint {pred.class_name} must be on the "
                     f"class variable '{tyvar}'", pred.pos or start)
@@ -355,13 +367,17 @@ class Parser:
                         "only method signatures and default bindings may "
                         "appear in a class body", decl.pos or start)
         return ast.ClassDecl(superclasses, name, tyvar, signatures, defaults,
-                             pos=start)
+                             pos=start,
+                             tyvars=tyvars if len(tyvars) > 1 else None)
 
     def parse_instance_decl(self) -> ast.InstanceDecl:
         start = self.advance().pos  # 'instance'
         context = self.parse_optional_context()
         class_name = self.expect_conid("as class name in instance").value
         head = self.parse_atype()
+        heads = [head]
+        while self.at_atype_start():  # multi-parameter instance head
+            heads.append(self.parse_atype())
         bindings: List[ast.FunBind] = []
         if self.peek().is_keyword("where"):
             self.advance()
@@ -372,7 +388,8 @@ class Parser:
                     raise ParseError(
                         "only method bindings may appear in an instance body",
                         decl.pos or start)
-        return ast.InstanceDecl(context, class_name, head, bindings, pos=start)
+        return ast.InstanceDecl(context, class_name, head, bindings, pos=start,
+                                heads=heads if len(heads) > 1 else None)
 
     def parse_optional_context(self) -> List[ast.SPred]:
         """Parse ``context =>`` if present.
@@ -420,7 +437,11 @@ class Parser:
     def parse_pred(self) -> ast.SPred:
         cls = self.expect_conid("as class name in context")
         ty = self.parse_atype()
-        return ast.SPred(cls.value, ty, pos=cls.pos)
+        types = [ty]
+        while self.at_atype_start():  # multi-parameter constraint
+            types.append(self.parse_atype())
+        return ast.SPred(cls.value, ty, pos=cls.pos,
+                         types=types if len(types) > 1 else None)
 
     # -------------------------------------------------------------- default
 

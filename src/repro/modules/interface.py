@@ -44,8 +44,9 @@ from repro.lang import ast
 
 #: bumped whenever the pickled payload layout changes; a version-skewed
 #: file on disk is treated as absent and rebuilt.
-#: v1: surface only; v2: + unfoldings (cross-module specialisation).
-INTERFACE_VERSION = 2
+#: v1: surface only; v2: + unfoldings (cross-module specialisation);
+#: v3: Pred grew a ``types`` slot (multi-parameter constraints).
+INTERFACE_VERSION = 3
 
 _MAGIC = b"repro-ri"
 

@@ -59,6 +59,9 @@ SERVICE_OPTION_FIELDS = (
     # diagnostics), never what a successful compile produces, so it must
     # not invalidate cached programs.
     "constraint_provenance",
+    # The minimization cap bounds diagnostic *effort* on failures only;
+    # like constraint_provenance it never changes a successful compile.
+    "provenance_minimize_cap",
 )
 
 
@@ -70,12 +73,26 @@ def _lint_default() -> bool:
     return os.environ.get("REPRO_LINT", "") not in ("", "0")
 
 
+def _solver_default() -> str:
+    """Constraint solver defaults to the paper's §5 reduce path;
+    ``REPRO_SOLVER=chr`` in the environment selects the CHR backend for
+    every compilation in the process — that is how CI runs the whole
+    suite under the alternative solver (docs/SOLVER.md)."""
+    return os.environ.get("REPRO_SOLVER", "") or "reduce"
+
+
 @dataclass
 class CompilerOptions:
     # ---- language rules
     monomorphism_restriction: bool = True
     defaulting: bool = True
     overload_literals: bool = True
+    #: constraint solver: "reduce" (the paper's §5 recursive context
+    #: reduction) or "chr" (the CHR engine in repro.solver, required
+    #: for multi-parameter classes).  Part of the options fingerprint —
+    #: the solvers agree on every single-parameter program, but the set
+    #: of *accepted* programs differs, so cached output is keyed on it.
+    solver: str = field(default_factory=_solver_default)
 
     # ---- dictionary representation (section 8.1)
     dict_layout: str = "nested"  # "nested" | "flat"
@@ -150,6 +167,11 @@ class CompilerOptions:
     #: ``positions`` diagnostic (docs/SERVICE.md); also rolls failed
     #: inference episodes back, keeping shared inferencers clean
     constraint_provenance: bool = True
+    #: constraint sets larger than this are not minimized (deletion-
+    #: based minimization is quadratic in replays); hits are counted as
+    #: the ``provenance.minimize-capped`` phase counter.  0 disables
+    #: minimization entirely.
+    provenance_minimize_cap: int = 300
 
     def with_(self, **kwargs) -> "CompilerOptions":
         """A copy with some fields replaced (ablation helper)."""

@@ -63,6 +63,7 @@ class PhaseTrace:
         self.unify_count = 0
         self.context_reductions = 0
         self.constraint_propagations = 0
+        self.solver_name = "reduce"
 
     # ----------------------------------------------------------- recording
 
@@ -81,10 +82,23 @@ class PhaseTrace:
 
     def finish(self, unifier: Any) -> None:
         """Copy the unifier counters into the trace (called once, when
-        the pipeline hands the context over to the driver)."""
+        the pipeline hands the context over to the driver).  Counters
+        are assigned absolutely (not accumulated) so the call is
+        idempotent."""
         self.unify_count = unifier.unify_count
         self.context_reductions = unifier.context_reduction_count
         self.constraint_propagations = unifier.constraint_propagations
+        capped = getattr(unifier, "minimize_capped_count", 0)
+        if capped:
+            self._counters.setdefault("infer", {})[
+                "provenance.minimize-capped"] = capped
+        solver = getattr(unifier, "solver", None)
+        self.solver_name = getattr(solver, "name", "reduce")
+        if solver is not None and self.solver_name == "chr":
+            bucket = self._counters.setdefault("infer", {})
+            bucket["solver.firings"] = solver.firings
+            bucket["solver.simplifications"] = solver.simplifications
+            bucket["solver.store-peak"] = solver.store_peak
 
     # ------------------------------------------------------- introspection
 
@@ -194,7 +208,8 @@ class CompileContext:
               sources: Sequence[Tuple[str, str]]) -> "CompileContext":
         """A cold compilation: new environments, primitives bound."""
         class_env = ClassEnv(layout=options.dict_layout,
-                             single_slot_opt=options.single_slot_opt)
+                             single_slot_opt=options.single_slot_opt,
+                             solver=options.solver)
         static_env = StaticEnv(class_env)
         global_env = TypeEnv()
         for name, scheme in primitive_schemes().items():

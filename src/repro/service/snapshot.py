@@ -70,9 +70,12 @@ def prelude_fingerprint(options: Optional[CompilerOptions] = None,
 
 
 def _fork_class_env(src: ClassEnv) -> ClassEnv:
-    out = ClassEnv(layout=src.layout, single_slot_opt=src.single_slot_opt)
+    out = ClassEnv(layout=src.layout, single_slot_opt=src.single_slot_opt,
+                   solver=src.solver)
     out.classes = dict(src.classes)
     out.instances = dict(src.instances)
+    out.mp_instances = {cls: list(infos)
+                        for cls, infos in src.mp_instances.items()}
     out.method_owner = dict(src.method_owner)
     out.default_types = list(src.default_types)
     return out
@@ -91,6 +94,7 @@ def _fork_static_env(src: StaticEnv, class_env: ClassEnv) -> StaticEnv:
     out.data_cons = dict(src.data_cons)
     out._tycons = dict(src._tycons)
     out.instance_bodies = list(src.instance_bodies)
+    out.mp_instance_bodies = list(src.mp_instance_bodies)
     out.class_bodies = dict(src.class_bodies)
     out.synonyms = dict(src.synonyms)
     return out
@@ -118,6 +122,10 @@ class PreludeSnapshot:
         u = inferencer.unifier
         self._unifier_counts = (u.unify_count, u.context_reduction_count,
                                 u.constraint_propagations)
+        solver = getattr(u, "solver", None)
+        self._solver_counts = (
+            (solver.firings, solver.simplifications, solver.store_peak)
+            if getattr(solver, "name", "") == "chr" else None)
 
     # ----------------------------------------------------------- building
 
@@ -163,6 +171,10 @@ class PreludeSnapshot:
         (inferencer.unifier.unify_count,
          inferencer.unifier.context_reduction_count,
          inferencer.unifier.constraint_propagations) = self._unifier_counts
+        if self._solver_counts is not None:
+            solver = inferencer.unifier.solver
+            (solver.firings, solver.simplifications,
+             solver.store_peak) = self._solver_counts
         return static_env, inferencer
 
 

@@ -1,0 +1,78 @@
+"""Pluggable constraint solvers (ROADMAP item 1).
+
+The paper's section 5 hard-wires context reduction into the unifier as
+a recursive ``propagateClasses``/``propagateClassTycon`` pair.  *Type
+Classes and Constraint Handling Rules* (Glynn, Stuckey & Sulzmann)
+observes that class and instance declarations compile to a CHR program
+— superclasses become propagation rules, instances become
+simplification rules — whose solver subsumes that path and naturally
+extends to multi-parameter classes.
+
+This package puts both behind one narrow seam:
+
+* :class:`ConstraintSolver` — the protocol the unifier dispatches
+  through (``Options.solver`` selects the implementation);
+* :class:`ReduceSolver` — the paper's recursive reduction, unchanged;
+* :class:`~repro.solver.chr.ChrSolver` — the CHR engine: an explicit
+  goal store processed by fair rule application under a fuel budget,
+  firing exactly the rules :mod:`repro.solver.rules` compiles from the
+  :class:`~repro.core.classes.ClassEnv`.
+
+Both solvers agree on every single-parameter program — the CHR engine
+applies rules in the reduce path's derivation order, so contexts,
+errors, provenance and even the E9 instrumentation counters come out
+identical (the fuzz harness's ``--solver-diff`` mode holds us to it).
+See docs/SOLVER.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Protocol, runtime_checkable
+
+from repro.errors import SourcePos
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.types import Type
+    from repro.core.unify import Unifier
+
+
+@runtime_checkable
+class ConstraintSolver(Protocol):
+    """The seam between the unifier and context reduction.
+
+    ``solve`` discharges the constraints ``classes`` against ``ty``:
+    attaching them to an unbound variable's context, or reducing them
+    through the instance table — raising the usual located
+    :class:`~repro.errors.TypeCheckError` family when it cannot.  The
+    solver may use the *unifier* for trail snapshots, counters and the
+    shared variable case (:meth:`Unifier.attach_var_constraint`)."""
+
+    name: str
+
+    def solve(self, unifier: "Unifier", classes: List[str], ty: "Type",
+              pos: Optional[SourcePos]) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class ReduceSolver:
+    """The paper's §5 recursive context reduction, verbatim."""
+
+    name = "reduce"
+
+    def solve(self, unifier: "Unifier", classes: List[str], ty: "Type",
+              pos: Optional[SourcePos]) -> None:
+        unifier.reduce_classes(classes, ty, pos)
+
+
+def make_solver(name: str) -> ConstraintSolver:
+    """Instantiate the solver selected by ``Options.solver``."""
+    if name == "reduce":
+        return ReduceSolver()
+    if name == "chr":
+        from repro.solver.chr import ChrSolver
+        return ChrSolver()
+    raise ValueError(
+        f"unknown solver {name!r} (expected 'reduce' or 'chr')")
+
+
+__all__ = ["ConstraintSolver", "ReduceSolver", "make_solver"]

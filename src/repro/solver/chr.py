@@ -1,0 +1,112 @@
+"""The CHR constraint engine.
+
+Class and instance declarations denote a Constraint Handling Rules
+program (Glynn/Stuckey/Sulzmann):
+
+* ``class C => D a`` — a *propagation* rule ``D a ==> C a``: a ``D``
+  constraint implies a ``C`` constraint on the same variable.  The
+  engine applies it through superclass compaction when a goal reaches
+  an unbound variable (``ClassEnv.add_constraint`` discards any
+  constraint a stored one implies, and evicts stored constraints the
+  new one implies — the compiled form of every propagation rule).
+* ``instance (C1 a1, ...) => C (T a1 ... ak)`` — a *simplification*
+  rule ``C (T a1 ... ak) <=> C1 a1, ...``: a goal whose type is headed
+  by ``T`` is replaced by the instance's context, one new goal per
+  context constraint.
+
+The engine keeps an explicit **goal store** — a stack of pending
+``(class, type)`` constraints — and fires rules until the store is
+empty.  Goals are pushed so that rule application happens in exactly
+the derivation order of the paper's recursive reduce path; since the
+rule set is confluent (overlap is rejected statically, see
+:mod:`repro.solver.rules`), any fair order gives the same answer, and
+this one makes the two solvers bit-for-bit comparable: same contexts,
+same errors, same counters, same provenance.  Every firing happens
+under the top-level ``unify`` call's :class:`~repro.core.unify.Origin`,
+so minimal-unsat-core minimization keeps working unchanged.
+
+Rule application is budgeted by ``DEFAULT_SOLVER_FUEL`` (one unit per
+goal popped), the :mod:`repro.limits` backstop for inputs that slip
+past the static termination check; exhaustion raises a located
+:class:`~repro.errors.ResourceLimitError` like every other budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import ResourceLimitError, SourcePos, UnificationError
+from repro.limits import DEFAULT_SOLVER_FUEL
+from repro.core.types import TyCon, TyVar, prune, spine, type_str
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.types import Type
+    from repro.core.unify import Unifier
+
+
+class ChrSolver:
+    """CHR rule application over an explicit goal store."""
+
+    name = "chr"
+
+    def __init__(self, fuel: int = DEFAULT_SOLVER_FUEL) -> None:
+        self.fuel = fuel
+        #: total rule firings (propagation + simplification), all solves
+        self.firings = 0
+        #: simplification-rule firings (instance-context replacements)
+        self.simplifications = 0
+        #: high-water mark of the goal store across all solves
+        self.store_peak = 0
+
+    def solve(self, unifier: "Unifier", classes: List[str], ty: "Type",
+              pos: Optional[SourcePos]) -> None:
+        # The store is LIFO with children pushed in reverse, so goals
+        # fire in the reduce path's depth-first preorder (see module
+        # docstring for why the order is free to choose).
+        store = [(cls, ty) for cls in reversed(classes)]
+        if len(store) > self.store_peak:
+            self.store_peak = len(store)
+        fuel = self.fuel
+        class_env = unifier.class_env
+        while store:
+            if fuel == 0:
+                raise ResourceLimitError(
+                    f"CHR solver exhausted its rule-application budget "
+                    f"({self.fuel}); the constraint derivation does not "
+                    f"terminate within the solver fuel", pos,
+                    limit="solver_fuel")
+            fuel -= 1
+            cls, goal = store.pop()
+            self.firings += 1
+            goal = prune(goal)
+            if isinstance(goal, TyVar):
+                # Variable case: store the constraint on the variable's
+                # context.  add_constraint compacts through the
+                # superclass relation — the propagation rules' closure.
+                unifier.attach_var_constraint(cls, goal, pos)
+                continue
+            # Constructor case: exactly one simplification rule can
+            # match (instances are unique per (class, tycon)); replace
+            # the goal by the rule body's constraints.
+            unifier.context_reduction_count += 1
+            self.simplifications += 1
+            head, args = spine(goal)
+            if not isinstance(head, TyCon):
+                raise UnificationError(
+                    f"cannot reduce context {cls} {type_str(goal)}: the "
+                    f"type's head is not a known constructor", pos)
+            contexts = class_env.find_instance_context(
+                head.name, cls, type_str(goal), pos)
+            if len(contexts) != len(args):
+                raise UnificationError(
+                    f"instance {cls} {head.name} expects {len(contexts)} "
+                    f"type argument(s) but the constrained type "
+                    f"{type_str(goal)} has {len(args)}", pos)
+            body = [(c, arg) for class_set, arg in zip(contexts, args)
+                    for c in class_set]
+            store.extend(reversed(body))
+            if len(store) > self.store_peak:
+                self.store_peak = len(store)
+
+
+__all__ = ["ChrSolver"]

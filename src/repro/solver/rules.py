@@ -1,0 +1,209 @@
+"""Compiling the class environment into CHR rules, and the static
+checks that keep the rule set well-behaved.
+
+Translation scheme (Glynn/Stuckey/Sulzmann)
+-------------------------------------------
+
+* ``class (S1, ..., Sk) => C a where ...`` compiles to the propagation
+  rules ``C a ==> S1 a, ..., Sk a``.
+* ``instance (D1 b1, ...) => C (T b1 ... bk)`` compiles to the
+  simplification rule ``C (T b1 ... bk) <=> D1 b1, ...``.
+* a multi-parameter ``instance ctx => C p1 ... pn`` (each ``p`` a bare
+  variable or a depth-1 constructor application) compiles to
+  ``C p1 ... pn <=> ctx``.
+
+:func:`compile_rules` materializes that view of a
+:class:`~repro.core.classes.ClassEnv` — the engine itself
+(:mod:`repro.solver.chr`) fires the rules straight off the environment
+tables, so this explicit form exists for the static checks, docs and
+tests.
+
+Static checks (Bottu et al., *Coherence of Type Class Resolution*)
+------------------------------------------------------------------
+
+* **Overlap** (confluence): two simplification rules for one class must
+  not both match some goal, or resolution would depend on rule order.
+  Single-parameter heads are ``(class, tycon)``-unique already
+  (``static.duplicate-instance``); for multi-parameter heads,
+  :func:`check_mp_instance` rejects any pair of instances whose
+  patterns unify position-wise — ``solver.overlap``.
+* **Termination**: a rule must shrink its goal.  A head position headed
+  by a constructor strictly decreases (contexts may only constrain the
+  *variables* of the head), so the only dangerous shape is a rule whose
+  every head position is a bare variable while its body is non-empty —
+  rejected as ``solver.nonterminating``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SolverNonterminatingError, SolverOverlapError
+from repro.core.classes import ClassEnv, MPInstanceInfo
+from repro.core.types import TyCon, Type, prune, spine
+
+
+# --------------------------------------------------------------------------
+# Materialized rule set (docs / tests / static checks)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PropagationRule:
+    """``class_name a ==> superclass a`` — from one superclass edge."""
+
+    class_name: str
+    superclass: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name} a ==> {self.superclass} a"
+
+
+@dataclass(frozen=True)
+class SimplificationRule:
+    """``class_name <head> <=> <body>`` — from one instance."""
+
+    class_name: str
+    head: Tuple[str, ...]
+    body: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        head = " ".join(self.head)
+        body = ", ".join(self.body) if self.body else "True"
+        return f"{self.class_name} {head} <=> {body}"
+
+
+@dataclass
+class RuleSet:
+    propagation: List[PropagationRule]
+    simplification: List[SimplificationRule]
+
+    def __str__(self) -> str:
+        lines = [str(r) for r in self.propagation]
+        lines += [str(r) for r in self.simplification]
+        return "\n".join(lines)
+
+
+def _var(i: int) -> str:
+    return f"v{i}"
+
+
+def _mp_pattern_str(pattern: Tuple[Optional[str], Tuple[int, ...]]) -> str:
+    tycon, var_idxs = pattern
+    if tycon is None:
+        return _var(var_idxs[0])
+    if not var_idxs:
+        return tycon
+    return "(" + " ".join([tycon] + [_var(i) for i in var_idxs]) + ")"
+
+
+def _mp_context_str(entry: Tuple) -> str:
+    if entry[0] == "sp":
+        _, cls, var_idx = entry
+        return f"{cls} {_var(var_idx)}"
+    _, cls, var_idxs = entry
+    return " ".join([cls] + [_var(i) for i in var_idxs])
+
+
+def compile_rules(class_env: ClassEnv) -> RuleSet:
+    """The CHR program denoted by *class_env*, in declaration order."""
+    propagation = [PropagationRule(info.name, sup)
+                   for info in class_env.classes.values()
+                   for sup in info.superclasses]
+    simplification: List[SimplificationRule] = []
+    for (tycon, cls), info in class_env.instances.items():
+        arity = len(info.context)
+        args = [_var(i) for i in range(arity)]
+        head = "(" + " ".join([tycon] + args) + ")" if args else tycon
+        body = tuple(f"{c} {_var(i)}"
+                     for i, classes in enumerate(info.context)
+                     for c in classes)
+        simplification.append(SimplificationRule(cls, (head,), body))
+    for cls, infos in class_env.mp_instances.items():
+        for info in infos:
+            head = tuple(_mp_pattern_str(p) for p in info.patterns)
+            body = tuple(_mp_context_str(e) for e in info.context)
+            simplification.append(SimplificationRule(cls, head, body))
+    return RuleSet(propagation, simplification)
+
+
+# --------------------------------------------------------------------------
+# Multi-parameter instance matching
+# --------------------------------------------------------------------------
+
+def match_mp_instance(class_env: ClassEnv, class_name: str,
+                      types: List[Type]
+                      ) -> Optional[Tuple[MPInstanceInfo, List[Type]]]:
+    """The simplification rule matching ``class_name types``, with the
+    types bound to the rule's head variables.
+
+    Returns ``(instance, bindings)`` where ``bindings[i]`` is the type
+    the instance's variable *i* matched, or ``None`` when no rule head
+    matches.  The overlap check guarantees at most one rule matches, so
+    first-match is exhaustive search.
+    """
+    for info in class_env.mp_instances_of(class_name):
+        bindings: List[Optional[Type]] = [None] * info.n_vars
+        ok = True
+        for pattern, ty in zip(info.patterns, types):
+            tycon, var_idxs = pattern
+            ty = prune(ty)
+            if tycon is None:
+                bindings[var_idxs[0]] = ty
+                continue
+            head, args = spine(ty)
+            if not isinstance(head, TyCon) or head.name != tycon \
+                    or len(args) != len(var_idxs):
+                ok = False
+                break
+            for idx, arg in zip(var_idxs, args):
+                bindings[idx] = arg
+        if ok:
+            return info, [b for b in bindings if b is not None]
+    return None
+
+
+# --------------------------------------------------------------------------
+# Static confluence / termination checks
+# --------------------------------------------------------------------------
+
+def _patterns_overlap(a: MPInstanceInfo, b: MPInstanceInfo) -> bool:
+    """Whether some goal could match both heads.  Head variables are
+    distinct per instance, so two positions unify iff either is a bare
+    variable or both name the same constructor."""
+    for (tycon_a, _), (tycon_b, _) in zip(a.patterns, b.patterns):
+        if tycon_a is None or tycon_b is None:
+            continue
+        if tycon_a != tycon_b:
+            return False
+    return True
+
+
+def check_mp_instance(class_env: ClassEnv, info: MPInstanceInfo) -> None:
+    """Reject *info* if its simplification rule breaks confluence or
+    termination of the compiled CHR program (run before registration)."""
+    if info.context and all(t is None for t, _ in info.patterns):
+        rendered = " ".join(_mp_pattern_str(p) for p in info.patterns)
+        raise SolverNonterminatingError(
+            f"instance {info.class_name} {rendered} does not terminate: "
+            f"every head position is a bare type variable but the "
+            f"instance context is non-empty, so the simplification rule "
+            f"never shrinks its goal", info.pos)
+    for existing in class_env.mp_instances_of(info.class_name):
+        if _patterns_overlap(existing, info):
+            rendered = " ".join(_mp_pattern_str(p) for p in info.patterns)
+            prev = " ".join(_mp_pattern_str(p) for p in existing.patterns)
+            raise SolverOverlapError(
+                f"overlapping instances for class {info.class_name}: "
+                f"head {rendered} overlaps the earlier instance head "
+                f"{prev}; resolution would not be confluent", info.pos)
+
+
+__all__ = [
+    "PropagationRule",
+    "SimplificationRule",
+    "RuleSet",
+    "compile_rules",
+    "match_mp_instance",
+    "check_mp_instance",
+]

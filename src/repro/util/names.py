@@ -76,6 +76,27 @@ def specialized_name(function: str, signature: str) -> str:
     return f"{function}@{signature}"
 
 
+def mp_head_key(patterns) -> str:
+    """The head signature of a multi-parameter instance, one component
+    per class parameter: the constructor's tidied name, or ``_`` for a
+    bare-variable position (no tycon is literally named ``_``, so keys
+    cannot collide with single-parameter instance names)."""
+    return "$".join(_tidy(tycon) if tycon is not None else "_"
+                    for tycon, _ in patterns)
+
+
+def mp_dict_var_name(class_name: str, head_key: str) -> str:
+    """The dictionary variable for a multi-parameter instance, e.g.
+    ``d$Convert$Int$Float`` for ``instance Convert Int Float``."""
+    return f"d${class_name}${head_key}"
+
+
+def mp_method_impl_name(class_name: str, head_key: str, method: str) -> str:
+    """The implementation function for one method of a multi-parameter
+    instance (the analogue of :func:`method_impl_name`)."""
+    return f"impl${class_name}${head_key}${_tidy(method)}"
+
+
 _SYMBOL_NAMES = {
     "=": "eq",
     "<": "lt",

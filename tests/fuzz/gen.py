@@ -16,6 +16,11 @@ seed fully determines the run:
   token duplication).  These exercise the lexer/parser error paths and
   layout recovery.
 
+A slice of outputs comes from two *solver-focused* shapes instead:
+deep superclass towers (propagation rules, memoized ancestor sets) and
+multi-parameter class programs (chr-only; the ``--solver-diff``
+oracle's tolerated divergence).
+
 The generator never tries to be *semantically* interesting — the point
 is crash containment, not miscompilation hunting — so it favours
 shapes that historically killed the process: deep nesting, deep user
@@ -170,8 +175,74 @@ class ProgramGen:
                 src = src[:j] + src[i:j] + src[j:]
         return src
 
+    # ---------------------------------------------------------- solver shapes
+
+    def superclass_chain(self) -> str:
+        """A deep superclass tower ``C0 <= C1 <= ... <= Cn`` with an
+        instance at every level (sometimes one missing, to hit the
+        no-instance path).  Exercises the propagation rules, superclass
+        dictionary access, and the memoized ancestor sets."""
+        r = self.rng
+        depth = r.randrange(3, 9)
+        lines: List[str] = ["class C0 a where", "  m0 :: a -> Int"]
+        for i in range(1, depth):
+            lines.append(f"class C{i - 1} a => C{i} a where")
+            lines.append(f"  m{i} :: a -> Int")
+        lines.append("data T = T Int")
+        skip = r.randrange(depth) if r.random() < 0.15 else -1
+        for i in range(depth):
+            if i == skip:
+                continue
+            lines.append(f"instance C{i} T where")
+            lines.append(f"  m{i} (T n) = n + {i}")
+        top = depth - 1
+        use = r.randrange(depth)
+        lines.append(f"poly :: C{top} a => a -> Int")
+        lines.append(f"poly x = m{use} x + m{top} x")
+        lines.append(f"main = poly (T {r.randrange(50)})")
+        return "\n".join(lines)
+
+    def mptc(self) -> str:
+        """A multi-parameter class program — accepted only under the
+        chr solver; reduce rejects it with ``static.multi-param``, the
+        one divergence the ``--solver-diff`` oracle tolerates.  A
+        fraction of outputs overlaps its instance heads on purpose
+        (``solver.overlap`` under chr)."""
+        r = self.rng
+        lines = ["class Conv a b where", "  conv :: a -> b",
+                 "instance Conv Int Float where",
+                 "  conv x = fromIntegral x"]
+        if r.random() < 0.6:
+            lines += ["instance Conv Float Int where",
+                      "  conv x = truncate x"]
+        lifted = r.random() < 0.5
+        if lifted:
+            lines += ["instance (Conv a b) => Conv [a] [b] where",
+                      "  conv xs = map conv xs"]
+        if r.random() < 0.15:
+            lines += ["instance Conv Int b where",     # solver.overlap
+                      "  conv x = conv x"]
+        if r.random() < 0.4:
+            lines += ["via :: Conv a b => [a] -> [b]",
+                      "via = conv"]
+        if lifted and r.random() < 0.5:
+            lines += ["main :: [Float]",
+                      f"main = conv [{r.randrange(9)} :: Int, "
+                      f"{r.randrange(9)}]"]
+        else:
+            lines += ["main :: Float",
+                      f"main = conv ({r.randrange(99)} :: Int)"]
+        return "\n".join(lines)
+
     def program(self) -> str:
-        """One fuzz input: 60% grown, 40% mutated."""
+        """One fuzz input: mostly grown/mutated, with a slice of the
+        solver-focused shapes (superclass towers, multi-parameter
+        classes) mixed in."""
+        roll = self.rng.random()
+        if roll < 0.08:
+            return self.superclass_chain()
+        if roll < 0.14:
+            return self.mptc()
         return self.grown() if self.rng.random() < 0.6 else self.mutated()
 
     # ---------------------------------------------------------- module trees

@@ -34,15 +34,19 @@ from repro.service.snapshot import prelude_fingerprint
 #: max_type_depth, eval_depth_limit — joined CompilerOptions: they
 #: change compilation outcomes, so they belong in the key.  Last moved
 #: when the specialization fields — specialize_xmodule,
-#: specialize_budget — joined: both change the linked core.)
+#: specialize_budget — joined: both change the linked core.  Last moved
+#: when the ``solver`` field joined: the backend changes which programs
+#: compile — multi-parameter classes only exist under "chr" — so it
+#: belongs in the key.)  Pinned with an explicit solver so the guard
+#: holds regardless of the REPRO_SOLVER environment override.
 KNOWN_DEFAULT_OPTIONS_FP = (
-    "84df0fd21eedbaf5a5c38d327e0074d77759217bff781829bdcd65193da6dee3")
+    "58e56a257d99f976c89c0726b318906b2540b1bcfdff61113efdb726851716e9")
 
-#: prelude_fingerprint(CompilerOptions()) for the current prelude text.
-#: Moves when the prelude source changes (expected) or when
-#: options_fingerprint moves (see above).
+#: prelude_fingerprint(CompilerOptions(solver="reduce")) for the
+#: current prelude text.  Moves when the prelude source changes
+#: (expected) or when options_fingerprint moves (see above).
 KNOWN_DEFAULT_PRELUDE_FP = (
-    "30df4d8a8fa4fc09aee99e28ca8c09411f4faf4d75d6fd82774f9352f7fbd60d")
+    "164c841b2e3ad3ad1977ada447d69a6f06a86fb06c6a83f88cf2468e66e603ca")
 
 #: a value, different from the default, for each service-only field
 SERVICE_OVERRIDES = {
@@ -64,6 +68,7 @@ SERVICE_OVERRIDES = {
     "server_drain_grace": 11.0,
     "request_timeout_ceiling": 30.0,
     "constraint_provenance": False,
+    "provenance_minimize_cap": 64,
 }
 
 
@@ -129,12 +134,20 @@ class TestKnownGoodDigests:
         # this digest unless it is listed in SERVICE_OPTION_FIELDS.
         # Failing here means "every cached program is about to be
         # invalidated" — decide explicitly, then update the constant.
-        assert options_fingerprint(CompilerOptions()) \
+        # solver is pinned explicitly: its default reads REPRO_SOLVER,
+        # and this guard must hold in the chr CI job too.
+        assert options_fingerprint(CompilerOptions(solver="reduce")) \
             == KNOWN_DEFAULT_OPTIONS_FP
 
     def test_default_prelude_fingerprint_pinned(self):
-        assert prelude_fingerprint(CompilerOptions()) \
+        assert prelude_fingerprint(CompilerOptions(solver="reduce")) \
             == KNOWN_DEFAULT_PRELUDE_FP
+
+    def test_chr_solver_changes_fingerprint(self):
+        # The backend is part of the cache key: the two solvers accept
+        # different programs (multi-parameter classes are chr-only).
+        assert options_fingerprint(CompilerOptions(solver="chr")) \
+            != KNOWN_DEFAULT_OPTIONS_FP
 
     def test_simulated_service_field_addition_is_caught(self):
         # A *new* service-only field must be excluded explicitly.

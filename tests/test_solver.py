@@ -1,0 +1,431 @@
+"""The pluggable constraint-solver backend (docs/SOLVER.md).
+
+Covers the CHR engine and its rule compiler, the static
+confluence/termination checks, multi-parameter classes end-to-end, the
+reduce-side gate, the ``solver.*`` instrumentation counters, the
+memoized superclass ancestor sets, the provenance minimization cap —
+and pins a differential corpus: both solvers must agree, observably,
+on every single-parameter program in it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompilerOptions, compile_source
+from repro.core.classes import ClassEnv, ClassInfo, InstanceInfo
+from repro.core.types import T_INT, TyVar, list_type
+from repro.core.unify import Unifier
+from repro.errors import (
+    MultiParamError,
+    ReproError,
+    ResourceLimitError,
+    SolverNonterminatingError,
+    SolverOverlapError,
+    TypeCheckError,
+)
+from repro.pipeline.context import PhaseTrace
+from repro.service.snapshot import PreludeSnapshot
+from repro.solver import ConstraintSolver, ReduceSolver, make_solver
+from repro.solver.chr import ChrSolver
+from repro.solver.rules import compile_rules
+from tests.fuzz.run_fuzz import check_solver_diff
+
+REDUCE = CompilerOptions(solver="reduce")
+CHR = CompilerOptions(solver="chr")
+
+CONVERT = """\
+class Convert a b where
+  convert :: a -> b
+
+instance Convert Int Float where
+  convert x = fromIntegral x
+
+instance Convert Float Int where
+  convert x = truncate x
+
+main :: Float
+main = convert (3 :: Int) + convert (2 :: Int)
+"""
+
+
+def code_of(source: str, options: CompilerOptions) -> str:
+    with pytest.raises(ReproError) as err:
+        compile_source(source, options)
+    return type(err.value).code
+
+
+# ---------------------------------------------------------------------------
+# Solver selection
+# ---------------------------------------------------------------------------
+
+
+class TestMakeSolver:
+    def test_reduce(self):
+        solver = make_solver("reduce")
+        assert isinstance(solver, ReduceSolver)
+        assert solver.name == "reduce"
+        assert isinstance(solver, ConstraintSolver)
+
+    def test_chr(self):
+        solver = make_solver("chr")
+        assert isinstance(solver, ChrSolver)
+        assert solver.name == "chr"
+        assert isinstance(solver, ConstraintSolver)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_solver("smt")
+
+    def test_options_reach_the_unifier(self):
+        from repro.pipeline import CompileContext
+        ctx = CompileContext.fresh(CHR, [("main = 1", "<t>")])
+        assert ctx.inferencer.unifier.solver.name == "chr"
+        assert ctx.static_env.class_env.solver == "chr"
+
+
+# ---------------------------------------------------------------------------
+# Rule compilation (class env -> CHR program)
+# ---------------------------------------------------------------------------
+
+
+class TestCompileRules:
+    def test_prelude_rules(self):
+        snapshot = PreludeSnapshot.build(REDUCE)
+        rules = compile_rules(snapshot._static_env.class_env)
+        rendered = str(rules).splitlines()
+        # class Eq a => Ord a  ==>  a propagation rule
+        assert "Ord a ==> Eq a" in rendered
+        # instance Eq a => Eq [a]  ==>  a simplification rule
+        assert "Eq ([] v0) <=> Eq v0" in rendered
+        # instance Eq Int has an empty body
+        assert "Eq Int <=> True" in rendered
+
+    def test_mp_instance_rules(self):
+        program = compile_source(CONVERT, CHR)
+        rules = compile_rules(program.class_env)
+        rendered = str(rules).splitlines()
+        assert "Convert Int Float <=> True" in rendered
+        assert "Convert Float Int <=> True" in rendered
+
+
+# ---------------------------------------------------------------------------
+# The CHR engine itself
+# ---------------------------------------------------------------------------
+
+
+def tiny_env() -> ClassEnv:
+    env = ClassEnv(solver="chr")
+    env.add_class(ClassInfo("C", []))
+    env.add_instance(InstanceInfo("Int", "C", "dInt", []))
+    env.add_instance(InstanceInfo("[]", "C", "dList", [["C"]]))
+    return env
+
+
+class TestChrEngine:
+    def test_simplification_discharges_nested_goal(self):
+        solver = ChrSolver()
+        unifier = Unifier(tiny_env(), solver=solver)
+        # C [[Int]] <=>* True: three simplifications, no residue.
+        solver.solve(unifier, ["C"], list_type(list_type(T_INT)), None)
+        assert solver.firings == 3
+        assert solver.simplifications == 3
+        assert solver.store_peak == 1
+
+    def test_variable_goal_lands_in_context(self):
+        solver = ChrSolver()
+        unifier = Unifier(tiny_env(), solver=solver)
+        var = TyVar(1)
+        solver.solve(unifier, ["C"], var, None)
+        assert "C" in var.context
+
+    def test_missing_instance_is_located_error(self):
+        solver = ChrSolver()
+        unifier = Unifier(tiny_env(), solver=solver)
+        from repro.core.types import T_BOOL
+        with pytest.raises(TypeCheckError):
+            solver.solve(unifier, ["C"], T_BOOL, None)
+
+    def test_fuel_exhaustion(self):
+        # C [[Int]] needs three firings; two units of fuel are not
+        # enough, and the failure is a located resource-limit error
+        # like every other budget.
+        solver = ChrSolver(fuel=2)
+        unifier = Unifier(tiny_env(), solver=solver)
+        with pytest.raises(ResourceLimitError) as err:
+            solver.solve(unifier, ["C"], list_type(list_type(T_INT)), None)
+        assert err.value.limit == "solver_fuel"
+
+    def test_counters_surface_in_compile_stats(self):
+        program = compile_source("main = show (1 + 2)", CHR)
+        trace = program.compile_stats.phases
+        assert trace.solver_name == "chr"
+        counters = trace.counters("infer")
+        assert counters["solver.firings"] > 0
+        assert counters["solver.simplifications"] > 0
+        assert counters["solver.store-peak"] >= 1
+
+    def test_reduce_reports_no_solver_counters(self):
+        program = compile_source("main = show (1 + 2)", REDUCE)
+        trace = program.compile_stats.phases
+        assert trace.solver_name == "reduce"
+        assert "solver.firings" not in trace.counters("infer")
+
+
+# ---------------------------------------------------------------------------
+# Multi-parameter classes end-to-end
+# ---------------------------------------------------------------------------
+
+
+class TestMultiParam:
+    def test_convert_runs_under_chr(self):
+        program = compile_source(CONVERT, CHR)
+        assert str(program.schemes["main"]) == "Float"
+        assert program.run("main") == 5.0
+
+    def test_reduce_gate(self):
+        # The paper's reduce path is single-parameter by construction;
+        # the gate names the escape hatch.
+        assert code_of(CONVERT, REDUCE) == "static.multi-param"
+
+    def test_mp_instance_with_context(self):
+        source = CONVERT + """\
+
+instance (Convert a b) => Convert [a] [b] where
+  convert xs = map convert xs
+
+lifted :: [Float]
+lifted = convert [1 :: Int, 2, 3]
+"""
+        program = compile_source(source, CHR)
+        assert program.run("lifted") == [1.0, 2.0, 3.0]
+
+    def test_mp_constraint_propagates_through_signature(self):
+        source = CONVERT + """\
+
+via :: Convert a b => a -> b
+via x = convert x
+
+indirect :: Int
+indirect = via (2.5 :: Float)
+"""
+        program = compile_source(source, CHR)
+        assert program.run("indirect") == 2
+
+    def test_overlap_rejected(self):
+        source = CONVERT + """\
+
+instance Convert Int b where
+  convert x = convert x
+"""
+        assert code_of(source, CHR) == "solver.overlap"
+
+    def test_all_variable_head_rejected(self):
+        source = """\
+class Conv a b where
+  conv :: a -> b
+
+instance Conv b a => Conv a b where
+  conv x = conv (conv x)
+
+main = 0
+"""
+        assert code_of(source, CHR) == "solver.nonterminating"
+
+    def test_static_check_exceptions_are_static_errors(self):
+        from repro.errors import StaticError
+        assert issubclass(SolverOverlapError, StaticError)
+        assert issubclass(SolverNonterminatingError, StaticError)
+        assert issubclass(MultiParamError, StaticError)
+        assert SolverOverlapError.code == "solver.overlap"
+        assert SolverNonterminatingError.code == "solver.nonterminating"
+        assert MultiParamError.code == "static.multi-param"
+
+    def test_mp_class_gate_in_class_env(self):
+        env = ClassEnv(solver="reduce")
+        with pytest.raises(MultiParamError):
+            env.add_class(ClassInfo("Rel", [], arity=2))
+        env = ClassEnv(solver="chr")
+        env.add_class(ClassInfo("Rel", [], arity=2))  # accepted
+
+
+# ---------------------------------------------------------------------------
+# Memoized superclass ancestor sets (deep-chain regression)
+# ---------------------------------------------------------------------------
+
+
+class TestAncestorMemoization:
+    DEPTH = 400
+
+    def tower(self) -> ClassEnv:
+        env = ClassEnv()
+        env.add_class(ClassInfo("C0", []))
+        for i in range(1, self.DEPTH):
+            env.add_class(ClassInfo(f"C{i}", [f"C{i - 1}"]))
+        return env
+
+    def test_deep_chain_is_linear_not_quadratic(self):
+        # Pre-memoization this walk re-traversed the whole tower for
+        # every implies() query; with the cache each class's ancestor
+        # set is computed once.  A 400-class tower with a full
+        # implies() cross-check finishes instantly when memoized and
+        # took seconds (and counted ~DEPTH^2 traversal steps) before.
+        env = self.tower()
+        top = f"C{self.DEPTH - 1}"
+        supers = env.supers_transitive(top)
+        assert len(supers) == self.DEPTH - 1
+        assert supers[0] == f"C{self.DEPTH - 2}"
+        assert supers[-1] == "C0"
+        for i in range(self.DEPTH):
+            assert env.implies(top, f"C{i}")
+        assert not env.implies("C0", top)
+        # One cache entry per class reached, never recomputed.
+        assert len(env._supers_cache) <= self.DEPTH
+
+    def test_cache_survives_forking(self):
+        # Snapshot forks share nothing mutable with the source env;
+        # the cache is rebuilt lazily in the fork, not aliased.
+        env = self.tower()
+        top = f"C{self.DEPTH - 1}"
+        env.supers_transitive(top)
+        from repro.service.snapshot import _fork_class_env
+        fork = _fork_class_env(env)
+        assert fork._supers_cache == {}
+        assert fork.supers_transitive(top) == env.supers_transitive(top)
+
+    def test_diamond_dedupes(self):
+        env = ClassEnv()
+        env.add_class(ClassInfo("A", []))
+        env.add_class(ClassInfo("B", ["A"]))
+        env.add_class(ClassInfo("C", ["A"]))
+        env.add_class(ClassInfo("D", ["B", "C"]))
+        assert env.supers_transitive("D") == ["B", "C", "A"]
+
+
+# ---------------------------------------------------------------------------
+# Provenance minimization cap (Options.provenance_minimize_cap)
+# ---------------------------------------------------------------------------
+
+
+class TestMinimizeCap:
+    def test_cap_reaches_the_unifier(self):
+        from repro.pipeline import CompileContext
+        options = CompilerOptions(provenance_minimize_cap=7)
+        ctx = CompileContext.fresh(options, [("main = 1", "<t>")])
+        assert ctx.inferencer.unifier.minimize_cap == 7
+
+    def test_capped_minimization_counts(self):
+        unifier = Unifier(ClassEnv(), provenance=True, minimize_cap=1)
+        from repro.core.types import T_BOOL
+        with pytest.raises(TypeCheckError):
+            with unifier.episode():
+                unifier.unify(T_INT, T_INT)
+                unifier.unify(T_BOOL, T_BOOL)
+                unifier.unify(T_INT, T_BOOL)
+        assert unifier.minimize_capped_count == 1
+
+    def test_default_cap_minimizes_small_sets(self):
+        unifier = Unifier(ClassEnv(), provenance=True)
+        from repro.core.types import T_BOOL
+        with pytest.raises(TypeCheckError):
+            with unifier.episode():
+                unifier.unify(T_INT, T_INT)
+                unifier.unify(T_INT, T_BOOL)
+        assert unifier.minimize_capped_count == 0
+
+    def test_counter_surfaces_in_phase_trace(self):
+        unifier = Unifier(ClassEnv(), provenance=True, minimize_cap=0)
+        unifier.minimize_capped_count = 3
+        trace = PhaseTrace()
+        trace.finish(unifier)
+        assert trace.counters("infer")["provenance.minimize-capped"] == 3
+
+    def test_cap_is_service_only(self):
+        from repro.options import SERVICE_OPTION_FIELDS
+        assert "provenance_minimize_cap" in SERVICE_OPTION_FIELDS
+
+
+# ---------------------------------------------------------------------------
+# The differential guarantee, pinned
+# ---------------------------------------------------------------------------
+
+#: Single-parameter programs both solvers must agree on — verdict,
+#: error code, inferred schemes, and the value of ``main``.  Drawn
+#: from the shapes the fuzz harness's ``--solver-diff`` mode generates;
+#: pinned here so the guarantee is checked on every plain test run,
+#: not only in the fuzz job.
+SOLVER_DIFF_CORPUS = [
+    ("arith", "main = show (1 + 2 * 3)"),
+    ("superclass-tower", """\
+class C0 a where
+  m0 :: a -> Int
+class C0 a => C1 a where
+  m1 :: a -> Int
+class C1 a => C2 a where
+  m2 :: a -> Int
+data T = T Int
+instance C0 T where
+  m0 (T n) = n
+instance C1 T where
+  m1 (T n) = n + 1
+instance C2 T where
+  m2 (T n) = n + 2
+poly :: C2 a => a -> Int
+poly x = m0 x + m1 x + m2 x
+main = poly (T 10)
+"""),
+    ("missing-instance", """\
+class Sized a where
+  size :: a -> Int
+data P = P Int
+main = size True
+"""),
+    ("missing-superclass-instance", """\
+class C0 a where
+  m0 :: a -> Int
+class C0 a => C1 a where
+  m1 :: a -> Int
+data T = T Int
+instance C1 T where
+  m1 (T n) = n
+main = m1 (T 1)
+"""),
+    ("deferred-then-defaulted", "main = show (sum [1, 2, 3])"),
+    ("instance-context", """\
+data Box a = Box a
+instance Eq a => Eq (Box a) where
+  Box x == Box y = x == y
+main = Box [1, 2] == Box [1, 2]
+"""),
+    ("ambiguous", "main = show (read \"1\")"),
+    ("unify-error", "main = if True then 1 else \"x\""),
+    ("mptc-reduce-gated", CONVERT),
+]
+
+
+class TestDifferentialCorpus:
+    @pytest.fixture(scope="class")
+    def snapshots(self):
+        return (PreludeSnapshot.build(REDUCE), PreludeSnapshot.build(CHR))
+
+    @pytest.mark.parametrize(
+        "name,source", SOLVER_DIFF_CORPUS,
+        ids=[name for name, _ in SOLVER_DIFF_CORPUS])
+    def test_solvers_agree(self, snapshots, name, source):
+        reduce_snapshot, chr_snapshot = snapshots
+        # check_solver_diff raises AssertionError on any observable
+        # difference (verdict, code, schemes, value of main).
+        check_solver_diff(source, reduce_snapshot, chr_snapshot,
+                          REDUCE, CHR)
+
+    def test_counters_match_reduce_exactly(self, snapshots):
+        # Stronger than agreement on results: the CHR engine fires
+        # rules in the reduce path's derivation order, so even the E9
+        # instrumentation counters coincide.
+        source = SOLVER_DIFF_CORPUS[1][1]
+        red = compile_source(source, REDUCE).compile_stats
+        chrp = compile_source(source, CHR).compile_stats
+        assert red.unify_count == chrp.unify_count
+        assert red.phases.context_reductions == chrp.phases.context_reductions
+        assert red.phases.constraint_propagations \
+            == chrp.phases.constraint_propagations
