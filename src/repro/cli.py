@@ -217,6 +217,28 @@ def cmd_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_info(args: argparse.Namespace) -> int:
+    options = build_options(args.set or [], lint=getattr(args, "lint", False),
+                            solver=getattr(args, "solver", None))
+    if not args.kinds and not args.names:
+        raise SystemExit("repro info: give one or more names, --kinds, "
+                         "or both")
+    if args.file:
+        program = load(args.file, options)
+    else:
+        # No file: the prelude alone is in scope.
+        try:
+            program = compile_source("", options, filename="<prelude>")
+        except ReproError as exc:
+            print(exc.pretty(""), file=sys.stderr)
+            return 1
+    if args.kinds:
+        print(program.kinds_listing())
+    for name in args.names:
+        print(program.info(name))
+    return 0
+
+
 def cmd_repl(args: argparse.Namespace) -> int:
     options = build_options(args.set or [], lint=getattr(args, "lint", False),
                             solver=getattr(args, "solver", None))
@@ -494,6 +516,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="only these bindings (default: all)")
     add_common(p_core)
     p_core.set_defaults(fn=cmd_core)
+
+    p_info = sub.add_parser(
+        "info", help="describe names (like the repl's :i) and/or list "
+                     "inferred kinds of every tycon and class")
+    p_info.add_argument("names", nargs="*",
+                        help="classes, data types or bindings to describe")
+    p_info.add_argument("-f", "--file",
+                        help="program to load into scope first "
+                             "(default: just the prelude)")
+    p_info.add_argument("--kinds", action="store_true",
+                        help="list the inferred kind of every type "
+                             "constructor and class in scope")
+    add_common(p_info)
+    p_info.set_defaults(fn=cmd_info)
 
     p_repl = sub.add_parser("repl", help="interactive session")
     p_repl.add_argument("file", nargs="?",

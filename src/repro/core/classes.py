@@ -64,6 +64,9 @@ class MethodInfo:
 class ClassInfo:
     name: str
     superclasses: List[str]
+    #: the inferred kind of the class variable — ``*`` for ``Eq``,
+    #: ``* -> *`` for ``Functor`` (docs/CLASSES.md); multi-parameter
+    #: classes keep every parameter at ``*``
     tyvar_kind: Kind = STAR
     methods: List[MethodInfo] = field(default_factory=list)
     pos: Optional[SourcePos] = None
@@ -76,6 +79,14 @@ class ClassInfo:
             if m.name == name:
                 return m
         return None
+
+    @property
+    def param_kinds(self) -> List[Kind]:
+        """Kind of each class parameter.  Only single-parameter classes
+        may have a non-``*`` (inferred) kind."""
+        if self.arity == 1:
+            return [self.tyvar_kind]
+        return [STAR] * self.arity
 
 
 class MethodSet(frozenset):
@@ -102,6 +113,13 @@ class InstanceInfo:
     #: methods the instance declaration itself binds (others fall back
     #: to the class default, section 8.2)
     defined_methods: frozenset = MethodSet()
+    #: kind of each head variable — the leading argument kinds of the
+    #: instance's type constructor.  For a higher-kinded instance at a
+    #: *partial* application (``instance Functor (Either a)``) this
+    #: covers only the applied arguments; kind-``*`` instances list
+    #: ``*`` per argument.  Empty for pre-v4 interfaces (then every
+    #: head variable has kind ``*``).
+    head_arg_kinds: List[Kind] = field(default_factory=list)
 
     @property
     def n_dict_params(self) -> int:

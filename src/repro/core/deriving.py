@@ -24,14 +24,27 @@ Supported classes:
 * ``Enum`` — constructor tag as the enumeration index (enumerations
   only; ``toEnum`` is return-type overloaded, so this, too, needs
   dictionaries).
+* ``Functor`` — structural ``fmap`` over the *last* type parameter.
+  The generated instance lives at the partially applied head
+  ``T a1 ... a_{n-1}`` (kind ``* -> *``), so it exercises the
+  higher-kinded instance machinery end to end.  Field positions map
+  as: a type not mentioning the parameter is left alone; the bare
+  parameter gets ``f``; an application ``h s1 ... sk`` whose *last*
+  argument alone mentions the parameter maps via ``fmap`` of the
+  recursively built function (a variable head ``h`` adds ``Functor h``
+  to the instance context).  Anything else — the parameter in a
+  contravariant or non-last position, or as the head of an
+  application — is a :class:`~repro.errors.StaticError`.
 
 The derived instance context constrains every type parameter by the
-derived class, e.g. ``instance (Ord a, Ord b) => Ord (T a b)``.
+derived class, e.g. ``instance (Ord a, Ord b) => Ord (T a b)``
+(``Functor`` instead collects exactly the ``Functor h`` constraints
+its mapping needs).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Set, Tuple
 
 from repro.errors import StaticError
 from repro.lang import ast
@@ -40,7 +53,7 @@ from repro.util.names import NameSupply
 if TYPE_CHECKING:
     from repro.core.static import DataConInfo, StaticEnv
 
-DERIVABLE = ("Eq", "Ord", "Text", "Bounded", "Enum")
+DERIVABLE = ("Eq", "Ord", "Text", "Bounded", "Enum", "Functor")
 
 #: classes only derivable for enumerations (all constructors nullary)
 _ENUM_ONLY = ("Bounded", "Enum")
@@ -62,6 +75,9 @@ def derive_instances(env: "StaticEnv",
                     f"cannot derive {class_name} for {decl.name}: only "
                     f"enumerations (all constructors nullary, no type "
                     f"parameters) support it", decl.pos)
+        if class_name == "Functor":
+            out.append(_derive_functor(decl, cons))
+            continue
         context = [ast.SPred(class_name, ast.STyVar(v)) for v in decl.tyvars]
         head: ast.SType = ast.STyCon(decl.name)
         for v in decl.tyvars:
@@ -317,3 +333,86 @@ def _reads_con(con: "DataConInfo", names: NameSupply) -> ast.Expr:
                     build(i + 1, next_rest)))
 
     return build(0, "s$d")
+
+
+# --------------------------------------------------------------------------
+# Functor (higher-kinded: the instance head is a partial application)
+# --------------------------------------------------------------------------
+
+def _derive_functor(decl: ast.DataDecl,
+                    cons: List["DataConInfo"]) -> ast.InstanceDecl:
+    """``instance (Functor h, ...) => Functor (T a1 .. a_{n-1})``."""
+    if not decl.tyvars:
+        raise StaticError(
+            f"cannot derive Functor for {decl.name}: the type has no "
+            f"parameters to map over", decl.pos)
+    var = decl.tyvars[-1]
+    functor_vars: Set[str] = set()
+    names = NameSupply()
+    alts: List[ast.CaseAlt] = []
+    for con, condef in zip(cons, decl.constructors):
+        fields = [names.fresh("a") for _ in range(con.arity)]
+        built: ast.Expr = ast.Con(con.name)
+        for fname, fty in zip(fields, condef.arg_types):
+            built = ast.App(built, _map_field(decl, fty, var, fname,
+                                              functor_vars))
+        alts.append(_alt(_con_pat(con, fields), built))
+    body = ast.Lam([ast.PVar("f$d"), ast.PVar("x$d")],
+                   ast.Case(_var("x$d"), alts))
+    context = [ast.SPred("Functor", ast.STyVar(w))
+               for w in sorted(functor_vars)]
+    head: ast.SType = ast.STyCon(decl.name)
+    for v in decl.tyvars[:-1]:
+        head = ast.STyApp(head, ast.STyVar(v))
+    return ast.InstanceDecl(context, "Functor", head,
+                            [ast.simple_bind("fmap", body)], pos=decl.pos)
+
+
+def _mentions(ty: ast.SType, var: str) -> bool:
+    if isinstance(ty, ast.STyVar):
+        return ty.name == var
+    if isinstance(ty, ast.STyApp):
+        return _mentions(ty.fn, var) or _mentions(ty.arg, var)
+    return False
+
+
+def _sty_spine(ty: ast.SType) -> Tuple[ast.SType, List[ast.SType]]:
+    args: List[ast.SType] = []
+    while isinstance(ty, ast.STyApp):
+        args.append(ty.arg)
+        ty = ty.fn
+    return ty, list(reversed(args))
+
+
+def _map_field(decl: ast.DataDecl, ty: ast.SType, var: str, field_var: str,
+               functor_vars: Set[str]) -> ast.Expr:
+    """The expression for one constructor field under ``fmap``."""
+    if not _mentions(ty, var):
+        return _var(field_var)
+    return _app(_map_fn(decl, ty, var, functor_vars), _var(field_var))
+
+
+def _map_fn(decl: ast.DataDecl, ty: ast.SType, var: str,
+            functor_vars: Set[str]) -> ast.Expr:
+    """A function expression mapping ``f$d`` over *ty*'s ``var`` sites.
+
+    Only covariant, last-argument occurrences are coverable; anything
+    else is rejected (this mirrors GHC's DeriveFunctor minus the
+    contravariant double-flip, which the paper's fragment omits).
+    """
+    if isinstance(ty, ast.STyVar) and ty.name == var:
+        return _var("f$d")
+    head, args = _sty_spine(ty)
+    container_ok = (
+        args
+        and _mentions(args[-1], var)
+        and not any(_mentions(a, var) for a in args[:-1])
+        and not _mentions(head, var))
+    if not container_ok:
+        raise StaticError(
+            f"cannot derive Functor for {decl.name}: type parameter "
+            f"{var} occurs in a position fmap cannot map over",
+            getattr(ty, "pos", None) or decl.pos)
+    if isinstance(head, ast.STyVar):
+        functor_vars.add(head.name)
+    return _app(_var("fmap"), _map_fn(decl, args[-1], var, functor_vars))

@@ -1128,7 +1128,11 @@ class Inferencer:
         """The method's scheme specialised to the instance head, with
         the instance context as its (leading) predicates."""
         tycon = self.static.tycon(info.tycon_name)
-        n_args = kind_arity(tycon.kind)
+        # One head variable per context slot — for a higher-kinded
+        # instance at a partial application (``instance Functor
+        # (Either a)``) this is *fewer* than the constructor's full
+        # kind arity: the head is the partial spine ``Either (TyGen 0)``.
+        n_args = len(info.context)
         head: Type = tycon
         for i in range(n_args):
             head = TyApp(head, TyGen(i))
@@ -1184,9 +1188,14 @@ class Inferencer:
         pos = info.pos
         sub_params = [f"d$i{i + 1}" for i in range(info.n_dict_params)]
         # Parameter environment for resolving the superclass dictionary
-        # slots: the instance context variables, as pseudo type vars.
-        head_vars = [TyVar(STAR, self.level + 1, "i")
-                     for _ in range(len(info.context))]
+        # slots: the instance context variables, as pseudo type vars
+        # with the constructor's argument kinds (all ``*`` before
+        # higher-kinded instances; interfaces older than v4 omit the
+        # kinds, and every such instance is kind-``*``).
+        arg_kinds = list(getattr(info, "head_arg_kinds", None) or [])
+        head_vars = [TyVar(arg_kinds[i] if i < len(arg_kinds) else STAR,
+                           self.level + 1, "i")
+                     for i in range(len(info.context))]
         param_env: Dict[Tuple[str, int], str] = {}
         for (arg_index, cls), name in zip(info.dict_param_preds(), sub_params):
             head_vars[arg_index].context.add(cls)

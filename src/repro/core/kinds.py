@@ -1,11 +1,14 @@
 """Kinds, and kind inference for declarations.
 
 Type classes force the compiler to know the kind of every type
-constructor (the class variable of ``class Eq a`` has kind ``*``; the
-argument of a hypothetical ``class Functor f`` would have kind
-``* -> *``).  We restrict classes to kind ``*`` exactly as Haskell 1.2
-did, but data declarations still need kind inference so that types like
-``data Pair f a = MkPair (f a) (f a)`` check correctly.
+constructor: the class variable of ``class Eq a`` has kind ``*``, and
+the class variable of ``class Functor f`` has kind ``* -> *``.  The
+paper (like Haskell 1.2) restricted classes to kind ``*``; this
+implementation lifts that restriction — a class variable's kind is
+*inferred* from the class's method signatures, and data declarations
+use the same machinery so types like
+``data Pair f a = MkPair (f a) (f a)`` check correctly
+(docs/CLASSES.md).
 
 Kind inference is first-order unification over the kind language
 
@@ -13,11 +16,18 @@ Kind inference is first-order unification over the kind language
 
 with kind variables defaulted to ``*`` when unconstrained (the Haskell
 report's rule).
+
+Kind variables exist only *during* one inference episode — every kind
+that escapes (into a ``TyCon``, ``ClassInfo`` or scheme) has been
+zonked through :func:`default_kind`.  :func:`kvar_scope` scopes the
+variable counter to the episode so diagnostic ids are small and
+deterministic across snapshot forks and worker shards.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
 
 from repro.errors import KindError, SourcePos
 
@@ -65,6 +75,25 @@ class KVar(Kind):
 STAR = KStar()
 
 
+@contextmanager
+def kvar_scope() -> Iterator[None]:
+    """Scope :class:`KVar` ids to one kind-inference episode.
+
+    The counter is process-global mutable state; left unscoped, the ids
+    appearing in ``KindError`` messages would depend on how many
+    declarations every *earlier* compile in the process had inferred —
+    nondeterministic across snapshot forks and worker shards.  Each
+    episode (one declaration group) starts from the id it entered with
+    and restores it on exit, mirroring the level scoping of type
+    variables."""
+    saved = KVar._counter
+    KVar._counter = 0
+    try:
+        yield
+    finally:
+        KVar._counter = saved
+
+
 def kfun(*kinds: Kind) -> Kind:
     """Right-associated kind arrow: ``kfun(a, b, c)`` = ``a -> b -> c``."""
     out = kinds[-1]
@@ -99,7 +128,11 @@ def unify_kinds(a: Kind, b: Kind, pos: Optional[SourcePos] = None) -> None:
         unify_kinds(a.arg, b.arg, pos)
         unify_kinds(a.res, b.res, pos)
         return
-    raise KindError(f"kind mismatch: {kind_str(a)} vs {kind_str(b)}", pos)
+    # Render through default_kind: unconstrained variables print as the
+    # ``*`` they would default to, never as internal ``k17`` names.
+    raise KindError(
+        f"kind mismatch: {kind_str(default_kind(a))} vs "
+        f"{kind_str(default_kind(b))}", pos)
 
 
 def _kind_occurs(var: KVar, kind: Kind) -> bool:
@@ -129,6 +162,28 @@ def kind_arity(kind: Kind) -> int:
         n += 1
         kind = prune_kind(kind.res)
     return n
+
+
+def drop_kind_args(kind: Kind, n: int) -> Optional[Kind]:
+    """The kind left after applying a constructor of kind *kind* to
+    *n* arguments, or ``None`` if it accepts fewer than *n*."""
+    kind = prune_kind(kind)
+    for _ in range(n):
+        if not isinstance(kind, KFun):
+            return None
+        kind = prune_kind(kind.res)
+    return kind
+
+
+def kind_eq(a: Kind, b: Kind) -> bool:
+    """Structural equality of two (zonked) kinds."""
+    a = prune_kind(a)
+    b = prune_kind(b)
+    if isinstance(a, KStar) and isinstance(b, KStar):
+        return True
+    if isinstance(a, KFun) and isinstance(b, KFun):
+        return kind_eq(a.arg, b.arg) and kind_eq(a.res, b.res)
+    return a is b
 
 
 def kind_str(kind: Kind) -> str:

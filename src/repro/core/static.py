@@ -36,8 +36,12 @@ from repro.core.kinds import (
     KindEnv,
     KVar,
     default_kind,
+    drop_kind_args,
     kind_arity,
+    kind_eq,
+    kind_str,
     kfun,
+    kvar_scope,
     unify_kinds,
 )
 from repro.core.types import (
@@ -202,11 +206,15 @@ def expand_synonyms(env: StaticEnv, sty: ast.SType, depth: int = 0) -> ast.SType
                  for p, a in zip(params, args[:len(params)])}
         expanded = _subst_syntax(rhs, subst)
         for extra in args[len(params):]:
-            expanded = ast.STyApp(expanded, expand_synonyms(env, extra, depth + 1))
+            expanded = ast.STyApp(expanded,
+                                  expand_synonyms(env, extra, depth + 1),
+                                  pos=sty.pos)
         return expand_synonyms(env, expanded, depth + 1)
     out = head
     for a in args:
-        out = ast.STyApp(out, expand_synonyms(env, a, depth))
+        # Keep the original node's position: kind errors discovered
+        # after expansion must still point into the source.
+        out = ast.STyApp(out, expand_synonyms(env, a, depth), pos=sty.pos)
     return out
 
 
@@ -269,44 +277,51 @@ def convert_signature(env: StaticEnv, sig: ast.SQualType) -> Scheme:
     """
     var_map: Dict[str, Type] = {}
     var_kinds: Dict[str, Kind] = {}
-    body, body_kind = convert_type(env, sig.type, var_map, var_kinds,
-                                   implicit_vars=True)
-    unify_kinds(body_kind, STAR, sig.pos)
-    preds: List[Pred] = []
-    for pred in sig.context:
-        ptypes = pred.all_types
-        for pt in ptypes:
-            if not isinstance(pt, ast.STyVar):
+    with kvar_scope():
+        body, body_kind = convert_type(env, sig.type, var_map, var_kinds,
+                                       implicit_vars=True)
+        unify_kinds(body_kind, STAR, sig.pos)
+        preds: List[Pred] = []
+        for pred in sig.context:
+            ptypes = pred.all_types
+            for pt in ptypes:
+                if not isinstance(pt, ast.STyVar):
+                    raise StaticError(
+                        f"context {pred.class_name} must constrain a type "
+                        f"variable in this system", pred.pos)
+            if not env.class_env.is_class(pred.class_name):
+                raise StaticError(f"unknown class {pred.class_name}", pred.pos)
+            cinfo = env.class_env.classes.get(pred.class_name)
+            if cinfo is not None and cinfo.arity != len(ptypes):
                 raise StaticError(
-                    f"context {pred.class_name} must constrain a type "
-                    f"variable in this system", pred.pos)
-        if not env.class_env.is_class(pred.class_name):
-            raise StaticError(f"unknown class {pred.class_name}", pred.pos)
-        cinfo = env.class_env.classes.get(pred.class_name)
-        if cinfo is not None and cinfo.arity != len(ptypes):
-            raise StaticError(
-                f"class {pred.class_name} has {cinfo.arity} parameter(s), "
-                f"but the constraint supplies {len(ptypes)} type(s)",
-                pred.pos)
-        targets: List[Type] = []
-        for pt in ptypes:
-            name = pt.name
-            if name not in var_map:
-                # A context variable not mentioned in the body: ambiguous,
-                # but permitted in Haskell; quantify it anyway and let use
-                # sites trip the ambiguity rule.
-                var_map[name] = TyGen(len(var_map))
-                var_kinds[name] = KVar()
-            target = var_map[name]
-            assert isinstance(target, TyGen)
-            unify_kinds(var_kinds[name], STAR, pred.pos)
-            targets.append(target)
-        if len(targets) > 1:
-            preds.append(Pred(pred.class_name, types=targets))
-        else:
-            preds.append(Pred(pred.class_name, targets[0]))
-    kinds = [default_kind(var_kinds[name])
-             for name in sorted(var_map, key=lambda n: var_map[n].index)]  # type: ignore[union-attr]
+                    f"class {pred.class_name} has {cinfo.arity} parameter(s), "
+                    f"but the constraint supplies {len(ptypes)} type(s)",
+                    pred.pos)
+            # A constrained variable's kind is dictated by the class:
+            # ``Eq a`` forces ``a :: *``, ``Functor f`` forces
+            # ``f :: * -> *`` (or whatever kind was inferred for the
+            # class variable).
+            pkinds = cinfo.param_kinds if cinfo is not None \
+                else [STAR] * len(ptypes)
+            targets: List[Type] = []
+            for pt, pkind in zip(ptypes, pkinds):
+                name = pt.name
+                if name not in var_map:
+                    # A context variable not mentioned in the body:
+                    # ambiguous, but permitted in Haskell; quantify it
+                    # anyway and let use sites trip the ambiguity rule.
+                    var_map[name] = TyGen(len(var_map))
+                    var_kinds[name] = KVar()
+                target = var_map[name]
+                assert isinstance(target, TyGen)
+                unify_kinds(var_kinds[name], pkind, pred.pos)
+                targets.append(target)
+            if len(targets) > 1:
+                preds.append(Pred(pred.class_name, types=targets))
+            else:
+                preds.append(Pred(pred.class_name, targets[0]))
+        kinds = [default_kind(var_kinds[name])
+                 for name in sorted(var_map, key=lambda n: var_map[n].index)]  # type: ignore[union-attr]
     return Scheme(kinds, preds, body)
 
 
@@ -350,6 +365,12 @@ def analyze_program(program: ast.Program,
 def _process_data_decls(env: StaticEnv, decls: List[ast.DataDecl]) -> None:
     """Kind inference and constructor schemes for a set of (possibly
     mutually recursive) data declarations."""
+    with kvar_scope():
+        _process_data_decls_scoped(env, decls)
+
+
+def _process_data_decls_scoped(env: StaticEnv,
+                               decls: List[ast.DataDecl]) -> None:
     # Pass 1: provisional kinds with fresh variables.
     pending: List[Tuple[ast.DataDecl, List[Kind], Kind]] = []
     seen_names: set = set()
@@ -410,42 +431,77 @@ def _process_data_decls(env: StaticEnv, decls: List[ast.DataDecl]) -> None:
 
 
 def _process_class_decl(env: StaticEnv, decl: ast.ClassDecl) -> None:
-    # The class variable has kind *; classes over higher kinds are not
-    # part of this system (matching Haskell 1.2).
+    """Process one class declaration, *inferring* the kind of the class
+    variable from the method signatures (docs/CLASSES.md).
+
+    A single shared kind variable stands for the class variable across
+    every signature; each use site (``f a`` in a method type, a
+    superclass constraint, an extra-context constraint) unifies against
+    it.  Whatever is still unconstrained after the last signature
+    defaults to ``*`` — so ``class Eq a`` keeps its paper-era kind and
+    ``class Functor f where fmap :: (a -> b) -> f a -> f b`` comes out
+    at ``* -> *`` with no annotation syntax.  Multi-parameter classes
+    keep every parameter at ``*`` (docs/SOLVER.md)."""
+    tyvars = decl.all_tyvars
     methods: List[MethodInfo] = []
     default_names = {d.name for d in decl.defaults}
     index = 0
-    for sig in decl.signatures:
-        scheme_template = _method_scheme(env, decl, sig)
-        for name in sig.names:
-            methods.append(MethodInfo(
-                name=name,
-                scheme=scheme_template,
-                index=index,
-                has_default=name in default_names,
-            ))
-            index += 1
+    with kvar_scope():
+        if len(tyvars) == 1:
+            param_kinds: List[Kind] = [KVar()]
+        else:
+            param_kinds = [STAR for _ in tyvars]
+        # A superclass constraint ``Sup a`` in the head forces the class
+        # variable to the superclass's (already inferred) kind.
+        for sup in decl.superclasses:
+            sinfo = env.class_env.classes.get(sup)
+            if sinfo is not None and sinfo.arity == 1 and len(tyvars) == 1:
+                unify_kinds(param_kinds[0], sinfo.tyvar_kind, decl.pos)
+        schemes: List[Scheme] = []
+        for sig in decl.signatures:
+            scheme_template = _method_scheme(env, decl, sig, param_kinds)
+            schemes.append(scheme_template)
+            for name in sig.names:
+                methods.append(MethodInfo(
+                    name=name,
+                    scheme=scheme_template,
+                    index=index,
+                    has_default=name in default_names,
+                ))
+                index += 1
+        # Defaulting must wait until *every* signature has constrained
+        # the shared kind variables: a later method may refine the kind
+        # an earlier method left open.  Zonk each scheme in place.
+        for scheme in schemes:
+            scheme.kinds[:] = [default_kind(k) for k in scheme.kinds]
+        tyvar_kind = default_kind(param_kinds[0]) if len(tyvars) == 1 \
+            else STAR
     for d in decl.defaults:
         if d.name not in {m.name for m in methods}:
             raise StaticError(
                 f"default binding for {d.name} which is not a method of "
                 f"class {decl.name}", d.pos)
     info = ClassInfo(decl.name, list(decl.superclasses),
-                     tyvar_kind=STAR, methods=methods, pos=decl.pos,
-                     arity=len(decl.all_tyvars))
+                     tyvar_kind=tyvar_kind, methods=methods, pos=decl.pos,
+                     arity=len(tyvars))
     env.class_env.add_class(info)
     env.class_bodies[decl.name] = decl
 
 
 def _method_scheme(env: StaticEnv, decl: ast.ClassDecl,
-                   sig: ast.TypeSig) -> Scheme:
+                   sig: ast.TypeSig, param_kinds: List[Kind]) -> Scheme:
     """The full scheme of a method: quantified variables 0..arity-1 are
     the class variables, predicate 0 is the class constraint, and any
-    extra context declared on the method (section 8.5) follows."""
+    extra context declared on the method (section 8.5) follows.
+
+    *param_kinds* carries the (still inferring) kinds of the class
+    variables, shared across the class's signatures; the returned
+    scheme's kinds are **not yet zonked** — the caller defaults them
+    once every signature has been seen."""
     tyvars = decl.all_tyvars
     var_map: Dict[str, Type] = {name: TyGen(i)
                                 for i, name in enumerate(tyvars)}
-    var_kinds: Dict[str, Kind] = {name: STAR for name in tyvars}
+    var_kinds: Dict[str, Kind] = dict(zip(tyvars, param_kinds))
     body, body_kind = convert_type(env, sig.signature.type, var_map,
                                    var_kinds, implicit_vars=True)
     unify_kinds(body_kind, STAR, sig.pos)
@@ -465,14 +521,17 @@ def _method_scheme(env: StaticEnv, decl: ast.ClassDecl,
             raise StaticError(
                 f"method signature must not re-constrain the class "
                 f"variable {ptypes[0].name}", pred.pos)
+        pinfo = env.class_env.classes.get(pred.class_name)
+        pkinds = pinfo.param_kinds if pinfo is not None \
+            else [STAR] * len(ptypes)
         targets: List[Type] = []
-        for pt in ptypes:
+        for pt, pkind in zip(ptypes, pkinds):
             if pt.name not in var_map:
                 var_map[pt.name] = TyGen(len(var_map))
                 var_kinds[pt.name] = KVar()
             target = var_map[pt.name]
             assert isinstance(target, TyGen)
-            unify_kinds(var_kinds[pt.name], STAR, pred.pos)
+            unify_kinds(var_kinds[pt.name], pkind, pred.pos)
             targets.append(target)
         if len(targets) > 1:
             preds.append(Pred(pred.class_name, types=targets))
@@ -484,7 +543,9 @@ def _method_scheme(env: StaticEnv, decl: ast.ClassDecl,
             raise StaticError(
                 f"method type must mention the class variable {tv}",
                 sig.pos)
-    kinds = [default_kind(var_kinds[name])
+    # Raw (possibly KVar-containing) kinds: the class-level fixup pass
+    # zonks them after the whole declaration has been inferred.
+    kinds = [var_kinds[name]
              for name in sorted(var_map, key=lambda n: var_map[n].index)]  # type: ignore[union-attr]
     return Scheme(kinds, preds, body)
 
@@ -543,10 +604,40 @@ def _process_instance_decl(env: StaticEnv, decl: ast.InstanceDecl) -> None:
         kind = env.tycon(tycon_name).kind  # tuple constructors on demand
     if kind is None:
         raise StaticError(f"unknown type constructor {tycon_name}", decl.pos)
-    if kind_arity(kind) != len(var_names):
-        raise KindError(
-            f"instance head {tycon_name} expects {kind_arity(kind)} type "
-            f"argument(s), got {len(var_names)}", decl.pos)
+    class_info = env.class_env.class_info(decl.class_name)
+    # Kind check (docs/CLASSES.md): the head may be a *partial*
+    # application — ``instance Functor (Either a)`` applies the
+    # ``* -> * -> *`` constructor to one argument, leaving ``* -> *``,
+    # which must be exactly the class variable's inferred kind.
+    want = class_info.param_kinds[0]
+    if kind_eq(want, STAR):
+        # A kind-* class: the head must be a full application (the
+        # paper's rule, with its original diagnostic).
+        if kind_arity(kind) != len(var_names):
+            raise KindError(
+                f"instance head {tycon_name} expects {kind_arity(kind)} "
+                f"type argument(s), got {len(var_names)}", decl.pos)
+    else:
+        remaining = drop_kind_args(kind, len(var_names))
+        if remaining is None:
+            raise KindError(
+                f"instance head {tycon_name} expects at most "
+                f"{kind_arity(kind)} type argument(s), got "
+                f"{len(var_names)}", decl.pos)
+        if not kind_eq(remaining, want):
+            head_txt = " ".join([tycon_name] + var_names)
+            raise KindError(
+                f"instance head {head_txt} has kind {kind_str(remaining)}, "
+                f"but class {decl.class_name} expects instances at kind "
+                f"{kind_str(want)}", decl.pos)
+    # Kind of each (applied) head variable: the leading argument kinds
+    # of the constructor.
+    head_arg_kinds: List[Kind] = []
+    k: Kind = kind
+    for _ in var_names:
+        assert isinstance(k, KFun)
+        head_arg_kinds.append(k.arg)
+        k = k.res
     # Per-argument context: the paper's representation.
     per_arg: List[List[str]] = [[] for _ in var_names]
     for pred in decl.context:
@@ -556,13 +647,23 @@ def _process_instance_decl(env: StaticEnv, decl: ast.InstanceDecl) -> None:
                 pred.pos)
         if not env.class_env.is_class(pred.class_name):
             raise StaticError(f"unknown class {pred.class_name}", pred.pos)
-        slot = per_arg[var_names.index(pred.type.name)]
+        arg_index = var_names.index(pred.type.name)
+        pinfo = env.class_env.classes.get(pred.class_name)
+        if pinfo is not None and pinfo.arity == 1 \
+                and not kind_eq(head_arg_kinds[arg_index],
+                                pinfo.param_kinds[0]):
+            raise KindError(
+                f"instance context {pred.class_name} {pred.type.name} "
+                f"constrains a variable of kind "
+                f"{kind_str(head_arg_kinds[arg_index])}, but class "
+                f"{pred.class_name} expects kind "
+                f"{kind_str(pinfo.param_kinds[0])}", pred.pos or decl.pos)
+        slot = per_arg[arg_index]
         if pred.class_name in slot:
             raise StaticError(
                 f"duplicate constraint {pred.class_name} {pred.type.name} "
                 f"in instance context", pred.pos)
         slot.append(pred.class_name)
-    class_info = env.class_env.class_info(decl.class_name)
     method_names = {m.name for m in class_info.methods}
     for binding in decl.bindings:
         if binding.name not in method_names:
@@ -582,6 +683,7 @@ def _process_instance_decl(env: StaticEnv, decl: ast.InstanceDecl) -> None:
         context=per_arg,
         pos=decl.pos,
         defined_methods=MethodSet(b.name for b in decl.bindings),
+        head_arg_kinds=head_arg_kinds,
     )
     env.class_env.add_instance(info)
     env.instance_bodies.append((info, decl))

@@ -299,7 +299,9 @@ def kind_of(ty: Type) -> Kind:
     if isinstance(ty, TyCon):
         return ty.kind
     if isinstance(ty, TyGen):
-        return STAR  # schemes restrict quantification to kinded slots
+        # A bare TyGen carries no kind; its kind lives in the owning
+        # scheme's ``kinds`` list.  Callers that care instantiate first.
+        return STAR
     assert isinstance(ty, TyApp)
     fn_kind = kind_of(ty.fn)
     if isinstance(fn_kind, KFun):

@@ -404,6 +404,12 @@ class Unifier:
                 f"head is not a known constructor", pos)
         contexts = self.class_env.find_instance_context(
             head.name, cls, type_str(ty), pos)
+        # For a well-kinded goal the spine length always equals the
+        # instance's context-slot count, higher-kinded instances
+        # included: the goal's kind is the class variable's kind, which
+        # pins how far the constructor is applied.  Defensive check
+        # only (an ill-kinded goal could reach here through a stale
+        # interface).
         if len(contexts) != len(args):
             raise UnificationError(
                 f"instance {cls} {head.name} expects {len(contexts)} type "

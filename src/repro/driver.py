@@ -370,6 +370,25 @@ class CompiledProgram:
             return f"{name} :: {scheme}"
         return f"{name} is not defined"
 
+    def kinds_listing(self) -> str:
+        """``info --kinds``: every type constructor and class in scope
+        with its inferred kind, sorted by name.  Classes print as
+        constraint formers (``... -> Constraint``)."""
+        from repro.core.kinds import kind_str
+        lines: List[str] = []
+        for name in sorted(self.static_env._tycons):
+            con = self.static_env._tycons[name]
+            lines.append(f"type  {name} :: {kind_str(con.kind)}")
+        for name in sorted(self.class_env.classes):
+            cls = self.class_env.classes[name]
+            parts = []
+            for k in cls.param_kinds:
+                txt = kind_str(k)
+                parts.append(f"({txt})" if "->" in txt else txt)
+            sig = " -> ".join(parts + ["Constraint"])
+            lines.append(f"class {name} :: {sig}")
+        return "\n".join(lines)
+
     def interface(self) -> str:
         """An interface-file style listing (section 8.6: "interfaces
         provide the signature of each definition in a module ... these

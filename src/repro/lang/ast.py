@@ -60,11 +60,12 @@ class STyApp(SType):
 
 def sty_fun(arg: SType, res: SType) -> SType:
     """Build the syntax for ``arg -> res``."""
-    return STyApp(STyApp(STyCon("->"), arg), res)
+    pos = arg.pos
+    return STyApp(STyApp(STyCon("->", pos=pos), arg, pos=pos), res, pos=pos)
 
 
 def sty_list(elem: SType) -> SType:
-    return STyApp(STyCon("[]"), elem)
+    return STyApp(STyCon("[]", pos=elem.pos), elem, pos=elem.pos)
 
 
 def sty_tuple(elems: List[SType]) -> SType:

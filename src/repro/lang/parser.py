@@ -652,8 +652,11 @@ class Parser:
 
     def parse_btype(self) -> ast.SType:
         ty = self.parse_atype()
+        pos = ty.pos
         while self.at_atype_start():
-            ty = ast.STyApp(ty, self.parse_atype())
+            # The application spine carries the head atom's position so
+            # kind errors point at the misapplied constructor/variable.
+            ty = ast.STyApp(ty, self.parse_atype(), pos=pos)
         return ty
 
     def at_atype_start(self) -> bool:

@@ -45,8 +45,10 @@ from repro.lang import ast
 #: bumped whenever the pickled payload layout changes; a version-skewed
 #: file on disk is treated as absent and rebuilt.
 #: v1: surface only; v2: + unfoldings (cross-module specialisation);
-#: v3: Pred grew a ``types`` slot (multi-parameter constraints).
-INTERFACE_VERSION = 3
+#: v3: Pred grew a ``types`` slot (multi-parameter constraints);
+#: v4: class kinds may exceed ``*`` and InstanceInfo grew
+#: ``head_arg_kinds`` (higher-kinded instances at partial application).
+INTERFACE_VERSION = 4
 
 _MAGIC = b"repro-ri"
 
@@ -119,8 +121,10 @@ class ModuleInterface:
         for inst in sorted(self.instances,
                            key=lambda i: (i.class_name, i.tycon_name)):
             ctx = ";".join(",".join(cs) for cs in inst.context)
+            arg_kinds = getattr(inst, "head_arg_kinds", None) or []
+            kinds = ",".join(kind_str(k) for k in arg_kinds)
             lines.append(f"instance {inst.class_name} {inst.tycon_name} "
-                         f"= {inst.dict_name} [{ctx}]")
+                         f"= {inst.dict_name} [{ctx}] @ [{kinds}]")
         for name, scheme in sorted(self.schemes.items()):
             lines.append(f"{name} :: {scheme}")
         return "\n".join(lines)

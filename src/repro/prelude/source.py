@@ -17,8 +17,10 @@ infixl 7 *, /, `div`, `mod`
 infixl 6 +, -
 infixr 5 :, ++
 infix  4 ==, /=, <, <=, >, >=
+infixl 4 <$>, <*>
 infixr 3 &&
 infixr 2 ||
+infixl 1 >>=, >>
 infixr 0 $
 
 -- Core data types.  Bool and Ordering derive their classes, which
@@ -84,6 +86,24 @@ class Enum a where
   pred     :: a -> a
   succ x = toEnum (primAddInt (fromEnum x) 1)
   pred x = toEnum (primSubInt (fromEnum x) 1)
+
+-- Higher-kinded classes (docs/CLASSES.md): the class variable's kind
+-- is inferred from the method signatures — 'f' below comes out at
+-- * -> * with no annotation syntax.
+
+class Functor f where
+  fmap :: (a -> b) -> f a -> f b
+
+class Functor f => Applicative f where
+  pure  :: a -> f a
+  (<*>) :: f (a -> b) -> f a -> f b
+
+class Applicative m => Monad m where
+  return :: a -> m a
+  (>>=)  :: m a -> (a -> m b) -> m b
+  (>>)   :: m a -> m b -> m b
+  return = pure
+  m >> k = m >>= \u -> k
 
 -- ---------------------------------------------------------------------
 -- Boolean functions
@@ -316,6 +336,27 @@ range a b = map toEnum (enumFromTo (fromEnum a) (fromEnum b))
 
 allValues :: (Bounded a, Enum a) => [a]
 allValues = range minBound maxBound
+
+-- ---------------------------------------------------------------------
+-- Functor / Applicative / Monad combinators
+-- ---------------------------------------------------------------------
+
+(<$>) :: Functor f => (a -> b) -> f a -> f b
+f <$> x = fmap f x
+
+liftA2 :: Applicative f => (a -> b -> c) -> f a -> f b -> f c
+liftA2 f x y = f <$> x <*> y
+
+mapM :: Monad m => (a -> m b) -> [a] -> m [b]
+mapM f []     = return []
+mapM f (x:xs) = f x >>= \y -> mapM f xs >>= \ys -> return (y : ys)
+
+sequence :: Monad m => [m a] -> m [a]
+sequence = mapM id
+
+foldM :: Monad m => (b -> a -> m b) -> b -> [a] -> m b
+foldM f z []     = return z
+foldM f z (x:xs) = f z x >>= \z2 -> foldM f z2 xs
 
 -- ---------------------------------------------------------------------
 -- Maybe and list utilities
@@ -641,6 +682,56 @@ instance Text a => Text [a] where
             in bindReads (readToken "[" s) (\u r ->
                  bindReads (readToken "]" r) (\v r2 -> [([], r2)])
                  ++ items r)
+
+-- Higher-kinded instances: Maybe, Either a (a *partial* application
+-- of the * -> * -> * constructor), lists, and functions.
+
+instance Functor Maybe where
+  fmap f Nothing  = Nothing
+  fmap f (Just x) = Just (f x)
+
+instance Applicative Maybe where
+  pure = Just
+  Nothing  <*> x = Nothing
+  (Just f) <*> x = fmap f x
+
+instance Monad Maybe where
+  Nothing  >>= k = Nothing
+  (Just x) >>= k = k x
+
+instance Functor (Either a) where
+  fmap f (Left x)  = Left x
+  fmap f (Right y) = Right (f y)
+
+instance Applicative (Either a) where
+  pure = Right
+  (Left x)  <*> v = Left x
+  (Right f) <*> v = fmap f v
+
+instance Monad (Either a) where
+  (Left x)  >>= k = Left x
+  (Right y) >>= k = k y
+
+instance Functor [] where
+  fmap = map
+
+instance Applicative [] where
+  pure x    = [x]
+  fs <*> xs = concatMap (\f -> map f xs) fs
+
+instance Monad [] where
+  xs >>= k = concatMap k xs
+
+-- The reader: functions from a fixed argument type form a monad.
+instance Functor ((->) r) where
+  fmap = (.)
+
+instance Applicative ((->) r) where
+  pure  = const
+  f <*> g = \x -> f x (g x)
+
+instance Monad ((->) r) where
+  f >>= k = \x -> k (f x) x
 
 -- Pairs: the paper's print-tuple2 example (section 7).
 instance (Eq a, Eq b) => Eq (a, b) where

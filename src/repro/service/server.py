@@ -432,10 +432,17 @@ class CompileService:
 
     def _op_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
         name = request.get("name")
-        if not isinstance(name, str):
-            raise ProtocolError("'info' needs a 'name' string")
+        kinds = bool(request.get("kinds"))
+        if not isinstance(name, str) and not kinds:
+            raise ProtocolError("'info' needs a 'name' string and/or "
+                                "'kinds': true")
         key, program = self._resolve_program(request)
-        return {"program": key, "info": program.info(name)}
+        result: Dict[str, Any] = {"program": key}
+        if isinstance(name, str):
+            result["info"] = program.info(name)
+        if kinds:
+            result["kinds"] = program.kinds_listing()
+        return result
 
     def _op_build(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Build a multi-module program from inline sources: resolve

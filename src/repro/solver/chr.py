@@ -97,6 +97,9 @@ class ChrSolver:
                     f"type's head is not a known constructor", pos)
             contexts = class_env.find_instance_context(
                 head.name, cls, type_str(goal), pos)
+            # Well-kinded goals always match the rule head's arity,
+            # higher-kinded instances included (the goal's kind pins the
+            # spine length); defensive check, mirroring the reduce path.
             if len(contexts) != len(args):
                 raise UnificationError(
                     f"instance {cls} {head.name} expects {len(contexts)} "

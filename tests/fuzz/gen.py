@@ -16,10 +16,15 @@ seed fully determines the run:
   token duplication).  These exercise the lexer/parser error paths and
   layout recovery.
 
-A slice of outputs comes from two *solver-focused* shapes instead:
-deep superclass towers (propagation rules, memoized ancestor sets) and
+A slice of outputs comes from three *solver-focused* shapes instead:
+deep superclass towers (propagation rules, memoized ancestor sets),
 multi-parameter class programs (chr-only; the ``--solver-diff``
-oracle's tolerated divergence).
+oracle's tolerated divergence), and higher-kinded class programs
+(Functor/Applicative/Monad pipelines, instances at partially applied
+constructors, ``deriving (Functor)``, and deliberate kind errors —
+the ``--positions`` oracle requires every ``kind.*`` diagnostic to be
+located, and ``--solver-diff`` requires both solvers to agree on
+higher-kinded goals).
 
 The generator never tries to be *semantically* interesting — the point
 is crash containment, not miscompilation hunting — so it favours
@@ -234,15 +239,103 @@ class ProgramGen:
                       f"main = conv ({r.randrange(99)} :: Int)"]
         return "\n".join(lines)
 
+    def hk(self) -> str:
+        """A higher-kinded class-system program.
+
+        Five sub-shapes: ``deriving (Functor)`` over a random small
+        structure; a hand-written class at kind ``* -> *`` with
+        instances at partially applied constructors; a monadic
+        pipeline over the prelude hierarchy; a deliberate kind error
+        (whose ``kind.*`` diagnostic must be located for the
+        ``--positions`` oracle); and applicative expression soup.
+        Every accepting shape is solver-independent, so these also
+        feed the ``--solver-diff`` oracle higher-kinded goals.
+        """
+        r = self.rng
+        shape = r.randrange(5)
+        if shape == 0:
+            extra = r.choice(["", " | K2 [a]", " | K2 (Maybe a)",
+                              " | K2 b (Either b a)"])
+            return "\n".join([
+                f"data T b a = K0 | K1 b a{extra}",
+                "  deriving (Functor)",
+                f"main = fmap (\\x -> x + {r.randrange(9)}) "
+                f"(K1 True {r.randrange(9)})",
+            ])
+        if shape == 1:
+            use_either = r.random() < 0.6
+            lines = ["class Sizes c where",
+                     "  sizes :: c a -> Int",
+                     "instance Sizes Maybe where",
+                     "  sizes m = case m of",
+                     "    Nothing -> 0",
+                     "    Just x -> 1"]
+            if use_either:
+                lines += ["instance Sizes (Either e) where",
+                          "  sizes e = case e of",
+                          "    Left l -> 0",
+                          "    Right x -> 1"]
+            call = f"sizes (Just {r.randrange(9)})"
+            if use_either:
+                call += f" + sizes (Right {r.randrange(9)} " \
+                        f":: Either Bool Int)"
+            lines.append(f"main = {call}")
+            return "\n".join(lines)
+        if shape == 2:
+            bound = r.randrange(3, 30)
+            if r.random() < 0.5:
+                return "\n".join([
+                    "step :: Int -> Maybe Int",
+                    f"step x = if x > {bound} then Nothing "
+                    f"else Just (x + {r.randrange(1, 5)})",
+                    f"main = (return {r.randrange(9)} :: Maybe Int) "
+                    f">>= step >>= step",
+                ])
+            return "\n".join([
+                f"main = [{r.randrange(5)}, {r.randrange(5)}] "
+                f">>= (\\x -> [x, x * {r.randrange(2, 5)}])",
+            ])
+        if shape == 3:
+            # Deliberate kind errors; each must come out located.
+            return r.choice([
+                "instance Functor Int where\n  fmap f x = x\n"
+                "main = 0",
+                "class B f where\n  one :: f a -> Int\n"
+                "  two :: f a b -> Int\n"
+                "main = 0",
+                "data Box a = Box a\n"
+                "instance Functor (Box a) where\n"
+                "  fmap f (Box x) = Box (f x)\n"
+                "main = 0",
+                "data App f = App (f Int)\n"
+                "bad :: App Int -> Int\n"
+                "bad x = 0\n"
+                "main = 0",
+            ])
+        picks = [
+            f"pure (\\x -> x + {r.randrange(9)}) <*> Just {r.randrange(9)}",
+            f"fmap (\\x -> x * {r.randrange(2, 5)}) "
+            f"(Right {r.randrange(9)} :: Either Bool Int)",
+            f"(\\f -> f <$> [{r.randrange(5)}, {r.randrange(5)}]) "
+            f"(\\x -> x + {r.randrange(9)})",
+            f"liftA2 (\\a -> \\b -> a + b) (Just {r.randrange(9)}) "
+            f"(Just {r.randrange(9)})",
+            f"(fmap (\\x -> x + 1) (\\y -> y * {r.randrange(2, 5)})) "
+            f"{r.randrange(9)}",
+        ]
+        return f"main = {r.choice(picks)}"
+
     def program(self) -> str:
         """One fuzz input: mostly grown/mutated, with a slice of the
         solver-focused shapes (superclass towers, multi-parameter
-        classes) mixed in."""
+        classes, higher-kinded programs) mixed in."""
         roll = self.rng.random()
         if roll < 0.08:
             return self.superclass_chain()
         if roll < 0.14:
             return self.mptc()
+        if roll < 0.24:
+            return self.hk()
         return self.grown() if self.rng.random() < 0.6 else self.mutated()
 
     # ---------------------------------------------------------- module trees

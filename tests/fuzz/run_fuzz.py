@@ -40,12 +40,15 @@ EVAL_STEP_LIMIT = 200_000
 
 
 def _assert_positions(exc: ReproError) -> None:
-    """The provenance oracle: every type-error diagnostic must name at
-    least one source location in its ``positions`` list."""
-    if type(exc).code.startswith("type") and not exc.to_json()["positions"]:
+    """The provenance oracle: every type- or kind-error diagnostic
+    must name at least one source location in its ``positions``
+    list."""
+    code = type(exc).code
+    if (code.startswith("type") or code.startswith("kind")) \
+            and not exc.to_json()["positions"]:
         raise AssertionError(
-            f"type-error diagnostic carries no positions: "
-            f"[{type(exc).code}] {exc}")
+            f"{code.split('.')[0]}-error diagnostic carries no "
+            f"positions: [{code}] {exc}")
 
 
 def _compile_verdict(source: str, snapshot: PreludeSnapshot,

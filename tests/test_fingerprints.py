@@ -46,7 +46,7 @@ KNOWN_DEFAULT_OPTIONS_FP = (
 #: current prelude text.  Moves when the prelude source changes
 #: (expected) or when options_fingerprint moves (see above).
 KNOWN_DEFAULT_PRELUDE_FP = (
-    "164c841b2e3ad3ad1977ada447d69a6f06a86fb06c6a83f88cf2468e66e603ca")
+    "a65f5315ffd06817f7b85bf080ba35687fb2432be5e0f54d3260fec732038d2a")
 
 #: a value, different from the default, for each service-only field
 SERVICE_OVERRIDES = {

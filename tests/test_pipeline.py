@@ -147,7 +147,7 @@ class TestSeedEquivalence:
         assert options_fingerprint(CompilerOptions(solver="reduce")) == (
             "58e56a257d99f976c89c0726b318906b2540b1bcfdff61113efdb726851716e9")
         assert prelude_fingerprint(CompilerOptions(solver="reduce")) == (
-            "164c841b2e3ad3ad1977ada447d69a6f06a86fb06c6a83f88cf2468e66e603ca")
+            "a65f5315ffd06817f7b85bf080ba35687fb2432be5e0f54d3260fec732038d2a")
 
 
 class TestPassManager:
